@@ -1,0 +1,131 @@
+//! Microbenchmarks for the paper's algorithms: the `O(n log n)` multi-query
+//! estimator (§2.2), the fluid predictor with future arrivals (§2.4),
+//! victim selection (§3.1–3.2), and the maintenance knapsack (§3.3) —
+//! including the greedy-vs-exact ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mqpi_core::fluid::{predict, standard_remaining_times, FluidQuery, FutureArrivals};
+use mqpi_sim::rng::Rng;
+use mqpi_wlm::{
+    best_multi_victim, best_single_victim, greedy_abort_plan, optimal_abort_set, LostWorkCase,
+    QueryLoad,
+};
+
+fn queries(n: usize, seed: u64) -> Vec<FluidQuery> {
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| FluidQuery {
+            id: i as u64,
+            cost: rng.range_f64(10.0, 50_000.0),
+            weight: [0.5, 1.0, 2.0, 4.0][rng.below(4) as usize],
+        })
+        .collect()
+}
+
+fn loads(n: usize, seed: u64) -> Vec<QueryLoad> {
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| QueryLoad {
+            id: i as u64,
+            remaining: rng.range_f64(10.0, 50_000.0),
+            done: rng.range_f64(0.0, 20_000.0),
+            weight: [0.5, 1.0, 2.0, 4.0][rng.below(4) as usize],
+        })
+        .collect()
+}
+
+fn bench_multi_query_estimator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("multi_query_estimator_closed_form");
+    for n in [10usize, 100, 1_000, 10_000] {
+        let qs = queries(n, 1);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &qs, |b, qs| {
+            b.iter(|| black_box(standard_remaining_times(black_box(qs), 100.0)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_fluid_predict(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fluid_predict");
+    let qs = queries(10, 2);
+    g.bench_function("concurrent_only_n10", |b| {
+        b.iter(|| black_box(predict(black_box(&qs), &[], None, None, 100.0)));
+    });
+    let future = FutureArrivals::from_rate(0.05, 1_000.0, 1.0).unwrap();
+    g.bench_function("with_future_arrivals_n10", |b| {
+        b.iter(|| black_box(predict(black_box(&qs), &[], None, Some(&future), 100.0)));
+    });
+    let queued = queries(5, 3);
+    g.bench_function("with_admission_queue_n10_q5", |b| {
+        b.iter(|| black_box(predict(black_box(&qs), &queued, Some(10), None, 100.0)));
+    });
+    g.finish();
+}
+
+fn bench_victim_selection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("victim_selection");
+    for n in [10usize, 100, 1_000] {
+        let ls = loads(n, 4);
+        g.bench_with_input(BenchmarkId::new("single_query_speedup", n), &ls, |b, ls| {
+            b.iter(|| black_box(best_single_victim(black_box(ls), 0, 100.0)));
+        });
+        g.bench_with_input(BenchmarkId::new("multiple_query_speedup", n), &ls, |b, ls| {
+            b.iter(|| black_box(best_multi_victim(black_box(ls), 100.0)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_maintenance_knapsack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("maintenance_knapsack");
+    // Ablation: the paper's greedy vs the exact optimum (exponential).
+    for n in [10usize, 20] {
+        let ls = loads(n, 5);
+        let deadline = ls.iter().map(|q| q.remaining).sum::<f64>() / 100.0 * 0.5;
+        g.bench_with_input(BenchmarkId::new("greedy", n), &ls, |b, ls| {
+            b.iter(|| {
+                black_box(greedy_abort_plan(
+                    black_box(ls),
+                    100.0,
+                    deadline,
+                    LostWorkCase::TotalCost,
+                ))
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("exact", n), &ls, |b, ls| {
+            b.iter(|| {
+                black_box(optimal_abort_set(
+                    black_box(ls),
+                    100.0,
+                    deadline,
+                    LostWorkCase::TotalCost,
+                ))
+            });
+        });
+    }
+    // Greedy alone scales far beyond what exact search can touch.
+    let big = loads(10_000, 6);
+    let deadline = big.iter().map(|q| q.remaining).sum::<f64>() / 100.0 * 0.5;
+    g.bench_function("greedy/10000", |b| {
+        b.iter(|| {
+            black_box(greedy_abort_plan(
+                black_box(&big),
+                100.0,
+                deadline,
+                LostWorkCase::TotalCost,
+            ))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_multi_query_estimator,
+    bench_fluid_predict,
+    bench_victim_selection,
+    bench_maintenance_knapsack
+);
+criterion_main!(benches);

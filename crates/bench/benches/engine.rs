@@ -1,0 +1,115 @@
+//! Engine microbenchmarks: storage, index probes, and the paper's workload
+//! query end to end — plus the PI-estimation overhead ablation (how much a
+//! snapshot + estimate costs per visibility mode).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mqpi_bench::db;
+use mqpi_core::multi::FutureWorkload;
+use mqpi_core::{MultiQueryPi, SingleQueryPi, Visibility};
+use mqpi_engine::WorkMeter;
+use mqpi_sim::job::SyntheticJob;
+use mqpi_sim::system::{System, SystemConfig};
+use mqpi_workload::query_job;
+
+fn bench_storage(c: &mut Criterion) {
+    let tpcr = db::small();
+    let lineitem = tpcr.db.table("lineitem").expect("lineitem");
+    let mut g = c.benchmark_group("storage");
+    g.bench_function("seq_scan_24k_rows", |b| {
+        b.iter(|| {
+            let m = WorkMeter::new();
+            let mut st = mqpi_engine::heap::ScanState::new();
+            let mut n = 0u64;
+            while let Some((_, row)) = lineitem.heap.scan_next(&mut st, &m).unwrap() {
+                n += row.len() as u64;
+            }
+            black_box(n)
+        });
+    });
+    let idx = lineitem.index_on(0).expect("index");
+    g.bench_function("index_probe_30_matches", |b| {
+        let m = WorkMeter::new();
+        let mut k = 0i64;
+        b.iter(|| {
+            k = (k + 37) % 800;
+            black_box(idx.tree.lookup(&mqpi_engine::Value::Int(k), &m))
+        });
+    });
+    g.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let tpcr = db::small();
+    let mut g = c.benchmark_group("query");
+    g.sample_size(20);
+    g.bench_function("prepare_paper_query", |b| {
+        b.iter(|| black_box(tpcr.db.prepare(&tpcr.query_sql(10)).unwrap()));
+    });
+    g.bench_function("run_paper_query_s5_to_completion", |b| {
+        b.iter(|| {
+            let p = tpcr.db.prepare(&tpcr.query_sql(5)).unwrap();
+            let mut cur = p.open().unwrap();
+            black_box(cur.run_to_completion().unwrap())
+        });
+    });
+    g.bench_function("run_paper_query_s5_in_installments", |b| {
+        b.iter(|| {
+            let mut job = query_job(tpcr, 5).unwrap();
+            let mut total = 0u64;
+            loop {
+                use mqpi_sim::Job;
+                total += job.run(16).unwrap();
+                if job.finished() {
+                    break;
+                }
+            }
+            black_box(total)
+        });
+    });
+    g.finish();
+}
+
+fn bench_pi_overhead(c: &mut Criterion) {
+    // Ablation: per-estimate overhead of the three visibility modes on a
+    // 10-query snapshot (the PI runs continuously in a real system, so its
+    // own cost matters).
+    let mut sys = System::new(SystemConfig {
+        rate: 100.0,
+        ..Default::default()
+    });
+    for i in 0..10 {
+        sys.submit(
+            format!("q{i}"),
+            Box::new(SyntheticJob::new(5_000 + 1_000 * i)),
+            1.0,
+        );
+    }
+    sys.run_until(5.0).unwrap();
+    let snap = sys.snapshot();
+    let mut g = c.benchmark_group("pi_estimate_overhead");
+    let single = SingleQueryPi::new();
+    g.bench_function("single_query", |b| {
+        b.iter(|| black_box(single.estimates(black_box(&snap))));
+    });
+    let multi = MultiQueryPi::new(Visibility::concurrent_only());
+    g.bench_function("multi_concurrent_only", |b| {
+        b.iter(|| black_box(multi.estimates(black_box(&snap))));
+    });
+    let multi_future = MultiQueryPi::new(Visibility::with_future(
+        None,
+        FutureWorkload {
+            lambda: 0.05,
+            avg_cost: 1_000.0,
+            avg_weight: 1.0,
+        },
+    ));
+    g.bench_function("multi_with_future", |b| {
+        b.iter(|| black_box(multi_future.estimates(black_box(&snap))));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_storage, bench_query, bench_pi_overhead);
+criterion_main!(benches);

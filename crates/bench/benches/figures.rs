@@ -1,0 +1,81 @@
+//! One benchmark target per paper table/figure: each measures the runtime
+//! of regenerating that artifact at reduced scale. `cargo bench -p
+//! mqpi-bench --bench figures` therefore certifies that every experiment
+//! runner stays functional and bounded.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mqpi_bench::{analytic, db, maintenance, mcq, naq, scq, table1};
+use mqpi_workload::McqConfig;
+
+fn bench_figures(c: &mut Criterion) {
+    let tpcr = db::small();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    g.bench_function("table1_datagen_summary", |b| {
+        b.iter(|| black_box(table1::run(tpcr)));
+    });
+    g.bench_function("fig01_standard_stages", |b| {
+        b.iter(|| black_box(analytic::fig1(100.0)));
+    });
+    g.bench_function("fig02_blocked_stages", |b| {
+        b.iter(|| black_box(analytic::fig2(100.0)));
+    });
+    g.bench_function("fig03_fig04_mcq_run", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(
+                mcq::run(
+                    tpcr,
+                    McqConfig {
+                        seed,
+                        rate: 70.0,
+                        ..Default::default()
+                    },
+                    20.0,
+                )
+                .unwrap(),
+            )
+        });
+    });
+    g.bench_function("fig05_naq_run", |b| {
+        b.iter(|| black_box(naq::run(tpcr, 70.0, [30, 6, 12], 20.0).unwrap()));
+    });
+    g.bench_function("fig06_fig07_scq_one_point", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(scq::run_known_lambda(tpcr, &[0.03], 1, seed, 70.0).unwrap())
+        });
+    });
+    g.bench_function("fig08_fig09_scq_mispredicted_point", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(
+                scq::run_misestimated_lambda(tpcr, 0.03, &[0.05], 1, seed, 70.0).unwrap(),
+            )
+        });
+    });
+    g.bench_function("fig10_adaptive_trace", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(scq::run_adaptive_trace(tpcr, 0.03, 0.05, seed, 70.0, 20.0).unwrap())
+        });
+    });
+    g.bench_function("fig11_maintenance_one_run", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(maintenance::run(tpcr, &[0.5], 1, seed, 70.0).unwrap())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Figures 1 and 2: the paper's analytical illustrations of staged
+//! execution under processor sharing, regenerated from the fluid model.
+
+use mqpi_core::fluid::{standard_remaining_times, FluidQuery};
+
+/// One stage of the staged-execution picture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stage {
+    /// 1-based stage number.
+    pub stage: usize,
+    /// Stage duration `t_k` in seconds.
+    pub duration: f64,
+    /// Id of the query that finishes at the end of this stage (`None` for
+    /// the stage in which the blocked query *would* have finished).
+    pub finisher: Option<u64>,
+}
+
+/// Fig. 1 setup: four equal-priority queries with remaining costs
+/// 100/200/300/400 U at `C = 100` U/s.
+pub fn fig1_queries() -> Vec<FluidQuery> {
+    (1..=4)
+        .map(|i| FluidQuery {
+            id: i,
+            cost: 100.0 * i as f64,
+            weight: 1.0,
+        })
+        .collect()
+}
+
+/// Fig. 1: the standard case. Returns the per-stage durations with the
+/// finishing query of each stage.
+pub fn fig1(rate: f64) -> Vec<Stage> {
+    stages(&fig1_queries(), rate)
+}
+
+/// Fig. 2: same queries, but Q3 is blocked at time 0; its stage disappears
+/// and every earlier stage shortens.
+pub fn fig2(rate: f64) -> Vec<Stage> {
+    let queries: Vec<FluidQuery> = fig1_queries().into_iter().filter(|q| q.id != 3).collect();
+    stages(&queries, rate)
+}
+
+/// Compute stages from finish times.
+fn stages(queries: &[FluidQuery], rate: f64) -> Vec<Stage> {
+    let times = standard_remaining_times(queries, rate);
+    let mut order: Vec<(u64, f64)> = queries
+        .iter()
+        .zip(&times)
+        .map(|(q, t)| (q.id, *t))
+        .collect();
+    order.sort_by(|a, b| a.1.total_cmp(&b.1));
+    let mut out = Vec::new();
+    let mut prev = 0.0;
+    for (k, (id, t)) in order.iter().enumerate() {
+        out.push(Stage {
+            stage: k + 1,
+            duration: t - prev,
+            finisher: Some(*id),
+        });
+        prev = *t;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_stage_durations_match_paper_shape() {
+        // Costs 100..400, equal priority, C=100: stages 4, 3, 2, 1 seconds.
+        let s = fig1(100.0);
+        let durations: Vec<f64> = s.iter().map(|x| x.duration).collect();
+        assert_eq!(durations, vec![4.0, 3.0, 2.0, 1.0]);
+        let finishers: Vec<u64> = s.iter().map(|x| x.finisher.unwrap()).collect();
+        assert_eq!(finishers, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn fig2_blocking_q3_shortens_later_finishers() {
+        let with = fig1(100.0);
+        let without = fig2(100.0);
+        // Q4's finish time: 10s → 700/100 = 7s once Q3 is blocked.
+        let f4_with: f64 = with.iter().map(|s| s.duration).sum();
+        let f4_without: f64 = without.iter().map(|s| s.duration).sum();
+        assert_eq!(f4_with, 10.0);
+        assert_eq!(f4_without, 7.0);
+        assert_eq!(without.len(), 3);
+    }
+}

@@ -1,0 +1,432 @@
+//! Regenerate every table and figure of the paper's evaluation (§5).
+//!
+//! ```text
+//! experiments [all|table1|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11]
+//!             [--runs N] [--small] [--csv DIR] [--seed S]
+//! ```
+//!
+//! Output is printed as text tables (the same rows/series the paper plots)
+//! and optionally written as CSV, one file per figure.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mqpi_bench::report::{f2, pct, TextTable};
+use mqpi_bench::{ablations, analytic, db, maintenance, mcq, naq, scq, speedup_exp, table1};
+use mqpi_workload::{McqConfig, TpcrDb};
+
+struct Opts {
+    what: Vec<String>,
+    runs: usize,
+    small: bool,
+    csv: Option<PathBuf>,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        what: Vec::new(),
+        runs: 50,
+        small: false,
+        csv: None,
+        seed: 1,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--runs" => {
+                opts.runs = args
+                    .next()
+                    .ok_or("--runs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--runs: {e}"))?;
+            }
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--small" => opts.small = true,
+            "--csv" => {
+                opts.csv = Some(PathBuf::from(args.next().ok_or("--csv needs a dir")?));
+            }
+            "--help" | "-h" => {
+                return Err("usage: experiments [all|table1|fig1..fig11|ablations|speedup] \
+                            [--runs N] [--small] [--csv DIR] [--seed S]"
+                    .into())
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other => opts.what.push(other.to_string()),
+        }
+    }
+    if opts.runs == 0 {
+        return Err("--runs must be at least 1".into());
+    }
+    const KNOWN: &[&str] = &[
+        "all", "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+        "fig9", "fig10", "fig11", "ablations", "speedup",
+    ];
+    for w in &opts.what {
+        if !KNOWN.contains(&w.as_str()) {
+            return Err(format!(
+                "unknown experiment '{w}' (expected one of: {})",
+                KNOWN.join(", ")
+            ));
+        }
+    }
+    if opts.what.is_empty() {
+        opts.what.push("all".into());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let selected = |name: &str| opts.what.iter().any(|w| w == name || w == "all");
+    let tpcr: &TpcrDb = if opts.small { db::small() } else { db::standard() };
+    eprintln!(
+        "# database: lineitem {} rows, rate C = {} U/s, runs = {}",
+        tpcr.config.lineitem_rows,
+        db::RATE,
+        opts.runs
+    );
+
+    let emit = |name: &str, file: &str, table: &TextTable| {
+        println!("== {name} ==");
+        println!("{}", table.render());
+        if let Some(dir) = &opts.csv {
+            let path = dir.join(format!("{file}.csv"));
+            if let Err(e) = table.write_csv(&path) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+    };
+
+    let run = || -> Result<(), Box<dyn std::error::Error>> {
+        if selected("table1") {
+            let mut t = TextTable::new(&[
+                "relation",
+                "paper tuples",
+                "paper size",
+                "our tuples",
+                "our bytes",
+                "our pages",
+            ]);
+            for r in table1::run(tpcr) {
+                t.row(vec![
+                    r.relation,
+                    r.paper_tuples,
+                    r.paper_size,
+                    r.ours_tuples.to_string(),
+                    r.ours_bytes.to_string(),
+                    r.ours_pages.to_string(),
+                ]);
+            }
+            emit("table1", "table1", &t);
+        }
+        if selected("fig1") {
+            let mut t = TextTable::new(&["stage", "duration (s)", "finishing query"]);
+            for s in analytic::fig1(100.0) {
+                t.row(vec![
+                    s.stage.to_string(),
+                    f2(s.duration),
+                    format!("Q{}", s.finisher.unwrap()),
+                ]);
+            }
+            emit("fig1", "fig1", &t);
+        }
+        if selected("fig2") {
+            let mut t = TextTable::new(&["stage", "duration (s)", "finishing query"]);
+            for s in analytic::fig2(100.0) {
+                t.row(vec![
+                    s.stage.to_string(),
+                    f2(s.duration),
+                    format!("Q{}", s.finisher.unwrap()),
+                ]);
+            }
+            emit("fig2 (Q3 blocked at time 0)", "fig2", &t);
+        }
+        if selected("fig3") || selected("fig4") {
+            let r = mcq::run(
+                tpcr,
+                McqConfig {
+                    seed: opts.seed,
+                    rate: db::RATE,
+                    ..Default::default()
+                },
+                10.0,
+            )?;
+            if selected("fig3") {
+                let mut t = TextTable::new(&[
+                    "time (s)",
+                    "actual remaining (s)",
+                    "single-query est (s)",
+                    "multi-query est (s)",
+                ]);
+                for s in &r.samples {
+                    t.row(vec![
+                        f2(s.t),
+                        f2(s.actual_remaining),
+                        f2(s.single_est),
+                        f2(s.multi_est),
+                    ]);
+                }
+                emit(
+                    &format!("fig3 (MCQ, tracked query size class {})", r.target_size),
+                    "fig3",
+                    &t,
+                );
+            }
+            if selected("fig4") {
+                let mut t = TextTable::new(&["time (s)", "execution speed (U/s)"]);
+                for s in &r.samples {
+                    t.row(vec![f2(s.t), f2(s.observed_speed)]);
+                }
+                emit(
+                    &format!("fig4 (speed increased {:.1}x over the run)", r.speed_increase),
+                    "fig4",
+                    &t,
+                );
+            }
+        }
+        if selected("fig5") {
+            let r = naq::run(tpcr, db::RATE, [50, 10, 20], 10.0)?;
+            let mut t = TextTable::new(&[
+                "time (s)",
+                "actual remaining (s)",
+                "single-query est (s)",
+                "multi (no queue) est (s)",
+                "multi (queue) est (s)",
+            ]);
+            for s in &r.samples {
+                t.row(vec![
+                    f2(s.t),
+                    f2(s.actual_remaining),
+                    f2(s.single_est),
+                    f2(s.multi_no_queue_est),
+                    f2(s.multi_queue_est),
+                ]);
+            }
+            emit(
+                &format!(
+                    "fig5 (NAQ; Q3 starts at {:.0}s, finishes at {:.0}s, Q1 at {:.0}s)",
+                    r.q3_start, r.q3_finish, r.q1_finish
+                ),
+                "fig5",
+                &t,
+            );
+        }
+        if selected("fig6") || selected("fig7") {
+            let lambdas = [0.0, 0.02, 0.04, 0.06, 0.08, 0.1, 0.15, 0.2];
+            let pts = scq::run_known_lambda(tpcr, &lambdas, opts.runs, opts.seed, db::RATE)?;
+            if selected("fig6") {
+                let mut t =
+                    TextTable::new(&["lambda", "single-query rel. err", "multi-query rel. err"]);
+                for p in &pts {
+                    t.row(vec![f2(p.true_lambda), pct(p.last_single), pct(p.last_multi)]);
+                }
+                emit("fig6 (SCQ, last finishing query)", "fig6", &t);
+            }
+            if selected("fig7") {
+                let mut t =
+                    TextTable::new(&["lambda", "single-query rel. err", "multi-query rel. err"]);
+                for p in &pts {
+                    t.row(vec![f2(p.true_lambda), pct(p.avg_single), pct(p.avg_multi)]);
+                }
+                emit("fig7 (SCQ, average over all ten queries)", "fig7", &t);
+            }
+        }
+        if selected("fig8") || selected("fig9") {
+            let primes = [0.0, 0.01, 0.03, 0.05, 0.08, 0.12, 0.16, 0.2];
+            let pts =
+                scq::run_misestimated_lambda(tpcr, 0.03, &primes, opts.runs, opts.seed, db::RATE)?;
+            if selected("fig8") {
+                let mut t = TextTable::new(&[
+                    "lambda' (PI)",
+                    "single-query rel. err",
+                    "multi-query rel. err",
+                ]);
+                for p in &pts {
+                    t.row(vec![f2(p.pi_lambda), pct(p.last_single), pct(p.last_multi)]);
+                }
+                emit("fig8 (SCQ, lambda=0.03, last finishing query)", "fig8", &t);
+            }
+            if selected("fig9") {
+                let mut t = TextTable::new(&[
+                    "lambda' (PI)",
+                    "single-query rel. err",
+                    "multi-query rel. err",
+                ]);
+                for p in &pts {
+                    t.row(vec![f2(p.pi_lambda), pct(p.avg_single), pct(p.avg_multi)]);
+                }
+                emit("fig9 (SCQ, lambda=0.03, average over all ten)", "fig9", &t);
+            }
+        }
+        if selected("fig10") {
+            for lp in [0.04, 0.05] {
+                let s = scq::run_adaptive_trace(tpcr, 0.03, lp, opts.seed, db::RATE, 10.0)?;
+                let mut t = TextTable::new(&[
+                    "time (s)",
+                    "actual remaining (s)",
+                    "multi-query est (s)",
+                    "lambda estimate",
+                ]);
+                for x in &s {
+                    t.row(vec![
+                        f2(x.t),
+                        f2(x.actual_remaining),
+                        f2(x.est_remaining),
+                        format!("{:.4}", x.lambda_est),
+                    ]);
+                }
+                emit(
+                    &format!("fig10 (lambda'={lp}, true lambda=0.03)"),
+                    &format!("fig10_lp{}", (lp * 100.0) as u32),
+                    &t,
+                );
+            }
+        }
+        if selected("speedup") {
+            let runs = opts.runs.clamp(1, 20);
+            let r = speedup_exp::run(tpcr, runs, opts.seed, db::RATE)?;
+            let mut t = TextTable::new(&["victim policy", "mean measured speed-up (s)"]);
+            t.row(vec!["optimal (sec. 3.1)".into(), f2(r.optimal)]);
+            t.row(vec!["  (predicted)".into(), f2(r.optimal_predicted)]);
+            t.row(vec!["heaviest consumer".into(), f2(r.heaviest)]);
+            t.row(vec!["largest remaining".into(), f2(r.largest)]);
+            t.row(vec!["random".into(), f2(r.random)]);
+            emit(
+                &format!("speedup (single-query speed-up policies, {runs} runs)"),
+                "speedup",
+                &t,
+            );
+        }
+        if selected("ablations") {
+            let runs = opts.runs.clamp(1, 20);
+            let a1 = ablations::assumption1(
+                tpcr,
+                &[0.0, 0.02, 0.05, 0.1, 0.2],
+                runs,
+                opts.seed,
+                db::RATE,
+            )?;
+            let mut t = TextTable::new(&[
+                "contention alpha",
+                "single-query rel. err",
+                "multi-query rel. err",
+            ]);
+            for p in &a1 {
+                t.row(vec![f2(p.alpha), pct(p.single_err), pct(p.multi_err)]);
+            }
+            emit("ablation A1 (rate degrades with concurrency)", "ablation_a1", &t);
+
+            let a2 = ablations::assumption2(
+                &[0.25, 0.5, 1.0, 2.0, 4.0],
+                runs,
+                opts.seed,
+                db::RATE,
+            )?;
+            let mut t = TextTable::new(&[
+                "reported-cost scale",
+                "single-query rel. err",
+                "multi-query rel. err",
+            ]);
+            for p in &a2 {
+                t.row(vec![f2(p.scale), pct(p.single_err), pct(p.multi_err)]);
+            }
+            emit(
+                "ablation A2 (remaining costs mis-reported by a factor)",
+                "ablation_a2",
+                &t,
+            );
+
+            let q = ablations::quantum_sensitivity(
+                &[1.0, 4.0, 16.0, 64.0, 256.0],
+                db::RATE,
+                opts.seed,
+            )?;
+            let mut t = TextTable::new(&["quantum (U)", "max |scheduler - fluid| (s)"]);
+            for p in &q {
+                t.row(vec![f2(p.quantum), format!("{:.3}", p.max_divergence)]);
+            }
+            emit(
+                "ablation Q (scheduler discretization vs fluid model)",
+                "ablation_quantum",
+                &t,
+            );
+
+            let ov = ablations::abort_overhead(
+                tpcr,
+                &[0.0, 200.0, 500.0, 1000.0],
+                runs.min(8),
+                opts.seed,
+                db::RATE,
+            )?;
+            let mut t = TextTable::new(&[
+                "rollback units",
+                "oblivious UW/TW",
+                "aware UW/TW",
+                "oblivious late",
+                "aware late",
+            ]);
+            for p in &ov {
+                t.row(vec![
+                    f2(p.overhead_units),
+                    pct(p.oblivious_uw),
+                    pct(p.aware_uw),
+                    pct(p.oblivious_late),
+                    pct(p.aware_late),
+                ]);
+            }
+            emit(
+                "ablation O (abort/rollback overhead in maintenance planning)",
+                "ablation_overhead",
+                &t,
+            );
+        }
+        if selected("fig11") {
+            let fracs = [0.2, 0.4, 0.6, 0.8, 1.0];
+            let runs = opts.runs.clamp(1, 10);
+            let pts = maintenance::run(tpcr, &fracs, runs, opts.seed, db::RATE)?;
+            let mut t = TextTable::new(&[
+                "t / t_finish",
+                "no PI (UW/TW)",
+                "single-query PI",
+                "multi-query PI",
+                "theoretical limit",
+            ]);
+            for p in &pts {
+                t.row(vec![
+                    f2(p.t_frac),
+                    pct(p.no_pi),
+                    pct(p.single_pi),
+                    pct(p.multi_pi),
+                    pct(p.oracle),
+                ]);
+            }
+            emit(
+                &format!("fig11 (scheduled maintenance, {runs} runs)"),
+                "fig11",
+                &t,
+            );
+        }
+        Ok(())
+    };
+
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

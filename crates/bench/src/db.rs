@@ -1,0 +1,35 @@
+//! Shared test databases for the experiment runners.
+
+use std::sync::OnceLock;
+
+use mqpi_workload::{TpcrConfig, TpcrDb};
+
+/// The standard experiment database (paper Table 1 scaled ~1/100):
+/// `lineitem` 240k rows with ~30 matches per partkey, part tables for every
+/// size class up to 50, statistics from a 10% ANALYZE sample.
+pub fn standard() -> &'static TpcrDb {
+    static DB: OnceLock<TpcrDb> = OnceLock::new();
+    DB.get_or_init(|| {
+        TpcrDb::build(TpcrConfig::default()).expect("standard test database builds")
+    })
+}
+
+/// A small database for quick benches and tests (24k lineitem rows).
+pub fn small() -> &'static TpcrDb {
+    static DB: OnceLock<TpcrDb> = OnceLock::new();
+    DB.get_or_init(|| {
+        TpcrDb::build(TpcrConfig {
+            lineitem_rows: 24_000,
+            analyze_fraction: 0.2,
+            max_size: 50,
+            ..Default::default()
+        })
+        .expect("small test database builds")
+    })
+}
+
+/// The standard system processing rate `C` (work units/second) used across
+/// experiments. Chosen so the SCQ stability boundary sits near the paper's
+/// λ ≈ 0.07: the Zipf(2.2) mean query cost is ≈ 1000 U, so `C = 70` makes
+/// arrival work `λ·c̄` exceed capacity right around λ = 0.07.
+pub const RATE: f64 = 70.0;

@@ -1,0 +1,168 @@
+//! Figures 3 & 4 — the Multiple Concurrent Query (MCQ) experiment
+//! (paper §5.2.1).
+//!
+//! Ten queries of Zipf(1.2) size run concurrently, each starting at a
+//! random point of its execution. We track a typical large query `Q` and
+//! record, over time: the actual remaining execution time (known post hoc),
+//! the single-query estimate, the multi-query estimate (Fig. 3), and `Q`'s
+//! observed execution speed (Fig. 4) — which rises as concurrent queries
+//! finish.
+
+use mqpi_core::{MultiQueryPi, SingleQueryPi, Visibility};
+use mqpi_engine::error::Result;
+use mqpi_workload::{mcq_scenario, McqConfig, TpcrDb};
+
+/// One sample of the Fig. 3/4 traces.
+#[derive(Debug, Clone, Copy)]
+pub struct McqSample {
+    /// Virtual time of the sample.
+    pub t: f64,
+    /// Actual remaining execution time of the tracked query (post hoc).
+    pub actual_remaining: f64,
+    /// Single-query PI estimate.
+    pub single_est: f64,
+    /// Multi-query PI estimate.
+    pub multi_est: f64,
+    /// Observed execution speed of the tracked query (units/s).
+    pub observed_speed: f64,
+}
+
+/// Result of one MCQ run.
+#[derive(Debug, Clone)]
+pub struct McqResult {
+    /// Size class of the tracked (largest) query.
+    pub target_size: u64,
+    /// When the tracked query finished.
+    pub finish_time: f64,
+    /// The sampled traces.
+    pub samples: Vec<McqSample>,
+    /// Final observed speed ÷ initial observed speed of the tracked query
+    /// (the paper reports ≈ 5× for its run).
+    pub speed_increase: f64,
+}
+
+/// Run the MCQ experiment once.
+pub fn run(db: &TpcrDb, cfg: McqConfig, sample_interval: f64) -> Result<McqResult> {
+    let (mut sys, ids) = mcq_scenario(db, cfg)?;
+    // Track the query with the largest refined remaining cost at time 0.
+    let snap0 = sys.snapshot();
+    let target = snap0
+        .running
+        .iter()
+        .max_by(|a, b| a.remaining.total_cmp(&b.remaining))
+        .expect("MCQ has running queries")
+        .id;
+    let target_size = ids
+        .iter()
+        .find(|(id, _)| *id == target)
+        .map(|(_, s)| *s)
+        .unwrap_or(0);
+
+    let single = SingleQueryPi::new();
+    let multi = MultiQueryPi::new(Visibility::concurrent_only());
+    let mut raw: Vec<(f64, f64, f64, f64)> = Vec::new();
+    let mut next_sample = 0.0;
+    let finish_time;
+    loop {
+        if sys.now() >= next_sample {
+            let snap = sys.snapshot();
+            if let Some(q) = snap.running.iter().find(|r| r.id == target) {
+                let s_est = single.estimate(&snap, target).unwrap_or(f64::NAN);
+                let m_est = multi.estimate(&snap, target).unwrap_or(f64::NAN);
+                let fair = snap.rate / snap.running.len().max(1) as f64;
+                raw.push((snap.time, s_est, m_est, q.observed_speed.unwrap_or(fair)));
+            }
+            next_sample += sample_interval;
+        }
+        let done = sys.step()?;
+        if done.contains(&target) {
+            finish_time = sys.now();
+            break;
+        }
+        if !sys.has_work() {
+            // Should not happen (target must finish first), but bail safely.
+            finish_time = sys.now();
+            break;
+        }
+    }
+    let samples: Vec<McqSample> = raw
+        .iter()
+        .map(|&(t, s, m, sp)| McqSample {
+            t,
+            actual_remaining: (finish_time - t).max(0.0),
+            single_est: s,
+            multi_est: m,
+            observed_speed: sp,
+        })
+        .collect();
+    let first_speed = samples
+        .iter()
+        .map(|s| s.observed_speed)
+        .find(|s| *s > 0.0)
+        .unwrap_or(1.0);
+    let last_speed = samples.last().map(|s| s.observed_speed).unwrap_or(first_speed);
+    Ok(McqResult {
+        target_size,
+        finish_time,
+        samples,
+        speed_increase: last_speed / first_speed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db;
+
+    #[test]
+    fn multi_estimate_beats_single_early_on() {
+        let r = run(
+            db::small(),
+            McqConfig {
+                seed: 3,
+                ..Default::default()
+            },
+            5.0,
+        )
+        .unwrap();
+        assert!(r.samples.len() >= 5, "too few samples: {}", r.samples.len());
+        // Early samples (first quarter): compare mean absolute error.
+        let quarter = (r.samples.len() / 4).max(2);
+        let (mut se, mut me) = (0.0, 0.0);
+        for s in &r.samples[..quarter] {
+            se += (s.single_est - s.actual_remaining).abs();
+            me += (s.multi_est - s.actual_remaining).abs();
+        }
+        assert!(
+            me < se,
+            "multi MAE {me} should beat single MAE {se} early in the run"
+        );
+        // The single-query estimate starts well above actual (paper: ~3×).
+        let first = &r.samples[0];
+        assert!(
+            first.single_est > 1.5 * first.actual_remaining,
+            "single {} vs actual {}",
+            first.single_est,
+            first.actual_remaining
+        );
+    }
+
+    #[test]
+    fn tracked_query_speeds_up_substantially() {
+        let r = run(
+            db::small(),
+            McqConfig {
+                seed: 7,
+                ..Default::default()
+            },
+            5.0,
+        )
+        .unwrap();
+        // Paper reports ≈5×; require clearly >2× (ten queries draining).
+        assert!(
+            r.speed_increase > 2.0,
+            "speed increase only {}×",
+            r.speed_increase
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Table 1: the test data set, paper values vs. our scaled build.
+
+use mqpi_workload::TpcrDb;
+
+/// One row of the data-set summary.
+#[derive(Debug, Clone)]
+pub struct DataSetRow {
+    /// Relation name.
+    pub relation: String,
+    /// Paper's tuple count description.
+    pub paper_tuples: String,
+    /// Paper's total size description.
+    pub paper_size: String,
+    /// Our tuple count.
+    pub ours_tuples: u64,
+    /// Our size in bytes (encoded tuple bytes).
+    pub ours_bytes: u64,
+    /// Our page count.
+    pub ours_pages: u64,
+}
+
+/// Regenerate Table 1 from the built database.
+pub fn run(db: &TpcrDb) -> Vec<DataSetRow> {
+    let mut rows = Vec::new();
+    let li = db.db.table("lineitem").expect("lineitem exists");
+    rows.push(DataSetRow {
+        relation: "lineitem".into(),
+        paper_tuples: "24M".into(),
+        paper_size: "3.02GB".into(),
+        ours_tuples: li.heap.row_count(),
+        ours_bytes: li.heap.byte_count(),
+        ours_pages: li.heap.page_count(),
+    });
+    for k in [1u64, 10, 50] {
+        if k > db.config.max_size {
+            continue;
+        }
+        let t = db
+            .db
+            .table(&mqpi_workload::tpcr::part_table_name(k))
+            .expect("part table exists");
+        rows.push(DataSetRow {
+            relation: format!("part_s{k}"),
+            paper_tuples: format!("10·N (N={k})"),
+            paper_size: format!("1.4·N KB (N={k})"),
+            ours_tuples: t.heap.row_count(),
+            ours_bytes: t.heap.byte_count(),
+            ours_pages: t.heap.page_count(),
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db;
+
+    #[test]
+    fn table1_reports_scaled_counts() {
+        let rows = run(db::small());
+        assert_eq!(rows[0].relation, "lineitem");
+        assert_eq!(rows[0].ours_tuples, 24_000);
+        let p10 = rows.iter().find(|r| r.relation == "part_s10").unwrap();
+        assert_eq!(p10.ours_tuples, 100);
+    }
+}

@@ -1,0 +1,38 @@
+//! Estimate types and error metrics.
+
+/// A remaining-time estimate for one query.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Estimate {
+    /// Query id the estimate is for.
+    pub id: u64,
+    /// Estimated remaining execution time in (virtual) seconds.
+    pub remaining_seconds: f64,
+}
+
+/// The paper's relative-error metric (§5.2.3):
+/// `|t_est − t_actual| / t_actual × 100%` — returned as a fraction
+/// (0.25 = 25%).
+pub fn relative_error(estimated: f64, actual: f64) -> f64 {
+    if actual == 0.0 {
+        return if estimated == 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    (estimated - actual).abs() / actual
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_basic() {
+        assert_eq!(relative_error(150.0, 100.0), 0.5);
+        assert_eq!(relative_error(50.0, 100.0), 0.5);
+        assert_eq!(relative_error(100.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn relative_error_zero_actual() {
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert!(relative_error(1.0, 0.0).is_infinite());
+    }
+}

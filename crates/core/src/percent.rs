@@ -1,0 +1,135 @@
+//! Percentage-of-completion indicators.
+//!
+//! The paper's §2 notes that the Chaudhuri et al. PIs [4, 6] "predict only
+//! percentage of completion, not remaining query execution time". This
+//! module provides that family for completeness — and a multi-query twist:
+//! the *time-weighted* fraction, which divides elapsed-equivalent progress
+//! by the fluid-model completion time, so a GUI bar advances linearly in
+//! wall-clock terms rather than in work terms.
+
+use mqpi_sim::system::SystemSnapshot;
+
+use crate::fluid::{predict, FluidQuery};
+
+/// Work-fraction indicator: `done / (done + remaining)` — the classic
+/// single-query "percent complete" (no time model at all).
+#[derive(Debug, Clone, Default)]
+pub struct PercentDonePi;
+
+impl PercentDonePi {
+    /// Create the indicator.
+    pub fn new() -> Self {
+        PercentDonePi
+    }
+
+    /// Fraction complete in `[0, 1]` for query `id`.
+    pub fn fraction(&self, snap: &SystemSnapshot, id: u64) -> Option<f64> {
+        let q = snap.running.iter().find(|r| r.id == id)?;
+        let total = q.done + q.remaining;
+        if total <= 0.0 {
+            return Some(0.0);
+        }
+        Some((q.done / total).clamp(0.0, 1.0))
+    }
+}
+
+/// Time-fraction indicator: uses the multi-query fluid model to convert
+/// work progress into *time* progress, `elapsed / (elapsed + predicted
+/// remaining)`. Under concurrency the two differ: a query at 50% of its
+/// work may be far earlier than 50% of its wall-clock life if the system
+/// is about to drain.
+#[derive(Debug, Clone, Default)]
+pub struct TimeFractionPi;
+
+impl TimeFractionPi {
+    /// Create the indicator.
+    pub fn new() -> Self {
+        TimeFractionPi
+    }
+
+    /// Fraction of the query's total wall-clock life elapsed, per the
+    /// multi-query fluid model.
+    pub fn fraction(&self, snap: &SystemSnapshot, id: u64) -> Option<f64> {
+        let q = snap.running.iter().find(|r| r.id == id && !r.blocked)?;
+        let elapsed = (snap.time - q.started).max(0.0);
+        let running: Vec<FluidQuery> = snap
+            .running
+            .iter()
+            .filter(|r| !r.blocked)
+            .map(|r| FluidQuery {
+                id: r.id,
+                cost: r.remaining,
+                weight: r.weight,
+            })
+            .collect();
+        let p = predict(&running, &[], None, None, snap.rate);
+        let remaining = p.remaining_for(id)?;
+        let total = elapsed + remaining;
+        if total <= 0.0 {
+            return Some(1.0);
+        }
+        Some((elapsed / total).clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqpi_sim::system::{QueryState, SystemSnapshot};
+
+    fn state(id: u64, done: f64, remaining: f64, started: f64) -> QueryState {
+        QueryState {
+            id,
+            name: format!("q{id}"),
+            weight: 1.0,
+            arrived: started,
+            started,
+            done,
+            remaining,
+            initial_estimate: done + remaining,
+            observed_speed: Some(10.0),
+            blocked: false,
+            rolling_back: false,
+        }
+    }
+
+    fn snap(t: f64, running: Vec<QueryState>) -> SystemSnapshot {
+        SystemSnapshot {
+            time: t,
+            rate: 100.0,
+            running,
+            queued: vec![],
+        }
+    }
+
+    #[test]
+    fn work_fraction_is_done_over_total() {
+        let s = snap(10.0, vec![state(1, 30.0, 70.0, 0.0)]);
+        let f = PercentDonePi::new().fraction(&s, 1).unwrap();
+        assert!((f - 0.3).abs() < 1e-12);
+        assert!(PercentDonePi::new().fraction(&s, 9).is_none());
+    }
+
+    #[test]
+    fn time_fraction_differs_from_work_fraction_under_concurrency() {
+        // Query 1 is halfway through its work, but a big query hogs half
+        // the machine and will keep doing so until q1 finishes: work
+        // fraction 0.5, and the time model agrees on the remaining time
+        // (200/50 = 4s vs 2s elapsed ⇒ 1/3).
+        let s = snap(
+            2.0,
+            vec![state(1, 200.0, 200.0, 0.0), state(2, 0.0, 5000.0, 0.0)],
+        );
+        let work = PercentDonePi::new().fraction(&s, 1).unwrap();
+        let time = TimeFractionPi::new().fraction(&s, 1).unwrap();
+        assert!((work - 0.5).abs() < 1e-12);
+        assert!((time - 2.0 / 6.0).abs() < 1e-9, "time fraction = {time}");
+    }
+
+    #[test]
+    fn fractions_are_clamped() {
+        let s = snap(100.0, vec![state(1, 10.0, 0.0, 0.0)]);
+        let t = TimeFractionPi::new().fraction(&s, 1).unwrap();
+        assert!((0.0..=1.0).contains(&t));
+    }
+}

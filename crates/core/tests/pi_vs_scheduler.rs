@@ -1,0 +1,121 @@
+//! Closing the loop: the multi-query PI's predictions (fluid model over a
+//! live snapshot) must match what the discrete scheduler actually does,
+//! when Assumption 2 holds (synthetic jobs report exact costs).
+
+use proptest::prelude::*;
+
+use mqpi_core::{MultiQueryPi, Visibility};
+use mqpi_sim::job::SyntheticJob;
+use mqpi_sim::system::{System, SystemConfig};
+use mqpi_sim::AdmissionPolicy;
+
+fn build(
+    costs: &[u64],
+    weights: &[f64],
+    slots: Option<usize>,
+    quantum: f64,
+) -> (System, Vec<u64>) {
+    let mut cfg = SystemConfig {
+        rate: 100.0,
+        quantum_units: quantum,
+        ..Default::default()
+    };
+    if let Some(k) = slots {
+        cfg.admission = AdmissionPolicy::MaxConcurrent(k);
+    }
+    let mut sys = System::new(cfg);
+    let ids = costs
+        .iter()
+        .zip(weights)
+        .map(|(c, w)| sys.submit("q", Box::new(SyntheticJob::new(*c)), *w))
+        .collect();
+    (sys, ids)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// With exact costs and no admission limit, the PI's time-0 estimate
+    /// for every query matches the scheduler's actual finish time within
+    /// quantum-discretization tolerance.
+    #[test]
+    fn pi_predicts_scheduler_exactly_under_assumptions(
+        costs in prop::collection::vec(100u64..4000, 2..8),
+        wsel in prop::collection::vec(0usize..3, 8),
+    ) {
+        let weights: Vec<f64> = (0..costs.len())
+            .map(|i| [1.0, 2.0, 4.0][wsel[i % wsel.len()]])
+            .collect();
+        let (mut sys, ids) = build(&costs, &weights, None, 2.0);
+        let pi = MultiQueryPi::new(Visibility::concurrent_only());
+        let snap = sys.snapshot();
+        let est: Vec<f64> = ids
+            .iter()
+            .map(|id| pi.estimate(&snap, *id).unwrap())
+            .collect();
+        sys.run_until_idle(1e9).unwrap();
+        let tol = 2.0 * costs.len() as f64 * 2.0 / 100.0 + 0.5;
+        for (id, e) in ids.iter().zip(&est) {
+            let actual = sys.finished_record(*id).unwrap().finished;
+            prop_assert!(
+                (actual - e).abs() < tol,
+                "query {id}: predicted {e}, actual {actual} (tol {tol})"
+            );
+        }
+    }
+
+    /// Queue-aware estimates match the scheduler when an admission limit
+    /// forces queueing.
+    #[test]
+    fn queue_aware_pi_matches_scheduler_with_admission_limit(
+        costs in prop::collection::vec(100u64..3000, 3..8),
+        slots in 1usize..3,
+    ) {
+        let weights = vec![1.0; costs.len()];
+        let (mut sys, ids) = build(&costs, &weights, Some(slots), 2.0);
+        let pi = MultiQueryPi::new(Visibility::with_queue(Some(slots)));
+        let snap = sys.snapshot();
+        let est: Vec<Option<f64>> = ids.iter().map(|id| pi.estimate(&snap, *id)).collect();
+        sys.run_until_idle(1e9).unwrap();
+        let tol = 2.0 * costs.len() as f64 * 2.0 / 100.0 + 1.0;
+        for (id, e) in ids.iter().zip(&est) {
+            let e = e.expect("queue-aware PI estimates queued queries too");
+            let actual = sys.finished_record(*id).unwrap().finished;
+            prop_assert!(
+                (actual - e).abs() < tol,
+                "query {id}: predicted {e}, actual {actual} (tol {tol}, slots {slots})"
+            );
+        }
+    }
+
+    /// Estimates refresh correctly mid-run: re-estimating halfway through
+    /// still matches the remaining actual time.
+    #[test]
+    fn mid_run_estimates_stay_calibrated(
+        costs in prop::collection::vec(500u64..4000, 2..6),
+    ) {
+        let weights = vec![1.0; costs.len()];
+        let (mut sys, ids) = build(&costs, &weights, None, 2.0);
+        let total: u64 = costs.iter().sum();
+        let halfway = total as f64 / 100.0 / 2.0;
+        sys.run_until(halfway).unwrap();
+        let pi = MultiQueryPi::new(Visibility::concurrent_only());
+        let snap = sys.snapshot();
+        let est: Vec<(u64, f64)> = snap
+            .running
+            .iter()
+            .map(|q| (q.id, pi.estimate(&snap, q.id).unwrap()))
+            .collect();
+        let t_mid = sys.now();
+        sys.run_until_idle(1e9).unwrap();
+        let tol = 2.0 * costs.len() as f64 * 2.0 / 100.0 + 0.5;
+        for (id, e) in est {
+            let actual = sys.finished_record(id).unwrap().finished - t_mid;
+            prop_assert!(
+                (actual - e).abs() < tol,
+                "query {id} mid-run: predicted {e}, actual {actual}"
+            );
+        }
+        let _ = ids;
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the fluid model — the analytical core of the
+//! multi-query PI (paper §2.2).
+
+use proptest::prelude::*;
+
+use mqpi_core::fluid::{predict, standard_remaining_times, FluidQuery, FutureArrivals};
+
+fn arb_queries(max_n: usize) -> impl Strategy<Value = Vec<FluidQuery>> {
+    prop::collection::vec((1.0f64..5000.0, prop::sample::select(vec![0.5, 1.0, 2.0, 4.0])), 1..max_n)
+        .prop_map(|v| {
+            v.into_iter()
+                .enumerate()
+                .map(|(i, (cost, weight))| FluidQuery {
+                    id: i as u64,
+                    cost,
+                    weight,
+                })
+                .collect()
+        })
+}
+
+proptest! {
+    /// The closed form and the event-driven simulation are the same model.
+    #[test]
+    fn closed_form_equals_event_simulation(qs in arb_queries(12), rate in 1.0f64..500.0) {
+        let closed = standard_remaining_times(&qs, rate);
+        let p = predict(&qs, &[], None, None, rate);
+        for (i, q) in qs.iter().enumerate() {
+            let ev = p.remaining_for(q.id).unwrap();
+            prop_assert!(
+                (ev - closed[i]).abs() < 1e-6 * closed[i].max(1.0),
+                "query {}: closed {} vs event {}",
+                q.id, closed[i], ev
+            );
+        }
+    }
+
+    /// Queries finish in ascending c/w order (the paper's induction).
+    #[test]
+    fn finish_order_follows_virtual_time(qs in arb_queries(12), rate in 1.0f64..500.0) {
+        let times = standard_remaining_times(&qs, rate);
+        let mut idx: Vec<usize> = (0..qs.len()).collect();
+        idx.sort_by(|&a, &b| {
+            (qs[a].cost / qs[a].weight).total_cmp(&(qs[b].cost / qs[b].weight))
+        });
+        for w in idx.windows(2) {
+            prop_assert!(times[w[0]] <= times[w[1]] + 1e-9);
+        }
+    }
+
+    /// Work conservation: the last completion is exactly total work / C.
+    #[test]
+    fn work_conservation(qs in arb_queries(12), rate in 1.0f64..500.0) {
+        let times = standard_remaining_times(&qs, rate);
+        let last = times.iter().cloned().fold(0.0, f64::max);
+        let total: f64 = qs.iter().map(|q| q.cost).sum();
+        prop_assert!((last - total / rate).abs() < 1e-6 * (total / rate).max(1.0));
+    }
+
+    /// Every query's remaining time is at least its isolated run time and
+    /// at most the fully-serialized time.
+    #[test]
+    fn remaining_time_bounds(qs in arb_queries(12), rate in 1.0f64..500.0) {
+        let times = standard_remaining_times(&qs, rate);
+        let total: f64 = qs.iter().map(|q| q.cost).sum();
+        for (q, t) in qs.iter().zip(&times) {
+            prop_assert!(*t >= q.cost / rate - 1e-9, "faster than isolated run");
+            prop_assert!(*t <= total / rate + 1e-9, "slower than serialized");
+        }
+    }
+
+    /// Adding cost to one query never speeds anyone up (monotonicity).
+    #[test]
+    fn monotone_in_cost(qs in arb_queries(10), extra in 1.0f64..1000.0, rate in 1.0f64..200.0) {
+        let base = standard_remaining_times(&qs, rate);
+        let mut bigger = qs.clone();
+        bigger[0].cost += extra;
+        let after = standard_remaining_times(&bigger, rate);
+        for (b, a) in base.iter().zip(&after) {
+            prop_assert!(*a >= *b - 1e-9);
+        }
+    }
+
+    /// An admission limit never helps the queued query and never hurts a
+    /// query that is already running relative to… actually: with a limit,
+    /// running queries finish no later than the no-limit prediction where
+    /// queued queries start immediately (they face less concurrency).
+    #[test]
+    fn admission_limit_helps_running_queries(
+        qs in arb_queries(8),
+        queued in arb_queries(4),
+        rate in 1.0f64..200.0,
+    ) {
+        let queued: Vec<FluidQuery> = queued
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut q)| {
+                q.id = 1000 + i as u64;
+                q
+            })
+            .collect();
+        let slots = qs.len(); // exactly the running set fits
+        let limited = predict(&qs, &queued, Some(slots), None, rate);
+        let unlimited = {
+            let mut all = qs.clone();
+            all.extend(queued.iter().cloned());
+            predict(&all, &[], None, None, rate)
+        };
+        for q in &qs {
+            let l = limited.remaining_for(q.id).unwrap();
+            let u = unlimited.remaining_for(q.id).unwrap();
+            prop_assert!(l <= u + 1e-6, "query {}: limited {} > unlimited {}", q.id, l, u);
+        }
+    }
+
+    /// Future arrivals only ever push estimates up, monotonically in λ.
+    #[test]
+    fn future_load_is_monotone_in_lambda(
+        qs in arb_queries(8),
+        rate in 10.0f64..200.0,
+        lam1 in 0.005f64..0.05,
+        bump in 1.1f64..3.0,
+    ) {
+        let lam2 = lam1 * bump;
+        let f1 = FutureArrivals::from_rate(lam1, 300.0, 1.0).unwrap();
+        let f2 = FutureArrivals::from_rate(lam2, 300.0, 1.0).unwrap();
+        let base = predict(&qs, &[], None, None, rate);
+        let p1 = predict(&qs, &[], None, Some(&f1), rate);
+        let p2 = predict(&qs, &[], None, Some(&f2), rate);
+        for q in &qs {
+            let b = base.remaining_for(q.id).unwrap();
+            let t1 = p1.remaining_for(q.id).unwrap();
+            let t2 = p2.remaining_for(q.id).unwrap();
+            prop_assert!(t1 >= b - 1e-9);
+            prop_assert!(t2 >= t1 - 1e-6, "λ↑ should not speed things up");
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Engine-wide error type.
+
+use std::fmt;
+
+/// All fallible engine operations return `Result<T, EngineError>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// SQL text failed to tokenize or parse.
+    Parse(String),
+    /// A name (table, column, index) could not be resolved.
+    Catalog(String),
+    /// The planner could not produce a plan (unsupported construct, type
+    /// mismatch, ambiguous reference, ...).
+    Plan(String),
+    /// A runtime execution failure (division by zero, subquery returned more
+    /// than one row, type error surfacing at runtime, ...).
+    Exec(String),
+    /// Storage-layer invariant violation (tuple too large for a page, bad
+    /// record id, ...).
+    Storage(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse(m) => write!(f, "parse error: {m}"),
+            EngineError::Catalog(m) => write!(f, "catalog error: {m}"),
+            EngineError::Plan(m) => write!(f, "plan error: {m}"),
+            EngineError::Exec(m) => write!(f, "execution error: {m}"),
+            EngineError::Storage(m) => write!(f, "storage error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+impl EngineError {
+    /// Build a parse error.
+    pub fn parse(msg: impl Into<String>) -> Self {
+        EngineError::Parse(msg.into())
+    }
+    /// Build a catalog error.
+    pub fn catalog(msg: impl Into<String>) -> Self {
+        EngineError::Catalog(msg.into())
+    }
+    /// Build a planner error.
+    pub fn plan(msg: impl Into<String>) -> Self {
+        EngineError::Plan(msg.into())
+    }
+    /// Build an execution error.
+    pub fn exec(msg: impl Into<String>) -> Self {
+        EngineError::Exec(msg.into())
+    }
+    /// Build a storage error.
+    pub fn storage(msg: impl Into<String>) -> Self {
+        EngineError::Storage(msg.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        assert_eq!(
+            EngineError::parse("unexpected ')'").to_string(),
+            "parse error: unexpected ')'"
+        );
+        assert_eq!(
+            EngineError::catalog("no table t").to_string(),
+            "catalog error: no table t"
+        );
+        assert_eq!(EngineError::plan("x").to_string(), "plan error: x");
+        assert_eq!(EngineError::exec("x").to_string(), "execution error: x");
+        assert_eq!(EngineError::storage("x").to_string(), "storage error: x");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&EngineError::exec("boom"));
+    }
+}

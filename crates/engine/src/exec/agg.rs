@@ -1,0 +1,374 @@
+//! Hash aggregation (grouped and scalar), resumable.
+//!
+//! Input is drained incrementally into the group table (suspending on
+//! budget exhaustion); output rows are then emitted in first-seen group
+//! order for determinism.
+
+use std::collections::HashMap;
+
+use crate::error::{EngineError, Result};
+use crate::exec::eval::eval;
+use crate::exec::{ExecContext, Operator, Step};
+use crate::plan::cost::cpu_units;
+use crate::plan::physical::{AggFunc, AggSpec, NodeEst, PhysExpr};
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Normalized group key (mirrors the join-key normalization; NULL groups
+/// are legal in GROUP BY, unlike join keys).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum GKey {
+    Null,
+    Int(i64),
+    Bits(u64),
+    Str(String),
+}
+
+fn gkey(v: &Value) -> GKey {
+    match v {
+        Value::Null => GKey::Null,
+        Value::Int(i) => GKey::Int(*i),
+        Value::Float(f) => {
+            if f.fract() == 0.0 && f.is_finite() && *f >= i64::MIN as f64 && *f <= i64::MAX as f64
+            {
+                GKey::Int(*f as i64)
+            } else {
+                GKey::Bits(f.to_bits())
+            }
+        }
+        Value::Str(s) => GKey::Str(s.clone()),
+    }
+}
+
+/// Accumulator for one aggregate in one group.
+#[derive(Debug, Clone)]
+enum AggState {
+    Count(u64),
+    /// (sum as f64, all inputs were Int, saw any non-null)
+    Sum(f64, bool, bool),
+    /// (sum, count) — NULLs excluded
+    Avg(f64, u64),
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl AggState {
+    fn new(func: AggFunc) -> Self {
+        match func {
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum => AggState::Sum(0.0, true, false),
+            AggFunc::Avg => AggState::Avg(0.0, 0),
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+        }
+    }
+
+    fn update(&mut self, v: Option<&Value>) -> Result<()> {
+        match self {
+            AggState::Count(n) => {
+                // count(*) gets None (count every row); count(e) skips NULL.
+                match v {
+                    None => *n += 1,
+                    Some(Value::Null) => {}
+                    Some(_) => *n += 1,
+                }
+            }
+            AggState::Sum(total, all_int, seen) => {
+                if let Some(v) = v {
+                    if !v.is_null() {
+                        let x = v.as_f64().ok_or_else(|| {
+                            EngineError::exec(format!("sum() over non-numeric {v:?}"))
+                        })?;
+                        *total += x;
+                        *all_int &= matches!(v, Value::Int(_));
+                        *seen = true;
+                    }
+                }
+            }
+            AggState::Avg(total, n) => {
+                if let Some(v) = v {
+                    if !v.is_null() {
+                        let x = v.as_f64().ok_or_else(|| {
+                            EngineError::exec(format!("avg() over non-numeric {v:?}"))
+                        })?;
+                        *total += x;
+                        *n += 1;
+                    }
+                }
+            }
+            AggState::Min(cur) => {
+                if let Some(v) = v {
+                    if !v.is_null() {
+                        let replace =
+                            cur.as_ref().map(|c| v.total_cmp(c).is_lt()).unwrap_or(true);
+                        if replace {
+                            *cur = Some(v.clone());
+                        }
+                    }
+                }
+            }
+            AggState::Max(cur) => {
+                if let Some(v) = v {
+                    if !v.is_null() {
+                        let replace =
+                            cur.as_ref().map(|c| v.total_cmp(c).is_gt()).unwrap_or(true);
+                        if replace {
+                            *cur = Some(v.clone());
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&self) -> Value {
+        match self {
+            AggState::Count(n) => Value::Int(*n as i64),
+            AggState::Sum(total, all_int, seen) => {
+                if !*seen {
+                    Value::Null
+                } else if *all_int && total.fract() == 0.0 && total.abs() < 9e18 {
+                    Value::Int(*total as i64)
+                } else {
+                    Value::Float(*total)
+                }
+            }
+            AggState::Avg(total, n) => {
+                if *n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(*total / *n as f64)
+                }
+            }
+            AggState::Min(v) | AggState::Max(v) => v.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Per-group accumulator bundle: group values, one state per aggregate, and
+/// per-aggregate distinct-value sets (None when not DISTINCT).
+type GroupEntry = (
+    Tuple,
+    Vec<AggState>,
+    Vec<Option<std::collections::HashSet<GKey>>>,
+);
+
+/// Hash aggregate. With an empty `group` list it is a scalar aggregate and
+/// emits exactly one row even over empty input (SQL semantics: `count` is
+/// 0, `sum`/`avg`/`min`/`max` are NULL) — the paper's correlated subquery
+/// depends on this behaviour for parts with no matching lineitems.
+pub struct Aggregate {
+    child: Box<dyn Operator>,
+    group: Vec<PhysExpr>,
+    aggs: Vec<AggSpec>,
+    groups: HashMap<Vec<GKey>, GroupEntry>,
+    /// First-seen group order for deterministic output.
+    order: Vec<Vec<GKey>>,
+    input_done: bool,
+    pos: usize,
+    est: NodeEst,
+}
+
+impl Aggregate {
+    /// Create an aggregation.
+    pub fn new(
+        child: Box<dyn Operator>,
+        group: Vec<PhysExpr>,
+        aggs: Vec<AggSpec>,
+        est: NodeEst,
+    ) -> Self {
+        let mut agg = Aggregate {
+            child,
+            group,
+            aggs,
+            groups: HashMap::new(),
+            order: Vec::new(),
+            input_done: false,
+            pos: 0,
+            est,
+        };
+        if agg.group.is_empty() {
+            // Scalar aggregation has exactly one group, even over no input.
+            let key = Vec::new();
+            agg.order.push(key.clone());
+            agg.groups.insert(
+                key,
+                (
+                    Vec::new(),
+                    agg.aggs.iter().map(|a| AggState::new(a.func)).collect(),
+                    agg.aggs
+                        .iter()
+                        .map(|a| a.distinct.then(Default::default))
+                        .collect(),
+                ),
+            );
+        }
+        agg
+    }
+}
+
+impl Operator for Aggregate {
+    fn label(&self) -> String {
+        format!("Aggregate ({} groups seen)", self.order.len())
+    }
+    fn progress_children(&self) -> Vec<&dyn Operator> {
+        vec![self.child.as_ref()]
+    }
+
+
+    fn next(&mut self, ctx: &ExecContext) -> Result<Step> {
+        while !self.input_done {
+            if ctx.exhausted() {
+                return Ok(Step::Pending);
+            }
+            match self.child.next(ctx)? {
+                Step::Row(row) => {
+                    ctx.meter.cpu_tick();
+                    let gvals: Result<Vec<Value>> =
+                        self.group.iter().map(|g| eval(g, &row, ctx)).collect();
+                    let gvals = gvals?;
+                    let key: Vec<GKey> = gvals.iter().map(gkey).collect();
+                    let entry = self.groups.entry(key.clone()).or_insert_with(|| {
+                        self.order.push(key);
+                        (
+                            gvals.clone(),
+                            self.aggs.iter().map(|a| AggState::new(a.func)).collect(),
+                            self.aggs
+                                .iter()
+                                .map(|a| a.distinct.then(Default::default))
+                                .collect(),
+                        )
+                    });
+                    for ((spec, state), seen) in self
+                        .aggs
+                        .iter()
+                        .zip(entry.1.iter_mut())
+                        .zip(entry.2.iter_mut())
+                    {
+                        match &spec.arg {
+                            None => state.update(None)?,
+                            Some(e) => {
+                                let v = eval(e, &row, ctx)?;
+                                if let Some(seen) = seen {
+                                    // DISTINCT: fold each value only once
+                                    // (NULLs are skipped by update anyway).
+                                    if !v.is_null() && !seen.insert(gkey(&v)) {
+                                        continue;
+                                    }
+                                }
+                                state.update(Some(&v))?;
+                            }
+                        }
+                    }
+                }
+                Step::Pending => return Ok(Step::Pending),
+                Step::Done => self.input_done = true,
+            }
+        }
+        if self.pos >= self.order.len() {
+            return Ok(Step::Done);
+        }
+        if ctx.exhausted() {
+            return Ok(Step::Pending);
+        }
+        let key = &self.order[self.pos];
+        self.pos += 1;
+        ctx.meter.cpu_tick();
+        let (gvals, states, _) = &self.groups[key];
+        let mut row = gvals.clone();
+        row.extend(states.iter().map(|s| s.finish()));
+        Ok(Step::Row(row))
+    }
+
+    fn remaining_units(&self) -> f64 {
+        if self.input_done {
+            cpu_units((self.order.len() - self.pos) as f64)
+        } else {
+            self.child.remaining_units()
+                + cpu_units(self.child.remaining_rows())
+                + cpu_units(self.est.rows)
+        }
+    }
+
+    fn remaining_rows(&self) -> f64 {
+        if self.input_done {
+            (self.order.len() - self.pos) as f64
+        } else {
+            self.est
+                .rows
+                .max(if self.group.is_empty() { 1.0 } else { 0.0 })
+        }
+    }
+}
+
+/// Duplicate elimination for `SELECT DISTINCT` (streaming: emits a row the
+/// first time its normalized key is seen).
+pub struct Distinct {
+    child: Box<dyn Operator>,
+    seen: std::collections::HashSet<Vec<GKey>>,
+    done: bool,
+}
+
+impl Distinct {
+    /// Create a duplicate eliminator.
+    pub fn new(child: Box<dyn Operator>) -> Self {
+        Distinct {
+            child,
+            seen: Default::default(),
+            done: false,
+        }
+    }
+}
+
+impl Operator for Distinct {
+    fn label(&self) -> String {
+        "Distinct".to_string()
+    }
+    fn progress_children(&self) -> Vec<&dyn Operator> {
+        vec![self.child.as_ref()]
+    }
+
+
+    fn next(&mut self, ctx: &ExecContext) -> Result<Step> {
+        if self.done {
+            return Ok(Step::Done);
+        }
+        loop {
+            if ctx.exhausted() {
+                return Ok(Step::Pending);
+            }
+            match self.child.next(ctx)? {
+                Step::Row(row) => {
+                    ctx.meter.cpu_tick();
+                    let key: Vec<GKey> = row.iter().map(gkey).collect();
+                    if self.seen.insert(key) {
+                        return Ok(Step::Row(row));
+                    }
+                }
+                Step::Pending => return Ok(Step::Pending),
+                Step::Done => {
+                    self.done = true;
+                    return Ok(Step::Done);
+                }
+            }
+        }
+    }
+
+    fn remaining_units(&self) -> f64 {
+        if self.done {
+            0.0
+        } else {
+            self.child.remaining_units() + cpu_units(self.child.remaining_rows())
+        }
+    }
+
+    fn remaining_rows(&self) -> f64 {
+        if self.done {
+            0.0
+        } else {
+            // Heuristic: half the remaining input survives deduplication.
+            (self.child.remaining_rows() / 2.0).max(0.0)
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Access-path operators: sequential scan and index scans.
+
+use std::sync::Arc;
+
+use crate::db::Table;
+use crate::error::{EngineError, Result};
+use crate::exec::eval::eval;
+use crate::exec::{ExecContext, Operator, Step};
+use crate::heap::{Rid, ScanState};
+use crate::meter::CPU_TICKS_PER_UNIT;
+use crate::plan::cost::cpu_units;
+use crate::plan::physical::{NodeEst, PhysExpr};
+
+/// Full sequential scan. Progress is exact: pages remaining are known.
+pub struct SeqScan {
+    table: Arc<Table>,
+    st: ScanState,
+    emitted: u64,
+    done: bool,
+}
+
+impl SeqScan {
+    /// Create a scan of `table`.
+    pub fn new(table: Arc<Table>, _est: NodeEst) -> Self {
+        SeqScan {
+            table,
+            st: ScanState::new(),
+            emitted: 0,
+            done: false,
+        }
+    }
+}
+
+impl Operator for SeqScan {
+    fn label(&self) -> String {
+        format!("SeqScan on {}", self.table.name)
+    }
+
+
+    fn next(&mut self, ctx: &ExecContext) -> Result<Step> {
+        if self.done {
+            return Ok(Step::Done);
+        }
+        if ctx.exhausted() {
+            return Ok(Step::Pending);
+        }
+        match self.table.heap.scan_next(&mut self.st, &ctx.meter)? {
+            Some((_, row)) => {
+                ctx.meter.cpu_tick();
+                self.emitted += 1;
+                Ok(Step::Row(row))
+            }
+            None => {
+                self.done = true;
+                Ok(Step::Done)
+            }
+        }
+    }
+
+    fn remaining_units(&self) -> f64 {
+        if self.done {
+            return 0.0;
+        }
+        self.table.heap.pages_remaining(&self.st) as f64 + cpu_units(self.remaining_rows())
+    }
+
+    fn remaining_rows(&self) -> f64 {
+        if self.done {
+            return 0.0;
+        }
+        (self.table.heap.row_count() as f64 - self.emitted as f64).max(0.0)
+    }
+}
+
+/// Index equality probe: one lookup, then heap fetches for each match.
+pub struct IndexScanEq {
+    table: Arc<Table>,
+    column: usize,
+    key: PhysExpr,
+    est: NodeEst,
+    rids: Option<Vec<Rid>>,
+    pos: usize,
+}
+
+impl IndexScanEq {
+    /// Create a probe; errors if the table has no index on `column`.
+    pub fn new(table: Arc<Table>, column: usize, key: PhysExpr, est: NodeEst) -> Result<Self> {
+        if table.index_on(column).is_none() {
+            return Err(EngineError::plan(format!(
+                "table '{}' has no index on column {column}",
+                table.name
+            )));
+        }
+        Ok(IndexScanEq {
+            table,
+            column,
+            key,
+            est,
+            rids: None,
+            pos: 0,
+        })
+    }
+}
+
+impl Operator for IndexScanEq {
+    fn label(&self) -> String {
+        format!("IndexScan(eq) on {}", self.table.name)
+    }
+
+
+    fn next(&mut self, ctx: &ExecContext) -> Result<Step> {
+        if ctx.exhausted() {
+            return Ok(Step::Pending);
+        }
+        if self.rids.is_none() {
+            let k = eval(&self.key, &[], ctx)?;
+            let idx = self
+                .table
+                .index_on(self.column)
+                .expect("index checked at build");
+            let rids = if k.is_null() {
+                Vec::new() // NULL never matches under SQL equality
+            } else {
+                idx.tree.lookup(&k, &ctx.meter)
+            };
+            self.rids = Some(rids);
+        }
+        let rids = self.rids.as_ref().unwrap();
+        if self.pos >= rids.len() {
+            return Ok(Step::Done);
+        }
+        let rid = rids[self.pos];
+        self.pos += 1;
+        let row = self.table.heap.fetch(rid, &ctx.meter)?;
+        ctx.meter.cpu_tick();
+        Ok(Step::Row(row))
+    }
+
+    fn remaining_units(&self) -> f64 {
+        match &self.rids {
+            None => self.est.cost,
+            Some(rids) => {
+                let left = (rids.len() - self.pos) as f64;
+                left * (1.0 + 1.0 / CPU_TICKS_PER_UNIT as f64)
+            }
+        }
+    }
+
+    fn remaining_rows(&self) -> f64 {
+        match &self.rids {
+            None => self.est.rows,
+            Some(rids) => (rids.len() - self.pos) as f64,
+        }
+    }
+}
+
+/// Index range scan over inclusive bounds (strict bounds are re-checked by
+/// the residual filter above).
+pub struct IndexScanRange {
+    table: Arc<Table>,
+    column: usize,
+    lo: Option<PhysExpr>,
+    hi: Option<PhysExpr>,
+    est: NodeEst,
+    st: Option<crate::btree::RangeState>,
+    emitted: u64,
+    done: bool,
+}
+
+impl IndexScanRange {
+    /// Create a range scan; errors if the table has no index on `column`.
+    pub fn new(
+        table: Arc<Table>,
+        column: usize,
+        lo: Option<PhysExpr>,
+        hi: Option<PhysExpr>,
+        est: NodeEst,
+    ) -> Result<Self> {
+        if table.index_on(column).is_none() {
+            return Err(EngineError::plan(format!(
+                "table '{}' has no index on column {column}",
+                table.name
+            )));
+        }
+        Ok(IndexScanRange {
+            table,
+            column,
+            lo,
+            hi,
+            est,
+            st: None,
+            emitted: 0,
+            done: false,
+        })
+    }
+}
+
+impl Operator for IndexScanRange {
+    fn label(&self) -> String {
+        format!("IndexScan(range) on {}", self.table.name)
+    }
+
+
+    fn next(&mut self, ctx: &ExecContext) -> Result<Step> {
+        if self.done {
+            return Ok(Step::Done);
+        }
+        if ctx.exhausted() {
+            return Ok(Step::Pending);
+        }
+        let idx = self
+            .table
+            .index_on(self.column)
+            .expect("index checked at build");
+        if self.st.is_none() {
+            let lo = self
+                .lo
+                .as_ref()
+                .map(|e| eval(e, &[], ctx))
+                .transpose()?;
+            let hi = self
+                .hi
+                .as_ref()
+                .map(|e| eval(e, &[], ctx))
+                .transpose()?;
+            self.st = Some(idx.tree.range_start(lo.as_ref(), hi.as_ref(), &ctx.meter));
+        }
+        let st = self.st.as_mut().unwrap();
+        match idx.tree.range_next(st, &ctx.meter) {
+            Some((_, rid)) => {
+                let row = self.table.heap.fetch(rid, &ctx.meter)?;
+                ctx.meter.cpu_tick();
+                self.emitted += 1;
+                Ok(Step::Row(row))
+            }
+            None => {
+                self.done = true;
+                Ok(Step::Done)
+            }
+        }
+    }
+
+    fn remaining_units(&self) -> f64 {
+        if self.done {
+            return 0.0;
+        }
+        if self.st.is_none() {
+            return self.est.cost;
+        }
+        self.remaining_rows() * (1.0 + 1.0 / CPU_TICKS_PER_UNIT as f64)
+    }
+
+    fn remaining_rows(&self) -> f64 {
+        if self.done {
+            return 0.0;
+        }
+        (self.est.rows - self.emitted as f64).max(0.0)
+    }
+}

@@ -1,0 +1,98 @@
+//! Work-unit accounting.
+//!
+//! The paper measures query cost in units `U`, "the amount of work required
+//! to process one page of bytes". Every storage structure charges the shared
+//! [`WorkMeter`] one unit per page touched; the executor's cursor compares
+//! the meter against its budget to decide when to suspend. The meter is a
+//! plain shared counter (`Rc<Cell<u64>>`) because a query executes on a
+//! single thread; cross-query parallelism in `mqpi-sim` is virtual-time
+//! interleaving, not OS threads.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// CPU "ticks" (per-tuple processing steps) per work unit: processing one
+/// page's worth of tuples costs about one unit of CPU on top of the page
+/// access itself.
+pub const CPU_TICKS_PER_UNIT: u64 = 128;
+
+/// Shared work-unit counter charged by storage and operators.
+#[derive(Debug, Clone, Default)]
+pub struct WorkMeter {
+    used: Rc<Cell<u64>>,
+    ticks: Rc<Cell<u64>>,
+}
+
+impl WorkMeter {
+    /// A fresh meter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge `units` work units (a page access = 1 unit).
+    #[inline]
+    pub fn charge(&self, units: u64) {
+        self.used.set(self.used.get() + units);
+    }
+
+    /// Record one CPU tick (one tuple processed by a CPU-bound operator);
+    /// every [`CPU_TICKS_PER_UNIT`] ticks convert into one work unit.
+    #[inline]
+    pub fn cpu_tick(&self) {
+        let t = self.ticks.get() + 1;
+        self.ticks.set(t);
+        if t.is_multiple_of(CPU_TICKS_PER_UNIT) {
+            self.charge(1);
+        }
+    }
+
+    /// Total units charged since creation.
+    #[inline]
+    pub fn used(&self) -> u64 {
+        self.used.get()
+    }
+
+    /// Two meters are the *same* if they share the underlying counter.
+    pub fn same_as(&self, other: &WorkMeter) -> bool {
+        Rc::ptr_eq(&self.used, &other.used)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let m = WorkMeter::new();
+        assert_eq!(m.used(), 0);
+        m.charge(3);
+        m.charge(1);
+        assert_eq!(m.used(), 4);
+    }
+
+    #[test]
+    fn cpu_ticks_convert_to_units() {
+        let m = WorkMeter::new();
+        for _ in 0..CPU_TICKS_PER_UNIT - 1 {
+            m.cpu_tick();
+        }
+        assert_eq!(m.used(), 0);
+        m.cpu_tick();
+        assert_eq!(m.used(), 1);
+        for _ in 0..CPU_TICKS_PER_UNIT * 3 {
+            m.cpu_tick();
+        }
+        assert_eq!(m.used(), 4);
+    }
+
+    #[test]
+    fn clones_share_the_counter() {
+        let m = WorkMeter::new();
+        let m2 = m.clone();
+        m2.charge(5);
+        assert_eq!(m.used(), 5);
+        assert!(m.same_as(&m2));
+        assert!(!m.same_as(&WorkMeter::new()));
+    }
+}

@@ -1,0 +1,176 @@
+//! Table schemas: column names, types, and lookup helpers.
+
+use crate::error::{EngineError, Result};
+use crate::value::Value;
+
+/// Declared column type. The engine is dynamically typed at runtime but the
+/// catalog records declared types for validation and planning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Str,
+}
+
+impl ColumnType {
+    /// Whether `v` conforms to this declared type (NULL conforms to all).
+    pub fn admits(&self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (_, Value::Null)
+                | (ColumnType::Int, Value::Int(_))
+                | (ColumnType::Float, Value::Float(_))
+                | (ColumnType::Float, Value::Int(_))
+                | (ColumnType::Str, Value::Str(_))
+        )
+    }
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (lower-cased at creation).
+    pub name: String,
+    /// Declared type.
+    pub ty: ColumnType,
+}
+
+impl Column {
+    /// Create a column; the name is normalized to lower case.
+    pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
+        Column {
+            name: name.into().to_ascii_lowercase(),
+            ty,
+        }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Build a schema from columns; duplicate names are rejected.
+    pub fn new(columns: Vec<Column>) -> Result<Self> {
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|p| p.name == c.name) {
+                return Err(EngineError::catalog(format!(
+                    "duplicate column name '{}'",
+                    c.name
+                )));
+            }
+        }
+        Ok(Schema { columns })
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn from_pairs(pairs: &[(&str, ColumnType)]) -> Result<Self> {
+        Schema::new(
+            pairs
+                .iter()
+                .map(|(n, t)| Column::new(*n, *t))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// All columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Index of a column by (case-insensitive) name.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        let lname = name.to_ascii_lowercase();
+        self.columns
+            .iter()
+            .position(|c| c.name == lname)
+            .ok_or_else(|| EngineError::catalog(format!("no column '{name}'")))
+    }
+
+    /// Column by index.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Validate that a row of values conforms to this schema.
+    pub fn check_row(&self, row: &[Value]) -> Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(EngineError::storage(format!(
+                "row has {} values, schema has {} columns",
+                row.len(),
+                self.columns.len()
+            )));
+        }
+        for (v, c) in row.iter().zip(&self.columns) {
+            if !c.ty.admits(v) {
+                return Err(EngineError::storage(format!(
+                    "value {v:?} does not conform to column '{}' of type {:?}",
+                    c.name, c.ty
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::from_pairs(&[
+            ("partkey", ColumnType::Int),
+            ("retailprice", ColumnType::Float),
+            ("name", ColumnType::Str),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        assert!(Schema::from_pairs(&[("a", ColumnType::Int), ("A", ColumnType::Int)]).is_err());
+    }
+
+    #[test]
+    fn index_of_is_case_insensitive() {
+        let s = sample();
+        assert_eq!(s.index_of("PartKey").unwrap(), 0);
+        assert_eq!(s.index_of("name").unwrap(), 2);
+        assert!(s.index_of("missing").is_err());
+    }
+
+    #[test]
+    fn check_row_validates_arity_and_types() {
+        let s = sample();
+        assert!(s
+            .check_row(&[Value::Int(1), Value::Float(9.5), Value::str("bolt")])
+            .is_ok());
+        // Int admitted into Float column.
+        assert!(s
+            .check_row(&[Value::Int(1), Value::Int(9), Value::str("bolt")])
+            .is_ok());
+        // NULL admitted everywhere.
+        assert!(s.check_row(&[Value::Null, Value::Null, Value::Null]).is_ok());
+        // Wrong arity.
+        assert!(s.check_row(&[Value::Int(1)]).is_err());
+        // Wrong type.
+        assert!(s
+            .check_row(&[Value::str("x"), Value::Float(1.0), Value::str("y")])
+            .is_err());
+    }
+}

@@ -1,0 +1,14 @@
+//! SQL front end: tokenizer, AST, and recursive-descent parser.
+//!
+//! The supported subset covers the paper's workload and a useful superset:
+//! `SELECT` lists with expressions and aliases, multi-table `FROM` with
+//! `JOIN ... ON` and comma joins, `WHERE` with full boolean/arithmetic
+//! expressions and **correlated scalar subqueries**, `GROUP BY`/`HAVING`
+//! with the standard aggregates, `ORDER BY`, and `LIMIT`.
+
+pub mod ast;
+pub mod parser;
+pub mod token;
+
+pub use ast::{BinOp, Expr, OrderItem, Query, SelectItem, TableRef, UnaryOp};
+pub use parser::parse_query;

@@ -1,0 +1,238 @@
+//! SQL tokenizer.
+
+use crate::error::{EngineError, Result};
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are matched case-insensitively by the
+    /// parser; the original text is preserved).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// Punctuation / operator.
+    Symbol(Sym),
+}
+
+/// Operator and punctuation tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sym {
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Semicolon,
+}
+
+/// Tokenize SQL text.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => push_sym(&mut out, Sym::LParen, &mut i),
+            ')' => push_sym(&mut out, Sym::RParen, &mut i),
+            ',' => push_sym(&mut out, Sym::Comma, &mut i),
+            '.' if !bytes.get(i + 1).map(|b| b.is_ascii_digit()).unwrap_or(false) => {
+                push_sym(&mut out, Sym::Dot, &mut i)
+            }
+            '*' => push_sym(&mut out, Sym::Star, &mut i),
+            '+' => push_sym(&mut out, Sym::Plus, &mut i),
+            '-' => push_sym(&mut out, Sym::Minus, &mut i),
+            '/' => push_sym(&mut out, Sym::Slash, &mut i),
+            '%' => push_sym(&mut out, Sym::Percent, &mut i),
+            ';' => push_sym(&mut out, Sym::Semicolon, &mut i),
+            '=' => push_sym(&mut out, Sym::Eq, &mut i),
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token::Symbol(Sym::NotEq));
+                i += 2;
+            }
+            '<' => {
+                match bytes.get(i + 1) {
+                    Some(b'=') => {
+                        out.push(Token::Symbol(Sym::LtEq));
+                        i += 2;
+                    }
+                    Some(b'>') => {
+                        out.push(Token::Symbol(Sym::NotEq));
+                        i += 2;
+                    }
+                    _ => push_sym(&mut out, Sym::Lt, &mut i),
+                };
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Symbol(Sym::GtEq));
+                    i += 2;
+                } else {
+                    push_sym(&mut out, Sym::Gt, &mut i);
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(EngineError::parse("unterminated string literal")),
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() || (c == '.' && next_is_digit(bytes, i)) => {
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len() && (bytes[i].is_ascii_digit()) {
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == b'.' {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] | 0x20) == b'e' {
+                    is_float = true;
+                    i += 1;
+                    if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                        i += 1;
+                    }
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &input[start..i];
+                if is_float {
+                    let f: f64 = text
+                        .parse()
+                        .map_err(|_| EngineError::parse(format!("bad float literal '{text}'")))?;
+                    out.push(Token::Float(f));
+                } else {
+                    let n: i64 = text
+                        .parse()
+                        .map_err(|_| EngineError::parse(format!("bad int literal '{text}'")))?;
+                    out.push(Token::Int(n));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token::Ident(input[start..i].to_owned()));
+            }
+            other => {
+                return Err(EngineError::parse(format!(
+                    "unexpected character '{other}' at byte {i}"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn next_is_digit(bytes: &[u8], i: usize) -> bool {
+    bytes.get(i + 1).map(|b| b.is_ascii_digit()).unwrap_or(false)
+}
+
+fn push_sym(out: &mut Vec<Token>, s: Sym, i: &mut usize) {
+    out.push(Token::Symbol(s));
+    *i += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_the_paper_query() {
+        let sql = "select * from part_1 p where p.retailprice*0.75 > \
+                   (select sum(l.extendedprice)/sum(l.quantity) from lineitem l \
+                    where l.partkey = p.partkey)";
+        let toks = tokenize(sql).unwrap();
+        assert!(toks.contains(&Token::Ident("retailprice".into())));
+        assert!(toks.contains(&Token::Float(0.75)));
+        assert!(toks.contains(&Token::Symbol(Sym::Gt)));
+        assert!(toks.iter().filter(|t| **t == Token::Symbol(Sym::LParen)).count() >= 3);
+    }
+
+    #[test]
+    fn operators_and_comparisons() {
+        let toks = tokenize("a <= b <> c >= d != e < f > g = h").unwrap();
+        let syms: Vec<Sym> = toks
+            .iter()
+            .filter_map(|t| match t {
+                Token::Symbol(s) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            syms,
+            vec![Sym::LtEq, Sym::NotEq, Sym::GtEq, Sym::NotEq, Sym::Lt, Sym::Gt, Sym::Eq]
+        );
+    }
+
+    #[test]
+    fn string_literals_with_escapes() {
+        let toks = tokenize("'it''s'").unwrap();
+        assert_eq!(toks, vec![Token::Str("it's".into())]);
+        assert!(tokenize("'open").is_err());
+    }
+
+    #[test]
+    fn numbers_int_float_exponent() {
+        assert_eq!(tokenize("42").unwrap(), vec![Token::Int(42)]);
+        assert_eq!(tokenize("4.5").unwrap(), vec![Token::Float(4.5)]);
+        assert_eq!(tokenize("1e3").unwrap(), vec![Token::Float(1000.0)]);
+        assert_eq!(tokenize("2.5e-1").unwrap(), vec![Token::Float(0.25)]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = tokenize("select -- hidden\n 1").unwrap();
+        assert_eq!(toks, vec![Token::Ident("select".into()), Token::Int(1)]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("select @").is_err());
+    }
+}

@@ -1,0 +1,147 @@
+//! Byte-level tuple encoding.
+//!
+//! Tuples are stored in pages as a flat byte encoding: one tag byte per
+//! value followed by a fixed or length-prefixed payload. The encoding is
+//! self-describing so a tuple can be decoded without its schema (the schema
+//! is still used for validation at insert time).
+
+use crate::error::{EngineError, Result};
+use crate::value::Value;
+
+/// A materialized row.
+pub type Tuple = Vec<Value>;
+
+const TAG_NULL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_STR: u8 = 3;
+
+/// Append the encoding of `row` to `out`. Returns the number of bytes
+/// written.
+pub fn encode_into(row: &[Value], out: &mut Vec<u8>) -> usize {
+    let start = out.len();
+    debug_assert!(row.len() <= u16::MAX as usize);
+    out.extend_from_slice(&(row.len() as u16).to_le_bytes());
+    for v in row {
+        match v {
+            Value::Null => out.push(TAG_NULL),
+            Value::Int(i) => {
+                out.push(TAG_INT);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::Float(f) => {
+                out.push(TAG_FLOAT);
+                out.extend_from_slice(&f.to_le_bytes());
+            }
+            Value::Str(s) => {
+                out.push(TAG_STR);
+                let bytes = s.as_bytes();
+                out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                out.extend_from_slice(bytes);
+            }
+        }
+    }
+    out.len() - start
+}
+
+/// Encode a row into a fresh buffer.
+pub fn encode(row: &[Value]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 * row.len() + 2);
+    encode_into(row, &mut out);
+    out
+}
+
+/// Decode a tuple previously produced by [`encode`].
+pub fn decode(bytes: &[u8]) -> Result<Tuple> {
+    let mut pos = 0usize;
+    let ncols = read_u16(bytes, &mut pos)? as usize;
+    let mut row = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let tag = *bytes
+            .get(pos)
+            .ok_or_else(|| EngineError::storage("truncated tuple: missing tag"))?;
+        pos += 1;
+        let v = match tag {
+            TAG_NULL => Value::Null,
+            TAG_INT => Value::Int(i64::from_le_bytes(read_array(bytes, &mut pos)?)),
+            TAG_FLOAT => Value::Float(f64::from_le_bytes(read_array(bytes, &mut pos)?)),
+            TAG_STR => {
+                let len = u32::from_le_bytes(read_array(bytes, &mut pos)?) as usize;
+                let end = pos
+                    .checked_add(len)
+                    .filter(|e| *e <= bytes.len())
+                    .ok_or_else(|| EngineError::storage("truncated tuple: string payload"))?;
+                let s = std::str::from_utf8(&bytes[pos..end])
+                    .map_err(|_| EngineError::storage("tuple string is not UTF-8"))?;
+                pos = end;
+                Value::Str(s.to_owned())
+            }
+            t => return Err(EngineError::storage(format!("unknown value tag {t}"))),
+        };
+        row.push(v);
+    }
+    if pos != bytes.len() {
+        return Err(EngineError::storage("trailing bytes after tuple"));
+    }
+    Ok(row)
+}
+
+fn read_u16(bytes: &[u8], pos: &mut usize) -> Result<u16> {
+    Ok(u16::from_le_bytes(read_array(bytes, pos)?))
+}
+
+fn read_array<const N: usize>(bytes: &[u8], pos: &mut usize) -> Result<[u8; N]> {
+    let end = pos
+        .checked_add(N)
+        .filter(|e| *e <= bytes.len())
+        .ok_or_else(|| EngineError::storage("truncated tuple"))?;
+    let mut a = [0u8; N];
+    a.copy_from_slice(&bytes[*pos..end]);
+    *pos = end;
+    Ok(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let row = vec![
+            Value::Int(42),
+            Value::Null,
+            Value::Float(-2.5),
+            Value::str("hello, wörld"),
+        ];
+        let bytes = encode(&row);
+        assert_eq!(decode(&bytes).unwrap(), row);
+    }
+
+    #[test]
+    fn roundtrip_empty_row() {
+        let row: Tuple = vec![];
+        assert_eq!(decode(&encode(&row)).unwrap(), row);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let bytes = encode(&[Value::Int(7)]);
+        for cut in 0..bytes.len() {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        let mut bytes = encode(&[Value::Int(7)]);
+        bytes.push(0xFF);
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_bad_tag() {
+        let mut bytes = encode(&[Value::Int(7)]);
+        bytes[2] = 99; // tag of first value
+        assert!(decode(&bytes).is_err());
+    }
+}

@@ -1,0 +1,321 @@
+//! Runtime datum type.
+//!
+//! `Value` is the single dynamic value type flowing through the executor.
+//! NULL ordering follows the convention *NULL sorts first* and NULL compares
+//! as unknown (`Value::sql_eq` / comparison helpers return `None`), while
+//! [`Value::total_cmp`] provides the total order used by sort operators and
+//! B+-tree keys.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::error::{EngineError, Result};
+
+/// A dynamically-typed SQL value.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// True iff this is `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Interpret this value as a boolean for predicate evaluation
+    /// (three-valued logic: NULL ⇒ `None`).
+    pub fn as_bool(&self) -> Result<Option<bool>> {
+        match self {
+            Value::Null => Ok(None),
+            Value::Int(i) => Ok(Some(*i != 0)),
+            _ => Err(EngineError::exec(format!("{self:?} is not a boolean"))),
+        }
+    }
+
+    /// Numeric view as f64, if this is a numeric value.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view, if this is an Int.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view, if this is a Str.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// SQL comparison: returns `None` if either side is NULL, or the values
+    /// are incomparable types. Int/Float compare numerically.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (a, b) => {
+                let (x, y) = (a.as_f64()?, b.as_f64()?);
+                x.partial_cmp(&y)
+            }
+        }
+    }
+
+    /// Total order for sorting and index keys: NULL first, then numerics
+    /// (Int/Float interleaved numerically, NaN last among numerics), then
+    /// strings.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Int(_) | Value::Float(_) => 1,
+                Value::Str(_) => 2,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (a, b) if rank(a) == 1 && rank(b) == 1 => {
+                let x = a.as_f64().unwrap();
+                let y = b.as_f64().unwrap();
+                x.total_cmp(&y)
+            }
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+
+    /// Arithmetic: addition with numeric promotion.
+    pub fn add(&self, other: &Value) -> Result<Value> {
+        Self::numeric_binop(self, other, "+", |a, b| a.checked_add(b), |a, b| a + b)
+    }
+
+    /// Arithmetic: subtraction with numeric promotion.
+    pub fn sub(&self, other: &Value) -> Result<Value> {
+        Self::numeric_binop(self, other, "-", |a, b| a.checked_sub(b), |a, b| a - b)
+    }
+
+    /// Arithmetic: multiplication with numeric promotion.
+    pub fn mul(&self, other: &Value) -> Result<Value> {
+        Self::numeric_binop(self, other, "*", |a, b| a.checked_mul(b), |a, b| a * b)
+    }
+
+    /// Arithmetic: division. Integer ÷ integer produces a float (like the
+    /// paper's `sum(...)/sum(...)` expression semantics we need); division by
+    /// zero yields NULL, matching permissive analytics engines.
+    pub fn div(&self, other: &Value) -> Result<Value> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+            (a, b) => {
+                let (x, y) = (
+                    a.as_f64().ok_or_else(|| type_err("/", a, b))?,
+                    b.as_f64().ok_or_else(|| type_err("/", a, b))?,
+                );
+                if y == 0.0 {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Float(x / y))
+                }
+            }
+        }
+    }
+
+    /// Arithmetic: modulo over integers; NULL-propagating.
+    pub fn rem(&self, other: &Value) -> Result<Value> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+            (Value::Int(a), Value::Int(b)) => {
+                if *b == 0 {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Int(a % b))
+                }
+            }
+            (a, b) => Err(type_err("%", a, b)),
+        }
+    }
+
+    /// Unary negation.
+    pub fn neg(&self) -> Result<Value> {
+        match self {
+            Value::Null => Ok(Value::Null),
+            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            v => Err(EngineError::exec(format!("cannot negate {v:?}"))),
+        }
+    }
+
+    fn numeric_binop(
+        a: &Value,
+        b: &Value,
+        op: &str,
+        int_op: impl Fn(i64, i64) -> Option<i64>,
+        float_op: impl Fn(f64, f64) -> f64,
+    ) -> Result<Value> {
+        match (a, b) {
+            (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+            (Value::Int(x), Value::Int(y)) => int_op(*x, *y)
+                .map(Value::Int)
+                .ok_or_else(|| EngineError::exec(format!("integer overflow in {op}"))),
+            (x, y) => {
+                let (fx, fy) = (
+                    x.as_f64().ok_or_else(|| type_err(op, x, y))?,
+                    y.as_f64().ok_or_else(|| type_err(op, x, y))?,
+                );
+                Ok(Value::Float(float_op(fx, fy)))
+            }
+        }
+    }
+}
+
+fn type_err(op: &str, a: &Value, b: &Value) -> EngineError {
+    EngineError::exec(format!("type error: {a:?} {op} {b:?}"))
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_cmp_null_is_unknown() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+    }
+
+    #[test]
+    fn sql_cmp_numeric_promotion() {
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Float(3.0).sql_cmp(&Value::Int(3)),
+            Some(Ordering::Equal)
+        );
+    }
+
+    #[test]
+    fn sql_cmp_cross_type_incomparable() {
+        assert_eq!(Value::Int(1).sql_cmp(&Value::str("1")), None);
+    }
+
+    #[test]
+    fn total_cmp_orders_null_first_strings_last() {
+        let mut vals = vec![
+            Value::str("a"),
+            Value::Int(5),
+            Value::Null,
+            Value::Float(2.5),
+        ];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(
+            vals,
+            vec![
+                Value::Null,
+                Value::Float(2.5),
+                Value::Int(5),
+                Value::str("a")
+            ]
+        );
+    }
+
+    #[test]
+    fn arithmetic_promotes_and_propagates_null() {
+        assert_eq!(
+            Value::Int(2).add(&Value::Float(0.5)).unwrap(),
+            Value::Float(2.5)
+        );
+        assert_eq!(Value::Int(2).mul(&Value::Int(3)).unwrap(), Value::Int(6));
+        assert_eq!(Value::Null.add(&Value::Int(1)).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn int_division_is_float_and_div_zero_is_null() {
+        assert_eq!(Value::Int(7).div(&Value::Int(2)).unwrap(), Value::Float(3.5));
+        assert_eq!(Value::Int(7).div(&Value::Int(0)).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn rem_and_neg() {
+        assert_eq!(Value::Int(7).rem(&Value::Int(3)).unwrap(), Value::Int(1));
+        assert_eq!(Value::Int(7).rem(&Value::Int(0)).unwrap(), Value::Null);
+        assert_eq!(Value::Int(5).neg().unwrap(), Value::Int(-5));
+        assert_eq!(Value::Float(1.5).neg().unwrap(), Value::Float(-1.5));
+        assert!(Value::str("x").neg().is_err());
+    }
+
+    #[test]
+    fn overflow_is_an_error() {
+        assert!(Value::Int(i64::MAX).add(&Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn as_bool_three_valued() {
+        assert_eq!(Value::Null.as_bool().unwrap(), None);
+        assert_eq!(Value::Int(1).as_bool().unwrap(), Some(true));
+        assert_eq!(Value::Int(0).as_bool().unwrap(), Some(false));
+        assert!(Value::str("t").as_bool().is_err());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::str("hi").to_string(), "hi");
+    }
+}

@@ -1,0 +1,160 @@
+//! Join-ordering tests: the greedy cost-based ordering must preserve SQL
+//! semantics (column order, result sets) regardless of FROM order, and must
+//! pick cheap orders for star-shaped queries.
+
+use mqpi_engine::{ColumnType, Database, Schema, Value};
+
+/// A small star schema: facts (5k rows) referencing two dimensions.
+fn db() -> &'static Database {
+    static DB: std::sync::OnceLock<Database> = std::sync::OnceLock::new();
+    DB.get_or_init(|| {
+        let mut db = Database::new();
+        db.create_table(
+            "facts",
+            Schema::from_pairs(&[
+                ("fid", ColumnType::Int),
+                ("cust", ColumnType::Int),
+                ("prod", ColumnType::Int),
+                ("qty", ColumnType::Int),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        let rows: Vec<Vec<Value>> = (0..5000)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Int(i % 50),
+                    Value::Int(i % 20),
+                    Value::Int(1 + i % 7),
+                ]
+            })
+            .collect();
+        db.insert("facts", &rows).unwrap();
+        db.create_index("facts", "cust").unwrap();
+        db.create_index("facts", "prod").unwrap();
+
+        db.create_table(
+            "customers",
+            Schema::from_pairs(&[("cid", ColumnType::Int), ("cname", ColumnType::Str)]).unwrap(),
+        )
+        .unwrap();
+        let rows: Vec<Vec<Value>> = (0..50)
+            .map(|i| vec![Value::Int(i), Value::str(format!("cust-{i}"))])
+            .collect();
+        db.insert("customers", &rows).unwrap();
+
+        db.create_table(
+            "products",
+            Schema::from_pairs(&[("pid", ColumnType::Int), ("pname", ColumnType::Str)]).unwrap(),
+        )
+        .unwrap();
+        let rows: Vec<Vec<Value>> = (0..20)
+            .map(|i| vec![Value::Int(i), Value::str(format!("prod-{i}"))])
+            .collect();
+        db.insert("products", &rows).unwrap();
+        for t in ["facts", "customers", "products"] {
+            db.analyze(t).unwrap();
+        }
+        db
+    })
+}
+
+#[test]
+fn three_way_join_is_correct() {
+    let db = db();
+    let rows = db
+        .execute(
+            "select c.cname, p.pname, sum(f.qty) s \
+             from facts f join customers c on f.cust = c.cid \
+             join products p on f.prod = p.pid \
+             where c.cid = 3 and p.pid = 13 \
+             group by c.cname, p.pname",
+        )
+        .unwrap();
+    // cust = 3 and prod = 13: i ≡ 3 (mod 50) and i ≡ 13 (mod 20) ⇒
+    // i ≡ 53 (mod 100) ⇒ 50 rows; qty = 1 + i % 7.
+    let expected: i64 = (0..5000)
+        .filter(|i| i % 50 == 3 && i % 20 == 13)
+        .map(|i| 1 + i % 7)
+        .sum();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0][0], Value::str("cust-3"));
+    assert_eq!(rows[0][1], Value::str("prod-13"));
+    assert_eq!(rows[0][2], Value::Int(expected));
+}
+
+#[test]
+fn from_order_does_not_change_results() {
+    let db = db();
+    let a = db
+        .execute(
+            "select f.fid from facts f, customers c, products p \
+             where f.cust = c.cid and f.prod = p.pid and c.cid = 7 and p.pid = 17 \
+             order by f.fid",
+        )
+        .unwrap();
+    let b = db
+        .execute(
+            "select f.fid from products p, customers c, facts f \
+             where f.cust = c.cid and f.prod = p.pid and c.cid = 7 and p.pid = 17 \
+             order by f.fid",
+        )
+        .unwrap();
+    assert_eq!(a, b);
+    assert!(!a.is_empty());
+}
+
+#[test]
+fn select_star_preserves_from_order_columns() {
+    let db = db();
+    let p = db
+        .prepare(
+            "select * from facts f join customers c on f.cust = c.cid \
+             where c.cid = 1 limit 1",
+        )
+        .unwrap();
+    // Output columns must be facts' then customers', per FROM order, even
+    // if the optimizer drives from customers.
+    assert_eq!(
+        p.columns(),
+        &["fid", "cust", "prod", "qty", "cid", "cname"]
+    );
+    let mut cur = p.open().unwrap();
+    cur.run_to_completion().unwrap();
+    let row = &cur.rows()[0];
+    assert_eq!(row[1], Value::Int(1)); // cust column in facts position
+    assert_eq!(row[4], Value::Int(1)); // cid in customers position
+    assert_eq!(row[5], Value::str("cust-1"));
+}
+
+#[test]
+fn optimizer_starts_from_the_most_selective_table() {
+    let db = db();
+    // customers filtered to one row should drive the join, probing facts.
+    let p = db
+        .prepare(
+            "select f.fid from facts f join customers c on f.cust = c.cid \
+             where c.cid = 9",
+        )
+        .unwrap();
+    let text = p.plan.root.explain();
+    // The driving (deepest-left) scan must be on customers.
+    let first_scan = text
+        .lines()
+        .rfind(|l| l.contains("Scan"))
+        .unwrap_or("");
+    assert!(
+        first_scan.contains("customers"),
+        "expected customers to drive:\n{text}"
+    );
+}
+
+#[test]
+fn cross_join_still_works() {
+    let db = db();
+    let rows = db
+        .execute("select count(*) from customers c, products p")
+        .unwrap();
+    assert_eq!(rows[0][0], Value::Int(50 * 20));
+}

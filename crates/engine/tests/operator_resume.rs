@@ -1,0 +1,140 @@
+//! Resumability torture tests: every operator must produce identical
+//! results when driven with a 1-unit budget (suspending constantly) as in
+//! one shot, and the work-unit totals must match.
+
+use mqpi_engine::{ColumnType, Database, Schema, Value};
+
+fn db() -> &'static Database {
+    static DB: std::sync::OnceLock<Database> = std::sync::OnceLock::new();
+    DB.get_or_init(|| {
+        let mut db = Database::new();
+        db.create_table(
+            "t",
+            Schema::from_pairs(&[
+                ("a", ColumnType::Int),
+                ("b", ColumnType::Int),
+                ("s", ColumnType::Str),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        let rows: Vec<Vec<Value>> = (0..3000)
+            .map(|i| {
+                vec![
+                    Value::Int(i % 30),
+                    Value::Int(i),
+                    Value::str(format!("row-{i}")),
+                ]
+            })
+            .collect();
+        db.insert("t", &rows).unwrap();
+        db.create_index("t", "a").unwrap();
+        db.create_table(
+            "u",
+            Schema::from_pairs(&[("a", ColumnType::Int), ("label", ColumnType::Str)]).unwrap(),
+        )
+        .unwrap();
+        let rows: Vec<Vec<Value>> = (0..30)
+            .map(|i| vec![Value::Int(i), Value::str(format!("lbl-{i}"))])
+            .collect();
+        db.insert("u", &rows).unwrap();
+        db.analyze("t").unwrap();
+        db.analyze("u").unwrap();
+        db
+    })
+}
+
+/// Run `sql` once in one shot and once with a given budget; results and
+/// total units must agree.
+fn check(sql: &str, budget: u64) {
+    let db = db();
+    let p1 = db.prepare(sql).unwrap();
+    let mut oneshot = p1.open().unwrap();
+    let total_units = oneshot.run_to_completion().unwrap();
+
+    let p2 = db.prepare(sql).unwrap();
+    let mut drip = p2.open().unwrap();
+    let mut installments = 0u64;
+    while !drip.run(budget).unwrap().finished {
+        installments += 1;
+        assert!(installments < 10_000_000, "did not terminate: {sql}");
+    }
+    assert_eq!(drip.rows(), oneshot.rows(), "results differ for: {sql}");
+    assert_eq!(
+        drip.units_used(),
+        total_units,
+        "work accounting differs for: {sql}"
+    );
+    if budget == 1 {
+        assert!(
+            installments > 2,
+            "budget {budget} did not force suspension for: {sql}"
+        );
+    }
+}
+
+#[test]
+fn seq_scan_filter_project_resume() {
+    check("select b * 2, s from t where b % 7 = 0", 1);
+}
+
+#[test]
+fn index_scan_resume() {
+    check("select b from t where a = 13 order by b", 1);
+}
+
+#[test]
+fn aggregate_resume() {
+    check("select a, count(*), sum(b), min(s), max(s) from t group by a order by a", 1);
+}
+
+#[test]
+fn distinct_resume() {
+    check("select distinct a from t order by a", 1);
+}
+
+#[test]
+fn sort_with_debt_resume() {
+    check("select s, b from t order by s desc limit 17", 1);
+}
+
+#[test]
+fn hash_join_resume() {
+    // Force a hash join: join on strings (no index).
+    check(
+        "select count(*) from t join u on t.s = u.label",
+        1,
+    );
+}
+
+#[test]
+fn index_nl_join_resume() {
+    check(
+        "select u.label, count(*) c from u join t on u.a = t.a group by u.label order by u.label",
+        1,
+    );
+}
+
+#[test]
+fn nested_loop_join_resume() {
+    check(
+        "select count(*) from u x, u y where x.a < y.a",
+        1,
+    );
+}
+
+#[test]
+fn correlated_subquery_resume() {
+    check(
+        "select count(*) from u where 50 < \
+         (select count(*) from t where t.a = u.a)",
+        1,
+    );
+}
+
+#[test]
+fn larger_budgets_agree_too() {
+    for budget in [3, 17, 64] {
+        check("select a, sum(b) from t where b > 100 group by a order by a", budget);
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based tests for the storage layer: tuple encoding, slotted
+//! pages, heap files, and the B+-tree.
+
+use proptest::prelude::*;
+
+use mqpi_engine::btree::BTreeIndex;
+use mqpi_engine::heap::{HeapFile, Rid, ScanState};
+use mqpi_engine::meter::WorkMeter;
+use mqpi_engine::page::Page;
+use mqpi_engine::tuple;
+use mqpi_engine::value::Value;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        ".{0,40}".prop_map(Value::Str),
+    ]
+}
+
+fn arb_row() -> impl Strategy<Value = Vec<Value>> {
+    prop::collection::vec(arb_value(), 0..8)
+}
+
+proptest! {
+    #[test]
+    fn tuple_roundtrip(row in arb_row()) {
+        let bytes = tuple::encode(&row);
+        let back = tuple::decode(&bytes).unwrap();
+        // NaN-aware comparison: use the total order.
+        prop_assert_eq!(row.len(), back.len());
+        for (a, b) in row.iter().zip(&back) {
+            prop_assert!(a.total_cmp(b).is_eq(), "{:?} vs {:?}", a, b);
+        }
+    }
+
+    #[test]
+    fn tuple_decode_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let _ = tuple::decode(&bytes); // may Err, must not panic
+    }
+
+    #[test]
+    fn page_roundtrip_until_full(tuples in prop::collection::vec(
+        prop::collection::vec(any::<u8>(), 0..300), 1..100)) {
+        let mut page = Page::new();
+        let mut stored = Vec::new();
+        for t in &tuples {
+            if page.fits(t.len()) {
+                let slot = page.insert(t).unwrap();
+                stored.push((slot, t.clone()));
+            } else {
+                prop_assert!(page.insert(t).is_err());
+            }
+        }
+        for (slot, bytes) in &stored {
+            prop_assert_eq!(page.get(*slot).unwrap(), &bytes[..]);
+        }
+        prop_assert_eq!(page.slot_count() as usize, stored.len());
+    }
+
+    #[test]
+    fn heap_preserves_rows_in_insertion_order(rows in prop::collection::vec(arb_row(), 1..200)) {
+        let mut heap = HeapFile::new();
+        let mut rids = Vec::new();
+        for r in &rows {
+            rids.push(heap.insert(r).unwrap());
+        }
+        prop_assert_eq!(heap.row_count(), rows.len() as u64);
+        // Sequential scan sees every row, in order.
+        let m = WorkMeter::new();
+        let mut st = ScanState::new();
+        let mut i = 0;
+        while let Some((rid, row)) = heap.scan_next(&mut st, &m).unwrap() {
+            prop_assert_eq!(rid, rids[i]);
+            for (a, b) in row.iter().zip(&rows[i]) {
+                prop_assert!(a.total_cmp(b).is_eq());
+            }
+            i += 1;
+        }
+        prop_assert_eq!(i, rows.len());
+        // Point fetches agree.
+        for (rid, row) in rids.iter().zip(&rows) {
+            let got = heap.fetch(*rid, &m).unwrap();
+            for (a, b) in got.iter().zip(row) {
+                prop_assert!(a.total_cmp(b).is_eq());
+            }
+        }
+    }
+
+    #[test]
+    fn btree_lookup_matches_reference_model(
+        keys in prop::collection::vec(-50i64..50, 1..400),
+        leaf_cap in 2usize..16,
+        internal_cap in 3usize..16,
+    ) {
+        let mut tree = BTreeIndex::with_caps(leaf_cap, internal_cap);
+        let mut model: std::collections::BTreeMap<i64, Vec<Rid>> = Default::default();
+        for (i, k) in keys.iter().enumerate() {
+            let rid = Rid { page: i as u32, slot: 0 };
+            tree.insert(Value::Int(*k), rid);
+            model.entry(*k).or_default().push(rid);
+        }
+        let m = WorkMeter::new();
+        for k in -50i64..50 {
+            let mut got = tree.lookup(&Value::Int(k), &m);
+            got.sort();
+            let mut want = model.get(&k).cloned().unwrap_or_default();
+            want.sort();
+            prop_assert_eq!(got, want, "key {}", k);
+        }
+    }
+
+    #[test]
+    fn btree_range_scan_is_sorted_and_complete(
+        keys in prop::collection::vec(-100i64..100, 0..300),
+        lo in -120i64..120,
+        len in 0i64..100,
+    ) {
+        let hi = lo + len;
+        let mut tree = BTreeIndex::with_caps(4, 4);
+        for (i, k) in keys.iter().enumerate() {
+            tree.insert(Value::Int(*k), Rid { page: i as u32, slot: 0 });
+        }
+        let m = WorkMeter::new();
+        let mut st = tree.range_start(Some(&Value::Int(lo)), Some(&Value::Int(hi)), &m);
+        let mut got = Vec::new();
+        while let Some((k, _)) = tree.range_next(&mut st, &m) {
+            got.push(k.as_i64().unwrap());
+        }
+        let mut want: Vec<i64> = keys.iter().filter(|k| **k >= lo && **k <= hi).cloned().collect();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn btree_bulk_load_equals_incremental(
+        keys in prop::collection::vec(0i64..60, 0..300),
+    ) {
+        let mut entries: Vec<(Value, Rid)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (Value::Int(*k), Rid { page: i as u32, slot: 0 }))
+            .collect();
+        entries.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let bulk = BTreeIndex::bulk_load(entries, 6, 6).unwrap();
+        let mut incr = BTreeIndex::with_caps(6, 6);
+        for (i, k) in keys.iter().enumerate() {
+            incr.insert(Value::Int(*k), Rid { page: i as u32, slot: 0 });
+        }
+        let m = WorkMeter::new();
+        for k in 0i64..60 {
+            let mut a = bulk.lookup(&Value::Int(k), &m);
+            let mut b = incr.lookup(&Value::Int(k), &m);
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b);
+        }
+        prop_assert_eq!(bulk.entry_count(), incr.entry_count());
+    }
+
+    #[test]
+    fn value_total_cmp_is_total_order(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        prop_assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse());
+        // Reflexivity.
+        prop_assert_eq!(a.total_cmp(&a), Ordering::Equal);
+        // Transitivity (sampled).
+        if a.total_cmp(&b) != Ordering::Greater && b.total_cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.total_cmp(&c), Ordering::Greater);
+        }
+    }
+}

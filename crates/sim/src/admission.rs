@@ -1,0 +1,46 @@
+//! Admission-queue policies.
+//!
+//! An RDBMS typically limits concurrent queries; newly arrived queries wait
+//! in a FIFO admission queue (paper §2.3). The queue is also what gives a
+//! multi-query PI extra visibility into the future — queued queries are
+//! *known* future work.
+
+/// When a newly submitted query may start executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Every query starts immediately.
+    #[default]
+    Unlimited,
+    /// At most this many queries occupy execution slots; the rest queue.
+    MaxConcurrent(usize),
+}
+
+impl AdmissionPolicy {
+    /// Can another query be admitted given the current occupancy?
+    pub fn admits(&self, occupied_slots: usize) -> bool {
+        match self {
+            AdmissionPolicy::Unlimited => true,
+            AdmissionPolicy::MaxConcurrent(k) => occupied_slots < *k,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_always_admits() {
+        assert!(AdmissionPolicy::Unlimited.admits(0));
+        assert!(AdmissionPolicy::Unlimited.admits(10_000));
+    }
+
+    #[test]
+    fn max_concurrent_gates() {
+        let p = AdmissionPolicy::MaxConcurrent(2);
+        assert!(p.admits(0));
+        assert!(p.admits(1));
+        assert!(!p.admits(2));
+        assert!(!p.admits(3));
+    }
+}

@@ -1,0 +1,171 @@
+//! The unit of schedulable work.
+//!
+//! A [`Job`] can execute in work-unit installments and report progress. The
+//! two implementations are [`CursorJob`] (a real engine cursor — the normal
+//! case) and [`SyntheticJob`] (an exact-cost job used for scheduler tests
+//! and for validating PI algorithms against known ground truth).
+
+use mqpi_engine::error::Result;
+use mqpi_engine::Cursor;
+
+/// Progress report in the vocabulary the PIs need.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobProgress {
+    /// Work units consumed so far.
+    pub done: f64,
+    /// Current (refined) estimate of the remaining cost `c`.
+    pub remaining: f64,
+    /// The estimate available before execution started (optimizer cost).
+    pub initial_estimate: f64,
+    /// Whether the job has completed.
+    pub finished: bool,
+}
+
+/// Something the scheduler can run in installments.
+pub trait Job {
+    /// Run for roughly `budget` units; returns units actually used.
+    fn run(&mut self, budget: u64) -> Result<u64>;
+    /// Whether the job has completed.
+    fn finished(&self) -> bool;
+    /// Progress report.
+    fn progress(&self) -> JobProgress;
+}
+
+/// A real engine cursor as a job.
+pub struct CursorJob {
+    cursor: Cursor,
+}
+
+impl CursorJob {
+    /// Wrap a cursor.
+    pub fn new(cursor: Cursor) -> Self {
+        CursorJob { cursor }
+    }
+
+    /// Access the underlying cursor (e.g. to read result rows at the end).
+    pub fn cursor(&self) -> &Cursor {
+        &self.cursor
+    }
+}
+
+impl Job for CursorJob {
+    fn run(&mut self, budget: u64) -> Result<u64> {
+        Ok(self.cursor.run(budget)?.used)
+    }
+
+    fn finished(&self) -> bool {
+        self.cursor.finished()
+    }
+
+    fn progress(&self) -> JobProgress {
+        let p = self.cursor.progress();
+        JobProgress {
+            done: p.done,
+            remaining: p.remaining,
+            initial_estimate: p.initial_estimate,
+            finished: p.finished,
+        }
+    }
+}
+
+/// A job with exactly known total cost. By default its progress reports
+/// are exact, which makes Assumption 2 (perfect knowledge of remaining
+/// costs) *true* — useful for unit tests and for the paper's analytical
+/// examples (Figs. 1-2). [`SyntheticJob::with_report_scale`] deliberately
+/// mis-reports the remaining cost, which is how the Assumption 2 ablation
+/// injects controlled estimate error.
+#[derive(Debug, Clone)]
+pub struct SyntheticJob {
+    total: u64,
+    done: u64,
+    /// What the job *claims* as its initial estimate (can be set ≠ total to
+    /// model bad optimizer estimates).
+    claimed_estimate: f64,
+    /// Multiplier applied to the *reported* remaining cost (1.0 = exact).
+    report_scale: f64,
+}
+
+impl SyntheticJob {
+    /// Job of exactly `total` units.
+    pub fn new(total: u64) -> Self {
+        SyntheticJob {
+            total,
+            done: 0,
+            claimed_estimate: total as f64,
+            report_scale: 1.0,
+        }
+    }
+
+    /// Job whose progress reports a (possibly wrong) initial estimate while
+    /// the true cost is `total`.
+    pub fn with_claimed_estimate(total: u64, claimed: f64) -> Self {
+        SyntheticJob {
+            total,
+            done: 0,
+            claimed_estimate: claimed,
+            report_scale: 1.0,
+        }
+    }
+
+    /// Job whose *reported remaining cost* is `scale ×` the truth —
+    /// Assumption 2 violated by a controlled factor.
+    pub fn with_report_scale(total: u64, scale: f64) -> Self {
+        assert!(scale > 0.0);
+        SyntheticJob {
+            total,
+            done: 0,
+            claimed_estimate: total as f64 * scale,
+            report_scale: scale,
+        }
+    }
+
+    /// True total cost.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+impl Job for SyntheticJob {
+    fn run(&mut self, budget: u64) -> Result<u64> {
+        let used = budget.min(self.total - self.done);
+        self.done += used;
+        Ok(used)
+    }
+
+    fn finished(&self) -> bool {
+        self.done >= self.total
+    }
+
+    fn progress(&self) -> JobProgress {
+        JobProgress {
+            done: self.done as f64,
+            remaining: (self.total - self.done) as f64 * self.report_scale,
+            initial_estimate: self.claimed_estimate,
+            finished: self.finished(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_job_runs_to_exact_total() {
+        let mut j = SyntheticJob::new(100);
+        assert_eq!(j.run(30).unwrap(), 30);
+        assert_eq!(j.run(200).unwrap(), 70);
+        assert!(j.finished());
+        assert_eq!(j.run(10).unwrap(), 0);
+        let p = j.progress();
+        assert_eq!(p.done, 100.0);
+        assert_eq!(p.remaining, 0.0);
+    }
+
+    #[test]
+    fn claimed_estimate_is_reported() {
+        let j = SyntheticJob::with_claimed_estimate(100, 40.0);
+        assert_eq!(j.progress().initial_estimate, 40.0);
+        assert_eq!(j.progress().remaining, 100.0); // true remaining is exact
+    }
+}

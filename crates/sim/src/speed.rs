@@ -1,0 +1,113 @@
+//! Observed execution-speed monitors.
+//!
+//! A single-query PI estimates remaining time as `t = c / s` where `s` is
+//! the *currently observed* execution speed (paper §2). The monitor here is
+//! an exponentially-weighted average of instantaneous speed with a
+//! configurable time constant — it reacts to load changes with a lag, which
+//! is precisely the behaviour that makes single-query PIs mispredict when
+//! concurrent queries finish.
+
+/// Exponentially-smoothed speed estimate over virtual time.
+#[derive(Debug, Clone)]
+pub struct SpeedMonitor {
+    tau: f64,
+    last_t: f64,
+    last_units: f64,
+    ema: Option<f64>,
+}
+
+impl SpeedMonitor {
+    /// Create a monitor with smoothing time constant `tau` seconds; larger
+    /// values average over a longer window.
+    pub fn new(tau: f64) -> Self {
+        Self::new_at(tau, 0.0)
+    }
+
+    /// Create a monitor whose baseline is time `t0` (for queries that start
+    /// mid-simulation).
+    pub fn new_at(tau: f64, t0: f64) -> Self {
+        assert!(tau > 0.0, "time constant must be positive");
+        SpeedMonitor {
+            tau,
+            last_t: t0,
+            last_units: 0.0,
+            ema: None,
+        }
+    }
+
+    /// Record the cumulative `units` completed by time `t`.
+    pub fn update(&mut self, t: f64, units: f64) {
+        let dt = t - self.last_t;
+        if dt <= 0.0 {
+            return;
+        }
+        let inst = (units - self.last_units).max(0.0) / dt;
+        let alpha = 1.0 - (-dt / self.tau).exp();
+        self.ema = Some(match self.ema {
+            None => inst,
+            Some(prev) => prev + alpha * (inst - prev),
+        });
+        self.last_t = t;
+        self.last_units = units;
+    }
+
+    /// Current speed estimate in units/second (`None` before the first
+    /// sample interval elapses).
+    pub fn speed(&self) -> Option<f64> {
+        self.ema
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_speed_is_measured_exactly() {
+        let mut m = SpeedMonitor::new(5.0);
+        for i in 1..=100 {
+            m.update(i as f64, 10.0 * i as f64);
+        }
+        let s = m.speed().unwrap();
+        assert!((s - 10.0).abs() < 1e-9, "speed = {s}");
+    }
+
+    #[test]
+    fn reacts_to_speed_changes_with_lag() {
+        let mut m = SpeedMonitor::new(5.0);
+        let mut units = 0.0;
+        for i in 1..=50 {
+            units += 10.0;
+            m.update(i as f64, units);
+        }
+        // Speed doubles at t=50.
+        let before = m.speed().unwrap();
+        for i in 51..=53 {
+            units += 20.0;
+            m.update(i as f64, units);
+        }
+        let shortly_after = m.speed().unwrap();
+        assert!(shortly_after > before && shortly_after < 20.0, "lagging EMA");
+        for i in 54..=120 {
+            units += 20.0;
+            m.update(i as f64, units);
+        }
+        let converged = m.speed().unwrap();
+        assert!((converged - 20.0).abs() < 0.5, "converged = {converged}");
+    }
+
+    #[test]
+    fn zero_dt_updates_are_ignored() {
+        let mut m = SpeedMonitor::new(1.0);
+        m.update(1.0, 5.0);
+        let s0 = m.speed();
+        m.update(1.0, 50.0);
+        assert_eq!(m.speed(), s0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time constant")]
+    fn zero_tau_panics() {
+        let _ = SpeedMonitor::new(0.0);
+    }
+}

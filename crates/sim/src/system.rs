@@ -1,0 +1,881 @@
+//! The multi-query scheduler: generalized processor sharing in virtual time.
+//!
+//! Every [`System::step`] distributes one quantum of work units among the
+//! running queries in proportion to their weights and advances the virtual
+//! clock by `quantum_units / rate` seconds (shortened to hit scheduled
+//! arrivals exactly). Queries are [`Job`]s — engine cursors doing real work
+//! or synthetic jobs with exact costs.
+//!
+//! The system also implements the workload-management verbs the paper's §3
+//! algorithms need: [`System::block`], [`System::resume`], and
+//! [`System::abort`].
+
+use std::collections::VecDeque;
+
+use mqpi_engine::error::{EngineError, Result};
+
+use crate::admission::AdmissionPolicy;
+use crate::job::Job;
+use crate::speed::SpeedMonitor;
+
+/// Identifier of a query within one `System`.
+pub type QueryId = u64;
+
+/// How the aggregate processing rate depends on the number of running
+/// queries. The paper's Assumption 1 is [`RateModel::Constant`];
+/// [`RateModel::Contention`] deliberately violates it for the §4.1
+/// robustness ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum RateModel {
+    /// `C(n) = C` — Assumption 1 holds exactly.
+    #[default]
+    Constant,
+    /// `C(n) = C / (1 + alpha·(n−1))` — every additional concurrent query
+    /// costs `alpha` of contention overhead (buffer-pool interference,
+    /// context switching), so total throughput *decreases* with load.
+    Contention {
+        /// Per-extra-query slowdown factor (e.g. 0.05).
+        alpha: f64,
+    },
+}
+
+impl RateModel {
+    /// Effective aggregate rate for `n` unblocked running queries.
+    pub fn effective_rate(&self, base: f64, n: usize) -> f64 {
+        match self {
+            RateModel::Constant => base,
+            RateModel::Contention { alpha } => {
+                base / (1.0 + alpha * (n.saturating_sub(1)) as f64)
+            }
+        }
+    }
+}
+
+/// Scheduler configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SystemConfig {
+    /// Aggregate processing rate `C` in work units per second
+    /// (Assumption 1).
+    pub rate: f64,
+    /// Work units distributed per scheduling quantum. Smaller = closer to
+    /// the fluid (GPS) ideal, slower to simulate.
+    pub quantum_units: f64,
+    /// Admission policy.
+    pub admission: AdmissionPolicy,
+    /// Time constant of the per-query observed-speed monitors.
+    pub speed_tau: f64,
+    /// How the aggregate rate responds to concurrency (Assumption 1 knob).
+    pub rate_model: RateModel,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            rate: 60.0,
+            quantum_units: 16.0,
+            admission: AdmissionPolicy::Unlimited,
+            speed_tau: 10.0,
+            rate_model: RateModel::Constant,
+        }
+    }
+}
+
+struct Session {
+    id: QueryId,
+    name: String,
+    job: Box<dyn Job>,
+    weight: f64,
+    arrived: f64,
+    started: Option<f64>,
+    credit: f64,
+    units_done: f64,
+    monitor: SpeedMonitor,
+    blocked: bool,
+    /// Set when the session is executing rollback work after an abort; it
+    /// still occupies capacity, and completes as `FinishKind::Aborted`.
+    /// Holds `(units_done, remaining)` of the original query at abort time
+    /// so the finished record reports the query's work, not the rollback's.
+    rolling_back: Option<(f64, f64)>,
+}
+
+/// How a query left the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum FinishKind {
+    /// Ran to completion.
+    Completed,
+    /// Killed by a workload-management action.
+    Aborted,
+}
+
+/// Record of a query that left the system.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct FinishedQuery {
+    /// Query id.
+    pub id: QueryId,
+    /// Query name (caller-supplied label).
+    pub name: String,
+    /// Scheduling weight.
+    pub weight: f64,
+    /// Arrival time.
+    pub arrived: f64,
+    /// Execution start time (None if aborted while queued).
+    pub started: Option<f64>,
+    /// Completion/abort time.
+    pub finished: f64,
+    /// Completion vs abort.
+    pub kind: FinishKind,
+    /// Work units completed.
+    pub units_done: f64,
+    /// Estimated remaining cost at the moment of leaving (0 when completed).
+    pub remaining_at_end: f64,
+}
+
+/// Point-in-time state of a running (or blocked) query.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct QueryState {
+    /// Query id.
+    pub id: QueryId,
+    /// Query name.
+    pub name: String,
+    /// Scheduling weight.
+    pub weight: f64,
+    /// Arrival time.
+    pub arrived: f64,
+    /// Start time.
+    pub started: f64,
+    /// Work done so far (units).
+    pub done: f64,
+    /// Refined remaining-cost estimate (units).
+    pub remaining: f64,
+    /// The pre-execution cost estimate.
+    pub initial_estimate: f64,
+    /// Observed speed (units/s) from this query's monitor.
+    pub observed_speed: Option<f64>,
+    /// Whether the query is currently blocked.
+    pub blocked: bool,
+    /// Whether the query is executing rollback work after an abort.
+    pub rolling_back: bool,
+}
+
+/// Point-in-time state of a queued query.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct QueuedState {
+    /// Query id.
+    pub id: QueryId,
+    /// Query name.
+    pub name: String,
+    /// Scheduling weight it will run with.
+    pub weight: f64,
+    /// Arrival time.
+    pub arrived: f64,
+    /// Estimated total cost (pre-execution estimate).
+    pub est_cost: f64,
+}
+
+/// Snapshot consumed by progress indicators.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SystemSnapshot {
+    /// Virtual time of the snapshot.
+    pub time: f64,
+    /// Aggregate processing rate `C`.
+    pub rate: f64,
+    /// Running and blocked queries.
+    pub running: Vec<QueryState>,
+    /// Admission queue, front first.
+    pub queued: Vec<QueuedState>,
+}
+
+struct Scheduled {
+    at: f64,
+    id: QueryId,
+    name: String,
+    job: Box<dyn Job>,
+    weight: f64,
+}
+
+/// The simulated multi-query RDBMS.
+pub struct System {
+    cfg: SystemConfig,
+    clock: f64,
+    running: Vec<Session>,
+    queue: VecDeque<Session>,
+    /// Future arrivals, kept sorted by time ascending.
+    scheduled: Vec<Scheduled>,
+    finished: Vec<FinishedQuery>,
+    next_id: QueryId,
+}
+
+impl System {
+    /// Create a system.
+    pub fn new(cfg: SystemConfig) -> Self {
+        assert!(cfg.rate > 0.0 && cfg.quantum_units > 0.0);
+        System {
+            cfg,
+            clock: 0.0,
+            running: Vec::new(),
+            queue: VecDeque::new(),
+            scheduled: Vec::new(),
+            finished: Vec::new(),
+            next_id: 1,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+
+    /// Aggregate processing rate `C`.
+    pub fn rate(&self) -> f64 {
+        self.cfg.rate
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    fn occupied_slots(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Submit a query now; starts immediately or queues per the admission
+    /// policy.
+    pub fn submit(&mut self, name: impl Into<String>, job: Box<dyn Job>, weight: f64) -> QueryId {
+        assert!(weight > 0.0, "scheduling weight must be positive");
+        let id = self.next_id;
+        self.next_id += 1;
+        self.place(Session {
+            id,
+            name: name.into(),
+            job,
+            weight,
+            arrived: self.clock,
+            started: None,
+            credit: 0.0,
+            units_done: 0.0,
+            monitor: SpeedMonitor::new_at(self.cfg.speed_tau, self.clock),
+            blocked: false,
+            rolling_back: None,
+        });
+        id
+    }
+
+    /// Schedule a query to arrive at virtual time `at` (≥ now).
+    pub fn schedule(
+        &mut self,
+        at: f64,
+        name: impl Into<String>,
+        job: Box<dyn Job>,
+        weight: f64,
+    ) -> QueryId {
+        assert!(weight > 0.0, "scheduling weight must be positive");
+        let id = self.next_id;
+        self.next_id += 1;
+        self.scheduled.push(Scheduled {
+            at: at.max(self.clock),
+            id,
+            name: name.into(),
+            job,
+            weight,
+        });
+        self.scheduled.sort_by(|a, b| a.at.total_cmp(&b.at));
+        id
+    }
+
+    fn place(&mut self, mut s: Session) {
+        if self.cfg.admission.admits(self.occupied_slots()) {
+            s.started = Some(self.clock);
+            s.monitor = SpeedMonitor::new_at(self.cfg.speed_tau, self.clock);
+            self.running.push(s);
+        } else {
+            self.queue.push_back(s);
+        }
+    }
+
+    fn process_due_arrivals(&mut self) {
+        while let Some(first) = self.scheduled.first() {
+            if first.at > self.clock {
+                break;
+            }
+            let sch = self.scheduled.remove(0);
+            self.place(Session {
+                id: sch.id,
+                name: sch.name,
+                job: sch.job,
+                weight: sch.weight,
+                arrived: sch.at,
+                started: None,
+                credit: 0.0,
+                units_done: 0.0,
+                monitor: SpeedMonitor::new_at(self.cfg.speed_tau, self.clock),
+                blocked: false,
+                rolling_back: None,
+            });
+        }
+    }
+
+    fn admit_from_queue(&mut self) {
+        while !self.queue.is_empty() && self.cfg.admission.admits(self.occupied_slots()) {
+            let mut s = self.queue.pop_front().unwrap();
+            s.started = Some(self.clock);
+            s.monitor = SpeedMonitor::new_at(self.cfg.speed_tau, self.clock);
+            self.running.push(s);
+        }
+    }
+
+    /// Whether any work or future arrivals remain.
+    pub fn has_work(&self) -> bool {
+        !self.running.is_empty() || !self.queue.is_empty() || !self.scheduled.is_empty()
+    }
+
+    /// Advance one quantum. Returns ids of queries that completed during
+    /// this step.
+    pub fn step(&mut self) -> Result<Vec<QueryId>> {
+        self.process_due_arrivals();
+        // Idle fast-forward to the next arrival.
+        if self.running.is_empty() && self.queue.is_empty() {
+            if let Some(first) = self.scheduled.first() {
+                self.clock = first.at;
+                self.process_due_arrivals();
+            } else {
+                return Ok(Vec::new());
+            }
+        }
+
+        let mut dt = self.cfg.quantum_units / self.cfg.rate;
+        if let Some(first) = self.scheduled.first() {
+            if first.at > self.clock {
+                dt = dt.min(first.at - self.clock);
+            }
+        }
+
+        let active = self.running.iter().filter(|s| !s.blocked).count();
+        let total_weight: f64 = self
+            .running
+            .iter()
+            .filter(|s| !s.blocked)
+            .map(|s| s.weight)
+            .sum();
+        if total_weight > 0.0 {
+            let effective = self.cfg.rate_model.effective_rate(self.cfg.rate, active);
+            let grant = effective * dt;
+            for s in self.running.iter_mut().filter(|s| !s.blocked) {
+                s.credit += grant * s.weight / total_weight;
+                let budget = s.credit.floor();
+                if budget >= 1.0 {
+                    let used = s.job.run(budget as u64)?;
+                    s.credit -= used as f64;
+                    s.units_done += used as f64;
+                }
+            }
+        }
+        self.clock += dt;
+        for s in &mut self.running {
+            let done = s.units_done;
+            s.monitor.update(self.clock, done);
+        }
+
+        // Collect finishers.
+        let mut done_ids = Vec::new();
+        let mut i = 0;
+        while i < self.running.len() {
+            if self.running[i].job.finished() {
+                let s = self.running.remove(i);
+                done_ids.push(s.id);
+                // A rollback completion reports the *query's* progress at
+                // abort time, not the rollback job's counters.
+                let (kind, units_done, remaining_at_end) = match s.rolling_back {
+                    Some((done, remaining)) => (FinishKind::Aborted, done, remaining),
+                    None => (FinishKind::Completed, s.units_done, 0.0),
+                };
+                self.finished.push(FinishedQuery {
+                    id: s.id,
+                    name: s.name,
+                    weight: s.weight,
+                    arrived: s.arrived,
+                    started: s.started,
+                    finished: self.clock,
+                    kind,
+                    units_done,
+                    remaining_at_end,
+                });
+            } else {
+                i += 1;
+            }
+        }
+        if !done_ids.is_empty() {
+            self.admit_from_queue();
+        }
+        Ok(done_ids)
+    }
+
+    /// Run until virtual time `t` (or until idle with no future arrivals).
+    pub fn run_until(&mut self, t: f64) -> Result<Vec<QueryId>> {
+        let mut finished = Vec::new();
+        while self.clock < t && self.has_work() {
+            // Don't leap past t when idle-fast-forwarding.
+            if self.running.is_empty() && self.queue.is_empty() {
+                if let Some(first) = self.scheduled.first() {
+                    if first.at >= t {
+                        self.clock = t;
+                        break;
+                    }
+                }
+            }
+            finished.extend(self.step()?);
+        }
+        if self.clock < t && !self.has_work() {
+            self.clock = t;
+        }
+        Ok(finished)
+    }
+
+    /// Run until no running, queued, or scheduled queries remain, or until
+    /// the safety horizon `max_t` is hit. Returns all completions.
+    pub fn run_until_idle(&mut self, max_t: f64) -> Result<Vec<QueryId>> {
+        let mut finished = Vec::new();
+        while self.has_work() && self.clock < max_t {
+            finished.extend(self.step()?);
+        }
+        Ok(finished)
+    }
+
+    /// Block a running query: it keeps its slot but receives no more work
+    /// (the paper's single-/multiple-query speed-up victim action).
+    pub fn block(&mut self, id: QueryId) -> Result<()> {
+        match self.running.iter_mut().find(|s| s.id == id) {
+            Some(s) => {
+                s.blocked = true;
+                Ok(())
+            }
+            None => Err(EngineError::exec(format!("no running query {id}"))),
+        }
+    }
+
+    /// Resume a blocked query.
+    pub fn resume(&mut self, id: QueryId) -> Result<()> {
+        match self.running.iter_mut().find(|s| s.id == id) {
+            Some(s) => {
+                s.blocked = false;
+                Ok(())
+            }
+            None => Err(EngineError::exec(format!("no running query {id}"))),
+        }
+    }
+
+    /// Abort a running or queued query.
+    pub fn abort(&mut self, id: QueryId) -> Result<()> {
+        if let Some(pos) = self.running.iter().position(|s| s.id == id) {
+            let s = self.running.remove(pos);
+            let remaining = s.job.progress().remaining;
+            self.finished.push(FinishedQuery {
+                id: s.id,
+                name: s.name,
+                weight: s.weight,
+                arrived: s.arrived,
+                started: s.started,
+                finished: self.clock,
+                kind: FinishKind::Aborted,
+                units_done: s.units_done,
+                remaining_at_end: remaining,
+            });
+            self.admit_from_queue();
+            return Ok(());
+        }
+        if let Some(pos) = self.queue.iter().position(|s| s.id == id) {
+            let s = self.queue.remove(pos).unwrap();
+            let remaining = s.job.progress().remaining;
+            self.finished.push(FinishedQuery {
+                id: s.id,
+                name: s.name,
+                weight: s.weight,
+                arrived: s.arrived,
+                started: None,
+                finished: self.clock,
+                kind: FinishKind::Aborted,
+                units_done: s.units_done,
+                remaining_at_end: remaining,
+            });
+            return Ok(());
+        }
+        Err(EngineError::exec(format!("no such query {id}")))
+    }
+
+    /// Abort a running query whose rollback costs `overhead` work units
+    /// (the paper leaves non-negligible abort overhead as future work; this
+    /// models it). The session keeps its slot and its weight while the
+    /// rollback runs; it then leaves as [`FinishKind::Aborted`]. Zero
+    /// overhead degenerates to [`System::abort`]. Queued queries abort
+    /// instantly (nothing to roll back).
+    pub fn abort_with_overhead(&mut self, id: QueryId, overhead: u64) -> Result<()> {
+        if overhead == 0 {
+            return self.abort(id);
+        }
+        if let Some(s) = self.running.iter_mut().find(|s| s.id == id) {
+            if s.rolling_back.is_some() {
+                return Err(EngineError::exec(format!("query {id} is already rolling back")));
+            }
+            let remaining = s.job.progress().remaining;
+            s.rolling_back = Some((s.units_done, remaining));
+            s.job = Box::new(crate::job::SyntheticJob::new(overhead));
+            s.blocked = false;
+            s.credit = 0.0;
+            return Ok(());
+        }
+        if self.queue.iter().any(|s| s.id == id) {
+            return self.abort(id);
+        }
+        Err(EngineError::exec(format!("no such query {id}")))
+    }
+
+    /// Stop admitting scheduled arrivals (the paper's maintenance operation
+    /// O1: "no new queries are allowed to enter the RDBMS"). Pending
+    /// scheduled arrivals are dropped; queued queries stay queued.
+    pub fn close_admission(&mut self) {
+        self.scheduled.clear();
+    }
+
+    /// Snapshot for progress indicators.
+    pub fn snapshot(&self) -> SystemSnapshot {
+        SystemSnapshot {
+            time: self.clock,
+            rate: self.cfg.rate,
+            running: self
+                .running
+                .iter()
+                .map(|s| {
+                    let p = s.job.progress();
+                    QueryState {
+                        id: s.id,
+                        name: s.name.clone(),
+                        weight: s.weight,
+                        arrived: s.arrived,
+                        started: s.started.unwrap_or(s.arrived),
+                        done: p.done,
+                        remaining: p.remaining,
+                        initial_estimate: p.initial_estimate,
+                        observed_speed: s.monitor.speed(),
+                        blocked: s.blocked,
+                        rolling_back: s.rolling_back.is_some(),
+                    }
+                })
+                .collect(),
+            queued: self
+                .queue
+                .iter()
+                .map(|s| QueuedState {
+                    id: s.id,
+                    name: s.name.clone(),
+                    weight: s.weight,
+                    arrived: s.arrived,
+                    est_cost: s.job.progress().remaining,
+                })
+                .collect(),
+        }
+    }
+
+    /// Queries that have left the system so far.
+    pub fn finished(&self) -> &[FinishedQuery] {
+        &self.finished
+    }
+
+    /// The finished record for `id`, if it has left the system.
+    pub fn finished_record(&self, id: QueryId) -> Option<&FinishedQuery> {
+        self.finished.iter().find(|f| f.id == id)
+    }
+
+    /// Ids of currently running (including blocked) queries.
+    pub fn running_ids(&self) -> Vec<QueryId> {
+        self.running.iter().map(|s| s.id).collect()
+    }
+
+    /// Ids of currently queued queries, front first.
+    pub fn queued_ids(&self) -> Vec<QueryId> {
+        self.queue.iter().map(|s| s.id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::SyntheticJob;
+
+    fn cfg(rate: f64, quantum: f64) -> SystemConfig {
+        SystemConfig {
+            rate,
+            quantum_units: quantum,
+            admission: AdmissionPolicy::Unlimited,
+            speed_tau: 5.0,
+            rate_model: RateModel::Constant,
+        }
+    }
+
+    /// Closed-form GPS finish times for equal weights: with costs sorted
+    /// ascending c1..cn, query i finishes at Σ_{k≤i} (c_k − c_{k−1})·(n−k+1)/C.
+    fn gps_finish_times(costs: &[f64], rate: f64) -> Vec<f64> {
+        let mut sorted = costs.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        let mut t = 0.0;
+        let mut prev = 0.0;
+        let mut out = Vec::new();
+        for (k, c) in sorted.iter().enumerate() {
+            t += (c - prev) * (n - k) as f64 / rate;
+            prev = *c;
+            out.push(t);
+        }
+        out
+    }
+
+    #[test]
+    fn equal_weight_sharing_matches_gps_closed_form() {
+        let mut sys = System::new(cfg(100.0, 4.0));
+        let costs = [400.0, 800.0, 1200.0, 1600.0];
+        let ids: Vec<QueryId> = costs
+            .iter()
+            .map(|c| sys.submit(format!("q{c}"), Box::new(SyntheticJob::new(*c as u64)), 1.0))
+            .collect();
+        sys.run_until_idle(1e9).unwrap();
+        let expected = gps_finish_times(&costs, 100.0);
+        for (i, id) in ids.iter().enumerate() {
+            let f = sys.finished_record(*id).unwrap();
+            let err = (f.finished - expected[i]).abs();
+            assert!(
+                err < 0.5,
+                "query {i}: finished {} vs GPS {} (err {err})",
+                f.finished,
+                expected[i]
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_sharing_speeds_up_heavy_queries() {
+        let mut sys = System::new(cfg(100.0, 2.0));
+        let heavy = sys.submit("heavy", Box::new(SyntheticJob::new(1000)), 3.0);
+        let light = sys.submit("light", Box::new(SyntheticJob::new(1000)), 1.0);
+        sys.run_until_idle(1e9).unwrap();
+        let fh = sys.finished_record(heavy).unwrap().finished;
+        let fl = sys.finished_record(light).unwrap().finished;
+        assert!(fh < fl, "heavy should finish first");
+        // Heavy runs at 75 U/s until done: 1000/75 ≈ 13.3 s.
+        assert!((fh - 13.33).abs() < 0.5, "heavy finished at {fh}");
+        // Light then catches up: total work 2000 at 100 U/s ⇒ 20 s.
+        assert!((fl - 20.0).abs() < 0.5, "light finished at {fl}");
+    }
+
+    #[test]
+    fn admission_queue_blocks_third_query() {
+        let mut c = cfg(100.0, 4.0);
+        c.admission = AdmissionPolicy::MaxConcurrent(2);
+        let mut sys = System::new(c);
+        let a = sys.submit("a", Box::new(SyntheticJob::new(500)), 1.0);
+        let b = sys.submit("b", Box::new(SyntheticJob::new(100)), 1.0);
+        let q = sys.submit("c", Box::new(SyntheticJob::new(100)), 1.0);
+        assert_eq!(sys.running_ids(), vec![a, b]);
+        assert_eq!(sys.queued_ids(), vec![q]);
+        sys.run_until_idle(1e9).unwrap();
+        // b finishes at 2·100/100 = 2s; c starts then.
+        let fb = sys.finished_record(b).unwrap().finished;
+        let sc = sys.finished_record(q).unwrap().started.unwrap();
+        assert!((fb - 2.0).abs() < 0.2);
+        assert!((sc - fb).abs() < 0.2, "c started at {sc}, b finished {fb}");
+    }
+
+    #[test]
+    fn scheduled_arrivals_enter_at_their_time() {
+        let mut sys = System::new(cfg(100.0, 4.0));
+        sys.submit("now", Box::new(SyntheticJob::new(1000)), 1.0);
+        let later = sys.schedule(5.0, "later", Box::new(SyntheticJob::new(100)), 1.0);
+        sys.run_until(4.9).unwrap();
+        assert_eq!(sys.running_ids().len(), 1);
+        sys.run_until(5.5).unwrap();
+        assert_eq!(sys.running_ids().len(), 2);
+        let snap = sys.snapshot();
+        let st = snap.running.iter().find(|r| r.id == later).unwrap();
+        assert!((st.started - 5.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn idle_system_fast_forwards_to_arrival() {
+        let mut sys = System::new(cfg(100.0, 4.0));
+        sys.schedule(100.0, "far", Box::new(SyntheticJob::new(50)), 1.0);
+        sys.run_until_idle(1e9).unwrap();
+        let f = &sys.finished()[0];
+        assert!((f.started.unwrap() - 100.0).abs() < 1e-9);
+        assert!((f.finished - 100.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn block_and_resume_change_completion_order() {
+        let mut sys = System::new(cfg(100.0, 2.0));
+        let a = sys.submit("a", Box::new(SyntheticJob::new(500)), 1.0);
+        let b = sys.submit("b", Box::new(SyntheticJob::new(500)), 1.0);
+        sys.block(a).unwrap();
+        sys.run_until(4.0).unwrap();
+        // b ran alone at full speed: ~400 units done; a none.
+        let snap = sys.snapshot();
+        let sa = snap.running.iter().find(|r| r.id == a).unwrap();
+        let sb = snap.running.iter().find(|r| r.id == b).unwrap();
+        assert_eq!(sa.done, 0.0);
+        assert!(sb.done > 350.0);
+        assert!(sa.blocked);
+        sys.resume(a).unwrap();
+        sys.run_until_idle(1e9).unwrap();
+        let fa = sys.finished_record(a).unwrap().finished;
+        let fb = sys.finished_record(b).unwrap().finished;
+        assert!(fb < fa);
+    }
+
+    #[test]
+    fn abort_frees_a_slot_and_records_remaining() {
+        let mut c = cfg(100.0, 4.0);
+        c.admission = AdmissionPolicy::MaxConcurrent(1);
+        let mut sys = System::new(c);
+        let a = sys.submit("a", Box::new(SyntheticJob::new(10_000)), 1.0);
+        let b = sys.submit("b", Box::new(SyntheticJob::new(100)), 1.0);
+        sys.run_until(10.0).unwrap();
+        sys.abort(a).unwrap();
+        let fa = sys.finished_record(a).unwrap();
+        assert_eq!(fa.kind, FinishKind::Aborted);
+        assert!(fa.units_done > 900.0 && fa.remaining_at_end > 8000.0);
+        sys.run_until_idle(1e9).unwrap();
+        let fb = sys.finished_record(b).unwrap();
+        assert_eq!(fb.kind, FinishKind::Completed);
+        assert!(fb.started.unwrap() >= 10.0);
+    }
+
+    #[test]
+    fn abort_queued_query() {
+        let mut c = cfg(100.0, 4.0);
+        c.admission = AdmissionPolicy::MaxConcurrent(1);
+        let mut sys = System::new(c);
+        let _a = sys.submit("a", Box::new(SyntheticJob::new(1000)), 1.0);
+        let b = sys.submit("b", Box::new(SyntheticJob::new(100)), 1.0);
+        sys.abort(b).unwrap();
+        let fb = sys.finished_record(b).unwrap();
+        assert_eq!(fb.kind, FinishKind::Aborted);
+        assert!(fb.started.is_none());
+        assert_eq!(sys.queued_ids().len(), 0);
+    }
+
+    #[test]
+    fn snapshot_reports_speeds_that_sum_to_rate() {
+        let mut sys = System::new(cfg(100.0, 2.0));
+        for i in 0..4 {
+            sys.submit(format!("q{i}"), Box::new(SyntheticJob::new(100_000)), 1.0);
+        }
+        sys.run_until(30.0).unwrap();
+        let snap = sys.snapshot();
+        let total: f64 = snap
+            .running
+            .iter()
+            .map(|r| r.observed_speed.unwrap_or(0.0))
+            .sum();
+        assert!((total - 100.0).abs() < 2.0, "total speed = {total}");
+    }
+
+    #[test]
+    fn close_admission_drops_future_arrivals() {
+        let mut sys = System::new(cfg(100.0, 4.0));
+        sys.submit("now", Box::new(SyntheticJob::new(100)), 1.0);
+        sys.schedule(5.0, "later", Box::new(SyntheticJob::new(100)), 1.0);
+        sys.close_admission();
+        sys.run_until_idle(1e9).unwrap();
+        assert_eq!(sys.finished().len(), 1);
+    }
+
+    #[test]
+    fn abort_with_overhead_occupies_the_system_with_rollback_work() {
+        let mut sys = System::new(cfg(100.0, 4.0));
+        let a = sys.submit("a", Box::new(SyntheticJob::new(10_000)), 1.0);
+        let b = sys.submit("b", Box::new(SyntheticJob::new(1_000)), 1.0);
+        sys.run_until(2.0).unwrap();
+        // Abort `a` with 500 units of rollback: it keeps sharing capacity.
+        sys.abort_with_overhead(a, 500).unwrap();
+        let snap = sys.snapshot();
+        let ra = snap.running.iter().find(|q| q.id == a).unwrap();
+        assert!(ra.rolling_back);
+        assert!((ra.remaining - 500.0).abs() < 1e-9);
+        sys.run_until_idle(1e9).unwrap();
+        let fa = sys.finished_record(a).unwrap();
+        assert_eq!(fa.kind, FinishKind::Aborted);
+        // b finishes later than it would have if the abort freed the slot
+        // instantly: total work after abort = 500 + (1000 - done_b).
+        let fb = sys.finished_record(b).unwrap();
+        assert!(fb.finished > 10.0, "b at {}", fb.finished);
+        // Rollback completes before b's remaining work does.
+        assert!(fa.finished <= fb.finished);
+    }
+
+    #[test]
+    fn abort_with_zero_overhead_is_plain_abort() {
+        let mut sys = System::new(cfg(100.0, 4.0));
+        let a = sys.submit("a", Box::new(SyntheticJob::new(10_000)), 1.0);
+        sys.run_until(1.0).unwrap();
+        sys.abort_with_overhead(a, 0).unwrap();
+        assert!(sys.running_ids().is_empty());
+        assert_eq!(sys.finished_record(a).unwrap().kind, FinishKind::Aborted);
+    }
+
+    #[test]
+    fn double_rollback_abort_is_an_error() {
+        let mut sys = System::new(cfg(100.0, 4.0));
+        let a = sys.submit("a", Box::new(SyntheticJob::new(10_000)), 1.0);
+        sys.run_until(1.0).unwrap();
+        sys.abort_with_overhead(a, 500).unwrap();
+        assert!(sys.abort_with_overhead(a, 500).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be positive")]
+    fn zero_weight_submission_panics() {
+        let mut sys = System::new(cfg(100.0, 4.0));
+        sys.submit("a", Box::new(SyntheticJob::new(10)), 0.0);
+    }
+
+    #[test]
+    fn contention_model_slows_concurrent_execution() {
+        // Ten equal jobs under contention: total throughput drops to
+        // C/(1+0.1·9) = C/1.9 while all ten run, so the makespan exceeds
+        // the constant-rate makespan substantially.
+        let total: u64 = 10 * 1000;
+        let make_sys = |model: RateModel| {
+            let mut c = cfg(100.0, 4.0);
+            c.rate_model = model;
+            let mut sys = System::new(c);
+            for _ in 0..10 {
+                sys.submit("q", Box::new(SyntheticJob::new(1000)), 1.0);
+            }
+            sys
+        };
+        let mut constant = make_sys(RateModel::Constant);
+        constant.run_until_idle(1e9).unwrap();
+        let t_const = constant.now();
+        assert!((t_const - total as f64 / 100.0).abs() < 1.0);
+
+        let mut contended = make_sys(RateModel::Contention { alpha: 0.1 });
+        contended.run_until_idle(1e9).unwrap();
+        let t_cont = contended.now();
+        assert!(
+            t_cont > 1.5 * t_const,
+            "contended {t_cont} vs constant {t_const}"
+        );
+    }
+
+    #[test]
+    fn effective_rate_formula() {
+        assert_eq!(RateModel::Constant.effective_rate(100.0, 10), 100.0);
+        let m = RateModel::Contention { alpha: 0.05 };
+        assert_eq!(m.effective_rate(100.0, 1), 100.0);
+        assert!((m.effective_rate(100.0, 11) - 100.0 / 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut sys = System::new(cfg(100.0, 4.0));
+        sys.run_until(42.0).unwrap();
+        assert!((sys.now() - 42.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,51 @@
+//! Priorities and their scheduling weights (paper Assumption 3: execution
+//! speed is proportional to the weight associated with a query's priority).
+
+/// Discrete priority levels with the conventional doubling weight ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Priority {
+    /// Background work.
+    Low,
+    /// Default priority.
+    #[default]
+    Normal,
+    /// Interactive / favored queries.
+    High,
+    /// Urgent administrative work.
+    Critical,
+}
+
+impl Priority {
+    /// Scheduling weight `w` for this priority.
+    pub fn weight(self) -> f64 {
+        match self {
+            Priority::Low => 0.5,
+            Priority::Normal => 1.0,
+            Priority::High => 2.0,
+            Priority::Critical => 4.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_are_positive_and_ordered() {
+        let ws = [
+            Priority::Low.weight(),
+            Priority::Normal.weight(),
+            Priority::High.weight(),
+            Priority::Critical.weight(),
+        ];
+        assert!(ws.iter().all(|w| *w > 0.0));
+        assert!(ws.windows(2).all(|p| p[0] < p[1]));
+    }
+
+    #[test]
+    fn default_is_normal() {
+        assert_eq!(Priority::default(), Priority::Normal);
+        assert_eq!(Priority::default().weight(), 1.0);
+    }
+}

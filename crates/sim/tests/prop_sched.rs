@@ -1,0 +1,149 @@
+//! Property-based tests for the scheduler: the discrete quantum scheduler
+//! must track the GPS fluid ideal, conserve work, and honor admission
+//! limits.
+
+use proptest::prelude::*;
+
+use mqpi_sim::job::SyntheticJob;
+use mqpi_sim::system::{System, SystemConfig};
+use mqpi_sim::AdmissionPolicy;
+
+fn arb_costs(max_n: usize) -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(50u64..5000, 1..max_n)
+}
+
+/// GPS finish times for weighted queries (reference implementation,
+/// independent of mqpi-core).
+fn gps_times(jobs: &[(u64, f64)], rate: f64) -> Vec<f64> {
+    let n = jobs.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        (jobs[a].0 as f64 / jobs[a].1).total_cmp(&(jobs[b].0 as f64 / jobs[b].1))
+    });
+    let mut out = vec![0.0; n];
+    let mut t = 0.0;
+    let mut d_prev = 0.0;
+    let mut suffix_w: f64 = jobs.iter().map(|(_, w)| *w).sum();
+    for &k in &order {
+        let d = jobs[k].0 as f64 / jobs[k].1;
+        t += (d - d_prev) * suffix_w / rate;
+        d_prev = d;
+        out[k] = t;
+        suffix_w -= jobs[k].1;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Scheduler completion times converge to GPS within quantum tolerance.
+    #[test]
+    fn scheduler_tracks_gps(costs in arb_costs(8), wsel in prop::collection::vec(0usize..3, 8)) {
+        let weights = [1.0, 2.0, 4.0];
+        let jobs: Vec<(u64, f64)> = costs
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (*c, weights[wsel[i % wsel.len()]]))
+            .collect();
+        let rate = 100.0;
+        let mut sys = System::new(SystemConfig {
+            rate,
+            quantum_units: 2.0,
+            ..Default::default()
+        });
+        let ids: Vec<u64> = jobs
+            .iter()
+            .map(|(c, w)| sys.submit("q", Box::new(SyntheticJob::new(*c)), *w))
+            .collect();
+        sys.run_until_idle(1e9).unwrap();
+        let expected = gps_times(&jobs, rate);
+        // Tolerance: a few quanta of slack per queue position.
+        let tol = 2.0 * (jobs.len() as f64) * 2.0 / rate + 0.5;
+        for (id, exp) in ids.iter().zip(&expected) {
+            let got = sys.finished_record(*id).unwrap().finished;
+            prop_assert!(
+                (got - exp).abs() < tol,
+                "finish {} vs GPS {} (tol {})",
+                got, exp, tol
+            );
+        }
+    }
+
+    /// Work conservation: total units done equals total job cost, and the
+    /// makespan equals total work / rate.
+    #[test]
+    fn work_is_conserved(costs in arb_costs(10)) {
+        let rate = 50.0;
+        let mut sys = System::new(SystemConfig {
+            rate,
+            quantum_units: 4.0,
+            ..Default::default()
+        });
+        for c in &costs {
+            sys.submit("q", Box::new(SyntheticJob::new(*c)), 1.0);
+        }
+        sys.run_until_idle(1e9).unwrap();
+        let total_done: f64 = sys.finished().iter().map(|f| f.units_done).sum();
+        let total_cost: f64 = costs.iter().map(|c| *c as f64).sum();
+        prop_assert!((total_done - total_cost).abs() < 1e-9);
+        let makespan = sys
+            .finished()
+            .iter()
+            .map(|f| f.finished)
+            .fold(0.0, f64::max);
+        prop_assert!((makespan - total_cost / rate).abs() < 1.0);
+    }
+
+    /// The admission limit is never violated, and queries start in FIFO
+    /// order.
+    #[test]
+    fn admission_limit_holds(costs in arb_costs(12), slots in 1usize..4) {
+        let mut sys = System::new(SystemConfig {
+            rate: 100.0,
+            quantum_units: 4.0,
+            admission: AdmissionPolicy::MaxConcurrent(slots),
+            ..Default::default()
+        });
+        let ids: Vec<u64> = costs
+            .iter()
+            .map(|c| sys.submit("q", Box::new(SyntheticJob::new(*c)), 1.0))
+            .collect();
+        while sys.has_work() {
+            prop_assert!(sys.running_ids().len() <= slots);
+            sys.step().unwrap();
+        }
+        // FIFO starts.
+        let mut starts: Vec<(u64, f64)> = ids
+            .iter()
+            .map(|id| (*id, sys.finished_record(*id).unwrap().started.unwrap()))
+            .collect();
+        starts.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        let started_order: Vec<u64> = starts.iter().map(|(id, _)| *id).collect();
+        prop_assert_eq!(started_order, ids);
+    }
+
+    /// Blocking a query freezes its progress; aborting removes it.
+    #[test]
+    fn block_freezes_progress(costs in arb_costs(6), horizon in 1.0f64..20.0) {
+        let mut sys = System::new(SystemConfig {
+            rate: 100.0,
+            quantum_units: 4.0,
+            ..Default::default()
+        });
+        let ids: Vec<u64> = costs
+            .iter()
+            .map(|c| sys.submit("q", Box::new(SyntheticJob::new(*c + 10_000)), 1.0))
+            .collect();
+        sys.block(ids[0]).unwrap();
+        sys.run_until(horizon).unwrap();
+        let snap = sys.snapshot();
+        let blocked = snap.running.iter().find(|q| q.id == ids[0]).unwrap();
+        prop_assert_eq!(blocked.done, 0.0);
+        prop_assert!(blocked.blocked);
+        // Everyone else made progress.
+        for q in snap.running.iter().filter(|q| q.id != ids[0]) {
+            prop_assert!(q.done > 0.0);
+        }
+    }
+}

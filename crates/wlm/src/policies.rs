@@ -1,0 +1,188 @@
+//! The three maintenance decision methods compared in the paper's Fig. 11.
+//!
+//! All three perform operation O1 (close admission) and abort whatever is
+//! unfinished at the maintenance time; they differ in what they abort *at
+//! decision time* (operation O2′):
+//!
+//! * **No PI** — aborts nothing early; queries compete for resources until
+//!   the deadline kills the stragglers.
+//! * **Single-query PI** — estimates each query's remaining time as
+//!   `c_i / s_i` from its own observed speed, and aborts the largest
+//!   remaining-cost query while any estimate exceeds the deadline. Because
+//!   a single-query PI extrapolates today's (crowded) speed, it
+//!   systematically over-estimates large queries' remaining times and
+//!   over-aborts — the pathology the paper demonstrates at `t = t_finish`.
+//! * **Multi-query PI** — runs the §3.3 greedy knapsack on the fluid-model
+//!   quiescent time.
+
+use mqpi_sim::system::{QueryId, SystemSnapshot};
+
+use crate::maintenance::{greedy_abort_plan, LostWorkCase};
+use crate::speedup::QueryLoad;
+
+/// Which decision method to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaintenanceMethod {
+    /// Abort nothing at decision time (operations O1 + O2).
+    NoPi,
+    /// Single-query-PI-driven aborts.
+    SinglePi,
+    /// Multi-query-PI-driven aborts (§3.3 greedy).
+    MultiPi,
+}
+
+/// Decide which queries to abort now, given maintenance `deadline` seconds
+/// from now.
+pub fn decide_aborts(
+    method: MaintenanceMethod,
+    snap: &SystemSnapshot,
+    deadline: f64,
+    case: LostWorkCase,
+) -> Vec<QueryId> {
+    match method {
+        MaintenanceMethod::NoPi => Vec::new(),
+        MaintenanceMethod::SinglePi => single_pi_aborts(snap, deadline),
+        MaintenanceMethod::MultiPi => {
+            let loads = QueryLoad::from_snapshot(snap);
+            greedy_abort_plan(&loads, snap.rate, deadline, case).abort
+        }
+    }
+}
+
+/// Single-query-PI method: abort the largest estimated-remaining-cost query
+/// while any query's `c/s` estimate exceeds the deadline. After each abort
+/// the surviving queries' observed speeds are assumed to scale up by the
+/// freed weight share (the most charitable reading of the method — without
+/// it, the single PI would abort even more).
+fn single_pi_aborts(snap: &SystemSnapshot, deadline: f64) -> Vec<QueryId> {
+    struct Q {
+        id: QueryId,
+        cost: f64,
+        speed: f64,
+        weight: f64,
+    }
+    let total_w: f64 = snap
+        .running
+        .iter()
+        .filter(|q| !q.blocked)
+        .map(|q| q.weight)
+        .sum();
+    let mut alive: Vec<Q> = snap
+        .running
+        .iter()
+        .filter(|q| !q.blocked)
+        .map(|q| Q {
+            id: q.id,
+            cost: q.remaining,
+            speed: q
+                .observed_speed
+                .unwrap_or(snap.rate * q.weight / total_w.max(1e-12))
+                .max(1e-9),
+            weight: q.weight,
+        })
+        .collect();
+    let mut aborts = Vec::new();
+    loop {
+        let any_late = alive.iter().any(|q| q.cost / q.speed > deadline);
+        if !any_late || alive.is_empty() {
+            break;
+        }
+        // Abort the query with the largest estimated remaining cost.
+        let (idx, _) = alive
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.cost.total_cmp(&b.cost))
+            .unwrap();
+        let victim = alive.remove(idx);
+        aborts.push(victim.id);
+        // Freed share speeds up the survivors.
+        let w_rest: f64 = alive.iter().map(|q| q.weight).sum();
+        if w_rest > 0.0 {
+            let scale = (w_rest + victim.weight) / w_rest;
+            for q in &mut alive {
+                q.speed *= scale;
+            }
+        }
+    }
+    aborts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqpi_sim::system::{QueryState, SystemSnapshot};
+
+    fn state(id: u64, remaining: f64, done: f64, speed: f64) -> QueryState {
+        QueryState {
+            id,
+            name: format!("q{id}"),
+            weight: 1.0,
+            arrived: 0.0,
+            started: 0.0,
+            done,
+            remaining,
+            initial_estimate: remaining,
+            observed_speed: Some(speed),
+            blocked: false,
+            rolling_back: false,
+        }
+    }
+
+    fn snap(running: Vec<QueryState>) -> SystemSnapshot {
+        SystemSnapshot {
+            time: 0.0,
+            rate: 100.0,
+            running,
+            queued: vec![],
+        }
+    }
+
+    #[test]
+    fn no_pi_never_aborts_early() {
+        let s = snap(vec![state(1, 1e6, 0.0, 10.0)]);
+        assert!(decide_aborts(MaintenanceMethod::NoPi, &s, 1.0, LostWorkCase::TotalCost).is_empty());
+    }
+
+    #[test]
+    fn single_pi_overaborts_when_everything_could_finish() {
+        // Ten equal queries of cost 100 at shared speed 10 each: every
+        // estimate is 10s. True quiescent time = 1000/100 = 10s. With
+        // deadline exactly 10s the multi-query method keeps everything…
+        let qs: Vec<QueryState> = (1..=10).map(|i| state(i, 100.0, 50.0, 10.0)).collect();
+        let s = snap(qs);
+        let multi = decide_aborts(MaintenanceMethod::MultiPi, &s, 10.0, LostWorkCase::TotalCost);
+        assert!(multi.is_empty());
+        // …while a skewed instance trips the single-query method: the big
+        // query's estimate 500/10 = 50s > deadline even though blocking-
+        // free completion takes only (500+9·50)/100 = 9.5s.
+        let mut skew: Vec<QueryState> = vec![state(1, 500.0, 0.0, 10.0)];
+        skew.extend((2..=10).map(|i| state(i, 50.0, 0.0, 10.0)));
+        let s2 = snap(skew);
+        let single =
+            decide_aborts(MaintenanceMethod::SinglePi, &s2, 10.0, LostWorkCase::TotalCost);
+        assert!(single.contains(&1), "single-PI should abort the big query");
+        let multi2 = decide_aborts(MaintenanceMethod::MultiPi, &s2, 10.0, LostWorkCase::TotalCost);
+        assert!(multi2.is_empty(), "multi-PI knows everything finishes in 9.5s");
+    }
+
+    #[test]
+    fn multi_pi_aborts_minimally_when_deadline_tight() {
+        let mut qs = vec![state(1, 800.0, 10.0, 10.0)];
+        qs.extend((2..=5).map(|i| state(i, 50.0, 40.0, 10.0)));
+        let s = snap(qs);
+        // Quiescent = 1000/100 = 10s; deadline 3s ⇒ must shed ≥ 700 units.
+        let aborts = decide_aborts(MaintenanceMethod::MultiPi, &s, 3.0, LostWorkCase::TotalCost);
+        assert!(aborts.contains(&1));
+        assert!(aborts.len() <= 2);
+    }
+
+    #[test]
+    fn single_pi_stops_once_estimates_fit() {
+        // Two queries; aborting the big one doubles the small one's speed.
+        let s = snap(vec![state(1, 1000.0, 0.0, 50.0), state(2, 900.0, 0.0, 50.0)]);
+        let aborts = decide_aborts(MaintenanceMethod::SinglePi, &s, 10.0, LostWorkCase::TotalCost);
+        // Initially both estimate 20s and 18s > 10s. Abort Q1 (largest).
+        // Q2 then runs at 100: estimate 9s ≤ 10s. Stop.
+        assert_eq!(aborts, vec![1]);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the workload-management algorithms.
+
+use proptest::prelude::*;
+
+use mqpi_wlm::{
+    best_multi_victim, best_single_victim, greedy_abort_plan, optimal_abort_set, LostWorkCase,
+    QueryLoad,
+};
+
+fn arb_loads(max_n: usize) -> impl Strategy<Value = Vec<QueryLoad>> {
+    prop::collection::vec(
+        (
+            0.0f64..2000.0,
+            1.0f64..3000.0,
+            prop::sample::select(vec![0.5, 1.0, 2.0, 4.0]),
+        ),
+        2..max_n,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .enumerate()
+            .map(|(i, (done, remaining, weight))| QueryLoad {
+                id: i as u64,
+                remaining,
+                done,
+                weight,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// The chosen single-victim benefit is bounded by the victim's own
+    /// remaining time (paper §3.1: "no more than r_m can be saved").
+    #[test]
+    fn benefit_bounded_by_victim_remaining(loads in arb_loads(10), t in 0usize..10) {
+        let rate = 60.0;
+        let target = loads[t % loads.len()].id;
+        if let Some(choice) = best_single_victim(&loads, target, rate) {
+            // Victim's remaining execution time in the shared system is at
+            // least cost/rate; the bound in the paper is r_m (its remaining
+            // *time*), which is ≥ c_m / C.
+            let victim = loads.iter().find(|q| q.id == choice.victim).unwrap();
+            let total: f64 = loads.iter().map(|q| q.remaining).sum();
+            let r_m_upper = total / rate; // last possible finish
+            prop_assert!(choice.benefit_seconds <= r_m_upper + 1e-9);
+            prop_assert!(choice.benefit_seconds >= 0.0);
+            let _ = victim;
+        }
+    }
+
+    /// Victim selection never picks the target itself.
+    #[test]
+    fn victim_is_never_the_target(loads in arb_loads(10), t in 0usize..10) {
+        let target = loads[t % loads.len()].id;
+        if let Some(c) = best_single_victim(&loads, target, 60.0) {
+            prop_assert_ne!(c.victim, target);
+        }
+    }
+
+    /// §3.2: the chosen victim maximizes R_m among all candidates (verified
+    /// by brute-force evaluation of the closed form on every candidate).
+    #[test]
+    fn multi_victim_is_argmax(loads in arb_loads(10)) {
+        let rate = 60.0;
+        let choice = best_multi_victim(&loads, rate).unwrap();
+        // Brute force: blocking m, total response time of others via the
+        // fluid model.
+        use mqpi_core::fluid::{standard_remaining_times, FluidQuery};
+        let all: Vec<FluidQuery> = loads
+            .iter()
+            .map(|q| FluidQuery { id: q.id, cost: q.remaining, weight: q.weight })
+            .collect();
+        let base_times = standard_remaining_times(&all, rate);
+        let improvement = |victim: u64| -> f64 {
+            let others: Vec<FluidQuery> =
+                all.iter().filter(|q| q.id != victim).cloned().collect();
+            let new_times = standard_remaining_times(&others, rate);
+            let before: f64 = all
+                .iter()
+                .zip(&base_times)
+                .filter(|(q, _)| q.id != victim)
+                .map(|(_, t)| *t)
+                .sum();
+            before - new_times.iter().sum::<f64>()
+        };
+        let best = loads
+            .iter()
+            .map(|q| improvement(q.id))
+            .fold(f64::NEG_INFINITY, f64::max);
+        let got = improvement(choice.victim);
+        prop_assert!(got >= best - 1e-6, "chosen {} vs best {}", got, best);
+    }
+
+    /// The greedy abort plan always meets the deadline and the exact
+    /// optimum never loses more work.
+    #[test]
+    fn greedy_meets_deadline_and_optimal_dominates(
+        loads in arb_loads(12),
+        frac in 0.0f64..1.0,
+        case_sel in 0usize..2,
+    ) {
+        let rate = 60.0;
+        let case = [LostWorkCase::CompletedWork, LostWorkCase::TotalCost][case_sel];
+        let quiescent: f64 = loads.iter().map(|q| q.remaining).sum::<f64>() / rate;
+        let deadline = frac * quiescent;
+        let greedy = greedy_abort_plan(&loads, rate, deadline, case);
+        prop_assert!(greedy.quiescent_after <= deadline + 1e-9);
+        if loads.len() <= 12 {
+            let opt = optimal_abort_set(&loads, rate, deadline, case);
+            prop_assert!(opt.quiescent_after <= deadline + 1e-9);
+            prop_assert!(opt.lost_work <= greedy.lost_work + 1e-9);
+        }
+        // Lost work is the sum of losses of the aborted set.
+        let recomputed: f64 = loads
+            .iter()
+            .filter(|q| greedy.abort.contains(&q.id))
+            .map(|q| case.loss(q))
+            .sum();
+        prop_assert!((recomputed - greedy.lost_work).abs() < 1e-9);
+    }
+
+    /// Aborting under Case 1 never pays to kill a query with zero work done
+    /// before one with lots done *if both shed the same time*.
+    #[test]
+    fn greedy_prefers_less_sunk_cost(rem in 10.0f64..500.0, d1 in 0.0f64..1.0, d2 in 0.0f64..1.0) {
+        prop_assume!((d1 - d2).abs() > 0.05);
+        let loads = vec![
+            QueryLoad { id: 1, remaining: rem, done: d1 * 1000.0, weight: 1.0 },
+            QueryLoad { id: 2, remaining: rem, done: d2 * 1000.0, weight: 1.0 },
+        ];
+        // Deadline forces exactly one abort.
+        let rate = 10.0;
+        let deadline = rem / rate * 1.5;
+        let plan = greedy_abort_plan(&loads, rate, deadline, LostWorkCase::CompletedWork);
+        prop_assert_eq!(plan.abort.len(), 1);
+        let expected = if d1 < d2 { 1 } else { 2 };
+        prop_assert_eq!(plan.abort[0], expected);
+    }
+}

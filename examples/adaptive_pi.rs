@@ -1,0 +1,110 @@
+//! Adaptive PI demo (paper §5.2.3, Fig. 10): the multi-query PI is handed a
+//! *wrong* arrival rate λ′, observes real arrivals, and walks its estimate
+//! back to the truth while the workload runs.
+//!
+//! ```sh
+//! cargo run --release --example adaptive_pi [lambda_prime]
+//! ```
+
+use mqpi::pi::adaptive::ArrivalRateEstimator;
+use mqpi::pi::multi::FutureWorkload;
+use mqpi::pi::{MultiQueryPi, SingleQueryPi, Visibility};
+use mqpi::workload::{average_query_cost, scq_scenario, ScqConfig, TpcrConfig, TpcrDb};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lambda_prime: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(0.05);
+    let true_lambda = 0.03;
+
+    eprintln!("building database…");
+    let db = TpcrDb::build(TpcrConfig {
+        lineitem_rows: 48_000,
+        ..Default::default()
+    })?;
+    let (mut sys, _initial) = scq_scenario(
+        &db,
+        ScqConfig {
+            lambda: true_lambda,
+            seed: 12,
+            ..Default::default()
+        },
+    )?;
+    let avg_cost = average_query_cost(&db, 2.2)?;
+
+    // Track the largest query; correct λ from observed arrivals.
+    let target = sys
+        .snapshot()
+        .running
+        .iter()
+        .max_by(|a, b| a.remaining.total_cmp(&b.remaining))
+        .unwrap()
+        .id;
+    let mut rate_est = ArrivalRateEstimator::new(lambda_prime, 120.0);
+    let mut seen: std::collections::HashSet<u64> =
+        sys.snapshot().running.iter().map(|q| q.id).collect();
+    let mut last_t = 0.0;
+    let single = SingleQueryPi::new();
+
+    println!(
+        "true λ = {true_lambda}, PI prior λ' = {lambda_prime} \
+         (the PI corrects itself as arrivals are observed)\n"
+    );
+    println!(
+        "{:>7} {:>10} {:>12} {:>12} {:>12}",
+        "t (s)", "λ est", "actual (s)", "adaptive (s)", "single (s)"
+    );
+    let mut rows = Vec::new();
+    let mut next_sample = 0.0;
+    let finish;
+    loop {
+        if sys.now() >= next_sample {
+            let snap = sys.snapshot();
+            let mut new = 0u64;
+            for q in snap.running.iter().map(|q| q.id).chain(snap.queued.iter().map(|q| q.id)) {
+                if seen.insert(q) {
+                    new += 1;
+                }
+            }
+            rate_est.observe(snap.time - last_t, new);
+            last_t = snap.time;
+            let lam = rate_est.lambda();
+            let pi = MultiQueryPi::new(Visibility::with_future(
+                None,
+                FutureWorkload {
+                    lambda: lam,
+                    avg_cost,
+                    avg_weight: 1.0,
+                },
+            ));
+            if snap.running.iter().any(|q| q.id == target) {
+                rows.push((
+                    snap.time,
+                    lam,
+                    pi.estimate(&snap, target).unwrap_or(f64::NAN),
+                    single.estimate(&snap, target).unwrap_or(f64::NAN),
+                ));
+            }
+            next_sample += 15.0;
+        }
+        let done = sys.step()?;
+        if done.contains(&target) {
+            finish = sys.now();
+            break;
+        }
+    }
+    for (t, lam, adaptive, single_est) in rows {
+        println!(
+            "{:>7.1} {:>10.4} {:>12.1} {:>12.1} {:>12.1}",
+            t,
+            lam,
+            finish - t,
+            adaptive,
+            single_est
+        );
+    }
+    println!("\ntarget finished at t = {finish:.1}s");
+    Ok(())
+}

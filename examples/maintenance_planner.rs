@@ -1,0 +1,81 @@
+//! Maintenance planner: given a running system and a maintenance deadline,
+//! show what each §3.3 strategy would abort and how much work each loses.
+//!
+//! ```sh
+//! cargo run --release --example maintenance_planner [deadline_seconds]
+//! ```
+
+use mqpi::wlm::{
+    decide_aborts, greedy_abort_plan, optimal_abort_set, LostWorkCase, MaintenanceMethod,
+    QueryLoad,
+};
+use mqpi::workload::{maintenance_scenario, TpcrConfig, TpcrDb};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let deadline: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(60.0);
+
+    eprintln!("building database and warming up a 10-query system…");
+    let db = TpcrDb::build(TpcrConfig {
+        lineitem_rows: 48_000,
+        ..Default::default()
+    })?;
+    let sys = maintenance_scenario(&db, 2.2, 11, 70.0, 15)?;
+    let snap = sys.snapshot();
+    let loads = QueryLoad::from_snapshot(&snap);
+
+    println!(
+        "inspection time rt = {:.1}s; maintenance scheduled {:.0}s from now",
+        snap.time, deadline
+    );
+    println!("\nrunning queries (PI view):");
+    println!(
+        "{:<12} {:>10} {:>10} {:>12}",
+        "query", "done (U)", "left (U)", "est time (s)"
+    );
+    let total_w: f64 = snap.running.iter().map(|q| q.weight).sum();
+    for q in &snap.running {
+        println!(
+            "{:<12} {:>10.0} {:>10.0} {:>12.1}",
+            q.name,
+            q.done,
+            q.remaining,
+            q.remaining / (snap.rate * q.weight / total_w)
+        );
+    }
+    let quiescent: f64 = loads.iter().map(|q| q.remaining).sum::<f64>() / snap.rate;
+    println!("\npredicted quiescent time with no aborts: {quiescent:.1}s");
+
+    for (label, method) in [
+        ("no PI", MaintenanceMethod::NoPi),
+        ("single-query PI", MaintenanceMethod::SinglePi),
+        ("multi-query PI", MaintenanceMethod::MultiPi),
+    ] {
+        let aborts = decide_aborts(method, &snap, deadline, LostWorkCase::TotalCost);
+        let lost: f64 = loads
+            .iter()
+            .filter(|q| aborts.contains(&q.id))
+            .map(|q| q.done + q.remaining)
+            .sum();
+        println!(
+            "\n{label}: abort {:?} immediately (predicted lost work {:.0} U)",
+            aborts, lost
+        );
+    }
+
+    // The multi-query plan in detail, plus the oracle bound.
+    let plan = greedy_abort_plan(&loads, snap.rate, deadline, LostWorkCase::TotalCost);
+    println!(
+        "\nmulti-query greedy detail: abort {:?}, quiescent after = {:.1}s, lost = {:.0} U",
+        plan.abort, plan.quiescent_after, plan.lost_work
+    );
+    let oracle = optimal_abort_set(&loads, snap.rate, deadline, LostWorkCase::TotalCost);
+    println!(
+        "exact knapsack optimum (same estimates): abort {:?}, lost = {:.0} U",
+        oracle.abort, oracle.lost_work
+    );
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Progress dashboard: the paper's MCQ scenario rendered as a live text
+//! dashboard — ten concurrent TPC-R-style queries with per-query progress
+//! bars, observed speeds, and remaining-time estimates from both PI
+//! families.
+//!
+//! ```sh
+//! cargo run --release --example progress_dashboard
+//! ```
+
+use mqpi::pi::{MultiQueryPi, PercentDonePi, SingleQueryPi, TimeFractionPi, Visibility};
+use mqpi::workload::{mcq_scenario, McqConfig, TpcrConfig, TpcrDb};
+
+fn bar(frac: f64, width: usize) -> String {
+    let filled = ((frac.clamp(0.0, 1.0)) * width as f64).round() as usize;
+    format!("[{}{}]", "#".repeat(filled), "-".repeat(width - filled))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    eprintln!("building TPC-R-style database…");
+    let db = TpcrDb::build(TpcrConfig {
+        lineitem_rows: 48_000,
+        ..Default::default()
+    })?;
+    let (mut sys, ids) = mcq_scenario(
+        &db,
+        McqConfig {
+            n: 10,
+            zipf_a: 1.2,
+            seed: 2,
+            rate: 70.0,
+            ..Default::default()
+        },
+    )?;
+    let single = SingleQueryPi::new();
+    let multi = MultiQueryPi::new(Visibility::concurrent_only());
+    let work_pi = PercentDonePi::new();
+    let time_pi = TimeFractionPi::new();
+
+    let mut next_frame = 0.0;
+    while sys.has_work() {
+        if sys.now() >= next_frame {
+            let snap = sys.snapshot();
+            println!("\n=== t = {:>7.1}s | {} running ===", snap.time, snap.running.len());
+            println!(
+                "{:<14} {:<26} {:>7} {:>7} {:>8} {:>11} {:>11}",
+                "query", "work progress", "work%", "time%", "speed", "single (s)", "multi (s)"
+            );
+            for q in &snap.running {
+                let work = work_pi.fraction(&snap, q.id).unwrap_or(0.0);
+                let time = time_pi.fraction(&snap, q.id).unwrap_or(0.0);
+                let s = single.estimate(&snap, q.id).unwrap_or(f64::NAN);
+                let m = multi.estimate(&snap, q.id).unwrap_or(f64::NAN);
+                println!(
+                    "{:<14} {:<26} {:>6.0}% {:>6.0}% {:>8.1} {:>11.1} {:>11.1}",
+                    q.name,
+                    bar(work, 24),
+                    100.0 * work,
+                    100.0 * time,
+                    q.observed_speed.unwrap_or(0.0),
+                    s,
+                    m
+                );
+            }
+            next_frame += 30.0;
+        }
+        sys.step()?;
+    }
+    println!("\nall queries finished at t = {:.1}s", sys.now());
+    println!("{:<10} {:>12} {:>12}", "query", "finished", "units");
+    for (id, size) in &ids {
+        let f = sys.finished_record(*id).expect("finished");
+        println!("{:<10} {:>12.1} {:>12.0}  (size class {size})", f.name, f.finished, f.units_done);
+    }
+    Ok(())
+}

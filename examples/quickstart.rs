@@ -1,0 +1,80 @@
+//! Quickstart: build a database, run concurrent queries under the
+//! virtual-time scheduler, and compare single- vs multi-query progress
+//! estimates.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mqpi::engine::{ColumnType, Database, Schema, Value};
+use mqpi::pi::{MultiQueryPi, SingleQueryPi, Visibility};
+use mqpi::sim::{CursorJob, System, SystemConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build a small database: orders with an index on customer id.
+    let mut db = Database::new();
+    db.create_table(
+        "orders",
+        Schema::from_pairs(&[
+            ("custkey", ColumnType::Int),
+            ("amount", ColumnType::Float),
+            ("region", ColumnType::Str),
+        ])?,
+    )?;
+    let regions = ["emea", "amer", "apac"];
+    let rows: Vec<Vec<Value>> = (0..60_000)
+        .map(|i| {
+            vec![
+                Value::Int(i % 2_000),
+                Value::Float((i % 97) as f64 * 1.5),
+                Value::str(regions[(i % 3) as usize]),
+            ]
+        })
+        .collect();
+    db.insert("orders", &rows)?;
+    db.create_index("orders", "custkey")?;
+    db.analyze_sampled("orders", 0.1)?; // imprecise stats, like ANALYZE
+
+    // 2. Prepare two queries of very different cost.
+    let big = db.prepare(
+        "select region, count(*) c, sum(amount) s from orders \
+         group by region order by s desc",
+    )?;
+    let small = db.prepare("select count(*) from orders where custkey = 42")?;
+    println!("big query plan:\n{}", big.explain());
+    println!("small query plan:\n{}", small.explain());
+
+    // 3. Run them concurrently at C = 100 work units per second.
+    let mut sys = System::new(SystemConfig {
+        rate: 100.0,
+        ..Default::default()
+    });
+    let big_id = sys.submit("big", Box::new(CursorJob::new(big.open()?)), 1.0);
+    let _small_id = sys.submit("small", Box::new(CursorJob::new(small.open()?)), 1.0);
+
+    // 4. Watch the progress indicators disagree.
+    let single = SingleQueryPi::new();
+    let multi = MultiQueryPi::new(Visibility::concurrent_only());
+    println!("\n{:>6}  {:>14}  {:>13}", "t (s)", "single est (s)", "multi est (s)");
+    let mut next_sample = 0.0;
+    while sys.snapshot().running.iter().any(|q| q.id == big_id) {
+        if sys.now() >= next_sample {
+            let snap = sys.snapshot();
+            let s = single.estimate(&snap, big_id).unwrap_or(f64::NAN);
+            let m = multi.estimate(&snap, big_id).unwrap_or(f64::NAN);
+            println!("{:>6.1}  {:>14.1}  {:>13.1}", snap.time, s, m);
+            next_sample += 1.0;
+        }
+        sys.step()?;
+    }
+    let rec = sys.finished_record(big_id).expect("big query finished");
+    println!(
+        "\nbig query actually finished at t = {:.1}s ({} work units)",
+        rec.finished, rec.units_done
+    );
+    println!(
+        "the multi-query PI saw the small query's exit coming; \
+         the single-query PI only reacted to the speed change afterwards"
+    );
+    Ok(())
+}

@@ -1,0 +1,113 @@
+//! Speed-up advisor: pick a target query in a busy system, ask the §3.1
+//! algorithm which victim to block, then *verify the advice empirically* by
+//! replaying the system with and without the block.
+//!
+//! ```sh
+//! cargo run --release --example speedup_advisor
+//! ```
+
+use mqpi::engine::error::Result;
+use mqpi::sim::System;
+use mqpi::wlm::{best_multi_victim, best_single_victim, QueryLoad};
+use mqpi::workload::{mcq_scenario, McqConfig, TpcrConfig, TpcrDb};
+
+/// Build the same deterministic scenario.
+fn scenario(db: &TpcrDb) -> Result<System> {
+    let (sys, _) = mcq_scenario(
+        db,
+        McqConfig {
+            n: 8,
+            zipf_a: 1.2,
+            seed: 4,
+            rate: 70.0,
+            ..Default::default()
+        },
+    )?;
+    Ok(sys)
+}
+
+fn finish_time_of(db: &TpcrDb, target: u64, block: Option<u64>) -> Result<f64> {
+    let mut sys = scenario(db)?;
+    if let Some(v) = block {
+        sys.block(v)?;
+    }
+    loop {
+        let done = sys.step()?;
+        if done.contains(&target) {
+            return Ok(sys.now());
+        }
+    }
+}
+
+fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
+    eprintln!("building database…");
+    let db = TpcrDb::build(TpcrConfig {
+        lineitem_rows: 48_000,
+        ..Default::default()
+    })?;
+    let sys = scenario(&db)?;
+    let snap = sys.snapshot();
+    let loads = QueryLoad::from_snapshot(&snap);
+
+    // Target: the median-remaining query (an interesting middle case).
+    let mut by_rem = loads.clone();
+    by_rem.sort_by(|a, b| a.remaining.total_cmp(&b.remaining));
+    let target = by_rem[by_rem.len() / 2].id;
+    let tname = &snap.running.iter().find(|q| q.id == target).unwrap().name;
+    println!("target query: {tname} (id {target})");
+
+    let advice = best_single_victim(&loads, target, snap.rate).expect("≥2 queries");
+    let vname = &snap
+        .running
+        .iter()
+        .find(|q| q.id == advice.victim)
+        .unwrap()
+        .name;
+    println!(
+        "§3.1 advice: block {vname} (id {}) — predicted speed-up {:.1}s",
+        advice.victim, advice.benefit_seconds
+    );
+
+    // Empirical check: replay the deterministic scenario.
+    let baseline = finish_time_of(&db, target, None)?;
+    let advised = finish_time_of(&db, target, Some(advice.victim))?;
+    println!(
+        "empirical: target finishes at {baseline:.1}s unaided, {advised:.1}s \
+         with the victim blocked (measured speed-up {:.1}s)",
+        baseline - advised
+    );
+
+    // Compare against every alternative victim.
+    println!("\nall candidates:");
+    println!("{:<12} {:>16} {:>16}", "victim", "predicted (s)", "measured (s)");
+    for v in loads.iter().filter(|q| q.id != target) {
+        let two = loads.clone();
+        let pred = best_single_victim(
+            &two.into_iter()
+                .filter(|q| q.id == target || q.id == v.id)
+                .collect::<Vec<_>>(),
+            target,
+            snap.rate,
+        )
+        .map(|c| c.benefit_seconds)
+        .unwrap_or(0.0);
+        let measured = baseline - finish_time_of(&db, target, Some(v.id))?;
+        let name = &snap.running.iter().find(|q| q.id == v.id).unwrap().name;
+        println!("{:<12} {:>16.1} {:>16.1}", name, pred, measured);
+    }
+
+    // And the §3.2 everyone-benefits victim.
+    let multi = best_multi_victim(&loads, snap.rate).expect("≥2 queries");
+    let mname = &snap
+        .running
+        .iter()
+        .find(|q| q.id == multi.victim)
+        .unwrap()
+        .name;
+    println!(
+        "\n§3.2 advice (speed up everyone else): block {mname} — predicted \
+         total response-time improvement {:.1}s",
+        multi.benefit_seconds
+    );
+    Ok(())
+}

@@ -1,0 +1,200 @@
+//! Cross-crate integration tests: the full pipeline from SQL text to
+//! workload-management decisions.
+
+use mqpi::engine::{ColumnType, Database, Schema, Value};
+use mqpi::sim::{CursorJob, Job, System, SystemConfig};
+use mqpi::wlm::{
+    best_single_victim, decide_aborts, LostWorkCase, MaintenanceMethod, QueryLoad,
+};
+use mqpi::workload::{maintenance_scenario, TpcrConfig, TpcrDb};
+
+fn orders_db(rows: i64) -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        "orders",
+        Schema::from_pairs(&[
+            ("custkey", ColumnType::Int),
+            ("amount", ColumnType::Float),
+        ])
+        .unwrap(),
+    )
+    .unwrap();
+    let data: Vec<Vec<Value>> = (0..rows)
+        .map(|i| vec![Value::Int(i % 500), Value::Float((i % 83) as f64)])
+        .collect();
+    db.insert("orders", &data).unwrap();
+    db.create_index("orders", "custkey").unwrap();
+    db.analyze("orders").unwrap();
+    db
+}
+
+#[test]
+fn sql_queries_run_concurrently_and_produce_correct_results() {
+    let db = orders_db(30_000);
+    let q1 = db
+        .prepare("select custkey, sum(amount) s from orders group by custkey order by s desc limit 3")
+        .unwrap();
+    let q2 = db.prepare("select count(*) from orders where custkey = 7").unwrap();
+    let expected1 = db
+        .execute("select custkey, sum(amount) s from orders group by custkey order by s desc limit 3")
+        .unwrap();
+    let expected2 = db.execute("select count(*) from orders where custkey = 7").unwrap();
+
+    let mut sys = System::new(SystemConfig {
+        rate: 200.0,
+        ..Default::default()
+    });
+    let c1 = CursorJob::new(q1.open().unwrap());
+    let c2 = CursorJob::new(q2.open().unwrap());
+    let id1 = sys.submit("agg", Box::new(c1), 1.0);
+    let id2 = sys.submit("probe", Box::new(c2), 2.0);
+    sys.run_until_idle(1e9).unwrap();
+    assert!(sys.finished_record(id1).is_some());
+    assert!(sys.finished_record(id2).is_some());
+    // Results are not directly reachable through FinishedQuery (jobs are
+    // consumed); verify against fresh cursors driven manually instead.
+    let mut j1 = CursorJob::new(q1.open().unwrap());
+    while !j1.finished() {
+        j1.run(64).unwrap();
+    }
+    assert_eq!(j1.cursor().rows(), &expected1[..]);
+    let mut j2 = CursorJob::new(q2.open().unwrap());
+    while !j2.finished() {
+        j2.run(64).unwrap();
+    }
+    assert_eq!(j2.cursor().rows(), &expected2[..]);
+}
+
+#[test]
+fn progress_fraction_is_monotone_and_reaches_one() {
+    let db = orders_db(30_000);
+    let p = db
+        .prepare("select custkey, count(*) from orders group by custkey")
+        .unwrap();
+    let mut cur = p.open().unwrap();
+    let mut prev_done = -1.0;
+    let mut fractions = Vec::new();
+    loop {
+        let out = cur.run(50).unwrap();
+        let pr = cur.progress();
+        assert!(pr.done >= prev_done, "done must be monotone");
+        prev_done = pr.done;
+        fractions.push(pr.fraction_done());
+        if out.finished {
+            break;
+        }
+    }
+    assert_eq!(*fractions.last().unwrap(), 1.0);
+    // Fraction should be broadly increasing (refinement may wiggle it).
+    let first_half_avg: f64 =
+        fractions[..fractions.len() / 2].iter().sum::<f64>() / (fractions.len() / 2) as f64;
+    let second_half_avg: f64 = fractions[fractions.len() / 2..].iter().sum::<f64>()
+        / (fractions.len() - fractions.len() / 2) as f64;
+    assert!(second_half_avg > first_half_avg);
+}
+
+#[test]
+fn speedup_advice_verifies_empirically_end_to_end() {
+    let db = TpcrDb::build(TpcrConfig {
+        lineitem_rows: 24_000,
+        analyze_fraction: 0.2,
+        seed: 31,
+        max_size: 30,
+        ..Default::default()
+    })
+    .unwrap();
+    let build = |block: Option<u64>| -> (System, u64) {
+        let (mut sys, ids) = mqpi::workload::mcq_scenario(
+            &db,
+            mqpi::workload::McqConfig {
+                n: 6,
+                zipf_a: 1.2,
+                seed: 17,
+                rate: 70.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        if let Some(v) = block {
+            sys.block(v).unwrap();
+        }
+        (sys, ids[2].0)
+    };
+    let (sys0, target) = build(None);
+    let snap = sys0.snapshot();
+    let loads = QueryLoad::from_snapshot(&snap);
+    let advice = best_single_victim(&loads, target, snap.rate).unwrap();
+
+    let finish = |mut sys: System, target: u64| -> f64 {
+        loop {
+            let done = sys.step().unwrap();
+            if done.contains(&target) {
+                return sys.now();
+            }
+        }
+    };
+    let baseline = finish(build(None).0, target);
+    let advised = finish(build(Some(advice.victim)).0, target);
+    let measured = baseline - advised;
+    assert!(measured > 0.0, "advice must actually help");
+    // Predicted and measured agree within 30% (estimates are refined, the
+    // scheduler is quantized).
+    let rel = (measured - advice.benefit_seconds).abs() / advice.benefit_seconds;
+    assert!(
+        rel < 0.3,
+        "predicted {} vs measured {measured}",
+        advice.benefit_seconds
+    );
+}
+
+#[test]
+fn maintenance_pipeline_decides_and_executes() {
+    let db = TpcrDb::build(TpcrConfig {
+        lineitem_rows: 24_000,
+        analyze_fraction: 0.2,
+        seed: 77,
+        max_size: 30,
+        ..Default::default()
+    })
+    .unwrap();
+    let mut sys = maintenance_scenario(&db, 2.2, 13, 70.0, 10).unwrap();
+    let rt = sys.now();
+    let snap = sys.snapshot();
+    let deadline = 40.0;
+    let aborts = decide_aborts(
+        MaintenanceMethod::MultiPi,
+        &snap,
+        deadline,
+        LostWorkCase::TotalCost,
+    );
+    for id in &aborts {
+        sys.abort(*id).unwrap();
+    }
+    sys.run_until(rt + deadline).unwrap();
+    // The multi-PI decision should leave few or no stragglers at the
+    // deadline (estimates have bounded error).
+    let stragglers = sys.running_ids().len();
+    assert!(
+        stragglers <= 2,
+        "{stragglers} queries still running at the deadline"
+    );
+}
+
+#[test]
+fn blocked_victims_resume_and_finish() {
+    let db = orders_db(20_000);
+    let p = db.prepare("select count(*) from orders").unwrap();
+    let mut sys = System::new(SystemConfig {
+        rate: 100.0,
+        ..Default::default()
+    });
+    let a = sys.submit("a", Box::new(CursorJob::new(p.open().unwrap())), 1.0);
+    let b = sys.submit("b", Box::new(CursorJob::new(p.open().unwrap())), 1.0);
+    sys.block(a).unwrap();
+    sys.run_until(2.0).unwrap();
+    sys.resume(a).unwrap();
+    sys.run_until_idle(1e9).unwrap();
+    assert!(sys.finished_record(a).is_some());
+    assert!(sys.finished_record(b).is_some());
+    assert!(sys.finished_record(a).unwrap().finished >= sys.finished_record(b).unwrap().finished);
+}

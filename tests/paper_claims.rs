@@ -1,0 +1,214 @@
+//! Integration tests encoding the paper's headline claims, exercised
+//! end-to-end through the public API: real SQL over real pages, scheduled
+//! in virtual time, estimated by both PI families.
+
+use mqpi::pi::{relative_error, MultiQueryPi, SingleQueryPi, Visibility};
+use mqpi::sim::rng::Rng;
+use mqpi::workload::{
+    mcq_scenario, naq_scenario_sizes, query_job, McqConfig, TpcrConfig, TpcrDb,
+};
+
+fn test_db() -> TpcrDb {
+    TpcrDb::build(TpcrConfig {
+        lineitem_rows: 24_000,
+        analyze_fraction: 0.2,
+        seed: 99,
+        max_size: 50,
+        ..Default::default()
+    })
+    .expect("db builds")
+}
+
+/// §1: "if one query is substantially impeding the progress of another,
+/// but the first query is about to finish, a single-query PI will grossly
+/// overestimate the remaining execution time of the second query."
+#[test]
+fn single_query_pi_grossly_overestimates_when_a_heavy_query_is_about_to_finish() {
+    let db = test_db();
+    let mut sys = mqpi::sim::System::new(mqpi::sim::SystemConfig {
+        rate: 70.0,
+        ..Default::default()
+    });
+    // A big query that is 90% done and a fresh medium query.
+    let mut big = query_job(&db, 40).expect("job");
+    mqpi::workload::advance_fraction(&mut big, 0.9).expect("advance");
+    let big_id = sys.submit("big", Box::new(big), 1.0);
+    let med_id = sys.submit("med", Box::new(query_job(&db, 10).expect("job")), 1.0);
+
+    // Warm the speed monitors so the single-query PI has an observation.
+    sys.run_until(20.0).expect("run");
+    let snap = sys.snapshot();
+    let single = SingleQueryPi::new().estimate(&snap, med_id).expect("est");
+    let multi = MultiQueryPi::new(Visibility::concurrent_only())
+        .estimate(&snap, med_id)
+        .expect("est");
+
+    // Ground truth: run it out.
+    loop {
+        let done = sys.step().expect("step");
+        if done.contains(&med_id) {
+            break;
+        }
+    }
+    let actual = sys.finished_record(med_id).unwrap().finished - snap.time;
+    let err_single = relative_error(single, actual);
+    let err_multi = relative_error(multi, actual);
+    assert!(
+        err_single > 2.0 * err_multi,
+        "single err {err_single} should be ≫ multi err {err_multi} (actual {actual}, single {single}, multi {multi})"
+    );
+    let _ = big_id;
+}
+
+/// §5.2.1 (Fig. 3): in the MCQ experiment the multi-query estimate stays
+/// close to the actual remaining time while the single-query estimate is
+/// off by roughly a factor of three at the beginning.
+#[test]
+fn mcq_multi_query_estimates_track_actual_closely() {
+    let db = test_db();
+    let (mut sys, _) = mcq_scenario(
+        &db,
+        McqConfig {
+            n: 10,
+            zipf_a: 1.2,
+            seed: 5,
+            rate: 70.0,
+            ..Default::default()
+        },
+    )
+    .expect("scenario");
+    let snap0 = sys.snapshot();
+    let target = snap0
+        .running
+        .iter()
+        .max_by(|a, b| a.remaining.total_cmp(&b.remaining))
+        .unwrap()
+        .id;
+    let multi0 = MultiQueryPi::new(Visibility::concurrent_only())
+        .estimate(&snap0, target)
+        .unwrap();
+    let single0 = SingleQueryPi::new().estimate(&snap0, target).unwrap();
+    loop {
+        let done = sys.step().expect("step");
+        if done.contains(&target) {
+            break;
+        }
+    }
+    let actual = sys.finished_record(target).unwrap().finished;
+    assert!(
+        relative_error(multi0, actual) < 0.25,
+        "multi at t=0: {multi0} vs actual {actual}"
+    );
+    assert!(
+        single0 > 1.7 * actual,
+        "single at t=0 should grossly overestimate: {single0} vs {actual}"
+    );
+}
+
+/// §5.2.2 (Fig. 5): examining the admission queue lets the PI see farther
+/// into the future.
+#[test]
+fn naq_queue_awareness_improves_q1_estimate() {
+    let db = test_db();
+    let (sys, [q1, _q2, _q3]) = naq_scenario_sizes(&db, 70.0, [40, 8, 16]).expect("scenario");
+    let snap = sys.snapshot();
+    let blind = MultiQueryPi::new(Visibility::concurrent_only())
+        .estimate(&snap, q1)
+        .unwrap();
+    let aware = MultiQueryPi::new(Visibility::with_queue(Some(2)))
+        .estimate(&snap, q1)
+        .unwrap();
+
+    // Ground truth.
+    let (mut sys2, [q1b, _, _]) = naq_scenario_sizes(&db, 70.0, [40, 8, 16]).expect("scenario");
+    loop {
+        let done = sys2.step().expect("step");
+        if done.contains(&q1b) {
+            break;
+        }
+    }
+    let actual = sys2.finished_record(q1b).unwrap().finished;
+    assert!(
+        relative_error(aware, actual) < relative_error(blind, actual),
+        "queue-aware {aware} vs blind {blind}, actual {actual}"
+    );
+    assert!(relative_error(aware, actual) < 0.15);
+}
+
+/// §2.2 complexity: the multi-query estimator handles thousands of
+/// concurrent queries (O(n log n)); sanity-check correctness at n = 2000
+/// against work conservation.
+#[test]
+fn multi_query_estimator_scales_to_thousands_of_queries() {
+    use mqpi::pi::fluid::{standard_remaining_times, FluidQuery};
+    let mut rng = Rng::seed_from_u64(8);
+    let n = 2000;
+    let queries: Vec<FluidQuery> = (0..n)
+        .map(|i| FluidQuery {
+            id: i as u64,
+            cost: rng.range_f64(1.0, 10_000.0),
+            weight: [0.5, 1.0, 2.0, 4.0][rng.below(4) as usize],
+        })
+        .collect();
+    let start = std::time::Instant::now();
+    let times = standard_remaining_times(&queries, 100.0);
+    assert!(
+        start.elapsed().as_millis() < 200,
+        "closed form too slow: {:?}",
+        start.elapsed()
+    );
+    let total: f64 = queries.iter().map(|q| q.cost).sum();
+    let last = times.iter().cloned().fold(0.0, f64::max);
+    assert!((last - total / 100.0).abs() < 1e-6 * total);
+}
+
+/// §4.1: even with imperfect knowledge (refined rather than exact remaining
+/// costs), the multi-query PI beats the single-query PI.
+#[test]
+fn multi_beats_single_despite_imprecise_statistics() {
+    // The DB is analyzed from a 20% sample, so optimizer estimates carry
+    // error; the engine's refinement plus the fluid model must still win.
+    let db = test_db();
+    let mut err_single_total = 0.0;
+    let mut err_multi_total = 0.0;
+    let mut count = 0;
+    for seed in 20..24 {
+        let (mut sys, ids) = mcq_scenario(
+            &db,
+            McqConfig {
+                n: 8,
+                zipf_a: 1.2,
+                seed,
+                rate: 70.0,
+                ..Default::default()
+            },
+        )
+        .expect("scenario");
+        let snap0 = sys.snapshot();
+        let single = SingleQueryPi::new();
+        let multi = MultiQueryPi::new(Visibility::concurrent_only());
+        let est: Vec<(u64, f64, f64)> = ids
+            .iter()
+            .map(|(id, _)| {
+                (
+                    *id,
+                    single.estimate(&snap0, *id).unwrap(),
+                    multi.estimate(&snap0, *id).unwrap(),
+                )
+            })
+            .collect();
+        sys.run_until_idle(1e9).expect("run");
+        for (id, s, m) in est {
+            let actual = sys.finished_record(id).unwrap().finished;
+            err_single_total += relative_error(s, actual);
+            err_multi_total += relative_error(m, actual);
+            count += 1;
+        }
+    }
+    let avg_single = err_single_total / count as f64;
+    let avg_multi = err_multi_total / count as f64;
+    assert!(
+        avg_multi < 0.6 * avg_single,
+        "avg multi err {avg_multi} vs single {avg_single}"
+    );
+}
