@@ -71,9 +71,13 @@ fn bench_victim_selection(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("single_query_speedup", n), &ls, |b, ls| {
             b.iter(|| black_box(best_single_victim(black_box(ls), 0, 100.0)));
         });
-        g.bench_with_input(BenchmarkId::new("multiple_query_speedup", n), &ls, |b, ls| {
-            b.iter(|| black_box(best_multi_victim(black_box(ls), 100.0)));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("multiple_query_speedup", n),
+            &ls,
+            |b, ls| {
+                b.iter(|| black_box(best_multi_victim(black_box(ls), 100.0)));
+            },
+        );
     }
     g.finish();
 }

@@ -55,9 +55,7 @@ fn bench_figures(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            black_box(
-                scq::run_misestimated_lambda(tpcr, 0.03, &[0.05], 1, seed, 70.0).unwrap(),
-            )
+            black_box(scq::run_misestimated_lambda(tpcr, 0.03, &[0.05], 1, seed, 70.0).unwrap())
         });
     });
     g.bench_function("fig10_adaptive_trace", |b| {

@@ -1,0 +1,87 @@
+//! Scaling comparison of the virtual-time fluid predictor against the
+//! reference event-sweep implementation it replaced.
+//!
+//! Both predictors are run on identical inputs — running queries plus an
+//! admission queue plus predicted future arrivals, the hardest §2.4
+//! configuration — at n ∈ {100, 1k, 10k, 100k}. The reference sweep is
+//! `O(n²)` (each completion event rescans and `Vec::remove`s), so it is
+//! gated to n ≤ 10k; the virtual-time heap loop is `O((n + arrivals) log n)`
+//! and runs the full range.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mqpi_core::fluid::{predict, predict_reference, FluidQuery, FutureArrivals};
+use mqpi_sim::rng::Rng;
+
+fn queries(n: usize, seed: u64) -> Vec<FluidQuery> {
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| FluidQuery {
+            id: i as u64,
+            cost: rng.range_f64(10.0, 50_000.0),
+            weight: [0.5, 1.0, 2.0, 4.0][rng.below(4) as usize],
+        })
+        .collect()
+}
+
+/// The §2.4 configuration: half the population running, half queued behind
+/// an admission limit, plus a Poisson stream of predicted arrivals.
+fn workload(
+    n: usize,
+) -> (
+    Vec<FluidQuery>,
+    Vec<FluidQuery>,
+    Option<usize>,
+    FutureArrivals,
+) {
+    let running = queries(n / 2, 1);
+    let queued = queries(n - n / 2, 2);
+    let slots = Some((n / 2).max(1));
+    let future = FutureArrivals::from_rate(0.05, 1_000.0, 1.0).unwrap();
+    (running, queued, slots, future)
+}
+
+fn bench_predict_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("predict_scaling");
+    g.sample_size(10);
+    for n in [100usize, 1_000, 10_000, 100_000] {
+        let (running, queued, slots, future) = workload(n);
+        g.bench_with_input(
+            BenchmarkId::new("virtual_time", n),
+            &(&running, &queued),
+            |b, (r, q)| {
+                b.iter(|| {
+                    black_box(predict(
+                        black_box(r),
+                        black_box(q),
+                        slots,
+                        Some(&future),
+                        100.0,
+                    ))
+                });
+            },
+        );
+        if n <= 10_000 {
+            g.bench_with_input(
+                BenchmarkId::new("reference_sweep", n),
+                &(&running, &queued),
+                |b, (r, q)| {
+                    b.iter(|| {
+                        black_box(predict_reference(
+                            black_box(r),
+                            black_box(q),
+                            slots,
+                            Some(&future),
+                            100.0,
+                        ))
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_predict_scaling);
+criterion_main!(benches);

@@ -54,14 +54,17 @@ pub fn assumption1(
             let snap0 = sys.snapshot();
             let single = SingleQueryPi::new();
             let multi = MultiQueryPi::new(Visibility::concurrent_only());
+            // One prediction pass per estimator covers all ten queries.
+            let single_set = single.estimates(&snap0);
+            let multi_set = multi.estimates(&snap0);
             let est: Vec<(u64, f64, f64)> = snap0
                 .running
                 .iter()
                 .map(|q| {
                     (
                         q.id,
-                        single.estimate(&snap0, q.id).unwrap_or(f64::NAN),
-                        multi.estimate(&snap0, q.id).unwrap_or(f64::NAN),
+                        single_set.get(q.id).unwrap_or(f64::NAN),
+                        multi_set.get(q.id).unwrap_or(f64::NAN),
                     )
                 })
                 .collect();
@@ -95,7 +98,12 @@ pub struct Assumption2Point {
 
 /// Assumption 2 ablation: synthetic jobs whose *reported* remaining costs
 /// are `scale ×` the truth. Both PIs consume the same wrong numbers.
-pub fn assumption2(scales: &[f64], runs: usize, seed0: u64, rate: f64) -> Result<Vec<Assumption2Point>> {
+pub fn assumption2(
+    scales: &[f64],
+    runs: usize,
+    seed0: u64,
+    rate: f64,
+) -> Result<Vec<Assumption2Point>> {
     let zipf = Zipf::new(50, 1.2);
     let mut out = Vec::new();
     for &scale in scales {
@@ -122,14 +130,17 @@ pub fn assumption2(scales: &[f64], runs: usize, seed0: u64, rate: f64) -> Result
             let t0 = snap.time;
             let single = SingleQueryPi::new();
             let multi = MultiQueryPi::new(Visibility::concurrent_only());
+            // One prediction pass per estimator covers all ten queries.
+            let single_set = single.estimates(&snap);
+            let multi_set = multi.estimates(&snap);
             let est: Vec<(u64, f64, f64)> = ids
                 .iter()
                 .filter(|id| snap.running.iter().any(|q| q.id == **id))
                 .map(|id| {
                     (
                         *id,
-                        single.estimate(&snap, *id).unwrap_or(f64::NAN),
-                        multi.estimate(&snap, *id).unwrap_or(f64::NAN),
+                        single_set.get(*id).unwrap_or(f64::NAN),
+                        multi_set.get(*id).unwrap_or(f64::NAN),
                     )
                 })
                 .collect();
@@ -298,7 +309,9 @@ pub fn abort_overhead(
                 }
                 // Rolled-back queries also count as unfinished work.
                 for f in sys.finished() {
-                    if f.kind == FinishKind::Aborted && !aborted.contains(&f.id) && ids.contains(&f.id)
+                    if f.kind == FinishKind::Aborted
+                        && !aborted.contains(&f.id)
+                        && ids.contains(&f.id)
                     {
                         aborted.push(f.id);
                     }

@@ -53,9 +53,11 @@ fn parse_args() -> Result<Opts, String> {
                 opts.csv = Some(PathBuf::from(args.next().ok_or("--csv needs a dir")?));
             }
             "--help" | "-h" => {
-                return Err("usage: experiments [all|table1|fig1..fig11|ablations|speedup] \
+                return Err(
+                    "usage: experiments [all|table1|fig1..fig11|ablations|speedup] \
                             [--runs N] [--small] [--csv DIR] [--seed S]"
-                    .into())
+                        .into(),
+                )
             }
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             other => opts.what.push(other.to_string()),
@@ -65,8 +67,21 @@ fn parse_args() -> Result<Opts, String> {
         return Err("--runs must be at least 1".into());
     }
     const KNOWN: &[&str] = &[
-        "all", "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-        "fig9", "fig10", "fig11", "ablations", "speedup",
+        "all",
+        "table1",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "ablations",
+        "speedup",
     ];
     for w in &opts.what {
         if !KNOWN.contains(&w.as_str()) {
@@ -91,7 +106,11 @@ fn main() -> ExitCode {
         }
     };
     let selected = |name: &str| opts.what.iter().any(|w| w == name || w == "all");
-    let tpcr: &TpcrDb = if opts.small { db::small() } else { db::standard() };
+    let tpcr: &TpcrDb = if opts.small {
+        db::small()
+    } else {
+        db::standard()
+    };
     eprintln!(
         "# database: lineitem {} rows, rate C = {} U/s, runs = {}",
         tpcr.config.lineitem_rows,
@@ -191,7 +210,10 @@ fn main() -> ExitCode {
                     t.row(vec![f2(s.t), f2(s.observed_speed)]);
                 }
                 emit(
-                    &format!("fig4 (speed increased {:.1}x over the run)", r.speed_increase),
+                    &format!(
+                        "fig4 (speed increased {:.1}x over the run)",
+                        r.speed_increase
+                    ),
                     "fig4",
                     &t,
                 );
@@ -231,7 +253,11 @@ fn main() -> ExitCode {
                 let mut t =
                     TextTable::new(&["lambda", "single-query rel. err", "multi-query rel. err"]);
                 for p in &pts {
-                    t.row(vec![f2(p.true_lambda), pct(p.last_single), pct(p.last_multi)]);
+                    t.row(vec![
+                        f2(p.true_lambda),
+                        pct(p.last_single),
+                        pct(p.last_multi),
+                    ]);
                 }
                 emit("fig6 (SCQ, last finishing query)", "fig6", &t);
             }
@@ -327,14 +353,14 @@ fn main() -> ExitCode {
             for p in &a1 {
                 t.row(vec![f2(p.alpha), pct(p.single_err), pct(p.multi_err)]);
             }
-            emit("ablation A1 (rate degrades with concurrency)", "ablation_a1", &t);
+            emit(
+                "ablation A1 (rate degrades with concurrency)",
+                "ablation_a1",
+                &t,
+            );
 
-            let a2 = ablations::assumption2(
-                &[0.25, 0.5, 1.0, 2.0, 4.0],
-                runs,
-                opts.seed,
-                db::RATE,
-            )?;
+            let a2 =
+                ablations::assumption2(&[0.25, 0.5, 1.0, 2.0, 4.0], runs, opts.seed, db::RATE)?;
             let mut t = TextTable::new(&[
                 "reported-cost scale",
                 "single-query rel. err",

@@ -9,9 +9,7 @@ use mqpi_workload::{TpcrConfig, TpcrDb};
 /// size class up to 50, statistics from a 10% ANALYZE sample.
 pub fn standard() -> &'static TpcrDb {
     static DB: OnceLock<TpcrDb> = OnceLock::new();
-    DB.get_or_init(|| {
-        TpcrDb::build(TpcrConfig::default()).expect("standard test database builds")
-    })
+    DB.get_or_init(|| TpcrDb::build(TpcrConfig::default()).expect("standard test database builds"))
 }
 
 /// A small database for quick benches and tests (24k lineitem rows).

@@ -65,8 +65,7 @@ fn baseline(db: &TpcrDb, zipf_a: f64, seed: u64, rate: f64) -> Result<Baseline> 
     let rt = sys.now();
     let snap = sys.snapshot();
     let ids: Vec<QueryId> = snap.running.iter().map(|q| q.id).collect();
-    let done_at_rt: HashMap<QueryId, f64> =
-        snap.running.iter().map(|q| (q.id, q.done)).collect();
+    let done_at_rt: HashMap<QueryId, f64> = snap.running.iter().map(|q| (q.id, q.done)).collect();
     // Let the ten run to completion with no interference (the warm-up loop
     // stopped resubmitting, and nothing is scheduled).
     sys.run_until_idle(rt + 1e7)?;
@@ -105,7 +104,10 @@ fn evaluate_method(
     deadline: f64,
 ) -> Result<f64> {
     let mut sys = build_scenario(db, zipf_a, seed, rate)?;
-    debug_assert!((sys.now() - base.rt).abs() < 1e-6, "rebuild must be identical");
+    debug_assert!(
+        (sys.now() - base.rt).abs() < 1e-6,
+        "rebuild must be identical"
+    );
     let snap = sys.snapshot();
     let aborts = decide_aborts(method, &snap, deadline, LostWorkCase::TotalCost);
     let mut aborted: Vec<QueryId> = Vec::new();
@@ -159,8 +161,15 @@ pub fn run(
         let base = baseline(db, zipf_a, seed, rate)?;
         for (i, frac) in t_fracs.iter().enumerate() {
             let deadline = frac * base.t_finish;
-            acc[i][0] +=
-                evaluate_method(db, zipf_a, seed, rate, &base, MaintenanceMethod::NoPi, deadline)?;
+            acc[i][0] += evaluate_method(
+                db,
+                zipf_a,
+                seed,
+                rate,
+                &base,
+                MaintenanceMethod::NoPi,
+                deadline,
+            )?;
             acc[i][1] += evaluate_method(
                 db,
                 zipf_a,

@@ -67,8 +67,9 @@ pub fn run(db: &TpcrDb, cfg: McqConfig, sample_interval: f64) -> Result<McqResul
         if sys.now() >= next_sample {
             let snap = sys.snapshot();
             if let Some(q) = snap.running.iter().find(|r| r.id == target) {
-                let s_est = single.estimate(&snap, target).unwrap_or(f64::NAN);
-                let m_est = multi.estimate(&snap, target).unwrap_or(f64::NAN);
+                // One prediction pass per estimator per tick.
+                let s_est = single.estimates(&snap).get(target).unwrap_or(f64::NAN);
+                let m_est = multi.estimates(&snap).get(target).unwrap_or(f64::NAN);
                 let fair = snap.rate / snap.running.len().max(1) as f64;
                 raw.push((snap.time, s_est, m_est, q.observed_speed.unwrap_or(fair)));
             }
@@ -100,7 +101,10 @@ pub fn run(db: &TpcrDb, cfg: McqConfig, sample_interval: f64) -> Result<McqResul
         .map(|s| s.observed_speed)
         .find(|s| *s > 0.0)
         .unwrap_or(1.0);
-    let last_speed = samples.last().map(|s| s.observed_speed).unwrap_or(first_speed);
+    let last_speed = samples
+        .last()
+        .map(|s| s.observed_speed)
+        .unwrap_or(first_speed);
     Ok(McqResult {
         target_size,
         finish_time,

@@ -52,11 +52,12 @@ pub fn run(db: &TpcrDb, rate: f64, sizes: [u64; 3], sample_interval: f64) -> Res
         if sys.now() >= next_sample {
             let snap = sys.snapshot();
             if snap.running.iter().any(|r| r.id == q1) {
+                // One prediction pass per estimator per tick.
                 raw.push((
                     snap.time,
-                    single.estimate(&snap, q1).unwrap_or(f64::NAN),
-                    multi_blind.estimate(&snap, q1).unwrap_or(f64::NAN),
-                    multi_queue.estimate(&snap, q1).unwrap_or(f64::NAN),
+                    single.estimates(&snap).get(q1).unwrap_or(f64::NAN),
+                    multi_blind.estimates(&snap).get(q1).unwrap_or(f64::NAN),
+                    multi_queue.estimates(&snap).get(q1).unwrap_or(f64::NAN),
                 ));
             }
             next_sample += sample_interval;
@@ -146,14 +147,9 @@ mod tests {
         if r.q3_finish.is_nan() {
             return; // Q3 outlived Q1 in this configuration; nothing to test.
         }
-        let late: Vec<&NaqSample> = r
-            .samples
-            .iter()
-            .filter(|s| s.t > r.q3_finish)
-            .collect();
+        let late: Vec<&NaqSample> = r.samples.iter().filter(|s| s.t > r.q3_finish).collect();
         for s in late {
-            let rel = (s.multi_queue_est - s.actual_remaining).abs()
-                / s.actual_remaining.max(1.0);
+            let rel = (s.multi_queue_est - s.actual_remaining).abs() / s.actual_remaining.max(1.0);
             assert!(rel < 0.5, "late multi estimate off by {rel}");
         }
     }

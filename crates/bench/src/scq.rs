@@ -56,14 +56,17 @@ fn one_run(db: &TpcrDb, cfg: ScqConfig, pi_lambda: f64) -> Result<RunErrors> {
         Visibility::concurrent_only()
     });
 
+    // One prediction pass per estimator covers all ten initial queries.
     let snap0 = sys.snapshot();
+    let single_set = single.estimates(&snap0);
+    let multi_set = multi.estimates(&snap0);
     let single0: Vec<f64> = initial
         .iter()
-        .map(|(id, _)| single.estimate(&snap0, *id).unwrap_or(f64::NAN))
+        .map(|(id, _)| single_set.get(*id).unwrap_or(f64::NAN))
         .collect();
     let multi0: Vec<f64> = initial
         .iter()
-        .map(|(id, _)| multi.estimate(&snap0, *id).unwrap_or(f64::NAN))
+        .map(|(id, _)| multi_set.get(*id).unwrap_or(f64::NAN))
         .collect();
 
     // Run until every initial query finished.
@@ -222,7 +225,12 @@ pub fn run_adaptive_trace(
             let snap = sys.snapshot();
             // Observe new arrivals since the last sample.
             let mut new = 0u64;
-            for q in snap.running.iter().map(|q| q.id).chain(snap.queued.iter().map(|q| q.id)) {
+            for q in snap
+                .running
+                .iter()
+                .map(|q| q.id)
+                .chain(snap.queued.iter().map(|q| q.id))
+            {
                 if seen_ids.insert(q) {
                     new += 1;
                 }

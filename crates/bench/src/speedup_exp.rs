@@ -51,7 +51,13 @@ fn build(db: &TpcrDb, seed: u64, rate: f64) -> Result<(System, Vec<(QueryId, u64
     )
 }
 
-fn finish_time(db: &TpcrDb, seed: u64, rate: f64, target: QueryId, block: Option<QueryId>) -> Result<f64> {
+fn finish_time(
+    db: &TpcrDb,
+    seed: u64,
+    rate: f64,
+    target: QueryId,
+    block: Option<QueryId>,
+) -> Result<f64> {
     let (mut sys, _) = build(db, seed, rate)?;
     if let Some(v) = block {
         sys.block(v)?;
@@ -104,7 +110,11 @@ pub fn run(db: &TpcrDb, runs: usize, seed0: u64, rate: f64) -> Result<SpeedupRes
             .max_by(|a, b| a.remaining.total_cmp(&b.remaining))
             .unwrap()
             .id;
-        let others: Vec<QueryId> = loads.iter().filter(|q| q.id != target).map(|q| q.id).collect();
+        let others: Vec<QueryId> = loads
+            .iter()
+            .filter(|q| q.id != target)
+            .map(|q| q.id)
+            .collect();
         let random = others[rng.below(others.len() as u64) as usize];
 
         acc.optimal += baseline - finish_time(db, seed, rate, target, Some(choice.victim))?;
@@ -147,6 +157,11 @@ mod tests {
         // Prediction calibration: within 40% of measurement on average
         // (refined estimates + quantized scheduler).
         let rel = (r.optimal - r.optimal_predicted).abs() / r.optimal_predicted.max(1.0);
-        assert!(rel < 0.4, "predicted {} vs measured {}", r.optimal_predicted, r.optimal);
+        assert!(
+            rel < 0.4,
+            "predicted {} vs measured {}",
+            r.optimal_predicted,
+            r.optimal
+        );
     }
 }

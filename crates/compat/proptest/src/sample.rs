@@ -1,0 +1,21 @@
+//! `prop::sample::select`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+pub fn select<T: Clone>(options: impl Into<Vec<T>>) -> Select<T> {
+    let options = options.into();
+    assert!(!options.is_empty(), "select() needs at least one option");
+    Select { options }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.options[rng.below(self.options.len() as u64) as usize].clone()
+    }
+}

@@ -1,0 +1,201 @@
+//! The `Strategy` trait, primitive strategies (ranges, tuples, string
+//! patterns, `Just`) and the `prop_map`/`prop_filter` combinators.
+
+use std::ops::Range;
+
+use crate::test_runner::TestRng;
+
+/// A generator of values of type `Self::Value`. Unlike real proptest there
+/// is no value tree / shrinking; a strategy simply produces a value per
+/// case.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    fn prop_filter<F>(self, reason: impl Into<String>, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            source: self,
+            f,
+            reason: reason.into(),
+        }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+pub struct Filter<S, F> {
+    source: S,
+    f: F,
+    reason: String,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        // Local rejection loop: regenerate rather than discarding the whole
+        // case, with a cap so an unsatisfiable filter fails loudly.
+        for _ in 0..10_000 {
+            let v = self.source.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter {:?} rejected 10000 consecutive values", self.reason);
+    }
+}
+
+/// Uniformly picks one of several boxed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128) - (self.start as i128);
+                // Light edge bias: boundaries catch off-by-one properties
+                // that a uniform draw would rarely hit.
+                match rng.below(16) {
+                    0 => self.start,
+                    1 => self.end - 1,
+                    _ => ((self.start as i128)
+                        + (rng.next_u64() as i128).rem_euclid(span)) as $t,
+                }
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        if rng.below(16) == 0 {
+            self.start
+        } else {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+/// String literals act as generator patterns (a small regex subset: char
+/// classes, `.`, literals, and `{m}`/`{m,n}`/`?`/`*`/`+` quantifiers).
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        crate::string::generate(self, rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}

@@ -1,0 +1,167 @@
+//! Generator for the regex-like string patterns accepted as strategies
+//! (`"[a-z][a-z0-9_]{0,8}"`, `".{0,200}"`, ...).
+
+use crate::test_runner::TestRng;
+
+enum Atom {
+    /// `.` — any char except `\n`.
+    Dot,
+    /// A literal character.
+    Literal(char),
+    /// `[...]` — explicit chars and inclusive ranges.
+    Class(Vec<(char, char)>),
+}
+
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Dot
+            }
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = if chars[i] == '\\' {
+                        i += 1;
+                        chars[i]
+                    } else {
+                        chars[i]
+                    };
+                    i += 1;
+                    if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+                        let hi = chars[i + 1];
+                        i += 2;
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(i < chars.len(), "unterminated char class in {pattern:?}");
+                i += 1; // consume ']'
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                i += 1;
+                assert!(i < chars.len(), "dangling escape in {pattern:?}");
+                let c = match chars[i] {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                };
+                i += 1;
+                Atom::Literal(c)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unterminated quantifier in {pattern:?}"));
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("bad quantifier"),
+                            hi.trim().parse().expect("bad quantifier"),
+                        ),
+                        None => {
+                            let n: u32 = body.trim().parse().expect("bad quantifier");
+                            (n, n)
+                        }
+                    }
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Any valid char except `\n`, biased toward printable ASCII so generated
+/// strings exercise tokenizers with realistic input while still covering
+/// unicode.
+pub(crate) fn dot_char(rng: &mut TestRng) -> char {
+    match rng.below(10) {
+        0 => any_char(rng),
+        1 => ['\t', '\r', '\u{0}', '\u{7f}'][rng.below(4) as usize],
+        _ => (0x20 + rng.below(0x5f)) as u8 as char,
+    }
+}
+
+/// Uniform-ish over all unicode scalar values, excluding `\n`.
+pub(crate) fn any_char(rng: &mut TestRng) -> char {
+    loop {
+        let cp = (rng.next_u64() % 0x11_0000) as u32;
+        if let Some(c) = char::from_u32(cp) {
+            if c != '\n' {
+                return c;
+            }
+        }
+    }
+}
+
+fn class_char(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    let total: u64 = ranges
+        .iter()
+        .map(|(lo, hi)| (*hi as u64).saturating_sub(*lo as u64) + 1)
+        .sum();
+    let mut pick = rng.below(total);
+    for (lo, hi) in ranges {
+        let span = (*hi as u64) - (*lo as u64) + 1;
+        if pick < span {
+            return char::from_u32(*lo as u32 + pick as u32).expect("invalid class range");
+        }
+        pick -= span;
+    }
+    unreachable!("class selection out of bounds")
+}
+
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let count = piece.min + rng.below((piece.max - piece.min + 1) as u64) as u32;
+        for _ in 0..count {
+            out.push(match &piece.atom {
+                Atom::Dot => dot_char(rng),
+                Atom::Literal(c) => *c,
+                Atom::Class(ranges) => class_char(ranges, rng),
+            });
+        }
+    }
+    out
+}

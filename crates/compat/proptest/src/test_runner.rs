@@ -1,0 +1,135 @@
+//! Deterministic test runner: a splitmix64 PRNG seeded from the test's
+//! module path, a case loop, and the fail/reject error type.
+
+/// Deterministic PRNG handed to strategies. Splitmix64 — tiny, fast, and
+/// good enough for test-case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`0` when `n == 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Mirror of `proptest::test_runner::TestCaseError`.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property does not hold for this input.
+    Fail(String),
+    /// The input does not satisfy a `prop_assume!`/`prop_filter` condition.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// Mirror of `proptest::test_runner::Config` (the fields this workspace
+/// uses).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+    /// Upper bound on rejected cases before the run aborts.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            // The real default (256) is tuned for a shrinking runner; 64
+            // keeps full-workspace `cargo test` fast while still covering
+            // each property with dozens of random cases.
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+fn seed_from_ident(ident: &str) -> u64 {
+    // FNV-1a, so every test gets a distinct but stable seed.
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in ident.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01B3);
+    }
+    h
+}
+
+/// Drives one property: generates inputs until `config.cases` cases pass,
+/// panicking on the first failure. The seed is derived from `ident` (the
+/// test's full module path) unless `PROPTEST_SEED` overrides it.
+pub fn run_property<F>(config: &ProptestConfig, ident: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let seed = match std::env::var("PROPTEST_SEED") {
+        Ok(s) => s.parse::<u64>().unwrap_or_else(|_| seed_from_ident(ident)),
+        Err(_) => seed_from_ident(ident),
+    };
+    let mut rng = TestRng::new(seed);
+    let mut passed: u32 = 0;
+    let mut rejected: u32 = 0;
+    let mut attempt: u32 = 0;
+    while passed < config.cases {
+        attempt += 1;
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "{ident}: gave up after {rejected} rejected cases \
+                         ({passed}/{} passed)",
+                        config.cases
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{ident}: property failed at case #{attempt} (seed {seed}): {msg}");
+            }
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace uses serde purely as `#[derive(serde::Serialize,
+//! serde::Deserialize)]` annotations on data types; nothing actually
+//! serializes (no format crate is linked). This crate provides the two
+//! marker traits and re-exports the no-op derive macros so the annotations
+//! compile without any crates.io access. Swapping back to real serde is a
+//! one-line Cargo change; no source edits are required.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`. Never implemented by the
+/// no-op derive; present so `T: Serialize` bounds would still name-resolve.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use super::Serialize;
+}

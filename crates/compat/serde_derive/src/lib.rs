@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public data types
+//! but never serializes anything (no `serde_json`-style consumer is linked).
+//! This proc-macro crate accepts the same derive syntax — including
+//! `#[serde(...)]` field/container attributes — and expands to nothing, so
+//! the annotations stay in place for a future real-serde build without
+//! requiring network access to crates.io today.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,5 +1,7 @@
 //! Estimate types and error metrics.
 
+use std::collections::HashMap;
+
 /// A remaining-time estimate for one query.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Estimate {
@@ -7,6 +9,61 @@ pub struct Estimate {
     pub id: u64,
     /// Estimated remaining execution time in (virtual) seconds.
     pub remaining_seconds: f64,
+}
+
+/// One batch of per-query estimates from a single prediction pass, indexed
+/// by query id. Driver loops fetch this once per tick and look queries up
+/// in O(1), instead of re-running the predictor per query.
+#[derive(Debug, Clone, Default)]
+pub struct EstimateSet {
+    by_id: HashMap<u64, f64>,
+    truncated: bool,
+}
+
+impl EstimateSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (u64, f64)>, truncated: bool) -> Self {
+        Self {
+            by_id: pairs.into_iter().collect(),
+            truncated,
+        }
+    }
+
+    /// Remaining-seconds estimate for `id`, if the estimator produced one.
+    pub fn get(&self, id: u64) -> Option<f64> {
+        self.by_id.get(&id).copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// True when the underlying prediction hit its virtual-arrival cap
+    /// (predicted overload): estimates are then lower bounds.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.by_id.iter().map(|(&id, &t)| (id, t))
+    }
+
+    /// Materialize as [`Estimate`] records (unspecified order).
+    pub fn to_vec(&self) -> Vec<Estimate> {
+        self.iter()
+            .map(|(id, remaining_seconds)| Estimate {
+                id,
+                remaining_seconds,
+            })
+            .collect()
+    }
 }
 
 /// The paper's relative-error metric (§5.2.3):

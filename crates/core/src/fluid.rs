@@ -15,8 +15,16 @@
 //! models a bounded admission queue (§2.3) and predicted future arrivals
 //! every `1/λ` seconds (§2.4); with neither, it reduces exactly to the
 //! closed form (property-tested).
+//!
+//! `predict` runs in *virtual time*: under GPS the virtual finish tag
+//! `v_i = V_admit + c_i/w_i` of a query never changes after admission, so
+//! completions pop off a min-heap in tag order and each event costs
+//! `O(log n)` — `O((n + arrivals) log n)` total, versus the
+//! `O(events × n)` dense sweep kept as [`predict_reference`].
 
-use std::collections::VecDeque;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
 /// One query as the fluid model sees it.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -63,22 +71,44 @@ impl FutureArrivals {
 /// Outcome of a fluid prediction.
 #[derive(Debug, Clone)]
 pub struct FluidPrediction {
-    /// `(id, seconds from now)` for every tracked query, input order
-    /// preserved for running queries first, then queued.
+    /// `(id, seconds from now)` for every tracked query in completion
+    /// order (simultaneous finishes keep admission order).
     pub finish_times: Vec<(u64, f64)>,
     /// True when the virtual-arrival cap was hit (predicted-unstable
     /// system); estimates are then lower bounds.
     pub truncated: bool,
+    /// id → position in `finish_times`, so per-id lookups in driver loops
+    /// are O(1) instead of a scan.
+    index: HashMap<u64, usize>,
 }
 
 impl FluidPrediction {
+    pub fn new(finish_times: Vec<(u64, f64)>, truncated: bool) -> Self {
+        let index = finish_times
+            .iter()
+            .enumerate()
+            .map(|(pos, (id, _))| (*id, pos))
+            .collect();
+        Self {
+            finish_times,
+            truncated,
+            index,
+        }
+    }
+
     /// Finish time for one id.
     pub fn remaining_for(&self, id: u64) -> Option<f64> {
-        self.finish_times
-            .iter()
-            .find(|(i, _)| *i == id)
-            .map(|(_, t)| *t)
+        self.index.get(&id).map(|&pos| self.finish_times[pos].1)
     }
+}
+
+static PREDICT_INVOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of [`predict`] calls. Drivers are expected to batch:
+/// one `predict` per snapshot/tick, not one per query — tests assert on
+/// deltas of this counter.
+pub fn predict_invocations() -> u64 {
+    PREDICT_INVOCATIONS.load(AtomicOrdering::Relaxed)
 }
 
 /// Closed-form standard case (§2.2): remaining execution time of each query,
@@ -138,6 +168,76 @@ struct Live {
     weight: f64,
 }
 
+/// One admitted query in the virtual-time heap. Ordered as a *min*-heap on
+/// the virtual finish tag, with admission sequence as a deterministic
+/// tie-break (`BinaryHeap` is a max-heap, hence the reversed comparisons).
+#[derive(Debug, Clone, Copy)]
+struct Admitted {
+    virtual_finish: f64,
+    seq: u64,
+    id: Option<u64>,
+    weight: f64,
+}
+
+impl PartialEq for Admitted {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Admitted {}
+
+impl PartialOrd for Admitted {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Admitted {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .virtual_finish
+            .total_cmp(&self.virtual_finish)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Mutable GPS state shared by admission and the event loop.
+struct VirtualClock {
+    /// Virtual time `V`: the integral of `rate/W` over real time.
+    vt: f64,
+    /// Sum of weights of admitted, unfinished queries.
+    total_w: f64,
+    /// Next admission sequence number.
+    seq: u64,
+}
+
+impl VirtualClock {
+    fn admit(&mut self, q: Live, heap: &mut BinaryHeap<Admitted>) {
+        heap.push(Admitted {
+            virtual_finish: self.vt + q.cost / q.weight,
+            seq: self.seq,
+            id: q.id,
+            weight: q.weight,
+        });
+        self.seq += 1;
+        self.total_w += q.weight;
+    }
+
+    /// Admit from the FIFO queue while slots are free.
+    fn drain(
+        &mut self,
+        queue: &mut VecDeque<Live>,
+        heap: &mut BinaryHeap<Admitted>,
+        slots: Option<usize>,
+    ) {
+        while !queue.is_empty() && slots.is_none_or(|k| heap.len() < k) {
+            let q = queue.pop_front().unwrap();
+            self.admit(q, heap);
+        }
+    }
+}
+
 /// Event-driven fluid prediction with admission limits and future arrivals.
 ///
 /// * `running` — queries currently executing.
@@ -150,7 +250,126 @@ struct Live {
 /// Returns the predicted finish time (seconds from now) of every *tracked*
 /// query (those in `running`/`queued`; virtual arrivals only influence the
 /// load).
+///
+/// Virtual-time formulation: while the admitted set is fixed, real time to
+/// the next completion is `(v_min − V)·W/rate`, and a query arriving after
+/// `Δt` advances `V` by `Δt·rate/W`. Each completion/arrival is one heap
+/// operation, so the whole prediction is `O((n + arrivals) log n)` —
+/// property-tested to agree with the dense [`predict_reference`] sweep.
 pub fn predict(
+    running: &[FluidQuery],
+    queued: &[FluidQuery],
+    slots: Option<usize>,
+    future: Option<&FutureArrivals>,
+    rate: f64,
+) -> FluidPrediction {
+    PREDICT_INVOCATIONS.fetch_add(1, AtomicOrdering::Relaxed);
+    assert!(rate > 0.0, "rate must be positive");
+    if let Some(k) = slots {
+        assert!(k >= 1, "admission limit must be at least 1");
+    }
+    const EPS: f64 = 1e-9;
+
+    let mut heap: BinaryHeap<Admitted> =
+        BinaryHeap::with_capacity(running.len() + queued.len() + 1);
+    let mut queue: VecDeque<Live> = queued
+        .iter()
+        .map(|q| Live {
+            id: Some(q.id),
+            cost: q.cost.max(0.0),
+            weight: q.weight,
+        })
+        .collect();
+    let mut clock = VirtualClock {
+        vt: 0.0,
+        total_w: 0.0,
+        seq: 0,
+    };
+    // Everything already running occupies a slot regardless of `slots`.
+    for q in running {
+        clock.admit(
+            Live {
+                id: Some(q.id),
+                cost: q.cost.max(0.0),
+                weight: q.weight,
+            },
+            &mut heap,
+        );
+    }
+    clock.drain(&mut queue, &mut heap, slots);
+
+    let mut finish: Vec<(u64, f64)> = Vec::with_capacity(running.len() + queued.len());
+    let mut tracked_left = running.len() + queued.len();
+    let mut t = 0.0;
+    let mut truncated = false;
+    let mut arrivals_made = 0usize;
+    let mut next_arrival = future.map(|f| f.period);
+
+    while tracked_left > 0 {
+        let Some(top) = heap.peek() else {
+            // Unreachable: admission always fills at least one slot while
+            // tracked queries remain; defensive exit mirrors the reference.
+            break;
+        };
+        let dt_finish = ((top.virtual_finish - clock.vt) * clock.total_w / rate).max(0.0);
+        let dt_arrival = match (future, next_arrival) {
+            (Some(f), Some(at)) if arrivals_made < f.max_arrivals => Some(at - t),
+            _ => None,
+        };
+        match dt_arrival {
+            Some(da) if da < dt_finish - EPS => {
+                // Arrival strictly first: advance the fluid to that instant.
+                clock.vt += da * rate / clock.total_w;
+                t += da;
+            }
+            _ => {
+                // Completion event: jump straight to the top tag.
+                t += dt_finish;
+                clock.vt = clock.vt.max(top.virtual_finish);
+                while let Some(top) = heap.peek() {
+                    // Residual work (v − V)·w ≤ EPS counts as finished, like
+                    // the reference's cost ≤ EPS sweep.
+                    if (top.virtual_finish - clock.vt) * top.weight > EPS {
+                        break;
+                    }
+                    let done = heap.pop().unwrap();
+                    clock.total_w -= done.weight;
+                    if let Some(id) = done.id {
+                        finish.push((id, t));
+                        tracked_left -= 1;
+                    }
+                }
+                if heap.is_empty() {
+                    clock.total_w = 0.0; // clear accumulated FP drift
+                }
+                clock.drain(&mut queue, &mut heap, slots);
+            }
+        }
+        // Arrival due at (or within EPS of) the current instant.
+        if let (Some(f), Some(at)) = (future, next_arrival) {
+            if arrivals_made < f.max_arrivals && at - t <= EPS {
+                queue.push_back(Live {
+                    id: None,
+                    cost: f.cost,
+                    weight: f.weight,
+                });
+                arrivals_made += 1;
+                next_arrival = Some(at + f.period);
+                if arrivals_made == f.max_arrivals {
+                    truncated = true;
+                }
+                clock.drain(&mut queue, &mut heap, slots);
+            }
+        }
+    }
+    FluidPrediction::new(finish, truncated)
+}
+
+/// The dense `O(events × n)` fluid sweep that [`predict`] replaced: every
+/// event recomputes the weight sum and decrements every running cost.
+/// Kept as the oracle for equivalence property tests and as the baseline
+/// for the before/after benchmarks; not called on any production path.
+pub fn predict_reference(
     running: &[FluidQuery],
     queued: &[FluidQuery],
     slots: Option<usize>,
@@ -247,10 +466,7 @@ pub fn predict(
             }
         }
     }
-    FluidPrediction {
-        finish_times: finish,
-        truncated,
-    }
+    FluidPrediction::new(finish, truncated)
 }
 
 fn admit(run: &mut Vec<Live>, queue: &mut VecDeque<Live>, slots: Option<usize>) {
@@ -279,7 +495,12 @@ mod tests {
     fn paper_fig1_equal_priorities() {
         // Four equal-priority queries, costs 100, 200, 300, 400 at C=100:
         // stage durations: 100*4/100=4, 100*3/100=3, 100*2/100=2, 100/100=1.
-        let qs = [q(1, 100.0, 1.0), q(2, 200.0, 1.0), q(3, 300.0, 1.0), q(4, 400.0, 1.0)];
+        let qs = [
+            q(1, 100.0, 1.0),
+            q(2, 200.0, 1.0),
+            q(3, 300.0, 1.0),
+            q(4, 400.0, 1.0),
+        ];
         let r = standard_remaining_times(&qs, 100.0);
         assert_eq!(r, vec![4.0, 7.0, 9.0, 10.0]);
     }
@@ -315,7 +536,13 @@ mod tests {
         let p = predict(&qs, &[], None, None, 60.0);
         for (i, qq) in qs.iter().enumerate() {
             let t = p.remaining_for(qq.id).unwrap();
-            assert!((t - closed[i]).abs() < 1e-6, "id {}: {} vs {}", qq.id, t, closed[i]);
+            assert!(
+                (t - closed[i]).abs() < 1e-6,
+                "id {}: {} vs {}",
+                qq.id,
+                t,
+                closed[i]
+            );
         }
         assert!(!p.truncated);
     }
@@ -393,5 +620,33 @@ mod tests {
     #[should_panic(expected = "weights must be positive")]
     fn zero_weight_panics() {
         standard_remaining_times(&[q(1, 10.0, 0.0)], 1.0);
+    }
+
+    #[test]
+    fn virtual_time_agrees_with_reference_sweep() {
+        let running = [q(1, 500.0, 1.0), q(2, 100.0, 2.0), q(3, 321.0, 0.5)];
+        let queued = [q(4, 200.0, 1.0), q(5, 50.0, 4.0)];
+        let f = FutureArrivals {
+            period: 1.5,
+            cost: 120.0,
+            weight: 1.0,
+            max_arrivals: 64,
+        };
+        let fast = predict(&running, &queued, Some(2), Some(&f), 100.0);
+        let slow = predict_reference(&running, &queued, Some(2), Some(&f), 100.0);
+        assert_eq!(fast.truncated, slow.truncated);
+        assert_eq!(fast.finish_times.len(), slow.finish_times.len());
+        for (id, t) in &slow.finish_times {
+            let got = fast.remaining_for(*id).unwrap();
+            assert!((got - t).abs() < 1e-6, "id {id}: {got} vs {t}");
+        }
+    }
+
+    #[test]
+    fn predict_counts_invocations() {
+        let before = predict_invocations();
+        predict(&[q(1, 10.0, 1.0)], &[], None, None, 10.0);
+        predict(&[q(1, 10.0, 1.0)], &[], None, None, 10.0);
+        assert!(predict_invocations() >= before + 2);
     }
 }

@@ -26,7 +26,7 @@ pub mod percent;
 pub mod single;
 
 pub use adaptive::ArrivalRateEstimator;
-pub use estimate::{relative_error, Estimate};
+pub use estimate::{relative_error, Estimate, EstimateSet};
 pub use fluid::{standard_remaining_times, FluidPrediction, FluidQuery, FutureArrivals};
 pub use multi::{MultiQueryPi, Visibility};
 pub use percent::{PercentDonePi, TimeFractionPi};

@@ -12,7 +12,7 @@
 
 use mqpi_sim::system::SystemSnapshot;
 
-use crate::estimate::Estimate;
+use crate::estimate::EstimateSet;
 use crate::fluid::{predict, FluidQuery, FutureArrivals};
 
 /// Approximate knowledge about future load (paper §2.4): average arrival
@@ -78,8 +78,9 @@ impl MultiQueryPi {
     }
 
     /// Estimates for all running (unblocked) queries — and, when the queue
-    /// is visible, for queued queries as well.
-    pub fn estimates(&self, snap: &SystemSnapshot) -> Vec<Estimate> {
+    /// is visible, for queued queries as well. One [`predict`] pass covers
+    /// the whole snapshot; look individual queries up in the returned set.
+    pub fn estimates(&self, snap: &SystemSnapshot) -> EstimateSet {
         let running: Vec<FluidQuery> = snap
             .running
             .iter()
@@ -123,21 +124,14 @@ impl MultiQueryPi {
             None
         };
         let p = predict(&running, &queued, slots, future.as_ref(), snap.rate);
-        p.finish_times
-            .into_iter()
-            .map(|(id, t)| Estimate {
-                id,
-                remaining_seconds: t,
-            })
-            .collect()
+        EstimateSet::from_pairs(p.finish_times, p.truncated)
     }
 
-    /// Estimate for one query.
+    /// Estimate for one query. Convenience wrapper over [`Self::estimates`];
+    /// when estimating several queries per tick, call `estimates` once and
+    /// use [`EstimateSet::get`] instead.
     pub fn estimate(&self, snap: &SystemSnapshot, id: u64) -> Option<f64> {
-        self.estimates(snap)
-            .into_iter()
-            .find(|e| e.id == id)
-            .map(|e| e.remaining_seconds)
+        self.estimates(snap).get(id)
     }
 }
 
@@ -149,7 +143,7 @@ mod tests {
     fn state(id: u64, remaining: f64, weight: f64) -> QueryState {
         QueryState {
             id,
-            name: format!("q{id}"),
+            name: format!("q{id}").into(),
             weight,
             arrived: 0.0,
             started: 0.0,

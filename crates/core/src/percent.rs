@@ -80,7 +80,7 @@ mod tests {
     fn state(id: u64, done: f64, remaining: f64, started: f64) -> QueryState {
         QueryState {
             id,
-            name: format!("q{id}"),
+            name: format!("q{id}").into(),
             weight: 1.0,
             arrived: started,
             started,

@@ -9,7 +9,7 @@
 
 use mqpi_sim::system::SystemSnapshot;
 
-use crate::estimate::Estimate;
+use crate::estimate::EstimateSet;
 
 /// Single-query PI.
 #[derive(Debug, Clone, Default)]
@@ -32,7 +32,12 @@ impl SingleQueryPi {
         // Observed speed; before the monitor has a sample, fall back to the
         // fair-share speed the query is entitled to right now (this is also
         // what a fresh PostgreSQL PI would assume).
-        let total_w: f64 = snap.running.iter().filter(|r| !r.blocked).map(|r| r.weight).sum();
+        let total_w: f64 = snap
+            .running
+            .iter()
+            .filter(|r| !r.blocked)
+            .map(|r| r.weight)
+            .sum();
         let fallback = if total_w > 0.0 {
             snap.rate * q.weight / total_w
         } else {
@@ -43,17 +48,14 @@ impl SingleQueryPi {
     }
 
     /// Estimates for all running, unblocked queries.
-    pub fn estimates(&self, snap: &SystemSnapshot) -> Vec<Estimate> {
-        snap.running
-            .iter()
-            .filter(|q| !q.blocked)
-            .filter_map(|q| {
-                self.estimate(snap, q.id).map(|t| Estimate {
-                    id: q.id,
-                    remaining_seconds: t,
-                })
-            })
-            .collect()
+    pub fn estimates(&self, snap: &SystemSnapshot) -> EstimateSet {
+        EstimateSet::from_pairs(
+            snap.running
+                .iter()
+                .filter(|q| !q.blocked)
+                .filter_map(|q| self.estimate(snap, q.id).map(|t| (q.id, t))),
+            false,
+        )
     }
 }
 
@@ -65,7 +67,7 @@ mod tests {
     fn state(id: u64, remaining: f64, speed: Option<f64>, weight: f64) -> QueryState {
         QueryState {
             id,
-            name: format!("q{id}"),
+            name: format!("q{id}").into(),
             weight,
             arrived: 0.0,
             started: 0.0,
@@ -110,10 +112,7 @@ mod tests {
 
     #[test]
     fn falls_back_to_fair_share_before_first_sample() {
-        let s = snap(vec![
-            state(1, 300.0, None, 1.0),
-            state(2, 300.0, None, 2.0),
-        ]);
+        let s = snap(vec![state(1, 300.0, None, 1.0), state(2, 300.0, None, 2.0)]);
         let pi = SingleQueryPi::new();
         // Fair share of q1: 100·(1/3) ⇒ 300/33.3 = 9s.
         assert!((pi.estimate(&s, 1).unwrap() - 9.0).abs() < 1e-6);

@@ -1,0 +1,68 @@
+//! Verifies the batch-estimation contract: one [`mqpi_core::fluid::predict`]
+//! invocation covers a whole driver tick, no matter how many queries the
+//! tick looks up.
+//!
+//! This file deliberately holds a single test: the invocation counter is
+//! process-global, and a lone test keeps the count attributable.
+
+use mqpi_core::fluid::predict_invocations;
+use mqpi_core::{MultiQueryPi, Visibility};
+use mqpi_sim::system::{QueryState, QueuedState, SystemSnapshot};
+
+fn state(id: u64, remaining: f64) -> QueryState {
+    QueryState {
+        id,
+        name: format!("q{id}").into(),
+        weight: 1.0,
+        arrived: 0.0,
+        started: 0.0,
+        done: 0.0,
+        remaining,
+        initial_estimate: remaining,
+        observed_speed: Some(10.0),
+        blocked: false,
+        rolling_back: false,
+    }
+}
+
+#[test]
+fn a_driver_tick_runs_exactly_one_prediction() {
+    let snap = SystemSnapshot {
+        time: 0.0,
+        rate: 100.0,
+        running: (1..=10).map(|i| state(i, 100.0 * i as f64)).collect(),
+        queued: vec![QueuedState {
+            id: 99,
+            name: "q99".into(),
+            weight: 1.0,
+            arrived: 0.0,
+            est_cost: 250.0,
+        }],
+    };
+    let pi = MultiQueryPi::new(Visibility::with_queue(Some(10)));
+
+    // A driver tick: one `estimates` pass, then per-query lookups.
+    let before = predict_invocations();
+    let set = pi.estimates(&snap);
+    assert_eq!(
+        predict_invocations() - before,
+        1,
+        "a tick must run the fluid predictor exactly once"
+    );
+
+    // The single pass covered every running and queued query; lookups are
+    // O(1) map hits, not further predictions.
+    let before = predict_invocations();
+    for i in 1..=10u64 {
+        assert!(set.get(i).is_some(), "missing estimate for running q{i}");
+    }
+    assert!(set.get(99).is_some(), "missing estimate for queued q99");
+    assert_eq!(predict_invocations(), before);
+
+    // The per-query convenience wrapper costs one prediction per call —
+    // which is why driver loops use `estimates` instead.
+    let before = predict_invocations();
+    let _ = pi.estimate(&snap, 1);
+    let _ = pi.estimate(&snap, 2);
+    assert_eq!(predict_invocations() - before, 2);
+}

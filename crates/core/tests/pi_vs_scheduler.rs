@@ -9,12 +9,7 @@ use mqpi_sim::job::SyntheticJob;
 use mqpi_sim::system::{System, SystemConfig};
 use mqpi_sim::AdmissionPolicy;
 
-fn build(
-    costs: &[u64],
-    weights: &[f64],
-    slots: Option<usize>,
-    quantum: f64,
-) -> (System, Vec<u64>) {
+fn build(costs: &[u64], weights: &[f64], slots: Option<usize>, quantum: f64) -> (System, Vec<u64>) {
     let mut cfg = SystemConfig {
         rate: 100.0,
         quantum_units: quantum,

@@ -3,20 +3,28 @@
 
 use proptest::prelude::*;
 
-use mqpi_core::fluid::{predict, standard_remaining_times, FluidQuery, FutureArrivals};
+use mqpi_core::fluid::{
+    predict, predict_reference, standard_remaining_times, FluidQuery, FutureArrivals,
+};
 
 fn arb_queries(max_n: usize) -> impl Strategy<Value = Vec<FluidQuery>> {
-    prop::collection::vec((1.0f64..5000.0, prop::sample::select(vec![0.5, 1.0, 2.0, 4.0])), 1..max_n)
-        .prop_map(|v| {
-            v.into_iter()
-                .enumerate()
-                .map(|(i, (cost, weight))| FluidQuery {
-                    id: i as u64,
-                    cost,
-                    weight,
-                })
-                .collect()
-        })
+    prop::collection::vec(
+        (
+            1.0f64..5000.0,
+            prop::sample::select(vec![0.5, 1.0, 2.0, 4.0]),
+        ),
+        1..max_n,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .enumerate()
+            .map(|(i, (cost, weight))| FluidQuery {
+                id: i as u64,
+                cost,
+                weight,
+            })
+            .collect()
+    })
 }
 
 proptest! {
@@ -110,6 +118,46 @@ proptest! {
             let l = limited.remaining_for(q.id).unwrap();
             let u = unlimited.remaining_for(q.id).unwrap();
             prop_assert!(l <= u + 1e-6, "query {}: limited {} > unlimited {}", q.id, l, u);
+        }
+    }
+
+    /// The virtual-time heap predictor is a drop-in replacement for the
+    /// reference event sweep across random running/queued/slots/future
+    /// configurations.
+    #[test]
+    fn virtual_time_matches_reference_sweep(
+        qs in arb_queries(10),
+        queued in arb_queries(6),
+        slots_off in 0usize..6,
+        lam in 0.0f64..0.05,
+        rate in 1.0f64..200.0,
+    ) {
+        let queued: Vec<FluidQuery> = queued
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut q)| {
+                q.id = 1000 + i as u64;
+                q
+            })
+            .collect();
+        // slots_off = 0 ⇒ unlimited; otherwise a limit from 1 upward, so
+        // both "queue drains gradually" and "all admitted at once" occur.
+        let slots = (slots_off > 0).then_some(slots_off);
+        let future = (lam > 1e-3)
+            .then(|| FutureArrivals::from_rate(lam, 500.0, 1.0).unwrap());
+        let fast = predict(&qs, &queued, slots, future.as_ref(), rate);
+        let reference = predict_reference(&qs, &queued, slots, future.as_ref(), rate);
+        prop_assert_eq!(fast.truncated, reference.truncated);
+        prop_assert_eq!(fast.finish_times.len(), reference.finish_times.len());
+        for (id, t_ref) in &reference.finish_times {
+            let t = fast.remaining_for(*id);
+            prop_assert!(t.is_some(), "query {} missing from virtual-time result", id);
+            let t = t.unwrap();
+            prop_assert!(
+                (t - t_ref).abs() < 1e-6 * t_ref.max(1.0),
+                "query {}: virtual-time {} vs reference {}",
+                id, t, t_ref
+            );
         }
     }
 

@@ -74,7 +74,11 @@ impl BTreeIndex {
     }
 
     /// Bulk-load from entries sorted by key (then rid). Errors if unsorted.
-    pub fn bulk_load(entries: Vec<(Value, Rid)>, leaf_cap: usize, internal_cap: usize) -> Result<Self> {
+    pub fn bulk_load(
+        entries: Vec<(Value, Rid)>,
+        leaf_cap: usize,
+        internal_cap: usize,
+    ) -> Result<Self> {
         for w in entries.windows(2) {
             let ord = cmp_entry(&w[0], &w[1]);
             if ord == Ordering::Greater {
@@ -444,7 +448,11 @@ mod tests {
         assert_eq!(rids.len(), 50);
         // With leaf cap 4, 50 duplicates span ≥ 12 leaves, so the probe must
         // charge well beyond the descent height.
-        assert!(m.used() >= 12, "expected multi-leaf charge, got {}", m.used());
+        assert!(
+            m.used() >= 12,
+            "expected multi-leaf charge, got {}",
+            m.used()
+        );
     }
 
     #[test]

@@ -111,7 +111,9 @@ impl Database {
     pub fn create_table(&mut self, name: impl Into<String>, schema: Schema) -> Result<()> {
         let name = name.into().to_ascii_lowercase();
         if self.tables.contains_key(&name) {
-            return Err(EngineError::catalog(format!("table '{name}' already exists")));
+            return Err(EngineError::catalog(format!(
+                "table '{name}' already exists"
+            )));
         }
         let stats = TableStats {
             row_count: 0,
@@ -591,7 +593,10 @@ mod tests {
         let pr = c.progress();
         let est_total = pr.done + pr.remaining;
         let err = (est_total - total).abs() / total;
-        assert!(err < 0.4, "estimate {est_total} vs actual {total} (err {err})");
+        assert!(
+            err < 0.4,
+            "estimate {est_total} vs actual {total} (err {err})"
+        );
     }
 
     #[test]
@@ -599,10 +604,20 @@ mod tests {
         let mut db = test_db();
         let prepared = db.prepare("select * from part").unwrap();
         let _cur = prepared.open().unwrap();
-        assert!(db.insert("part", &[vec![Value::Int(51), Value::Float(1.0), Value::str("x")]]).is_err());
+        assert!(db
+            .insert(
+                "part",
+                &[vec![Value::Int(51), Value::Float(1.0), Value::str("x")]]
+            )
+            .is_err());
         drop(_cur);
         drop(prepared);
-        assert!(db.insert("part", &[vec![Value::Int(51), Value::Float(1.0), Value::str("x")]]).is_ok());
+        assert!(db
+            .insert(
+                "part",
+                &[vec![Value::Int(51), Value::Float(1.0), Value::str("x")]]
+            )
+            .is_ok());
     }
 
     #[test]
@@ -629,7 +644,9 @@ mod tests {
         assert!(text.contains("Aggregate"), "{text}");
         assert!(text.contains("IndexScan"), "{text}");
         // And the scan choice flips to sequential without a usable index.
-        let p2 = db.prepare("select count(*) from bigitem where v = 3").unwrap();
+        let p2 = db
+            .prepare("select count(*) from bigitem where v = 3")
+            .unwrap();
         assert!(p2.explain().contains("SeqScan"), "{}", p2.explain());
     }
 

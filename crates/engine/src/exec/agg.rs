@@ -29,8 +29,7 @@ fn gkey(v: &Value) -> GKey {
         Value::Null => GKey::Null,
         Value::Int(i) => GKey::Int(*i),
         Value::Float(f) => {
-            if f.fract() == 0.0 && f.is_finite() && *f >= i64::MIN as f64 && *f <= i64::MAX as f64
-            {
+            if f.fract() == 0.0 && f.is_finite() && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 {
                 GKey::Int(*f as i64)
             } else {
                 GKey::Bits(f.to_bits())
@@ -99,8 +98,7 @@ impl AggState {
             AggState::Min(cur) => {
                 if let Some(v) = v {
                     if !v.is_null() {
-                        let replace =
-                            cur.as_ref().map(|c| v.total_cmp(c).is_lt()).unwrap_or(true);
+                        let replace = cur.as_ref().map(|c| v.total_cmp(c).is_lt()).unwrap_or(true);
                         if replace {
                             *cur = Some(v.clone());
                         }
@@ -110,8 +108,7 @@ impl AggState {
             AggState::Max(cur) => {
                 if let Some(v) = v {
                     if !v.is_null() {
-                        let replace =
-                            cur.as_ref().map(|c| v.total_cmp(c).is_gt()).unwrap_or(true);
+                        let replace = cur.as_ref().map(|c| v.total_cmp(c).is_gt()).unwrap_or(true);
                         if replace {
                             *cur = Some(v.clone());
                         }
@@ -215,7 +212,6 @@ impl Operator for Aggregate {
     fn progress_children(&self) -> Vec<&dyn Operator> {
         vec![self.child.as_ref()]
     }
-
 
     fn next(&mut self, ctx: &ExecContext) -> Result<Step> {
         while !self.input_done {
@@ -328,7 +324,6 @@ impl Operator for Distinct {
     fn progress_children(&self) -> Vec<&dyn Operator> {
         vec![self.child.as_ref()]
     }
-
 
     fn next(&mut self, ctx: &ExecContext) -> Result<Step> {
         if self.done {

@@ -37,7 +37,8 @@ impl Filter {
         // is recoverable from the child operator itself.
         let child_rows = child.remaining_rows().max(1.0);
         let child_units = child.remaining_units();
-        let per_tuple = ((est.cost - child_units) / child_rows).max(1.0 / CPU_TICKS_PER_UNIT as f64);
+        let per_tuple =
+            ((est.cost - child_units) / child_rows).max(1.0 / CPU_TICKS_PER_UNIT as f64);
         let prior_sel = (est.rows / child_rows).clamp(0.0, 1.0);
         Filter {
             child,
@@ -58,7 +59,6 @@ impl Operator for Filter {
     fn progress_children(&self) -> Vec<&dyn Operator> {
         vec![self.child.as_ref()]
     }
-
 
     fn next(&mut self, ctx: &ExecContext) -> Result<Step> {
         loop {
@@ -128,7 +128,6 @@ impl Operator for Project {
         vec![self.child.as_ref()]
     }
 
-
     fn next(&mut self, ctx: &ExecContext) -> Result<Step> {
         let row = match self.child.next(ctx)? {
             Step::Row(r) => r,
@@ -147,8 +146,7 @@ impl Operator for Project {
         if self.done {
             return 0.0;
         }
-        self.child.remaining_units()
-            + self.child.remaining_rows() / CPU_TICKS_PER_UNIT as f64
+        self.child.remaining_units() + self.child.remaining_rows() / CPU_TICKS_PER_UNIT as f64
     }
 
     fn remaining_rows(&self) -> f64 {
@@ -186,7 +184,6 @@ impl Operator for Limit {
         vec![self.child.as_ref()]
     }
 
-
     fn next(&mut self, ctx: &ExecContext) -> Result<Step> {
         if self.emitted >= self.n {
             return Ok(Step::Done);
@@ -212,7 +209,11 @@ impl Operator for Limit {
         // fraction of rows still wanted.
         let want = (self.n - self.emitted) as f64;
         let have = self.child.remaining_rows();
-        let frac = if have > 0.0 { (want / have).min(1.0) } else { 1.0 };
+        let frac = if have > 0.0 {
+            (want / have).min(1.0)
+        } else {
+            1.0
+        };
         self.child.remaining_units() * frac
     }
 

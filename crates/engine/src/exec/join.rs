@@ -34,8 +34,7 @@ fn hkey(v: &Value) -> Option<HKey> {
         Value::Int(i) => Some(HKey::Int(*i)),
         Value::Float(f) => {
             // Normalize integral floats so Int(2) joins Float(2.0).
-            if f.fract() == 0.0 && f.is_finite() && *f >= i64::MIN as f64 && *f <= i64::MAX as f64
-            {
+            if f.fract() == 0.0 && f.is_finite() && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 {
                 Some(HKey::Int(*f as i64))
             } else {
                 Some(HKey::Bits(f.to_bits()))
@@ -89,7 +88,6 @@ impl Operator for NestedLoopJoin {
     fn progress_children(&self) -> Vec<&dyn Operator> {
         vec![self.left.as_ref(), self.right.as_ref()]
     }
-
 
     fn next(&mut self, ctx: &ExecContext) -> Result<Step> {
         if self.done {
@@ -223,7 +221,6 @@ impl Operator for HashJoin {
         vec![self.left.as_ref(), self.right.as_ref()]
     }
 
-
     fn next(&mut self, ctx: &ExecContext) -> Result<Step> {
         if self.done {
             return Ok(Step::Done);
@@ -351,7 +348,6 @@ impl Operator for IndexNLJoin {
         vec![self.left.as_ref()]
     }
 
-
     fn next(&mut self, ctx: &ExecContext) -> Result<Step> {
         if self.done {
             return Ok(Step::Done);
@@ -389,8 +385,8 @@ impl Operator for IndexNLJoin {
                     // Full per-outer-tuple cost: index descent + one heap
                     // fetch per match + per-match CPU (fetches happen as we
                     // stream, but they are deterministic, so fold them in).
-                    let total = lookup_units
-                        + rids.len() as f64 * (1.0 + 1.0 / CPU_TICKS_PER_UNIT as f64);
+                    let total =
+                        lookup_units + rids.len() as f64 * (1.0 + 1.0 / CPU_TICKS_PER_UNIT as f64);
                     self.probe_cost.observe(total);
                     self.fanout.observe(rids.len() as f64);
                     self.current = Some((l, rids, 0));

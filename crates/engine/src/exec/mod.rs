@@ -73,8 +73,7 @@ impl ExecContext {
 
     /// Set the installment deadline to `budget` more units from now.
     pub fn arm_budget(&self, budget: u64) {
-        self.deadline
-            .set(self.meter.used().saturating_add(budget));
+        self.deadline.set(self.meter.used().saturating_add(budget));
     }
 
     /// Remove the installment deadline.

@@ -36,7 +36,6 @@ impl Operator for SeqScan {
         format!("SeqScan on {}", self.table.name)
     }
 
-
     fn next(&mut self, ctx: &ExecContext) -> Result<Step> {
         if self.done {
             return Ok(Step::Done);
@@ -106,7 +105,6 @@ impl Operator for IndexScanEq {
     fn label(&self) -> String {
         format!("IndexScan(eq) on {}", self.table.name)
     }
-
 
     fn next(&mut self, ctx: &ExecContext) -> Result<Step> {
         if ctx.exhausted() {
@@ -200,7 +198,6 @@ impl Operator for IndexScanRange {
         format!("IndexScan(range) on {}", self.table.name)
     }
 
-
     fn next(&mut self, ctx: &ExecContext) -> Result<Step> {
         if self.done {
             return Ok(Step::Done);
@@ -213,16 +210,8 @@ impl Operator for IndexScanRange {
             .index_on(self.column)
             .expect("index checked at build");
         if self.st.is_none() {
-            let lo = self
-                .lo
-                .as_ref()
-                .map(|e| eval(e, &[], ctx))
-                .transpose()?;
-            let hi = self
-                .hi
-                .as_ref()
-                .map(|e| eval(e, &[], ctx))
-                .transpose()?;
+            let lo = self.lo.as_ref().map(|e| eval(e, &[], ctx)).transpose()?;
+            let hi = self.hi.as_ref().map(|e| eval(e, &[], ctx)).transpose()?;
             self.st = Some(idx.tree.range_start(lo.as_ref(), hi.as_ref(), &ctx.meter));
         }
         let st = self.st.as_mut().unwrap();

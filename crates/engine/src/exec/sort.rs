@@ -53,7 +53,6 @@ impl Operator for Sort {
         vec![self.child.as_ref()]
     }
 
-
     fn next(&mut self, ctx: &ExecContext) -> Result<Step> {
         loop {
             match &mut self.phase {
@@ -84,8 +83,7 @@ impl Operator for Sort {
                                 }
                                 std::cmp::Ordering::Equal
                             });
-                            let debt =
-                                cost::sort_cost(self.buffer.len() as f64).ceil() as u64;
+                            let debt = cost::sort_cost(self.buffer.len() as f64).ceil() as u64;
                             self.phase = Phase::PayDebt { debt };
                         }
                     }

@@ -264,9 +264,9 @@ impl PlanNode {
     /// included; they execute as nested invocations).
     pub fn children(&self) -> Vec<&PlanNode> {
         match &self.op {
-            PlanOp::SeqScan { .. }
-            | PlanOp::IndexScanEq { .. }
-            | PlanOp::IndexScanRange { .. } => vec![],
+            PlanOp::SeqScan { .. } | PlanOp::IndexScanEq { .. } | PlanOp::IndexScanRange { .. } => {
+                vec![]
+            }
             PlanOp::Filter { input, .. }
             | PlanOp::Project { input, .. }
             | PlanOp::Sort { input, .. }
@@ -274,8 +274,9 @@ impl PlanNode {
             | PlanOp::Limit { input, .. }
             | PlanOp::Distinct { input } => vec![input],
             PlanOp::IndexNLJoin { left, .. } => vec![left],
-            PlanOp::NestedLoopJoin { left, right, .. }
-            | PlanOp::HashJoin { left, right, .. } => vec![left, right],
+            PlanOp::NestedLoopJoin { left, right, .. } | PlanOp::HashJoin { left, right, .. } => {
+                vec![left, right]
+            }
         }
     }
 
@@ -332,9 +333,9 @@ impl PhysExpr {
             PhysExpr::Subquery { outer_args, .. } | PhysExpr::Exists { outer_args, .. } => {
                 outer_args.iter().any(|a| a.uses_input())
             }
-            PhysExpr::InSubquery { expr, outer_args, .. } => {
-                expr.uses_input() || outer_args.iter().any(|a| a.uses_input())
-            }
+            PhysExpr::InSubquery {
+                expr, outer_args, ..
+            } => expr.uses_input() || outer_args.iter().any(|a| a.uses_input()),
             PhysExpr::Like { expr, .. } => expr.uses_input(),
         }
     }

@@ -193,13 +193,10 @@ fn plan_select(
             let applicable_idx: Vec<usize> = pending
                 .iter()
                 .enumerate()
-                .filter(|(_, (refs, _))| {
-                    refs.iter().all(|r| joined_idx.contains(r) || *r == c)
-                })
+                .filter(|(_, (refs, _))| refs.iter().all(|r| joined_idx.contains(r) || *r == c))
                 .map(|(k, _)| k)
                 .collect();
-            let applicable: Vec<&Expr> =
-                applicable_idx.iter().map(|k| pending[*k].1).collect();
+            let applicable: Vec<&Expr> = applicable_idx.iter().map(|k| pending[*k].1).collect();
             let cand = ScopeItem {
                 offset: prefix_width,
                 ..items[c].clone()
@@ -253,7 +250,10 @@ fn plan_select(
             SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
             SelectItem::Star => false,
         })
-        || q.having.as_ref().map(|h| h.contains_aggregate()).unwrap_or(false);
+        || q.having
+            .as_ref()
+            .map(|h| h.contains_aggregate())
+            .unwrap_or(false);
 
     let (mut node, columns) = if has_aggs {
         plan_aggregate(db, q, node, &scope, tables)?
@@ -503,9 +503,7 @@ fn scan_plan(
         let sub_cost = subquery_cost_estimate(&pred);
         let est = NodeEst {
             rows: rows_out,
-            cost: node.est.cost
-                + cost::per_tuple_cost(node.est.rows)
-                + node.est.rows * sub_cost,
+            cost: node.est.cost + cost::per_tuple_cost(node.est.rows) + node.est.rows * sub_cost,
         };
         node = PlanNode {
             op: PlanOp::Filter {
@@ -520,35 +518,33 @@ fn scan_plan(
 
 /// Is `p` of the form `col ⊕ expr` (or `expr ⊕ col`) usable for an index on
 /// this scan's table? Returns (column ordinal, normalized op, value expr).
-fn index_candidate<'e>(
-    p: &'e Expr,
-    local: &Scope<'_>,
-) -> Result<Option<(usize, BinOp, &'e Expr)>> {
+fn index_candidate<'e>(p: &'e Expr, local: &Scope<'_>) -> Result<Option<(usize, BinOp, &'e Expr)>> {
     let Expr::Binary { op, left, right } = p else {
         return Ok(None);
     };
     if !op.is_comparison() || matches!(op, BinOp::NotEq) {
         return Ok(None);
     }
-    let try_side = |col_side: &Expr, other: &'e Expr, op: BinOp| -> Result<Option<(usize, BinOp, &'e Expr)>> {
-        if let Expr::Column { table, name } = col_side {
-            if let Some(idx) = local.resolve_local(table.as_deref(), name)? {
-                // `other` must not reference this table.
-                let mut local_ref = false;
-                other.walk(&mut |e| {
-                    if let Expr::Column { table, name } = e {
-                        if matches!(local.resolve_local(table.as_deref(), name), Ok(Some(_))) {
-                            local_ref = true;
+    let try_side =
+        |col_side: &Expr, other: &'e Expr, op: BinOp| -> Result<Option<(usize, BinOp, &'e Expr)>> {
+            if let Expr::Column { table, name } = col_side {
+                if let Some(idx) = local.resolve_local(table.as_deref(), name)? {
+                    // `other` must not reference this table.
+                    let mut local_ref = false;
+                    other.walk(&mut |e| {
+                        if let Expr::Column { table, name } = e {
+                            if matches!(local.resolve_local(table.as_deref(), name), Ok(Some(_))) {
+                                local_ref = true;
+                            }
                         }
+                    });
+                    if !local_ref {
+                        return Ok(Some((idx, op, other)));
                     }
-                });
-                if !local_ref {
-                    return Ok(Some((idx, op, other)));
                 }
             }
-        }
-        Ok(None)
-    };
+            Ok(None)
+        };
     if let Some(hit) = try_side(left, right, *op)? {
         return Ok(Some(hit));
     }
@@ -779,7 +775,12 @@ fn join_step(
                 // Re-apply item-local predicates (probe bypassed them) and
                 // any other applicable join predicates.
                 let mut post: Vec<&Expr> = item_preds.to_vec();
-                post.extend(applicable.iter().filter(|p| !std::ptr::eq(**p, equi_pred)).copied());
+                post.extend(
+                    applicable
+                        .iter()
+                        .filter(|p| !std::ptr::eq(**p, equi_pred))
+                        .copied(),
+                );
                 if !post.is_empty() {
                     let mut ctx = CompileCtx {
                         db,
@@ -812,7 +813,10 @@ fn join_step(
                     }],
                     parent: outer,
                 };
-                let Expr::Binary { left: a, right: b, .. } = equi_pred else {
+                let Expr::Binary {
+                    left: a, right: b, ..
+                } = equi_pred
+                else {
                     unreachable!()
                 };
                 // Re-derive which side is the right column.
@@ -1192,7 +1196,10 @@ fn rewrite_post_agg(e: &Expr, q: &Query, agg_asts: &[&Expr], ng: usize) -> Resul
         }
         Expr::Column { table, name } => Err(EngineError::plan(format!(
             "column '{}{}' must appear in GROUP BY or inside an aggregate",
-            table.as_deref().map(|t| format!("{t}.")).unwrap_or_default(),
+            table
+                .as_deref()
+                .map(|t| format!("{t}."))
+                .unwrap_or_default(),
             name
         ))),
         Expr::Like {
@@ -1211,11 +1218,7 @@ fn rewrite_post_agg(e: &Expr, q: &Query, agg_asts: &[&Expr], ng: usize) -> Resul
 }
 
 /// Plan ORDER BY over the output columns.
-fn plan_order_by(
-    order: &[OrderItem],
-    input: PlanNode,
-    columns: &[String],
-) -> Result<PlanNode> {
+fn plan_order_by(order: &[OrderItem], input: PlanNode, columns: &[String]) -> Result<PlanNode> {
     let mut keys = Vec::new();
     for o in order {
         let key = resolve_output_expr(&o.expr, columns)?;
@@ -1246,10 +1249,9 @@ fn resolve_output_expr(e: &Expr, columns: &[String]) -> Result<PhysExpr> {
         // the first match.
         Expr::Column { name, .. } => {
             let mut hits = columns.iter().enumerate().filter(|(_, c)| *c == name);
-            let idx = hits
-                .next()
-                .map(|(i, _)| i)
-                .ok_or_else(|| EngineError::plan(format!("ORDER BY column '{name}' is not in the output")))?;
+            let idx = hits.next().map(|(i, _)| i).ok_or_else(|| {
+                EngineError::plan(format!("ORDER BY column '{name}' is not in the output"))
+            })?;
             if hits.next().is_some() {
                 return Err(EngineError::plan(format!(
                     "ORDER BY column '{name}' is ambiguous: it appears more than once in the output"
@@ -1325,7 +1327,10 @@ fn compile_expr(e: &Expr, scope: &Scope<'_>, ctx: &mut CompileCtx<'_>) -> Result
             }
             Err(EngineError::plan(format!(
                 "unresolved column '{}{}'",
-                table.as_deref().map(|t| format!("{t}.")).unwrap_or_default(),
+                table
+                    .as_deref()
+                    .map(|t| format!("{t}."))
+                    .unwrap_or_default(),
                 name
             )))
         }

@@ -165,7 +165,9 @@ mod tests {
             .check_row(&[Value::Int(1), Value::Int(9), Value::str("bolt")])
             .is_ok());
         // NULL admitted everywhere.
-        assert!(s.check_row(&[Value::Null, Value::Null, Value::Null]).is_ok());
+        assert!(s
+            .check_row(&[Value::Null, Value::Null, Value::Null])
+            .is_ok());
         // Wrong arity.
         assert!(s.check_row(&[Value::Int(1)]).is_err());
         // Wrong type.

@@ -640,7 +640,11 @@ mod tests {
         assert_eq!(q.predicates.len(), 1);
         // The predicate is `expr > subquery`.
         match &q.predicates[0] {
-            Expr::Binary { op: BinOp::Gt, right, .. } => {
+            Expr::Binary {
+                op: BinOp::Gt,
+                right,
+                ..
+            } => {
                 assert!(matches!(**right, Expr::Subquery(_)));
             }
             other => panic!("unexpected predicate {other:?}"),
@@ -657,7 +661,9 @@ mod tests {
         let Expr::Binary { right, .. } = &q.predicates[0] else {
             panic!()
         };
-        let Expr::Subquery(sub) = &**right else { panic!() };
+        let Expr::Subquery(sub) = &**right else {
+            panic!()
+        };
         // Inner predicate references outer alias p.
         let pred = &sub.predicates[0];
         let mut refs_p = false;
@@ -715,7 +721,11 @@ mod tests {
         };
         // 1 + (2 * 3)
         match expr {
-            Expr::Binary { op: BinOp::Add, right, .. } => {
+            Expr::Binary {
+                op: BinOp::Add,
+                right,
+                ..
+            } => {
                 assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("bad tree {other:?}"),
@@ -743,7 +753,10 @@ mod tests {
         ));
         assert!(matches!(
             &q.predicates[1],
-            Expr::Unary { op: UnaryOp::Not, .. }
+            Expr::Unary {
+                op: UnaryOp::Not,
+                ..
+            }
         ));
     }
 
@@ -751,7 +764,10 @@ mod tests {
     fn count_star() {
         let q = parse_query("select count(*) from t").unwrap();
         match &q.select[0] {
-            SelectItem::Expr { expr: Expr::Func { name, star, .. }, .. } => {
+            SelectItem::Expr {
+                expr: Expr::Func { name, star, .. },
+                ..
+            } => {
                 assert_eq!(name, "count");
                 assert!(*star);
             }

@@ -57,7 +57,11 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             '(' => push_sym(&mut out, Sym::LParen, &mut i),
             ')' => push_sym(&mut out, Sym::RParen, &mut i),
             ',' => push_sym(&mut out, Sym::Comma, &mut i),
-            '.' if !bytes.get(i + 1).map(|b| b.is_ascii_digit()).unwrap_or(false) => {
+            '.' if !bytes
+                .get(i + 1)
+                .map(|b| b.is_ascii_digit())
+                .unwrap_or(false) =>
+            {
                 push_sym(&mut out, Sym::Dot, &mut i)
             }
             '*' => push_sym(&mut out, Sym::Star, &mut i),
@@ -170,7 +174,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
 }
 
 fn next_is_digit(bytes: &[u8], i: usize) -> bool {
-    bytes.get(i + 1).map(|b| b.is_ascii_digit()).unwrap_or(false)
+    bytes
+        .get(i + 1)
+        .map(|b| b.is_ascii_digit())
+        .unwrap_or(false)
 }
 
 fn push_sym(out: &mut Vec<Token>, s: Sym, i: &mut usize) {
@@ -191,7 +198,12 @@ mod tests {
         assert!(toks.contains(&Token::Ident("retailprice".into())));
         assert!(toks.contains(&Token::Float(0.75)));
         assert!(toks.contains(&Token::Symbol(Sym::Gt)));
-        assert!(toks.iter().filter(|t| **t == Token::Symbol(Sym::LParen)).count() >= 3);
+        assert!(
+            toks.iter()
+                .filter(|t| **t == Token::Symbol(Sym::LParen))
+                .count()
+                >= 3
+        );
     }
 
     #[test]
@@ -206,7 +218,15 @@ mod tests {
             .collect();
         assert_eq!(
             syms,
-            vec![Sym::LtEq, Sym::NotEq, Sym::GtEq, Sym::NotEq, Sym::Lt, Sym::Gt, Sym::Eq]
+            vec![
+                Sym::LtEq,
+                Sym::NotEq,
+                Sym::GtEq,
+                Sym::NotEq,
+                Sym::Lt,
+                Sym::Gt,
+                Sym::Eq
+            ]
         );
     }
 

@@ -138,7 +138,12 @@ impl TableStats {
     /// Charikar-style scale-up: `d + f1 * (N/n - 1)` where `d` is sample
     /// distincts and `f1` the number of values seen exactly once — imprecise
     /// by design on skewed data.
-    pub fn from_sample(ncols: usize, rows: &[Vec<Value>], total_rows: u64, total_pages: u64) -> Self {
+    pub fn from_sample(
+        ncols: usize,
+        rows: &[Vec<Value>],
+        total_rows: u64,
+        total_pages: u64,
+    ) -> Self {
         let mut columns = Vec::with_capacity(ncols);
         let n = rows.len().max(1) as f64;
         for c in 0..ncols {

@@ -286,7 +286,10 @@ mod tests {
 
     #[test]
     fn int_division_is_float_and_div_zero_is_null() {
-        assert_eq!(Value::Int(7).div(&Value::Int(2)).unwrap(), Value::Float(3.5));
+        assert_eq!(
+            Value::Int(7).div(&Value::Int(2)).unwrap(),
+            Value::Float(3.5)
+        );
         assert_eq!(Value::Int(7).div(&Value::Int(0)).unwrap(), Value::Null);
     }
 

@@ -116,10 +116,7 @@ fn select_star_preserves_from_order_columns() {
         .unwrap();
     // Output columns must be facts' then customers', per FROM order, even
     // if the optimizer drives from customers.
-    assert_eq!(
-        p.columns(),
-        &["fid", "cust", "prod", "qty", "cid", "cname"]
-    );
+    assert_eq!(p.columns(), &["fid", "cust", "prod", "qty", "cid", "cname"]);
     let mut cur = p.open().unwrap();
     cur.run_to_completion().unwrap();
     let row = &cur.rows()[0];
@@ -140,10 +137,7 @@ fn optimizer_starts_from_the_most_selective_table() {
         .unwrap();
     let text = p.plan.root.explain();
     // The driving (deepest-left) scan must be on customers.
-    let first_scan = text
-        .lines()
-        .rfind(|l| l.contains("Scan"))
-        .unwrap_or("");
+    let first_scan = text.lines().rfind(|l| l.contains("Scan")).unwrap_or("");
     assert!(
         first_scan.contains("customers"),
         "expected customers to drive:\n{text}"

@@ -85,7 +85,10 @@ fn index_scan_resume() {
 
 #[test]
 fn aggregate_resume() {
-    check("select a, count(*), sum(b), min(s), max(s) from t group by a order by a", 1);
+    check(
+        "select a, count(*), sum(b), min(s), max(s) from t group by a order by a",
+        1,
+    );
 }
 
 #[test]
@@ -101,10 +104,7 @@ fn sort_with_debt_resume() {
 #[test]
 fn hash_join_resume() {
     // Force a hash join: join on strings (no index).
-    check(
-        "select count(*) from t join u on t.s = u.label",
-        1,
-    );
+    check("select count(*) from t join u on t.s = u.label", 1);
 }
 
 #[test]
@@ -117,10 +117,7 @@ fn index_nl_join_resume() {
 
 #[test]
 fn nested_loop_join_resume() {
-    check(
-        "select count(*) from u x, u y where x.a < y.a",
-        1,
-    );
+    check("select count(*) from u x, u y where x.a < y.a", 1);
 }
 
 #[test]
@@ -135,6 +132,9 @@ fn correlated_subquery_resume() {
 #[test]
 fn larger_budgets_agree_too() {
     for budget in [3, 17, 64] {
-        check("select a, sum(b) from t where b > 100 group by a order by a", budget);
+        check(
+            "select a, sum(b) from t where b > 100 group by a order by a",
+            budget,
+        );
     }
 }

@@ -117,7 +117,11 @@ fn unindexed_predicate_is_a_filtered_scan() {
     let db = db();
     let p = plan_of(db, "select * from big where payload = 'zzz'");
     let o = ops(&p);
-    assert!(o.contains(&"SeqScan") && o.contains(&"Filter"), "{}", p.explain());
+    assert!(
+        o.contains(&"SeqScan") && o.contains(&"Filter"),
+        "{}",
+        p.explain()
+    );
 }
 
 #[test]
@@ -125,10 +129,7 @@ fn equi_join_with_indexed_unique_inner_uses_index_nl_join() {
     let db = db();
     // 100 outer rows × 1-match unique probes (~5 U each) beat building a
     // hash table over a 50k-row scan.
-    let p = plan_of(
-        db,
-        "select * from small s join big b on s.key = b.id",
-    );
+    let p = plan_of(db, "select * from small s join big b on s.key = b.id");
     assert!(ops(&p).contains(&"IndexNLJoin"), "{}", p.explain());
 }
 
@@ -138,20 +139,14 @@ fn equi_join_with_wide_fanout_prefers_hash_join() {
     // b.key has ~25 duplicates per value: 100 probes × ~30 U of scattered
     // heap fetches lose to one sequential scan + hash build. The §5.1-style
     // unclustered-probe cost model makes this call, and it is correct.
-    let p = plan_of(
-        db,
-        "select * from small s join big b on s.key = b.key",
-    );
+    let p = plan_of(db, "select * from small s join big b on s.key = b.key");
     assert!(ops(&p).contains(&"HashJoin"), "{}", p.explain());
 }
 
 #[test]
 fn equi_join_without_index_uses_hash_join() {
     let db = db();
-    let p = plan_of(
-        db,
-        "select * from small s join big b on s.name = b.payload",
-    );
+    let p = plan_of(db, "select * from small s join big b on s.name = b.payload");
     assert!(ops(&p).contains(&"HashJoin"), "{}", p.explain());
 }
 
@@ -222,7 +217,10 @@ fn correlated_subquery_plans_index_probe_inside_filter() {
 #[test]
 fn estimates_are_populated_and_monotone() {
     let db = db();
-    let p = plan_of(db, "select key, count(*) from big where id < 1000 group by key");
+    let p = plan_of(
+        db,
+        "select key, count(*) from big where id < 1000 group by key",
+    );
     // Cumulative cost grows from leaves to root.
     fn check(n: &PlanNode) {
         for c in n.children() {

@@ -47,7 +47,9 @@ fn db() -> Database {
 #[test]
 fn distinct_removes_duplicates() {
     let db = db();
-    let rows = db.execute("select distinct dept from emp order by dept").unwrap();
+    let rows = db
+        .execute("select distinct dept from emp order by dept")
+        .unwrap();
     assert_eq!(rows.len(), 7);
     for (i, r) in rows.iter().enumerate() {
         assert_eq!(r[0], Value::Int(i as i64));
@@ -57,9 +59,7 @@ fn distinct_removes_duplicates() {
 #[test]
 fn distinct_on_multiple_columns() {
     let db = db();
-    let rows = db
-        .execute("select distinct dept, name from emp")
-        .unwrap();
+    let rows = db.execute("select distinct dept, name from emp").unwrap();
     // 7 depts × 5 names, but only combinations where (i%7, i%5) co-occur:
     // by CRT over 0..100 ⊇ 0..35, all 35 combinations appear.
     assert_eq!(rows.len(), 35);
@@ -257,7 +257,10 @@ fn count_distinct_and_sum_distinct() {
     assert_eq!(rows[0][0], Value::Int(7));
     assert_eq!(rows[0][1], Value::Int(100));
     // Salaries are 1000..1900 step 100: distinct sum = 14500.
-    assert_eq!(rows[0][2], Value::Int((0..10).map(|i| 1000 + 100 * i).sum()));
+    assert_eq!(
+        rows[0][2],
+        Value::Int((0..10).map(|i| 1000 + 100 * i).sum())
+    );
 }
 
 #[test]
@@ -298,7 +301,7 @@ fn scalar_functions_work_in_queries() {
         .execute("select count(*) from emp where length(name) = 3")
         .unwrap();
     assert_eq!(n[0][0], Value::Int(20)); // bob
-    // And NULL propagation.
+                                         // And NULL propagation.
     let z = db
         .execute("select coalesce(null, 7) from emp where id = 0")
         .unwrap();

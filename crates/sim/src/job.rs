@@ -29,6 +29,15 @@ pub trait Job {
     fn finished(&self) -> bool;
     /// Progress report.
     fn progress(&self) -> JobProgress;
+    /// The *true* remaining work in units, when the job knows it exactly.
+    /// This is ground truth for the scheduler's event-driven fast path —
+    /// deliberately distinct from [`Job::progress`]'s `remaining`, which is
+    /// an estimate and may be scaled to model optimizer error. Jobs that
+    /// can't promise exactness (engine cursors) return `None`, which keeps
+    /// them on the quantum path.
+    fn exact_remaining(&self) -> Option<f64> {
+        None
+    }
 }
 
 /// A real engine cursor as a job.
@@ -143,6 +152,11 @@ impl Job for SyntheticJob {
             initial_estimate: self.claimed_estimate,
             finished: self.finished(),
         }
+    }
+
+    fn exact_remaining(&self) -> Option<f64> {
+        // Unscaled truth: report_scale only distorts what the PI sees.
+        Some((self.total - self.done) as f64)
     }
 }
 

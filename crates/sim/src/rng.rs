@@ -220,6 +220,10 @@ mod tests {
             sum += z.sample(&mut r);
         }
         let emp = sum as f64 / n as f64;
-        assert!((emp - z.mean()).abs() < 0.1, "emp {emp} vs analytic {}", z.mean());
+        assert!(
+            (emp - z.mean()).abs() < 0.1,
+            "emp {emp} vs analytic {}",
+            z.mean()
+        );
     }
 }

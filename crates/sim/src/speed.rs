@@ -87,7 +87,10 @@ mod tests {
             m.update(i as f64, units);
         }
         let shortly_after = m.speed().unwrap();
-        assert!(shortly_after > before && shortly_after < 20.0, "lagging EMA");
+        assert!(
+            shortly_after > before && shortly_after < 20.0,
+            "lagging EMA"
+        );
         for i in 54..=120 {
             units += 20.0;
             m.update(i as f64, units);

@@ -6,11 +6,20 @@
 //! arrivals exactly). Queries are [`Job`]s — engine cursors doing real work
 //! or synthetic jobs with exact costs.
 //!
+//! When every unblocked job knows its exact remaining work
+//! ([`Job::exact_remaining`], true for synthetic jobs),
+//! [`StepMode::EventDriven`] lets a step jump the clock straight to the
+//! next completion/arrival/step-limit boundary instead of grinding through
+//! `total_work / quantum_units` quanta. Engine-cursor jobs keep the quantum
+//! path, which also remains available as a cross-check.
+//!
 //! The system also implements the workload-management verbs the paper's §3
 //! algorithms need: [`System::block`], [`System::resume`], and
 //! [`System::abort`].
 
-use std::collections::VecDeque;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::Arc;
 
 use mqpi_engine::error::{EngineError, Result};
 
@@ -44,11 +53,21 @@ impl RateModel {
     pub fn effective_rate(&self, base: f64, n: usize) -> f64 {
         match self {
             RateModel::Constant => base,
-            RateModel::Contention { alpha } => {
-                base / (1.0 + alpha * (n.saturating_sub(1)) as f64)
-            }
+            RateModel::Contention { alpha } => base / (1.0 + alpha * (n.saturating_sub(1)) as f64),
         }
     }
+}
+
+/// How [`System::step`] advances time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StepMode {
+    /// Fixed work quantum per step (`quantum_units / rate` seconds).
+    #[default]
+    Quantum,
+    /// Jump each step straight to the next completion or arrival whenever
+    /// every unblocked running job reports [`Job::exact_remaining`]; steps
+    /// fall back to the quantum path otherwise (engine cursors).
+    EventDriven,
 }
 
 /// Scheduler configuration.
@@ -66,6 +85,8 @@ pub struct SystemConfig {
     pub speed_tau: f64,
     /// How the aggregate rate responds to concurrency (Assumption 1 knob).
     pub rate_model: RateModel,
+    /// Quantum grind vs event-driven fast-forward.
+    pub step_mode: StepMode,
 }
 
 impl Default for SystemConfig {
@@ -76,13 +97,14 @@ impl Default for SystemConfig {
             admission: AdmissionPolicy::Unlimited,
             speed_tau: 10.0,
             rate_model: RateModel::Constant,
+            step_mode: StepMode::Quantum,
         }
     }
 }
 
 struct Session {
     id: QueryId,
-    name: String,
+    name: Arc<str>,
     job: Box<dyn Job>,
     weight: f64,
     arrived: f64,
@@ -113,7 +135,7 @@ pub struct FinishedQuery {
     /// Query id.
     pub id: QueryId,
     /// Query name (caller-supplied label).
-    pub name: String,
+    pub name: Arc<str>,
     /// Scheduling weight.
     pub weight: f64,
     /// Arrival time.
@@ -136,7 +158,7 @@ pub struct QueryState {
     /// Query id.
     pub id: QueryId,
     /// Query name.
-    pub name: String,
+    pub name: Arc<str>,
     /// Scheduling weight.
     pub weight: f64,
     /// Arrival time.
@@ -163,7 +185,7 @@ pub struct QueuedState {
     /// Query id.
     pub id: QueryId,
     /// Query name.
-    pub name: String,
+    pub name: Arc<str>,
     /// Scheduling weight it will run with.
     pub weight: f64,
     /// Arrival time.
@@ -188,10 +210,35 @@ pub struct SystemSnapshot {
 struct Scheduled {
     at: f64,
     id: QueryId,
-    name: String,
+    name: Arc<str>,
     job: Box<dyn Job>,
     weight: f64,
 }
+
+// Min-heap order on (at, id): the entry with the earliest arrival time —
+// ties broken by submission order — is the `BinaryHeap` maximum.
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .total_cmp(&self.at)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Scheduled {}
 
 /// The simulated multi-query RDBMS.
 pub struct System {
@@ -199,9 +246,11 @@ pub struct System {
     clock: f64,
     running: Vec<Session>,
     queue: VecDeque<Session>,
-    /// Future arrivals, kept sorted by time ascending.
-    scheduled: Vec<Scheduled>,
+    /// Future arrivals, earliest first.
+    scheduled: BinaryHeap<Scheduled>,
     finished: Vec<FinishedQuery>,
+    /// id → index into `finished`.
+    finished_index: HashMap<QueryId, usize>,
     next_id: QueryId,
 }
 
@@ -214,8 +263,9 @@ impl System {
             clock: 0.0,
             running: Vec::new(),
             queue: VecDeque::new(),
-            scheduled: Vec::new(),
+            scheduled: BinaryHeap::new(),
             finished: Vec::new(),
+            finished_index: HashMap::new(),
             next_id: 1,
         }
     }
@@ -241,7 +291,7 @@ impl System {
 
     /// Submit a query now; starts immediately or queues per the admission
     /// policy.
-    pub fn submit(&mut self, name: impl Into<String>, job: Box<dyn Job>, weight: f64) -> QueryId {
+    pub fn submit(&mut self, name: impl Into<Arc<str>>, job: Box<dyn Job>, weight: f64) -> QueryId {
         assert!(weight > 0.0, "scheduling weight must be positive");
         let id = self.next_id;
         self.next_id += 1;
@@ -265,7 +315,7 @@ impl System {
     pub fn schedule(
         &mut self,
         at: f64,
-        name: impl Into<String>,
+        name: impl Into<Arc<str>>,
         job: Box<dyn Job>,
         weight: f64,
     ) -> QueryId {
@@ -279,7 +329,6 @@ impl System {
             job,
             weight,
         });
-        self.scheduled.sort_by(|a, b| a.at.total_cmp(&b.at));
         id
     }
 
@@ -294,11 +343,11 @@ impl System {
     }
 
     fn process_due_arrivals(&mut self) {
-        while let Some(first) = self.scheduled.first() {
+        while let Some(first) = self.scheduled.peek() {
             if first.at > self.clock {
                 break;
             }
-            let sch = self.scheduled.remove(0);
+            let sch = self.scheduled.pop().unwrap();
             self.place(Session {
                 id: sch.id,
                 name: sch.name,
@@ -329,24 +378,66 @@ impl System {
         !self.running.is_empty() || !self.queue.is_empty() || !self.scheduled.is_empty()
     }
 
-    /// Advance one quantum. Returns ids of queries that completed during
-    /// this step.
-    pub fn step(&mut self) -> Result<Vec<QueryId>> {
-        self.process_due_arrivals();
-        // Idle fast-forward to the next arrival.
-        if self.running.is_empty() && self.queue.is_empty() {
-            if let Some(first) = self.scheduled.first() {
-                self.clock = first.at;
-                self.process_due_arrivals();
-            } else {
-                return Ok(Vec::new());
-            }
-        }
+    fn next_arrival_at(&self) -> Option<f64> {
+        self.scheduled.peek().map(|s| s.at)
+    }
 
-        let mut dt = self.cfg.quantum_units / self.cfg.rate;
-        if let Some(first) = self.scheduled.first() {
-            if first.at > self.clock {
-                dt = dt.min(first.at - self.clock);
+    fn record_finished(&mut self, rec: FinishedQuery) {
+        self.finished_index.insert(rec.id, self.finished.len());
+        self.finished.push(rec);
+    }
+
+    /// Time until the next completion event, valid when every unblocked
+    /// running job reports [`Job::exact_remaining`]; `None` falls the step
+    /// back to the quantum path.
+    fn event_jump(&self, effective: f64, total_weight: f64) -> Option<f64> {
+        let mut dt = f64::INFINITY;
+        for s in self.running.iter().filter(|s| !s.blocked) {
+            let remaining = s.job.exact_remaining()?;
+            let need = (remaining - s.credit).max(0.0);
+            let speed = effective * s.weight / total_weight;
+            dt = dt.min(need / speed);
+        }
+        if !dt.is_finite() {
+            return None;
+        }
+        // Nudge past the exact completion instant so the integer floor of
+        // the finisher's credit still covers its last unit of work.
+        Some(dt * (1.0 + 1e-9) + 1e-12)
+    }
+
+    /// Advance one step (a quantum, or an event jump in
+    /// [`StepMode::EventDriven`]). Returns ids of queries that completed
+    /// during this step.
+    pub fn step(&mut self) -> Result<Vec<QueryId>> {
+        self.step_bounded(f64::INFINITY)
+    }
+
+    /// Like [`System::step`], but never advances the clock past `limit` —
+    /// event jumps and quanta alike are clipped to the boundary, so callers
+    /// can sample the system at exact instants.
+    pub fn step_until(&mut self, limit: f64) -> Result<Vec<QueryId>> {
+        self.step_bounded(limit)
+    }
+
+    fn step_bounded(&mut self, limit: f64) -> Result<Vec<QueryId>> {
+        if limit <= self.clock {
+            return Ok(Vec::new());
+        }
+        self.process_due_arrivals();
+        // Idle fast-forward to the next arrival (never past `limit`).
+        if self.running.is_empty() && self.queue.is_empty() {
+            match self.next_arrival_at() {
+                Some(at) if at < limit => {
+                    self.clock = at;
+                    self.process_due_arrivals();
+                }
+                Some(_) => {
+                    // Next event is beyond the boundary: pin to it.
+                    self.clock = limit;
+                    return Ok(Vec::new());
+                }
+                None => return Ok(Vec::new()),
             }
         }
 
@@ -357,8 +448,26 @@ impl System {
             .filter(|s| !s.blocked)
             .map(|s| s.weight)
             .sum();
+        let effective = self.cfg.rate_model.effective_rate(self.cfg.rate, active);
+
+        let mut dt = self.cfg.quantum_units / self.cfg.rate;
+        if self.cfg.step_mode == StepMode::EventDriven && total_weight > 0.0 {
+            if let Some(jump) = self.event_jump(effective, total_weight) {
+                dt = jump;
+            }
+        }
+        if let Some(at) = self.next_arrival_at() {
+            if at > self.clock {
+                dt = dt.min(at - self.clock);
+            }
+        }
+        let mut pinned = false;
+        if limit.is_finite() && self.clock + dt >= limit {
+            dt = limit - self.clock;
+            pinned = true;
+        }
+
         if total_weight > 0.0 {
-            let effective = self.cfg.rate_model.effective_rate(self.cfg.rate, active);
             let grant = effective * dt;
             for s in self.running.iter_mut().filter(|s| !s.blocked) {
                 s.credit += grant * s.weight / total_weight;
@@ -371,6 +480,10 @@ impl System {
             }
         }
         self.clock += dt;
+        if pinned {
+            // Land exactly on the boundary despite floating-point rounding.
+            self.clock = limit;
+        }
         for s in &mut self.running {
             let done = s.units_done;
             s.monitor.update(self.clock, done);
@@ -389,7 +502,7 @@ impl System {
                     Some((done, remaining)) => (FinishKind::Aborted, done, remaining),
                     None => (FinishKind::Completed, s.units_done, 0.0),
                 };
-                self.finished.push(FinishedQuery {
+                self.record_finished(FinishedQuery {
                     id: s.id,
                     name: s.name,
                     weight: s.weight,
@@ -414,16 +527,7 @@ impl System {
     pub fn run_until(&mut self, t: f64) -> Result<Vec<QueryId>> {
         let mut finished = Vec::new();
         while self.clock < t && self.has_work() {
-            // Don't leap past t when idle-fast-forwarding.
-            if self.running.is_empty() && self.queue.is_empty() {
-                if let Some(first) = self.scheduled.first() {
-                    if first.at >= t {
-                        self.clock = t;
-                        break;
-                    }
-                }
-            }
-            finished.extend(self.step()?);
+            finished.extend(self.step_bounded(t)?);
         }
         if self.clock < t && !self.has_work() {
             self.clock = t;
@@ -436,7 +540,7 @@ impl System {
     pub fn run_until_idle(&mut self, max_t: f64) -> Result<Vec<QueryId>> {
         let mut finished = Vec::new();
         while self.has_work() && self.clock < max_t {
-            finished.extend(self.step()?);
+            finished.extend(self.step_bounded(max_t)?);
         }
         Ok(finished)
     }
@@ -469,7 +573,7 @@ impl System {
         if let Some(pos) = self.running.iter().position(|s| s.id == id) {
             let s = self.running.remove(pos);
             let remaining = s.job.progress().remaining;
-            self.finished.push(FinishedQuery {
+            self.record_finished(FinishedQuery {
                 id: s.id,
                 name: s.name,
                 weight: s.weight,
@@ -486,7 +590,7 @@ impl System {
         if let Some(pos) = self.queue.iter().position(|s| s.id == id) {
             let s = self.queue.remove(pos).unwrap();
             let remaining = s.job.progress().remaining;
-            self.finished.push(FinishedQuery {
+            self.record_finished(FinishedQuery {
                 id: s.id,
                 name: s.name,
                 weight: s.weight,
@@ -514,7 +618,9 @@ impl System {
         }
         if let Some(s) = self.running.iter_mut().find(|s| s.id == id) {
             if s.rolling_back.is_some() {
-                return Err(EngineError::exec(format!("query {id} is already rolling back")));
+                return Err(EngineError::exec(format!(
+                    "query {id} is already rolling back"
+                )));
             }
             let remaining = s.job.progress().remaining;
             s.rolling_back = Some((s.units_done, remaining));
@@ -548,7 +654,7 @@ impl System {
                     let p = s.job.progress();
                     QueryState {
                         id: s.id,
-                        name: s.name.clone(),
+                        name: Arc::clone(&s.name),
                         weight: s.weight,
                         arrived: s.arrived,
                         started: s.started.unwrap_or(s.arrived),
@@ -566,7 +672,7 @@ impl System {
                 .iter()
                 .map(|s| QueuedState {
                     id: s.id,
-                    name: s.name.clone(),
+                    name: Arc::clone(&s.name),
                     weight: s.weight,
                     arrived: s.arrived,
                     est_cost: s.job.progress().remaining,
@@ -582,7 +688,7 @@ impl System {
 
     /// The finished record for `id`, if it has left the system.
     pub fn finished_record(&self, id: QueryId) -> Option<&FinishedQuery> {
-        self.finished.iter().find(|f| f.id == id)
+        self.finished_index.get(&id).map(|&i| &self.finished[i])
     }
 
     /// Ids of currently running (including blocked) queries.
@@ -608,6 +714,7 @@ mod tests {
             admission: AdmissionPolicy::Unlimited,
             speed_tau: 5.0,
             rate_model: RateModel::Constant,
+            step_mode: StepMode::Quantum,
         }
     }
 
@@ -648,6 +755,84 @@ mod tests {
                 expected[i]
             );
         }
+    }
+
+    #[test]
+    fn event_driven_matches_gps_closed_form_exactly() {
+        let mut c = cfg(100.0, 4.0);
+        c.step_mode = StepMode::EventDriven;
+        let mut sys = System::new(c);
+        let costs = [400.0, 800.0, 1200.0, 1600.0];
+        let ids: Vec<QueryId> = costs
+            .iter()
+            .map(|c| sys.submit(format!("q{c}"), Box::new(SyntheticJob::new(*c as u64)), 1.0))
+            .collect();
+        sys.run_until_idle(1e9).unwrap();
+        let expected = gps_finish_times(&costs, 100.0);
+        for (i, id) in ids.iter().enumerate() {
+            let f = sys.finished_record(*id).unwrap();
+            let err = (f.finished - expected[i]).abs();
+            // Event jumps land on completion instants up to the epsilon
+            // nudge, far inside even a tight quantum's discretization.
+            assert!(
+                err < 1e-6,
+                "query {i}: finished {} vs GPS {} (err {err})",
+                f.finished,
+                expected[i]
+            );
+        }
+    }
+
+    #[test]
+    fn event_driven_uses_few_steps() {
+        let mut c = cfg(100.0, 4.0);
+        c.step_mode = StepMode::EventDriven;
+        let mut sys = System::new(c);
+        for i in 0..4u64 {
+            sys.submit(
+                format!("q{i}"),
+                Box::new(SyntheticJob::new(1000 * (i + 1))),
+                1.0,
+            );
+        }
+        let mut steps = 0;
+        while sys.has_work() {
+            sys.step().unwrap();
+            steps += 1;
+            assert!(steps < 100, "event mode should not grind quanta");
+        }
+        // One jump per completion (plus slack for epsilon re-steps).
+        assert!(steps <= 12, "took {steps} steps");
+        assert_eq!(sys.finished().len(), 4);
+    }
+
+    #[test]
+    fn event_driven_respects_scheduled_arrivals() {
+        let mut c = cfg(100.0, 4.0);
+        c.step_mode = StepMode::EventDriven;
+        let mut sys = System::new(c);
+        let a = sys.submit("a", Box::new(SyntheticJob::new(1000)), 1.0);
+        let b = sys.schedule(2.0, "b", Box::new(SyntheticJob::new(400)), 1.0);
+        sys.run_until_idle(1e9).unwrap();
+        // a runs alone for 2s (200 units), then shares: b done at
+        // 2 + 2·400/100 = 10 ⇒ wait, b needs 400 at 50 U/s = 8s ⇒ t=10;
+        // a: 1000 = 200 + 50·8 + 100·Δ ⇒ Δ = 4 ⇒ t=14.
+        let fa = sys.finished_record(a).unwrap().finished;
+        let fb = sys.finished_record(b).unwrap().finished;
+        assert!((fb - 10.0).abs() < 1e-6, "b at {fb}");
+        assert!((fa - 14.0).abs() < 1e-6, "a at {fa}");
+    }
+
+    #[test]
+    fn step_until_pins_clock_to_the_boundary() {
+        let mut c = cfg(100.0, 4.0);
+        c.step_mode = StepMode::EventDriven;
+        let mut sys = System::new(c);
+        sys.submit("a", Box::new(SyntheticJob::new(100_000)), 1.0);
+        sys.step_until(3.25).unwrap();
+        assert_eq!(sys.now(), 3.25);
+        let snap = sys.snapshot();
+        assert!((snap.running[0].done - 325.0).abs() < 1.0);
     }
 
     #[test]
@@ -695,6 +880,20 @@ mod tests {
         let snap = sys.snapshot();
         let st = snap.running.iter().find(|r| r.id == later).unwrap();
         assert!((st.started - 5.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn scheduled_arrivals_pop_in_time_order() {
+        let mut sys = System::new(cfg(100.0, 4.0));
+        // Insert out of order; the heap must deliver earliest-first.
+        let c = sys.schedule(9.0, "c", Box::new(SyntheticJob::new(10)), 1.0);
+        let a = sys.schedule(1.0, "a", Box::new(SyntheticJob::new(10)), 1.0);
+        let b = sys.schedule(5.0, "b", Box::new(SyntheticJob::new(10)), 1.0);
+        sys.run_until_idle(1e9).unwrap();
+        let at = |id| sys.finished_record(id).unwrap().started.unwrap();
+        assert!((at(a) - 1.0).abs() < 1e-9);
+        assert!((at(b) - 5.0).abs() < 0.2);
+        assert!((at(c) - 9.0).abs() < 0.2);
     }
 
     #[test]
@@ -861,6 +1060,31 @@ mod tests {
         assert!(
             t_cont > 1.5 * t_const,
             "contended {t_cont} vs constant {t_const}"
+        );
+    }
+
+    #[test]
+    fn contention_model_event_mode_agrees_with_quantum() {
+        let run = |mode: StepMode| {
+            let mut c = cfg(100.0, 1.0);
+            c.rate_model = RateModel::Contention { alpha: 0.1 };
+            c.step_mode = mode;
+            let mut sys = System::new(c);
+            for i in 0..5u64 {
+                sys.submit(
+                    format!("q{i}"),
+                    Box::new(SyntheticJob::new(500 * (i + 1))),
+                    1.0,
+                );
+            }
+            sys.run_until_idle(1e9).unwrap();
+            sys.now()
+        };
+        let quantum = run(StepMode::Quantum);
+        let event = run(StepMode::EventDriven);
+        assert!(
+            (quantum - event).abs() < 0.1,
+            "quantum {quantum} vs event {event}"
         );
     }
 

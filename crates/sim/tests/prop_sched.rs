@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 
 use mqpi_sim::job::SyntheticJob;
-use mqpi_sim::system::{System, SystemConfig};
+use mqpi_sim::system::{StepMode, System, SystemConfig};
 use mqpi_sim::AdmissionPolicy;
 
 fn arb_costs(max_n: usize) -> impl Strategy<Value = Vec<u64>> {
@@ -121,6 +121,65 @@ proptest! {
         starts.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         let started_order: Vec<u64> = starts.iter().map(|(id, _)| *id).collect();
         prop_assert_eq!(started_order, ids);
+    }
+
+    /// The event-driven fast path reproduces quantum-mode finish times to
+    /// within the quantum discretization slack, across random costs,
+    /// weights, admission limits, and staggered arrivals. The event path is
+    /// exact GPS; quantum mode drifts by up to one quantum per completion
+    /// event ahead of a query, so the slack scales with queue position.
+    #[test]
+    fn event_driven_matches_quantum_within_one_quantum(
+        costs in arb_costs(8),
+        wsel in prop::collection::vec(0usize..3, 8),
+        slots in 0usize..4,
+        stagger in 0.0f64..10.0,
+    ) {
+        let weights = [1.0, 2.0, 4.0];
+        let rate = 100.0;
+        let quantum = 2.0;
+        let admission = if slots == 0 {
+            AdmissionPolicy::Unlimited
+        } else {
+            AdmissionPolicy::MaxConcurrent(slots)
+        };
+        let run = |mode: StepMode| {
+            let mut sys = System::new(SystemConfig {
+                rate,
+                quantum_units: quantum,
+                admission,
+                step_mode: mode,
+                ..Default::default()
+            });
+            let ids: Vec<u64> = costs
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    let w = weights[wsel[i % wsel.len()]];
+                    if i % 2 == 0 {
+                        sys.submit("q", Box::new(SyntheticJob::new(*c)), w)
+                    } else {
+                        sys.schedule(stagger * i as f64, "q", Box::new(SyntheticJob::new(*c)), w)
+                    }
+                })
+                .collect();
+            sys.run_until_idle(1e9).unwrap();
+            ids.iter()
+                .map(|id| sys.finished_record(*id).unwrap().finished)
+                .collect::<Vec<f64>>()
+        };
+        let q_times = run(StepMode::Quantum);
+        let e_times = run(StepMode::EventDriven);
+        // One quantum of work at full rate per completion event ahead of a
+        // query, mirroring the scheduler_tracks_gps tolerance.
+        let tol = (costs.len() as f64 + 1.0) * quantum / rate + 1e-6;
+        for (i, (q, e)) in q_times.iter().zip(&e_times).enumerate() {
+            prop_assert!(
+                (q - e).abs() < tol,
+                "query {}: quantum {} vs event {} (tol {})",
+                i, q, e, tol
+            );
+        }
     }
 
     /// Blocking a query freezes its progress; aborting removes it.

@@ -260,13 +260,14 @@ mod tests {
         // loss of 10; Q2: 100 remaining, free rollback ⇒ saves 10s for the
         // same loss. The loss/savings ratio puts Q2 first.
         let qs = [q(1, 10.0, 100.0), q(2, 10.0, 100.0)];
-        let plan = greedy_abort_plan_with_overhead(
-            &qs,
-            10.0,
-            12.0,
-            LostWorkCase::CompletedWork,
-            |x| if x.id == 1 { 90.0 } else { 0.0 },
-        );
+        let plan =
+            greedy_abort_plan_with_overhead(&qs, 10.0, 12.0, LostWorkCase::CompletedWork, |x| {
+                if x.id == 1 {
+                    90.0
+                } else {
+                    0.0
+                }
+            });
         assert_eq!(plan.abort, vec![2]);
         assert!((plan.quiescent_after - 10.0).abs() < 1e-9);
     }
@@ -274,13 +275,8 @@ mod tests {
     #[test]
     fn queries_with_rollback_exceeding_remaining_are_never_aborted() {
         let qs = [q(1, 0.0, 50.0)];
-        let plan = greedy_abort_plan_with_overhead(
-            &qs,
-            10.0,
-            0.0,
-            LostWorkCase::CompletedWork,
-            |_| 60.0,
-        );
+        let plan =
+            greedy_abort_plan_with_overhead(&qs, 10.0, 0.0, LostWorkCase::CompletedWork, |_| 60.0);
         assert!(plan.abort.is_empty());
     }
 

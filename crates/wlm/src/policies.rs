@@ -115,7 +115,7 @@ mod tests {
     fn state(id: u64, remaining: f64, done: f64, speed: f64) -> QueryState {
         QueryState {
             id,
-            name: format!("q{id}"),
+            name: format!("q{id}").into(),
             weight: 1.0,
             arrived: 0.0,
             started: 0.0,
@@ -140,7 +140,9 @@ mod tests {
     #[test]
     fn no_pi_never_aborts_early() {
         let s = snap(vec![state(1, 1e6, 0.0, 10.0)]);
-        assert!(decide_aborts(MaintenanceMethod::NoPi, &s, 1.0, LostWorkCase::TotalCost).is_empty());
+        assert!(
+            decide_aborts(MaintenanceMethod::NoPi, &s, 1.0, LostWorkCase::TotalCost).is_empty()
+        );
     }
 
     #[test]
@@ -150,7 +152,12 @@ mod tests {
         // deadline exactly 10s the multi-query method keeps everything…
         let qs: Vec<QueryState> = (1..=10).map(|i| state(i, 100.0, 50.0, 10.0)).collect();
         let s = snap(qs);
-        let multi = decide_aborts(MaintenanceMethod::MultiPi, &s, 10.0, LostWorkCase::TotalCost);
+        let multi = decide_aborts(
+            MaintenanceMethod::MultiPi,
+            &s,
+            10.0,
+            LostWorkCase::TotalCost,
+        );
         assert!(multi.is_empty());
         // …while a skewed instance trips the single-query method: the big
         // query's estimate 500/10 = 50s > deadline even though blocking-
@@ -158,11 +165,23 @@ mod tests {
         let mut skew: Vec<QueryState> = vec![state(1, 500.0, 0.0, 10.0)];
         skew.extend((2..=10).map(|i| state(i, 50.0, 0.0, 10.0)));
         let s2 = snap(skew);
-        let single =
-            decide_aborts(MaintenanceMethod::SinglePi, &s2, 10.0, LostWorkCase::TotalCost);
+        let single = decide_aborts(
+            MaintenanceMethod::SinglePi,
+            &s2,
+            10.0,
+            LostWorkCase::TotalCost,
+        );
         assert!(single.contains(&1), "single-PI should abort the big query");
-        let multi2 = decide_aborts(MaintenanceMethod::MultiPi, &s2, 10.0, LostWorkCase::TotalCost);
-        assert!(multi2.is_empty(), "multi-PI knows everything finishes in 9.5s");
+        let multi2 = decide_aborts(
+            MaintenanceMethod::MultiPi,
+            &s2,
+            10.0,
+            LostWorkCase::TotalCost,
+        );
+        assert!(
+            multi2.is_empty(),
+            "multi-PI knows everything finishes in 9.5s"
+        );
     }
 
     #[test]
@@ -179,8 +198,16 @@ mod tests {
     #[test]
     fn single_pi_stops_once_estimates_fit() {
         // Two queries; aborting the big one doubles the small one's speed.
-        let s = snap(vec![state(1, 1000.0, 0.0, 50.0), state(2, 900.0, 0.0, 50.0)]);
-        let aborts = decide_aborts(MaintenanceMethod::SinglePi, &s, 10.0, LostWorkCase::TotalCost);
+        let s = snap(vec![
+            state(1, 1000.0, 0.0, 50.0),
+            state(2, 900.0, 0.0, 50.0),
+        ]);
+        let aborts = decide_aborts(
+            MaintenanceMethod::SinglePi,
+            &s,
+            10.0,
+            LostWorkCase::TotalCost,
+        );
         // Initially both estimate 20s and 18s > 10s. Abort Q1 (largest).
         // Q2 then runs at 100: estimate 9s ≤ 10s. Stop.
         assert_eq!(aborts, vec![1]);

@@ -225,11 +225,7 @@ mod tests {
     /// Ground truth: benefit of blocking `victim` for `target`.
     fn fluid_benefit(queries: &[QueryLoad], target: u64, victim: u64, rate: f64) -> f64 {
         let before = fluid_target_remaining(queries, target, rate);
-        let without: Vec<QueryLoad> = queries
-            .iter()
-            .filter(|x| x.id != victim)
-            .cloned()
-            .collect();
+        let without: Vec<QueryLoad> = queries.iter().filter(|x| x.id != victim).cloned().collect();
         let after = fluid_target_remaining(&without, target, rate);
         before - after
     }
@@ -365,7 +361,9 @@ mod tests {
         assert_eq!(ids.len(), dedup.len());
         assert!(!ids.contains(&1));
         // Greedy benefits are non-increasing.
-        assert!(vs.windows(2).all(|w| w[0].benefit_seconds >= w[1].benefit_seconds - 1e-9));
+        assert!(vs
+            .windows(2)
+            .all(|w| w[0].benefit_seconds >= w[1].benefit_seconds - 1e-9));
     }
 
     /// Ground truth for §3.2: sum of others' completion times via fluid.

@@ -253,7 +253,11 @@ pub fn maintenance_scenario(
     });
     for i in 0..10 {
         let size = zipf.sample(&mut rng) as u64;
-        sys.submit(format!("W{i}(s{size})"), Box::new(query_job(db, size)?), 1.0);
+        sys.submit(
+            format!("W{i}(s{size})"),
+            Box::new(query_job(db, size)?),
+            1.0,
+        );
     }
     let mut finishes = 0usize;
     let mut next = 10usize;

@@ -66,9 +66,7 @@ impl TpcrDb {
         // Per-partkey unit price; extendedprice = quantity × unit price.
         // Insert in shuffled order so matches are scattered across pages —
         // that's what makes an unclustered probe cost ~1 page per match.
-        let mut keys: Vec<u64> = (0..config.lineitem_rows)
-            .map(|i| i % domain)
-            .collect();
+        let mut keys: Vec<u64> = (0..config.lineitem_rows).map(|i| i % domain).collect();
         // Fisher-Yates shuffle.
         for i in (1..keys.len()).rev() {
             let j = rng.below(i as u64 + 1) as usize;
@@ -152,7 +150,10 @@ pub fn part_table_name(k: u64) -> String {
 }
 
 fn distinct_partkeys(rng: &mut Rng, count: u64, domain: u64) -> Vec<u64> {
-    assert!(count <= domain, "cannot draw {count} distinct keys from {domain}");
+    assert!(
+        count <= domain,
+        "cannot draw {count} distinct keys from {domain}"
+    );
     let mut seen = std::collections::HashSet::with_capacity(count as usize);
     let mut out = Vec::with_capacity(count as usize);
     while (out.len() as u64) < count {
@@ -224,7 +225,11 @@ mod tests {
         let t = small();
         let rows = t.db.execute(&t.query_sql(8)).unwrap();
         assert!(!rows.is_empty(), "predicate too strict: 0 rows");
-        assert!(rows.len() < 80, "predicate trivial: all {} rows", rows.len());
+        assert!(
+            rows.len() < 80,
+            "predicate trivial: all {} rows",
+            rows.len()
+        );
     }
 
     #[test]

@@ -63,7 +63,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if sys.now() >= next_sample {
             let snap = sys.snapshot();
             let mut new = 0u64;
-            for q in snap.running.iter().map(|q| q.id).chain(snap.queued.iter().map(|q| q.id)) {
+            for q in snap
+                .running
+                .iter()
+                .map(|q| q.id)
+                .chain(snap.queued.iter().map(|q| q.id))
+            {
                 if seen.insert(q) {
                     new += 1;
                 }

@@ -6,8 +6,7 @@
 //! ```
 
 use mqpi::wlm::{
-    decide_aborts, greedy_abort_plan, optimal_abort_set, LostWorkCase, MaintenanceMethod,
-    QueryLoad,
+    decide_aborts, greedy_abort_plan, optimal_abort_set, LostWorkCase, MaintenanceMethod, QueryLoad,
 };
 use mqpi::workload::{maintenance_scenario, TpcrConfig, TpcrDb};
 

@@ -40,16 +40,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     while sys.has_work() {
         if sys.now() >= next_frame {
             let snap = sys.snapshot();
-            println!("\n=== t = {:>7.1}s | {} running ===", snap.time, snap.running.len());
+            println!(
+                "\n=== t = {:>7.1}s | {} running ===",
+                snap.time,
+                snap.running.len()
+            );
             println!(
                 "{:<14} {:<26} {:>7} {:>7} {:>8} {:>11} {:>11}",
                 "query", "work progress", "work%", "time%", "speed", "single (s)", "multi (s)"
             );
+            // One prediction pass per estimator covers every row below.
+            let single_set = single.estimates(&snap);
+            let multi_set = multi.estimates(&snap);
             for q in &snap.running {
                 let work = work_pi.fraction(&snap, q.id).unwrap_or(0.0);
                 let time = time_pi.fraction(&snap, q.id).unwrap_or(0.0);
-                let s = single.estimate(&snap, q.id).unwrap_or(f64::NAN);
-                let m = multi.estimate(&snap, q.id).unwrap_or(f64::NAN);
+                let s = single_set.get(q.id).unwrap_or(f64::NAN);
+                let m = multi_set.get(q.id).unwrap_or(f64::NAN);
                 println!(
                     "{:<14} {:<26} {:>6.0}% {:>6.0}% {:>8.1} {:>11.1} {:>11.1}",
                     q.name,
@@ -69,7 +76,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{:<10} {:>12} {:>12}", "query", "finished", "units");
     for (id, size) in &ids {
         let f = sys.finished_record(*id).expect("finished");
-        println!("{:<10} {:>12.1} {:>12.0}  (size class {size})", f.name, f.finished, f.units_done);
+        println!(
+            "{:<10} {:>12.1} {:>12.0}  (size class {size})",
+            f.name, f.finished, f.units_done
+        );
     }
     Ok(())
 }

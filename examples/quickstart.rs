@@ -55,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. Watch the progress indicators disagree.
     let single = SingleQueryPi::new();
     let multi = MultiQueryPi::new(Visibility::concurrent_only());
-    println!("\n{:>6}  {:>14}  {:>13}", "t (s)", "single est (s)", "multi est (s)");
+    println!(
+        "\n{:>6}  {:>14}  {:>13}",
+        "t (s)", "single est (s)", "multi est (s)"
+    );
     let mut next_sample = 0.0;
     while sys.snapshot().running.iter().any(|q| q.id == big_id) {
         if sys.now() >= next_sample {

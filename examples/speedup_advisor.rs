@@ -79,7 +79,10 @@ fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
 
     // Compare against every alternative victim.
     println!("\nall candidates:");
-    println!("{:<12} {:>16} {:>16}", "victim", "predicted (s)", "measured (s)");
+    println!(
+        "{:<12} {:>16} {:>16}",
+        "victim", "predicted (s)", "measured (s)"
+    );
     for v in loads.iter().filter(|q| q.id != target) {
         let two = loads.clone();
         let pred = best_single_victim(

@@ -3,20 +3,14 @@
 
 use mqpi::engine::{ColumnType, Database, Schema, Value};
 use mqpi::sim::{CursorJob, Job, System, SystemConfig};
-use mqpi::wlm::{
-    best_single_victim, decide_aborts, LostWorkCase, MaintenanceMethod, QueryLoad,
-};
+use mqpi::wlm::{best_single_victim, decide_aborts, LostWorkCase, MaintenanceMethod, QueryLoad};
 use mqpi::workload::{maintenance_scenario, TpcrConfig, TpcrDb};
 
 fn orders_db(rows: i64) -> Database {
     let mut db = Database::new();
     db.create_table(
         "orders",
-        Schema::from_pairs(&[
-            ("custkey", ColumnType::Int),
-            ("amount", ColumnType::Float),
-        ])
-        .unwrap(),
+        Schema::from_pairs(&[("custkey", ColumnType::Int), ("amount", ColumnType::Float)]).unwrap(),
     )
     .unwrap();
     let data: Vec<Vec<Value>> = (0..rows)
@@ -32,13 +26,21 @@ fn orders_db(rows: i64) -> Database {
 fn sql_queries_run_concurrently_and_produce_correct_results() {
     let db = orders_db(30_000);
     let q1 = db
-        .prepare("select custkey, sum(amount) s from orders group by custkey order by s desc limit 3")
+        .prepare(
+            "select custkey, sum(amount) s from orders group by custkey order by s desc limit 3",
+        )
         .unwrap();
-    let q2 = db.prepare("select count(*) from orders where custkey = 7").unwrap();
+    let q2 = db
+        .prepare("select count(*) from orders where custkey = 7")
+        .unwrap();
     let expected1 = db
-        .execute("select custkey, sum(amount) s from orders group by custkey order by s desc limit 3")
+        .execute(
+            "select custkey, sum(amount) s from orders group by custkey order by s desc limit 3",
+        )
         .unwrap();
-    let expected2 = db.execute("select count(*) from orders where custkey = 7").unwrap();
+    let expected2 = db
+        .execute("select count(*) from orders where custkey = 7")
+        .unwrap();
 
     let mut sys = System::new(SystemConfig {
         rate: 200.0,

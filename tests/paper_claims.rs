@@ -4,9 +4,7 @@
 
 use mqpi::pi::{relative_error, MultiQueryPi, SingleQueryPi, Visibility};
 use mqpi::sim::rng::Rng;
-use mqpi::workload::{
-    mcq_scenario, naq_scenario_sizes, query_job, McqConfig, TpcrConfig, TpcrDb,
-};
+use mqpi::workload::{mcq_scenario, naq_scenario_sizes, query_job, McqConfig, TpcrConfig, TpcrDb};
 
 fn test_db() -> TpcrDb {
     TpcrDb::build(TpcrConfig {
