@@ -48,14 +48,14 @@ fn bench_figures(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            black_box(scq::run_known_lambda(tpcr, &[0.03], 1, seed, 70.0).unwrap())
+            black_box(scq::run_known_lambda(tpcr, &[0.03], 1, seed, 70.0, 1).unwrap())
         });
     });
     g.bench_function("fig08_fig09_scq_mispredicted_point", |b| {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            black_box(scq::run_misestimated_lambda(tpcr, 0.03, &[0.05], 1, seed, 70.0).unwrap())
+            black_box(scq::run_misestimated_lambda(tpcr, 0.03, &[0.05], 1, seed, 70.0, 1).unwrap())
         });
     });
     g.bench_function("fig10_adaptive_trace", |b| {
@@ -69,7 +69,7 @@ fn bench_figures(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            black_box(maintenance::run(tpcr, &[0.5], 1, seed, 70.0).unwrap())
+            black_box(maintenance::run(tpcr, &[0.5], 1, seed, 70.0, 1).unwrap())
         });
     });
     g.finish();

@@ -31,11 +31,13 @@ pub fn assumption1(
     runs: usize,
     seed0: u64,
     rate: f64,
+    jobs: usize,
 ) -> Result<Vec<Assumption1Point>> {
     let mut out = Vec::new();
     for &alpha in alphas {
-        let (mut se, mut me, mut n) = (0.0, 0.0, 0u32);
-        for r in 0..runs {
+        // Fan runs out; each returns its per-query error pairs, which are
+        // folded afterwards in run order — same sums as the serial loop.
+        let per_run = crate::parallel::run_indexed(jobs, runs, |r| -> Result<Vec<(f64, f64)>> {
             let rate_model = if alpha > 0.0 {
                 RateModel::Contention { alpha }
             } else {
@@ -69,10 +71,18 @@ pub fn assumption1(
                 })
                 .collect();
             sys.run_until_idle(1e9)?;
-            for (id, s, m) in est {
-                let actual = sys.finished_record(id).expect("finished").finished;
-                se += relative_error(s, actual);
-                me += relative_error(m, actual);
+            est.into_iter()
+                .map(|(id, s, m)| {
+                    let actual = sys.finished_record(id).expect("finished").finished;
+                    Ok((relative_error(s, actual), relative_error(m, actual)))
+                })
+                .collect()
+        });
+        let (mut se, mut me, mut n) = (0.0, 0.0, 0u32);
+        for res in per_run {
+            for (s, m) in res? {
+                se += s;
+                me += m;
                 n += 1;
             }
         }
@@ -103,12 +113,13 @@ pub fn assumption2(
     runs: usize,
     seed0: u64,
     rate: f64,
+    jobs: usize,
 ) -> Result<Vec<Assumption2Point>> {
     let zipf = Zipf::new(50, 1.2);
     let mut out = Vec::new();
     for &scale in scales {
-        let (mut se, mut me, mut n) = (0.0, 0.0, 0u32);
-        for r in 0..runs {
+        let zipf = &zipf;
+        let per_run = crate::parallel::run_indexed(jobs, runs, |r| -> Result<Vec<(f64, f64)>> {
             let mut rng = Rng::seed_from_u64(seed0 + r as u64);
             let mut sys = System::new(SystemConfig {
                 rate,
@@ -145,13 +156,22 @@ pub fn assumption2(
                 })
                 .collect();
             sys.run_until_idle(1e9)?;
-            for (id, s, m) in est {
-                let actual = sys.finished_record(id).expect("finished").finished - t0;
-                if actual <= 0.0 {
-                    continue;
-                }
-                se += relative_error(s, actual);
-                me += relative_error(m, actual);
+            Ok(est
+                .into_iter()
+                .filter_map(|(id, s, m)| {
+                    let actual = sys.finished_record(id).expect("finished").finished - t0;
+                    if actual <= 0.0 {
+                        return None;
+                    }
+                    Some((relative_error(s, actual), relative_error(m, actual)))
+                })
+                .collect())
+        });
+        let (mut se, mut me, mut n) = (0.0, 0.0, 0u32);
+        for res in per_run {
+            for (s, m) in res? {
+                se += s;
+                me += m;
                 n += 1;
             }
         }
@@ -245,6 +265,7 @@ pub fn abort_overhead(
     runs: usize,
     seed0: u64,
     rate: f64,
+    jobs: usize,
 ) -> Result<Vec<OverheadPoint>> {
     use mqpi_sim::FinishKind;
     use mqpi_wlm::{greedy_abort_plan_with_overhead, LostWorkCase, QueryLoad};
@@ -252,8 +273,10 @@ pub fn abort_overhead(
 
     let mut out = Vec::new();
     for &overhead_units in overheads {
-        let mut acc = [0.0f64; 4]; // uw_obl, uw_aware, late_obl, late_aware
-        for r in 0..runs {
+        // Per-run contributions [uw_obl, uw_aware, late_obl, late_aware],
+        // summed in run order afterwards.
+        let per_run = crate::parallel::run_indexed(jobs, runs, |r| -> Result<[f64; 4]> {
+            let mut acc = [0.0f64; 4];
             let seed = seed0 + r as u64;
             // Baseline for totals and t_finish.
             let mut base = maintenance_scenario(db, 2.2, seed, rate, 20)?;
@@ -326,6 +349,13 @@ pub fn abort_overhead(
                 acc[slot] += uw / tw;
                 acc[2 + slot] += f64::from(late);
             }
+            Ok(acc)
+        });
+        let mut acc = [0.0f64; 4];
+        for res in per_run {
+            for (slot, v) in acc.iter_mut().zip(res?) {
+                *slot += v;
+            }
         }
         let n = runs as f64;
         out.push(OverheadPoint {
@@ -346,7 +376,7 @@ mod tests {
 
     #[test]
     fn assumption1_multi_still_beats_single_under_contention() {
-        let pts = assumption1(db::small(), &[0.0, 0.1], 3, 300, 70.0).unwrap();
+        let pts = assumption1(db::small(), &[0.0, 0.1], 3, 300, 70.0, 2).unwrap();
         for p in &pts {
             assert!(
                 p.multi_err < p.single_err,
@@ -362,7 +392,7 @@ mod tests {
 
     #[test]
     fn assumption2_exact_costs_give_near_zero_multi_error() {
-        let pts = assumption2(&[1.0, 2.0], 5, 400, 100.0).unwrap();
+        let pts = assumption2(&[1.0, 2.0], 5, 400, 100.0, 2).unwrap();
         assert!(pts[0].multi_err < 0.05, "exact costs: {}", pts[0].multi_err);
         assert!(pts[1].multi_err > pts[0].multi_err);
         // Even with 2× mis-reported costs, multi ≤ single (both consume the
@@ -372,7 +402,7 @@ mod tests {
 
     #[test]
     fn overhead_aware_planner_misses_fewer_deadlines() {
-        let pts = abort_overhead(db::small(), &[0.0, 800.0], 4, 800, 70.0).unwrap();
+        let pts = abort_overhead(db::small(), &[0.0, 800.0], 4, 800, 70.0, 2).unwrap();
         // With zero overhead the two planners coincide.
         assert!((pts[0].oblivious_uw - pts[0].aware_uw).abs() < 1e-9);
         assert_eq!(pts[0].oblivious_late, pts[0].aware_late);

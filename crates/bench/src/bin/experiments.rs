@@ -1,18 +1,26 @@
 //! Regenerate every table and figure of the paper's evaluation (§5).
 //!
 //! ```text
-//! experiments [all|table1|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11]
-//!             [--runs N] [--small] [--csv DIR] [--seed S]
+//! experiments [all|table1|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|bench-harness]
+//!             [--runs N] [--small] [--csv DIR] [--seed S] [--jobs N]
 //! ```
 //!
 //! Output is printed as text tables (the same rows/series the paper plots)
-//! and optionally written as CSV, one file per figure.
+//! and optionally written as CSV, one file per figure. `--jobs N` sets the
+//! worker-thread count for the Monte-Carlo drivers (default: the `MQPI_JOBS`
+//! environment variable, else available parallelism; `--jobs 1` is the
+//! serial path — results are bit-identical either way). `bench-harness`
+//! times the Fig. 6/7 sweep and the Fig. 11 maintenance runs serial vs
+//! parallel and writes `BENCH_2.json`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use mqpi_bench::report::{f2, pct, TextTable};
-use mqpi_bench::{ablations, analytic, db, maintenance, mcq, naq, scq, speedup_exp, table1};
+use mqpi_bench::{
+    ablations, analytic, db, maintenance, mcq, naq, parallel, scq, speedup_exp, table1,
+};
 use mqpi_workload::{McqConfig, TpcrDb};
 
 struct Opts {
@@ -21,6 +29,7 @@ struct Opts {
     small: bool,
     csv: Option<PathBuf>,
     seed: u64,
+    jobs: usize,
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -30,6 +39,7 @@ fn parse_args() -> Result<Opts, String> {
         small: false,
         csv: None,
         seed: 1,
+        jobs: parallel::default_jobs(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -48,14 +58,21 @@ fn parse_args() -> Result<Opts, String> {
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?;
             }
+            "--jobs" => {
+                opts.jobs = args
+                    .next()
+                    .ok_or("--jobs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+            }
             "--small" => opts.small = true,
             "--csv" => {
                 opts.csv = Some(PathBuf::from(args.next().ok_or("--csv needs a dir")?));
             }
             "--help" | "-h" => {
                 return Err(
-                    "usage: experiments [all|table1|fig1..fig11|ablations|speedup] \
-                            [--runs N] [--small] [--csv DIR] [--seed S]"
+                    "usage: experiments [all|table1|fig1..fig11|ablations|speedup|bench-harness] \
+                            [--runs N] [--small] [--csv DIR] [--seed S] [--jobs N]"
                         .into(),
                 )
             }
@@ -65,6 +82,9 @@ fn parse_args() -> Result<Opts, String> {
     }
     if opts.runs == 0 {
         return Err("--runs must be at least 1".into());
+    }
+    if opts.jobs == 0 {
+        return Err("--jobs must be at least 1".into());
     }
     const KNOWN: &[&str] = &[
         "all",
@@ -82,6 +102,7 @@ fn parse_args() -> Result<Opts, String> {
         "fig11",
         "ablations",
         "speedup",
+        "bench-harness",
     ];
     for w in &opts.what {
         if !KNOWN.contains(&w.as_str()) {
@@ -248,7 +269,8 @@ fn main() -> ExitCode {
         }
         if selected("fig6") || selected("fig7") {
             let lambdas = [0.0, 0.02, 0.04, 0.06, 0.08, 0.1, 0.15, 0.2];
-            let pts = scq::run_known_lambda(tpcr, &lambdas, opts.runs, opts.seed, db::RATE)?;
+            let pts =
+                scq::run_known_lambda(tpcr, &lambdas, opts.runs, opts.seed, db::RATE, opts.jobs)?;
             if selected("fig6") {
                 let mut t =
                     TextTable::new(&["lambda", "single-query rel. err", "multi-query rel. err"]);
@@ -272,8 +294,15 @@ fn main() -> ExitCode {
         }
         if selected("fig8") || selected("fig9") {
             let primes = [0.0, 0.01, 0.03, 0.05, 0.08, 0.12, 0.16, 0.2];
-            let pts =
-                scq::run_misestimated_lambda(tpcr, 0.03, &primes, opts.runs, opts.seed, db::RATE)?;
+            let pts = scq::run_misestimated_lambda(
+                tpcr,
+                0.03,
+                &primes,
+                opts.runs,
+                opts.seed,
+                db::RATE,
+                opts.jobs,
+            )?;
             if selected("fig8") {
                 let mut t = TextTable::new(&[
                     "lambda' (PI)",
@@ -323,7 +352,7 @@ fn main() -> ExitCode {
         }
         if selected("speedup") {
             let runs = opts.runs.clamp(1, 20);
-            let r = speedup_exp::run(tpcr, runs, opts.seed, db::RATE)?;
+            let r = speedup_exp::run(tpcr, runs, opts.seed, db::RATE, opts.jobs)?;
             let mut t = TextTable::new(&["victim policy", "mean measured speed-up (s)"]);
             t.row(vec!["optimal (sec. 3.1)".into(), f2(r.optimal)]);
             t.row(vec!["  (predicted)".into(), f2(r.optimal_predicted)]);
@@ -344,6 +373,7 @@ fn main() -> ExitCode {
                 runs,
                 opts.seed,
                 db::RATE,
+                opts.jobs,
             )?;
             let mut t = TextTable::new(&[
                 "contention alpha",
@@ -359,8 +389,13 @@ fn main() -> ExitCode {
                 &t,
             );
 
-            let a2 =
-                ablations::assumption2(&[0.25, 0.5, 1.0, 2.0, 4.0], runs, opts.seed, db::RATE)?;
+            let a2 = ablations::assumption2(
+                &[0.25, 0.5, 1.0, 2.0, 4.0],
+                runs,
+                opts.seed,
+                db::RATE,
+                opts.jobs,
+            )?;
             let mut t = TextTable::new(&[
                 "reported-cost scale",
                 "single-query rel. err",
@@ -396,6 +431,7 @@ fn main() -> ExitCode {
                 runs.min(8),
                 opts.seed,
                 db::RATE,
+                opts.jobs,
             )?;
             let mut t = TextTable::new(&[
                 "rollback units",
@@ -422,7 +458,7 @@ fn main() -> ExitCode {
         if selected("fig11") {
             let fracs = [0.2, 0.4, 0.6, 0.8, 1.0];
             let runs = opts.runs.clamp(1, 10);
-            let pts = maintenance::run(tpcr, &fracs, runs, opts.seed, db::RATE)?;
+            let pts = maintenance::run(tpcr, &fracs, runs, opts.seed, db::RATE, opts.jobs)?;
             let mut t = TextTable::new(&[
                 "t / t_finish",
                 "no PI (UW/TW)",
@@ -445,6 +481,10 @@ fn main() -> ExitCode {
                 &t,
             );
         }
+        // Timing mode; only when asked for by name ("all" skips it).
+        if opts.what.iter().any(|w| w == "bench-harness") {
+            bench_harness(tpcr, &opts)?;
+        }
         Ok(())
     };
 
@@ -455,4 +495,98 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Serial-vs-parallel wall clock for the Fig. 6/7 λ sweep and the Fig. 11
+/// maintenance experiment. Asserts both modes produce identical output, then
+/// writes `BENCH_2.json` next to the working directory.
+fn bench_harness(tpcr: &TpcrDb, opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
+    let jobs = opts.jobs.max(2);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let lambdas = [0.0, 0.02, 0.04, 0.06, 0.08, 0.1, 0.15, 0.2];
+    let fracs = [0.2, 0.4, 0.6, 0.8, 1.0];
+    let scq_runs = opts.runs;
+    let maint_runs = opts.runs.clamp(1, 10);
+    eprintln!("# bench-harness: jobs = {jobs}, cores = {cores}");
+
+    let t0 = Instant::now();
+    let scq_serial = scq::run_known_lambda(tpcr, &lambdas, scq_runs, opts.seed, db::RATE, 1)?;
+    let scq_serial_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let scq_par = scq::run_known_lambda(tpcr, &lambdas, scq_runs, opts.seed, db::RATE, jobs)?;
+    let scq_par_s = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        format!("{scq_serial:?}"),
+        format!("{scq_par:?}"),
+        "fig6/7 sweep must be bit-identical for jobs=1 vs jobs={jobs}"
+    );
+
+    let t0 = Instant::now();
+    let maint_serial = maintenance::run(tpcr, &fracs, maint_runs, opts.seed, db::RATE, 1)?;
+    let maint_serial_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let maint_par = maintenance::run(tpcr, &fracs, maint_runs, opts.seed, db::RATE, jobs)?;
+    let maint_par_s = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        format!("{maint_serial:?}"),
+        format!("{maint_par:?}"),
+        "fig11 must be bit-identical for jobs=1 vs jobs={jobs}"
+    );
+
+    let scq_speedup = scq_serial_s / scq_par_s;
+    let maint_speedup = maint_serial_s / maint_par_s;
+    // Acceptance target is >=4x at >=8 cores, i.e. cores/2 scaled linearly;
+    // on a 1-core box that is 0.5 — parallel must merely not badly regress.
+    let required = (cores as f64 / 2.0).min(4.0);
+
+    let mut t = TextTable::new(&["experiment", "serial (s)", "parallel (s)", "speedup"]);
+    t.row(vec![
+        "fig6/7 lambda sweep".into(),
+        f2(scq_serial_s),
+        f2(scq_par_s),
+        f2(scq_speedup),
+    ]);
+    t.row(vec![
+        "fig11 maintenance".into(),
+        f2(maint_serial_s),
+        f2(maint_par_s),
+        f2(maint_speedup),
+    ]);
+    println!("== bench-harness (jobs={jobs}, cores={cores}) ==");
+    println!("{}", t.render());
+
+    let json = format!(
+        r#"{{
+  "benchmark": "parallel Monte-Carlo experiment harness (scoped thread pool)",
+  "config": {{
+    "db": "{db}",
+    "scq_runs": {scq_runs},
+    "maintenance_runs": {maint_runs},
+    "seed": {seed},
+    "jobs": {jobs},
+    "cores": {cores}
+  }},
+  "metric": "wall-clock seconds, --jobs 1 vs --jobs {jobs}",
+  "identical_output": true,
+  "fig6_7_lambda_sweep": {{
+    "serial_s": {scq_serial_s:.3},
+    "parallel_s": {scq_par_s:.3},
+    "speedup": {scq_speedup:.2}
+  }},
+  "fig11_maintenance": {{
+    "serial_s": {maint_serial_s:.3},
+    "parallel_s": {maint_par_s:.3},
+    "speedup": {maint_speedup:.2}
+  }},
+  "required_speedup_at_8_cores": 4.0,
+  "scaled_required_speedup_at_{cores}_cores": {required:.2},
+  "note": "target is 4x at 8 cores, scaled linearly as cores/2 below that; a 1-core runner can only check the absence of a serial regression. Per-run seeds keep parallel output bit-identical to serial, asserted before timing."
+}}
+"#,
+        db = if opts.small { "small" } else { "standard" },
+        seed = opts.seed,
+    );
+    std::fs::write("BENCH_2.json", json)?;
+    eprintln!("# wrote BENCH_2.json");
+    Ok(())
 }

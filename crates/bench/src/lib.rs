@@ -24,6 +24,7 @@ pub mod db;
 pub mod maintenance;
 pub mod mcq;
 pub mod naq;
+pub mod parallel;
 pub mod report;
 pub mod scq;
 pub mod speedup_exp;

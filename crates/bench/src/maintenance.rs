@@ -145,23 +145,20 @@ fn oracle_point(base: &Baseline, rate: f64, deadline: f64) -> f64 {
     plan.lost_work / tw
 }
 
-/// Run the Fig. 11 experiment: average UW/TW per strategy over `runs`
-/// scenarios, for each deadline fraction in `t_fracs`.
-pub fn run(
+/// All four strategies evaluated at every deadline fraction for one seed.
+fn one_run(
     db: &TpcrDb,
-    t_fracs: &[f64],
-    runs: usize,
-    seed0: u64,
+    zipf_a: f64,
+    seed: u64,
     rate: f64,
-) -> Result<Vec<MaintenancePoint>> {
-    let zipf_a = 2.2;
-    let mut acc: Vec<[f64; 4]> = vec![[0.0; 4]; t_fracs.len()];
-    for r in 0..runs {
-        let seed = seed0 + r as u64;
-        let base = baseline(db, zipf_a, seed, rate)?;
-        for (i, frac) in t_fracs.iter().enumerate() {
-            let deadline = frac * base.t_finish;
-            acc[i][0] += evaluate_method(
+    t_fracs: &[f64],
+) -> Result<Vec<[f64; 4]>> {
+    let base = baseline(db, zipf_a, seed, rate)?;
+    let mut out = Vec::with_capacity(t_fracs.len());
+    for frac in t_fracs {
+        let deadline = frac * base.t_finish;
+        out.push([
+            evaluate_method(
                 db,
                 zipf_a,
                 seed,
@@ -169,8 +166,8 @@ pub fn run(
                 &base,
                 MaintenanceMethod::NoPi,
                 deadline,
-            )?;
-            acc[i][1] += evaluate_method(
+            )?,
+            evaluate_method(
                 db,
                 zipf_a,
                 seed,
@@ -178,8 +175,8 @@ pub fn run(
                 &base,
                 MaintenanceMethod::SinglePi,
                 deadline,
-            )?;
-            acc[i][2] += evaluate_method(
+            )?,
+            evaluate_method(
                 db,
                 zipf_a,
                 seed,
@@ -187,8 +184,37 @@ pub fn run(
                 &base,
                 MaintenanceMethod::MultiPi,
                 deadline,
-            )?;
-            acc[i][3] += oracle_point(&base, rate, deadline);
+            )?,
+            oracle_point(&base, rate, deadline),
+        ]);
+    }
+    Ok(out)
+}
+
+/// Run the Fig. 11 experiment: average UW/TW per strategy over `runs`
+/// scenarios, for each deadline fraction in `t_fracs`. `jobs` is the
+/// worker-thread count (1 = serial; same output either way).
+pub fn run(
+    db: &TpcrDb,
+    t_fracs: &[f64],
+    runs: usize,
+    seed0: u64,
+    rate: f64,
+    jobs: usize,
+) -> Result<Vec<MaintenancePoint>> {
+    let zipf_a = 2.2;
+    // Each scenario (seed = seed0 + r) is independent; the per-run matrices
+    // are summed in run order afterwards, so parallel output is
+    // bit-identical to the serial loop.
+    let results = crate::parallel::run_indexed(jobs, runs, |r| {
+        one_run(db, zipf_a, seed0 + r as u64, rate, t_fracs)
+    });
+    let mut acc: Vec<[f64; 4]> = vec![[0.0; 4]; t_fracs.len()];
+    for res in results {
+        for (i, a) in res?.into_iter().enumerate() {
+            for (slot, v) in acc[i].iter_mut().zip(a) {
+                *slot += v;
+            }
         }
     }
     Ok(t_fracs
@@ -211,7 +237,7 @@ mod tests {
 
     #[test]
     fn multi_pi_has_least_unfinished_work_on_average() {
-        let pts = run(db::small(), &[0.4, 0.8], 3, 500, 70.0).unwrap();
+        let pts = run(db::small(), &[0.4, 0.8], 3, 500, 70.0, 2).unwrap();
         for p in &pts {
             // Multi-PI should beat (or tie) both baselines and stay close
             // to the oracle; allow small slack for estimate noise.
@@ -235,7 +261,7 @@ mod tests {
 
     #[test]
     fn generous_deadline_leaves_no_unfinished_work_for_multi_pi() {
-        let pts = run(db::small(), &[1.0], 2, 900, 70.0).unwrap();
+        let pts = run(db::small(), &[1.0], 2, 900, 70.0, 1).unwrap();
         let p = &pts[0];
         assert!(p.multi_pi < 0.15, "multi at t=t_finish: {}", p.multi_pi);
         assert!(p.no_pi < 0.15, "no-PI at t=t_finish: {}", p.no_pi);

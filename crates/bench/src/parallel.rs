@@ -1,0 +1,160 @@
+//! Std-only scoped worker pool for the experiment harness.
+//!
+//! Monte-Carlo runs are embarrassingly parallel: every run is seeded
+//! independently (`seed0 + r`) and shares only an immutable `&TpcrDb`. This
+//! module fans such runs out across OS threads with three guarantees the
+//! experiment drivers rely on:
+//!
+//! 1. **Submission order.** [`run_ordered`] returns results indexed exactly
+//!    like its input, whatever order workers finished in, so downstream
+//!    floating-point accumulation visits runs in the same order as the
+//!    serial loop — parallel output is bit-identical to `jobs = 1`.
+//! 2. **Panic propagation.** A panicking task panics the calling thread
+//!    (via [`std::panic::resume_unwind`]) instead of being swallowed.
+//! 3. **No new dependencies.** `std::thread::scope` + one atomic counter;
+//!    no channels, no rayon (DESIGN.md §8: std only).
+//!
+//! Work distribution is a single shared `AtomicUsize` index: each worker
+//! claims the next unclaimed item (`fetch_add`) until the input is
+//! exhausted. That is natural work stealing — a worker that drew a cheap
+//! run immediately claims another — without chunk-size tuning.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How many worker threads to use by default: the `MQPI_JOBS` environment
+/// variable if set to a positive integer, otherwise the machine's available
+/// parallelism (1 if that cannot be determined).
+pub fn default_jobs() -> usize {
+    if let Ok(v) = std::env::var("MQPI_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Apply `f` to every item of `items` using up to `jobs` worker threads and
+/// return the results **in input order**.
+///
+/// `f(i, &items[i])` may run on any worker; `jobs <= 1` (or a single item)
+/// runs the exact serial loop on the calling thread — the harness's
+/// `--jobs 1` escape hatch. If any invocation panics, the panic is re-raised
+/// here after all workers have stopped.
+pub fn run_ordered<I, T, F>(jobs: usize, items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    if jobs <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let workers = jobs.min(items.len());
+    let per_worker: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(local) => local,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    let mut slots: Vec<Option<T>> = (0..items.len()).map(|_| None).collect();
+    for (i, v) in per_worker.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "index {i} claimed twice");
+        slots[i] = Some(v);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index claimed exactly once"))
+        .collect()
+}
+
+/// [`run_ordered`] over the run indices `0..runs` — the shape every
+/// Monte-Carlo driver uses.
+pub fn run_indexed<T, F>(jobs: usize, runs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let idx: Vec<usize> = (0..runs).collect();
+    run_ordered(jobs, &idx, |_, &r| f(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        // Make early items slow so completion order inverts submission
+        // order; the output must still be in input order.
+        let items: Vec<u64> = (0..64).collect();
+        let out = run_ordered(8, &items, |i, &x| {
+            if i < 8 {
+                std::thread::sleep(std::time::Duration::from_millis(20 - 2 * i as u64));
+            }
+            x * 3
+        });
+        assert_eq!(out, (0..64).map(|x| x * 3).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<f64> = (0..100).map(|i| i as f64 * 0.1).collect();
+        let f = |_: usize, x: &f64| (x.sin() * 1e6).round();
+        let serial = run_ordered(1, &items, f);
+        let parallel = run_ordered(4, &items, f);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn panic_propagates_from_worker() {
+        let res = std::panic::catch_unwind(|| {
+            run_indexed(4, 16, |r| {
+                if r == 11 {
+                    panic!("boom at {r}");
+                }
+                r
+            })
+        });
+        assert!(res.is_err(), "worker panic must reach the caller");
+    }
+
+    #[test]
+    fn panic_propagates_on_serial_path() {
+        let res = std::panic::catch_unwind(|| run_indexed(1, 4, |r| assert_ne!(r, 2)));
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        assert_eq!(run_indexed(32, 3, |r| r * r), vec![0, 1, 4]);
+        assert_eq!(run_indexed(4, 0, |r| r), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

@@ -41,7 +41,10 @@ struct RunErrors {
 
 fn one_run(db: &TpcrDb, cfg: ScqConfig, pi_lambda: f64) -> Result<RunErrors> {
     let (mut sys, initial) = scq_scenario(db, cfg)?;
-    let avg_cost = average_query_cost(db, cfg.zipf_a)?;
+    let avg_cost = match cfg.avg_cost {
+        Some(c) => c,
+        None => average_query_cost(db, cfg.zipf_a)?,
+    };
     let single = SingleQueryPi::new();
     let multi = MultiQueryPi::new(if pi_lambda > 0.0 {
         Visibility::with_future(
@@ -110,16 +113,31 @@ fn aggregate(
     runs: usize,
     seed0: u64,
     rate: f64,
+    jobs: usize,
 ) -> Result<ScqErrorPoint> {
-    let (mut ls, mut lm, mut avs, mut avm) = (0.0, 0.0, 0.0, 0.0);
-    for r in 0..runs {
+    let base = ScqConfig {
+        lambda: true_lambda,
+        rate,
+        ..Default::default()
+    };
+    // Hoisted out of `one_run`: c̄ depends only on the db and Zipf exponent.
+    let base = ScqConfig {
+        avg_cost: Some(average_query_cost(db, base.zipf_a)?),
+        ..base
+    };
+    // Runs are independent (seed = seed0 + r) and fan out across workers;
+    // accumulation happens afterwards in run order, so the sums — and with
+    // them the output — are bit-identical to the serial loop.
+    let results = crate::parallel::run_indexed(jobs, runs, |r| {
         let cfg = ScqConfig {
-            lambda: true_lambda,
             seed: seed0 + r as u64,
-            rate,
-            ..Default::default()
+            ..base
         };
-        let e = one_run(db, cfg, pi_lambda)?;
+        one_run(db, cfg, pi_lambda)
+    });
+    let (mut ls, mut lm, mut avs, mut avm) = (0.0, 0.0, 0.0, 0.0);
+    for e in results {
+        let e = e?;
         ls += e.single[e.last_idx];
         lm += e.multi[e.last_idx];
         avs += e.single.iter().sum::<f64>() / e.single.len() as f64;
@@ -137,16 +155,18 @@ fn aggregate(
 }
 
 /// Figs. 6 & 7: sweep the true λ; the multi-query PI knows it exactly.
+/// `jobs` is the worker-thread count (1 = serial; same output either way).
 pub fn run_known_lambda(
     db: &TpcrDb,
     lambdas: &[f64],
     runs: usize,
     seed0: u64,
     rate: f64,
+    jobs: usize,
 ) -> Result<Vec<ScqErrorPoint>> {
     lambdas
         .iter()
-        .map(|l| aggregate(db, *l, *l, runs, seed0, rate))
+        .map(|l| aggregate(db, *l, *l, runs, seed0, rate, jobs))
         .collect()
 }
 
@@ -158,10 +178,11 @@ pub fn run_misestimated_lambda(
     runs: usize,
     seed0: u64,
     rate: f64,
+    jobs: usize,
 ) -> Result<Vec<ScqErrorPoint>> {
     pi_lambdas
         .iter()
-        .map(|lp| aggregate(db, true_lambda, *lp, runs, seed0, rate))
+        .map(|lp| aggregate(db, true_lambda, *lp, runs, seed0, rate, jobs))
         .collect()
 }
 
@@ -286,7 +307,7 @@ mod tests {
 
     #[test]
     fn multi_beats_single_at_moderate_lambda() {
-        let pts = run_known_lambda(db::small(), &[0.0, 0.03], 5, 100, 70.0).unwrap();
+        let pts = run_known_lambda(db::small(), &[0.0, 0.03], 5, 100, 70.0, 2).unwrap();
         for p in &pts {
             assert!(
                 p.avg_multi < p.avg_single,

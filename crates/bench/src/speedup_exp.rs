@@ -71,8 +71,84 @@ fn finish_time(
     }
 }
 
-/// Run the experiment over `runs` deterministic scenarios.
-pub fn run(db: &TpcrDb, runs: usize, seed0: u64, rate: f64) -> Result<SpeedupResult> {
+/// Per-run victim choices computed from the scenario's time-0 snapshot.
+struct Setup {
+    target: QueryId,
+    optimal: QueryId,
+    predicted: f64,
+    heaviest: QueryId,
+    largest: QueryId,
+    others: Vec<QueryId>,
+}
+
+fn setup(db: &TpcrDb, seed: u64, rate: f64) -> Result<Setup> {
+    let (sys, _) = build(db, seed, rate)?;
+    let snap = sys.snapshot();
+    let loads = QueryLoad::from_snapshot(&snap);
+    // Target: median by remaining cost.
+    let mut by_rem = loads.clone();
+    by_rem.sort_by(|a, b| a.remaining.total_cmp(&b.remaining));
+    let target = by_rem[by_rem.len() / 2].id;
+    let choice = best_single_victim(&loads, target, snap.rate).expect("≥2 queries");
+    let heaviest = loads
+        .iter()
+        .filter(|q| q.id != target)
+        .max_by(|a, b| {
+            a.weight
+                .total_cmp(&b.weight)
+                .then(a.remaining.total_cmp(&b.remaining))
+        })
+        .unwrap()
+        .id;
+    let largest = loads
+        .iter()
+        .filter(|q| q.id != target)
+        .max_by(|a, b| a.remaining.total_cmp(&b.remaining))
+        .unwrap()
+        .id;
+    let others: Vec<QueryId> = loads
+        .iter()
+        .filter(|q| q.id != target)
+        .map(|q| q.id)
+        .collect();
+    Ok(Setup {
+        target,
+        optimal: choice.victim,
+        predicted: choice.benefit_seconds,
+        heaviest,
+        largest,
+        others,
+    })
+}
+
+/// Run the experiment over `runs` deterministic scenarios. `jobs` is the
+/// worker-thread count (1 = serial; same output either way).
+pub fn run(db: &TpcrDb, runs: usize, seed0: u64, rate: f64, jobs: usize) -> Result<SpeedupResult> {
+    // Phase 1 (parallel): per-run setup is fully determined by the run seed.
+    let setups = crate::parallel::run_indexed(jobs, runs, |r| setup(db, seed0 + r as u64, rate));
+    let setups: Result<Vec<Setup>> = setups.into_iter().collect();
+    let setups = setups?;
+    // Phase 2 (serial): the random-victim policy draws from one shared RNG
+    // whose stream crosses run boundaries. Drawing all victims here, in run
+    // order, consumes that stream exactly as the serial loop did — keeping
+    // the output bit-identical for any `jobs`.
+    let mut rng = Rng::seed_from_u64(seed0 ^ 0x5eed);
+    let randoms: Vec<QueryId> = setups
+        .iter()
+        .map(|s| s.others[rng.below(s.others.len() as u64) as usize])
+        .collect();
+    // Phase 3 (parallel): the five deterministic replays per run.
+    let measured = crate::parallel::run_indexed(jobs, runs, |r| -> Result<[f64; 4]> {
+        let s = &setups[r];
+        let seed = seed0 + r as u64;
+        let baseline = finish_time(db, seed, rate, s.target, None)?;
+        Ok([
+            baseline - finish_time(db, seed, rate, s.target, Some(s.optimal))?,
+            baseline - finish_time(db, seed, rate, s.target, Some(s.heaviest))?,
+            baseline - finish_time(db, seed, rate, s.target, Some(s.largest))?,
+            baseline - finish_time(db, seed, rate, s.target, Some(randoms[r]))?,
+        ])
+    });
     let mut acc = SpeedupResult {
         optimal: 0.0,
         optimal_predicted: 0.0,
@@ -81,47 +157,13 @@ pub fn run(db: &TpcrDb, runs: usize, seed0: u64, rate: f64) -> Result<SpeedupRes
         random: 0.0,
         samples: 0,
     };
-    let mut rng = Rng::seed_from_u64(seed0 ^ 0x5eed);
-    for r in 0..runs {
-        let seed = seed0 + r as u64;
-        let (sys, _) = build(db, seed, rate)?;
-        let snap = sys.snapshot();
-        let loads = QueryLoad::from_snapshot(&snap);
-        // Target: median by remaining cost.
-        let mut by_rem = loads.clone();
-        by_rem.sort_by(|a, b| a.remaining.total_cmp(&b.remaining));
-        let target = by_rem[by_rem.len() / 2].id;
-        let baseline = finish_time(db, seed, rate, target, None)?;
-
-        let choice = best_single_victim(&loads, target, snap.rate).expect("≥2 queries");
-        let heaviest = loads
-            .iter()
-            .filter(|q| q.id != target)
-            .max_by(|a, b| {
-                a.weight
-                    .total_cmp(&b.weight)
-                    .then(a.remaining.total_cmp(&b.remaining))
-            })
-            .unwrap()
-            .id;
-        let largest = loads
-            .iter()
-            .filter(|q| q.id != target)
-            .max_by(|a, b| a.remaining.total_cmp(&b.remaining))
-            .unwrap()
-            .id;
-        let others: Vec<QueryId> = loads
-            .iter()
-            .filter(|q| q.id != target)
-            .map(|q| q.id)
-            .collect();
-        let random = others[rng.below(others.len() as u64) as usize];
-
-        acc.optimal += baseline - finish_time(db, seed, rate, target, Some(choice.victim))?;
-        acc.optimal_predicted += choice.benefit_seconds;
-        acc.heaviest += baseline - finish_time(db, seed, rate, target, Some(heaviest))?;
-        acc.largest += baseline - finish_time(db, seed, rate, target, Some(largest))?;
-        acc.random += baseline - finish_time(db, seed, rate, target, Some(random))?;
+    for (m, s) in measured.into_iter().zip(&setups) {
+        let [opt, heavy, large, random] = m?;
+        acc.optimal += opt;
+        acc.optimal_predicted += s.predicted;
+        acc.heaviest += heavy;
+        acc.largest += large;
+        acc.random += random;
         acc.samples += 1;
     }
     let n = acc.samples as f64;
@@ -140,7 +182,7 @@ mod tests {
 
     #[test]
     fn optimal_policy_dominates_heuristics_on_average() {
-        let r = run(db::small(), 6, 700, 70.0).unwrap();
+        let r = run(db::small(), 6, 700, 70.0, 2).unwrap();
         assert!(r.samples == 6);
         assert!(
             r.optimal >= r.heaviest - 1e-6,

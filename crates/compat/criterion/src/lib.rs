@@ -212,7 +212,11 @@ fn run_benchmark(
     } else if let Some(d) = b.measured {
         // The `mean_ns` field is machine-readable for scripts that collect
         // before/after numbers.
-        println!("{full:<60} time: {:>12}   mean_ns: {}", format_duration(d), d.as_nanos());
+        println!(
+            "{full:<60} time: {:>12}   mean_ns: {}",
+            format_duration(d),
+            d.as_nanos()
+        );
     } else {
         println!("{full:<60} (no measurement: iter was never called)");
     }

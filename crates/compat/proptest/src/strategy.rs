@@ -105,7 +105,10 @@ where
                 return v;
             }
         }
-        panic!("prop_filter {:?} rejected 10000 consecutive values", self.reason);
+        panic!(
+            "prop_filter {:?} rejected 10000 consecutive values",
+            self.reason
+        );
     }
 }
 

@@ -37,7 +37,6 @@
 //! ```
 
 use std::collections::BTreeMap;
-use std::rc::Rc;
 use std::sync::Arc;
 
 use crate::btree::{BTreeIndex, DEFAULT_INTERNAL_CAP, DEFAULT_LEAF_CAP};
@@ -279,7 +278,7 @@ impl Prepared {
 
     /// Open a fresh cursor over this plan.
     pub fn open(&self) -> Result<Cursor> {
-        let tables: Rc<TableSet> = Rc::new(self.plan.tables.clone());
+        let tables: Arc<TableSet> = Arc::new(self.plan.tables.clone());
         let root = build(&self.plan.root, &tables)?;
         Ok(Cursor {
             root,
@@ -397,6 +396,16 @@ impl Cursor {
 mod tests {
     use super::*;
     use crate::schema::ColumnType;
+
+    /// The parallel experiment harness moves whole cursors into worker
+    /// threads and shares a read-only `Database` between them.
+    #[test]
+    fn cursor_is_send_and_database_is_sync() {
+        fn send<T: Send>() {}
+        fn sync<T: Sync>() {}
+        send::<Cursor>();
+        sync::<Database>();
+    }
 
     fn test_db() -> Database {
         let mut db = Database::new();

@@ -295,10 +295,10 @@ pub fn eval_pred(e: &PhysExpr, input: &[Value], ctx: &ExecContext) -> Result<boo
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn ctx() -> ExecContext {
-        ExecContext::new(Rc::new(Default::default()))
+        ExecContext::new(Arc::new(Default::default()))
     }
 
     fn lit(v: Value) -> PhysExpr {

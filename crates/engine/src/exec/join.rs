@@ -128,7 +128,8 @@ impl Operator for NestedLoopJoin {
                 let r = &self.inner[self.pos];
                 self.pos += 1;
                 ctx.meter.cpu_tick();
-                let mut out = l.clone();
+                let mut out = Vec::with_capacity(l.len() + r.len());
+                out.extend_from_slice(l);
                 out.extend_from_slice(r);
                 let pass = match &self.pred {
                     Some(p) => eval_pred(p, &out, ctx)?,
@@ -183,7 +184,10 @@ pub struct HashJoin {
     right_key: PhysExpr,
     table: HashMap<HKey, Vec<Tuple>>,
     build_done: bool,
-    current: Option<(Tuple, Vec<Tuple>, usize)>,
+    /// Probe tuple being expanded, its key into `table`, and the next match
+    /// position. Storing the key (not a clone of the match vector) avoids
+    /// deep-copying every matching build tuple once per probe row.
+    current: Option<(Tuple, HKey, usize)>,
     est: NodeEst,
     emitted: u64,
     done: bool,
@@ -242,10 +246,13 @@ impl Operator for HashJoin {
             }
         }
         loop {
-            if let Some((l, matches, pos)) = &mut self.current {
+            if let Some((l, hk, pos)) = &mut self.current {
+                let matches = self.table.get(hk).expect("key present at probe time");
                 if *pos < matches.len() {
-                    let mut out = l.clone();
-                    out.extend_from_slice(&matches[*pos]);
+                    let m = &matches[*pos];
+                    let mut out = Vec::with_capacity(l.len() + m.len());
+                    out.extend_from_slice(l);
+                    out.extend_from_slice(m);
                     *pos += 1;
                     self.emitted += 1;
                     return Ok(Step::Row(out));
@@ -260,8 +267,8 @@ impl Operator for HashJoin {
                     ctx.meter.cpu_tick();
                     let k = eval(&self.left_key, &l, ctx)?;
                     if let Some(hk) = hkey(&k) {
-                        if let Some(ms) = self.table.get(&hk) {
-                            self.current = Some((l, ms.clone(), 0));
+                        if self.table.contains_key(&hk) {
+                            self.current = Some((l, hk, 0));
                         }
                     }
                 }
@@ -303,6 +310,8 @@ pub struct IndexNLJoin {
     column: usize,
     key: PhysExpr,
     current: Option<(Tuple, Vec<Rid>, usize)>,
+    /// Scratch row reused across heap fetches (one fetch per match).
+    fetch_buf: Tuple,
     probe_cost: SmoothedMean,
     fanout: SmoothedMean,
     done: bool,
@@ -333,6 +342,7 @@ impl IndexNLJoin {
             column,
             key,
             current: None,
+            fetch_buf: Tuple::new(),
             probe_cost: SmoothedMean::with_prior(prior_probe, 0.05),
             fanout: SmoothedMean::with_prior(prior_fanout, 0.05),
             done: false,
@@ -360,10 +370,12 @@ impl Operator for IndexNLJoin {
                 if *pos < rids.len() {
                     let rid = rids[*pos];
                     *pos += 1;
-                    let row = self.table.heap.fetch(rid, &ctx.meter)?;
+                    let row = &mut self.fetch_buf;
+                    self.table.heap.fetch_into(rid, &ctx.meter, row)?;
                     ctx.meter.cpu_tick();
-                    let mut out = l.clone();
-                    out.extend_from_slice(&row);
+                    let mut out = Vec::with_capacity(l.len() + row.len());
+                    out.extend_from_slice(l);
+                    out.append(row);
                     return Ok(Step::Row(out));
                 }
                 self.current = None;

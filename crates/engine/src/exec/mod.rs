@@ -19,8 +19,8 @@ pub mod scan;
 pub mod sort;
 
 use std::collections::BTreeMap;
-use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use crate::db::Table;
 use crate::error::{EngineError, Result};
@@ -41,20 +41,31 @@ pub struct ExecContext {
     /// Correlation parameter values for the current subquery invocation.
     pub params: Vec<Value>,
     /// Catalog snapshot for building subquery operators.
-    pub tables: Rc<TableSet>,
+    pub tables: Arc<TableSet>,
     /// Work-unit deadline for the current installment: operators suspend
-    /// ([`Step::Pending`]) once `meter.used()` reaches it.
-    deadline: Rc<std::cell::Cell<u64>>,
+    /// ([`Step::Pending`]) once `meter.used()` reaches it. Relaxed atomics:
+    /// only the query's own thread touches it (atomics are for `Send`, not
+    /// for cross-thread signalling).
+    deadline: Arc<AtomicU64>,
+}
+
+/// Shared "no deadline" sentinel for subquery contexts. Subquery invocations
+/// never arm a budget (they run to completion), so every invocation can share
+/// one immutable `u64::MAX` cell instead of allocating a fresh one per outer
+/// row — this is on the correlated-probe hot path.
+fn unbudgeted() -> Arc<AtomicU64> {
+    static SENTINEL: OnceLock<Arc<AtomicU64>> = OnceLock::new();
+    Arc::clone(SENTINEL.get_or_init(|| Arc::new(AtomicU64::new(u64::MAX))))
 }
 
 impl ExecContext {
     /// Root context for a query.
-    pub fn new(tables: Rc<TableSet>) -> Self {
+    pub fn new(tables: Arc<TableSet>) -> Self {
         ExecContext {
             meter: WorkMeter::new(),
             params: Vec::new(),
             tables,
-            deadline: Rc::new(std::cell::Cell::new(u64::MAX)),
+            deadline: Arc::new(AtomicU64::new(u64::MAX)),
         }
     }
 
@@ -66,25 +77,30 @@ impl ExecContext {
         ExecContext {
             meter: self.meter.clone(),
             params,
-            tables: Rc::clone(&self.tables),
-            deadline: Rc::new(std::cell::Cell::new(u64::MAX)),
+            tables: Arc::clone(&self.tables),
+            deadline: unbudgeted(),
         }
     }
 
     /// Set the installment deadline to `budget` more units from now.
     pub fn arm_budget(&self, budget: u64) {
-        self.deadline.set(self.meter.used().saturating_add(budget));
+        debug_assert!(
+            !Arc::ptr_eq(&self.deadline, &unbudgeted()),
+            "subquery contexts never arm a budget"
+        );
+        self.deadline
+            .store(self.meter.used().saturating_add(budget), Ordering::Relaxed);
     }
 
     /// Remove the installment deadline.
     pub fn disarm_budget(&self) {
-        self.deadline.set(u64::MAX);
+        self.deadline.store(u64::MAX, Ordering::Relaxed);
     }
 
     /// Whether the current installment's work budget is used up.
     #[inline]
     pub fn exhausted(&self) -> bool {
-        self.meter.used() >= self.deadline.get()
+        self.meter.used() >= self.deadline.load(Ordering::Relaxed)
     }
 
     /// Pay off a lump-sum work debt in budget-sized installments. Returns
@@ -95,7 +111,11 @@ impl ExecContext {
             if self.exhausted() {
                 return false;
             }
-            let room = self.deadline.get().saturating_sub(self.meter.used()).max(1);
+            let room = self
+                .deadline
+                .load(Ordering::Relaxed)
+                .saturating_sub(self.meter.used())
+                .max(1);
             let pay = room.min(*debt);
             self.meter.charge(pay);
             *debt -= pay;
@@ -117,7 +137,10 @@ pub enum Step {
 }
 
 /// A physical operator.
-pub trait Operator {
+///
+/// `Send` so that a whole cursor (and with it a simulated system) can move
+/// into a worker thread of the parallel experiment harness.
+pub trait Operator: Send {
     /// Produce the next output tuple, charging work to `ctx.meter` and
     /// suspending with [`Step::Pending`] when the budget deadline passes.
     fn next(&mut self, ctx: &ExecContext) -> Result<Step>;

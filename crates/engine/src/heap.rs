@@ -79,6 +79,17 @@ impl HeapFile {
         tuple::decode(page.get(rid.slot)?)
     }
 
+    /// Like [`HeapFile::fetch`], but decodes into an existing buffer so the
+    /// probe path of an index join can reuse one allocation across matches.
+    pub fn fetch_into(&self, rid: Rid, meter: &WorkMeter, row: &mut Tuple) -> Result<()> {
+        meter.charge(1);
+        let page = self
+            .pages
+            .get(rid.page as usize)
+            .ok_or_else(|| crate::error::EngineError::storage(format!("no page {}", rid.page)))?;
+        tuple::decode_into(page.get(rid.slot)?, row)
+    }
+
     /// Next tuple of a sequential scan whose position is held externally in
     /// `st` (so operators owning an `Arc` of the table can resume without
     /// self-referential borrows). Charges one unit the first time each page

@@ -4,12 +4,16 @@
 //! to process one page of bytes". Every storage structure charges the shared
 //! [`WorkMeter`] one unit per page touched; the executor's cursor compares
 //! the meter against its budget to decide when to suspend. The meter is a
-//! plain shared counter (`Rc<Cell<u64>>`) because a query executes on a
-//! single thread; cross-query parallelism in `mqpi-sim` is virtual-time
-//! interleaving, not OS threads.
+//! shared atomic counter (`Arc<AtomicU64>`): a query still executes on a
+//! single thread (cross-query parallelism in `mqpi-sim` is virtual-time
+//! interleaving), but whole simulation *runs* fan out across OS threads in
+//! the experiment harness, so every piece of per-run state must be `Send`.
+//! All accesses use `Relaxed` ordering — the counter is only ever read and
+//! written from the thread running the query; atomics are used purely to
+//! satisfy `Send`/`Sync`, not for cross-thread communication.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// CPU "ticks" (per-tuple processing steps) per work unit: processing one
 /// page's worth of tuples costs about one unit of CPU on top of the page
@@ -19,8 +23,8 @@ pub const CPU_TICKS_PER_UNIT: u64 = 128;
 /// Shared work-unit counter charged by storage and operators.
 #[derive(Debug, Clone, Default)]
 pub struct WorkMeter {
-    used: Rc<Cell<u64>>,
-    ticks: Rc<Cell<u64>>,
+    used: Arc<AtomicU64>,
+    ticks: Arc<AtomicU64>,
 }
 
 impl WorkMeter {
@@ -32,15 +36,14 @@ impl WorkMeter {
     /// Charge `units` work units (a page access = 1 unit).
     #[inline]
     pub fn charge(&self, units: u64) {
-        self.used.set(self.used.get() + units);
+        self.used.fetch_add(units, Ordering::Relaxed);
     }
 
     /// Record one CPU tick (one tuple processed by a CPU-bound operator);
     /// every [`CPU_TICKS_PER_UNIT`] ticks convert into one work unit.
     #[inline]
     pub fn cpu_tick(&self) {
-        let t = self.ticks.get() + 1;
-        self.ticks.set(t);
+        let t = self.ticks.fetch_add(1, Ordering::Relaxed) + 1;
         if t.is_multiple_of(CPU_TICKS_PER_UNIT) {
             self.charge(1);
         }
@@ -49,12 +52,12 @@ impl WorkMeter {
     /// Total units charged since creation.
     #[inline]
     pub fn used(&self) -> u64 {
-        self.used.get()
+        self.used.load(Ordering::Relaxed)
     }
 
     /// Two meters are the *same* if they share the underlying counter.
     pub fn same_as(&self, other: &WorkMeter) -> bool {
-        Rc::ptr_eq(&self.used, &other.used)
+        Arc::ptr_eq(&self.used, &other.used)
     }
 }
 
@@ -94,5 +97,11 @@ mod tests {
         assert_eq!(m.used(), 5);
         assert!(m.same_as(&m2));
         assert!(!m.same_as(&WorkMeter::new()));
+    }
+
+    #[test]
+    fn meter_is_send_and_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<WorkMeter>();
     }
 }

@@ -53,9 +53,20 @@ pub fn encode(row: &[Value]) -> Vec<u8> {
 
 /// Decode a tuple previously produced by [`encode`].
 pub fn decode(bytes: &[u8]) -> Result<Tuple> {
+    let mut row = Tuple::new();
+    decode_into(bytes, &mut row)?;
+    Ok(row)
+}
+
+/// Decode a tuple into an existing buffer, reusing its allocation. `row` is
+/// cleared first; on error its contents are unspecified. This is the
+/// probe-path variant: an index nested-loop join fetches one matching row
+/// per rid, and reusing the `Vec` avoids one heap allocation per match.
+pub fn decode_into(bytes: &[u8], row: &mut Tuple) -> Result<()> {
+    row.clear();
     let mut pos = 0usize;
     let ncols = read_u16(bytes, &mut pos)? as usize;
-    let mut row = Vec::with_capacity(ncols);
+    row.reserve(ncols);
     for _ in 0..ncols {
         let tag = *bytes
             .get(pos)
@@ -83,7 +94,7 @@ pub fn decode(bytes: &[u8]) -> Result<Tuple> {
     if pos != bytes.len() {
         return Err(EngineError::storage("trailing bytes after tuple"));
     }
-    Ok(row)
+    Ok(())
 }
 
 fn read_u16(bytes: &[u8], pos: &mut usize) -> Result<u16> {
@@ -136,6 +147,17 @@ mod tests {
         let mut bytes = encode(&[Value::Int(7)]);
         bytes.push(0xFF);
         assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn decode_into_reuses_buffer_across_rows() {
+        let a = encode(&[Value::Int(1), Value::str("x")]);
+        let b = encode(&[Value::Float(2.5)]);
+        let mut row = Tuple::new();
+        decode_into(&a, &mut row).unwrap();
+        assert_eq!(row, vec![Value::Int(1), Value::str("x")]);
+        decode_into(&b, &mut row).unwrap();
+        assert_eq!(row, vec![Value::Float(2.5)]);
     }
 
     #[test]

@@ -22,7 +22,11 @@ pub struct JobProgress {
 }
 
 /// Something the scheduler can run in installments.
-pub trait Job {
+///
+/// `Send` so a whole simulated [`System`](crate::system::System) — jobs
+/// included — can move into a worker thread of the parallel experiment
+/// harness.
+pub trait Job: Send {
     /// Run for roughly `budget` units; returns units actually used.
     fn run(&mut self, budget: u64) -> Result<u64>;
     /// Whether the job has completed.

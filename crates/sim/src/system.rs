@@ -707,6 +707,14 @@ mod tests {
     use super::*;
     use crate::job::SyntheticJob;
 
+    /// A whole simulated system (jobs included) moves into a worker thread
+    /// in the parallel experiment harness.
+    #[test]
+    fn system_is_send() {
+        fn send<T: Send>() {}
+        send::<System>();
+    }
+
     fn cfg(rate: f64, quantum: f64) -> SystemConfig {
         SystemConfig {
             rate,

@@ -152,6 +152,11 @@ pub struct ScqConfig {
     pub seed: u64,
     /// System processing rate `C`.
     pub rate: f64,
+    /// Memoized [`average_query_cost`] for this `db`/`zipf_a` pair. It only
+    /// depends on those two, so sweep drivers compute it once and stamp it
+    /// here instead of re-preparing every query class per run. `None` means
+    /// "compute on demand".
+    pub avg_cost: Option<f64>,
 }
 
 impl Default for ScqConfig {
@@ -162,6 +167,7 @@ impl Default for ScqConfig {
             lambda: 0.03,
             seed: 1,
             rate: 70.0,
+            avg_cost: None,
         }
     }
 }
@@ -209,7 +215,10 @@ pub fn scq_scenario(db: &TpcrDb, cfg: ScqConfig) -> Result<(System, Vec<(QueryId
     // Horizon: long enough that arrivals keep coming while any initial
     // query is alive, even in moderately overloaded systems.
     let base = total_initial_est / cfg.rate;
-    let avg_cost = average_query_cost(db, cfg.zipf_a)?;
+    let avg_cost = match cfg.avg_cost {
+        Some(c) => c,
+        None => average_query_cost(db, cfg.zipf_a)?,
+    };
     let spare = cfg.rate - cfg.lambda * avg_cost;
     let horizon = if spare > 0.05 * cfg.rate {
         (total_initial_est / spare) * 3.0 + 200.0
