@@ -1,8 +1,8 @@
 //! Regenerate every table and figure of the paper's evaluation (§5).
 //!
 //! ```text
-//! experiments [all|table1|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|bench-harness]
-//!             [--runs N] [--small] [--csv DIR] [--seed S] [--jobs N]
+//! experiments [all|table1|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|chaos|bench-harness]
+//!             [--runs N] [--small] [--csv DIR] [--seed S] [--jobs N] [--chaos]
 //! ```
 //!
 //! Output is printed as text tables (the same rows/series the paper plots)
@@ -19,7 +19,7 @@ use std::time::Instant;
 
 use mqpi_bench::report::{f2, pct, TextTable};
 use mqpi_bench::{
-    ablations, analytic, db, maintenance, mcq, naq, parallel, scq, speedup_exp, table1,
+    ablations, analytic, chaos, db, maintenance, mcq, naq, parallel, scq, speedup_exp, table1,
 };
 use mqpi_workload::{McqConfig, TpcrDb};
 
@@ -66,13 +66,15 @@ fn parse_args() -> Result<Opts, String> {
                     .map_err(|e| format!("--jobs: {e}"))?;
             }
             "--small" => opts.small = true,
+            // Alias for the chaos campaign mode (same as naming it).
+            "--chaos" => opts.what.push("chaos".into()),
             "--csv" => {
                 opts.csv = Some(PathBuf::from(args.next().ok_or("--csv needs a dir")?));
             }
             "--help" | "-h" => {
                 return Err(
-                    "usage: experiments [all|table1|fig1..fig11|ablations|speedup|bench-harness] \
-                            [--runs N] [--small] [--csv DIR] [--seed S] [--jobs N]"
+                    "usage: experiments [all|table1|fig1..fig11|ablations|speedup|chaos|bench-harness] \
+                            [--runs N] [--small] [--csv DIR] [--seed S] [--jobs N] [--chaos]"
                         .into(),
                 )
             }
@@ -102,6 +104,7 @@ fn parse_args() -> Result<Opts, String> {
         "fig11",
         "ablations",
         "speedup",
+        "chaos",
         "bench-harness",
     ];
     for w in &opts.what {
@@ -480,6 +483,63 @@ fn main() -> ExitCode {
                 "fig11",
                 &t,
             );
+        }
+        // Chaos campaign; only when asked for by name or --chaos ("all"
+        // skips it — fault campaigns are a robustness gate, not a figure).
+        if opts.what.iter().any(|w| w == "chaos") {
+            let intensities = [0.0, 2.0, 5.0, 10.0];
+            let rep = chaos::run(&intensities, opts.runs, opts.seed, opts.jobs)?;
+            let mut t = TextTable::new(&[
+                "shape",
+                "faults/100s",
+                "injected",
+                "skipped",
+                "completed",
+                "failed",
+                "retries",
+                "rejected",
+                "single rel. err",
+                "multi rel. err",
+                "degraded",
+                "nonfinite",
+                "violations",
+            ]);
+            for p in &rep.points {
+                t.row(vec![
+                    p.shape.to_string(),
+                    f2(p.intensity),
+                    p.faults_injected.to_string(),
+                    p.faults_skipped.to_string(),
+                    p.completed.to_string(),
+                    p.failures.to_string(),
+                    p.retries.to_string(),
+                    p.rejected.to_string(),
+                    pct(p.single_err),
+                    pct(p.multi_err),
+                    p.degraded.to_string(),
+                    p.nonfinite.to_string(),
+                    p.violations.to_string(),
+                ]);
+            }
+            emit(
+                &format!(
+                    "chaos ({} faults injected, {} violations, {} non-finite estimates, \
+                     {} runs/cell)",
+                    rep.total_faults, rep.total_violations, rep.total_nonfinite, opts.runs
+                ),
+                "chaos",
+                &t,
+            );
+            for d in rep.violation_details.iter().take(20) {
+                eprintln!("violation: {d}");
+            }
+            if rep.total_violations > 0 || rep.total_nonfinite > 0 {
+                return Err(format!(
+                    "chaos campaign not clean: {} violations, {} non-finite estimates",
+                    rep.total_violations, rep.total_nonfinite
+                )
+                .into());
+            }
         }
         // Timing mode; only when asked for by name ("all" skips it).
         if opts.what.iter().any(|w| w == "bench-harness") {

@@ -20,6 +20,7 @@
 
 pub mod ablations;
 pub mod analytic;
+pub mod chaos;
 pub mod db;
 pub mod maintenance;
 pub mod mcq;

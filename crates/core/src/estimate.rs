@@ -2,6 +2,8 @@
 
 use std::collections::HashMap;
 
+use crate::sanitize::sanitize_seconds;
+
 /// A remaining-time estimate for one query.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Estimate {
@@ -18,6 +20,7 @@ pub struct Estimate {
 pub struct EstimateSet {
     by_id: HashMap<u64, f64>,
     truncated: bool,
+    degraded: u32,
 }
 
 impl EstimateSet {
@@ -25,11 +28,33 @@ impl EstimateSet {
         Self::default()
     }
 
+    /// Build a set from raw estimator output. Every value passes through
+    /// the sanitizer ([`crate::sanitize::sanitize_seconds`]): whatever the
+    /// estimator math produced, callers only ever see finite, non-negative
+    /// remaining times. [`EstimateSet::degraded`] counts the repairs.
     pub fn from_pairs(pairs: impl IntoIterator<Item = (u64, f64)>, truncated: bool) -> Self {
+        let mut degraded = 0;
+        let by_id = pairs
+            .into_iter()
+            .map(|(id, raw)| {
+                let (t, was_degraded) = sanitize_seconds(raw);
+                if was_degraded {
+                    degraded += 1;
+                }
+                (id, t)
+            })
+            .collect();
         Self {
-            by_id: pairs.into_iter().collect(),
+            by_id,
             truncated,
+            degraded,
         }
+    }
+
+    /// How many estimates the sanitizer had to repair (NaN, ∞, negative,
+    /// or absurdly large raw values).
+    pub fn degraded(&self) -> u32 {
+        self.degraded
     }
 
     /// Remaining-seconds estimate for `id`, if the estimator produced one.
@@ -91,5 +116,19 @@ mod tests {
     fn relative_error_zero_actual() {
         assert_eq!(relative_error(0.0, 0.0), 0.0);
         assert!(relative_error(1.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn from_pairs_sanitizes_and_counts_degradations() {
+        let set = EstimateSet::from_pairs(
+            [(1, 10.0), (2, f64::NAN), (3, -4.0), (4, f64::INFINITY)],
+            false,
+        );
+        assert_eq!(set.degraded(), 3);
+        assert_eq!(set.get(1), Some(10.0));
+        assert_eq!(set.get(3), Some(0.0));
+        for (_, t) in set.iter() {
+            assert!(t.is_finite() && t >= 0.0);
+        }
     }
 }

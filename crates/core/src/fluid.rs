@@ -231,8 +231,10 @@ impl VirtualClock {
         heap: &mut BinaryHeap<Admitted>,
         slots: Option<usize>,
     ) {
-        while !queue.is_empty() && slots.is_none_or(|k| heap.len() < k) {
-            let q = queue.pop_front().unwrap();
+        while slots.is_none_or(|k| heap.len() < k) {
+            let Some(q) = queue.pop_front() else {
+                break;
+            };
             self.admit(q, heap);
         }
     }
@@ -332,7 +334,8 @@ pub fn predict(
                     if (top.virtual_finish - clock.vt) * top.weight > EPS {
                         break;
                     }
-                    let done = heap.pop().unwrap();
+                    // invariant: peek above returned Some.
+                    let Some(done) = heap.pop() else { break };
                     clock.total_w -= done.weight;
                     if let Some(id) = done.id {
                         finish.push((id, t));
@@ -471,14 +474,12 @@ pub fn predict_reference(
 
 fn admit(run: &mut Vec<Live>, queue: &mut VecDeque<Live>, slots: Option<usize>) {
     loop {
-        let can = match slots {
-            None => !queue.is_empty(),
-            Some(k) => run.len() < k && !queue.is_empty(),
-        };
-        if !can {
+        if slots.is_some_and(|k| run.len() >= k) {
             break;
         }
-        let q = queue.pop_front().unwrap();
+        let Some(q) = queue.pop_front() else {
+            break;
+        };
         run.push(q);
     }
 }

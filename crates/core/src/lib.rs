@@ -23,11 +23,15 @@ pub mod estimate;
 pub mod fluid;
 pub mod multi;
 pub mod percent;
+pub mod sanitize;
 pub mod single;
+pub mod validator;
 
 pub use adaptive::ArrivalRateEstimator;
 pub use estimate::{relative_error, Estimate, EstimateSet};
 pub use fluid::{standard_remaining_times, FluidPrediction, FluidQuery, FutureArrivals};
 pub use multi::{MultiQueryPi, Visibility};
 pub use percent::{PercentDonePi, TimeFractionPi};
+pub use sanitize::{sanitize_fraction, sanitize_percent, sanitize_seconds, MAX_REMAINING_SECONDS};
 pub use single::SingleQueryPi;
+pub use validator::{InvariantValidator, ValidationContext, Violation};

@@ -10,6 +10,7 @@
 use mqpi_sim::system::SystemSnapshot;
 
 use crate::fluid::{predict, FluidQuery};
+use crate::sanitize::sanitize_fraction;
 
 /// Work-fraction indicator: `done / (done + remaining)` — the classic
 /// single-query "percent complete" (no time model at all).
@@ -29,7 +30,8 @@ impl PercentDonePi {
         if total <= 0.0 {
             return Some(0.0);
         }
-        Some((q.done / total).clamp(0.0, 1.0))
+        // The sanitizer also absorbs NaN, which `clamp` would pass through.
+        Some(sanitize_fraction(q.done / total).0)
     }
 }
 
@@ -68,7 +70,7 @@ impl TimeFractionPi {
         if total <= 0.0 {
             return Some(1.0);
         }
-        Some((elapsed / total).clamp(0.0, 1.0))
+        Some(sanitize_fraction(elapsed / total).0)
     }
 }
 

@@ -5,6 +5,9 @@
 //! This file deliberately holds a single test: the invocation counter is
 //! process-global, and a lone test keeps the count attributable.
 
+// Test code: unwrap/expect on known-good fixtures is fine here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use mqpi_core::fluid::predict_invocations;
 use mqpi_core::{MultiQueryPi, Visibility};
 use mqpi_sim::system::{QueryState, QueuedState, SystemSnapshot};

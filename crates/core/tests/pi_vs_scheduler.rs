@@ -2,6 +2,9 @@
 //! live snapshot) must match what the discrete scheduler actually does,
 //! when Assumption 2 holds (synthetic jobs report exact costs).
 
+// Test code: unwrap/expect on known-good fixtures is fine here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 
 use mqpi_core::{MultiQueryPi, Visibility};

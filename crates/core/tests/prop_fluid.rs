@@ -1,6 +1,9 @@
 //! Property-based tests for the fluid model — the analytical core of the
 //! multi-query PI (paper §2.2).
 
+// Test code: unwrap/expect on known-good fixtures is fine here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 
 use mqpi_core::fluid::{

@@ -286,6 +286,7 @@ impl Prepared {
             initial_estimate: self.est_cost,
             finished: false,
             rows: Vec::new(),
+            page_fault_armed: false,
         })
     }
 }
@@ -307,9 +308,21 @@ pub struct Cursor {
     initial_estimate: f64,
     finished: bool,
     rows: Vec<Tuple>,
+    /// When set, the next non-trivial `run` installment fails with a
+    /// storage error (deterministic fault-injection hook).
+    page_fault_armed: bool,
 }
 
 impl Cursor {
+    /// Arm a simulated page-read fault: the next `run` installment returns
+    /// `EngineError::Storage` instead of doing work, exactly once. The
+    /// cursor stays usable afterwards — callers decide whether to abort,
+    /// retry, or resume. This is how the fault-injection layer models I/O
+    /// failures without panicking inside operators.
+    pub fn arm_page_fault(&mut self) {
+        self.page_fault_armed = true;
+    }
+
     /// Run until roughly `budget` more work units are consumed or the query
     /// finishes. A budget of 0 does nothing. Execution suspends *inside*
     /// operators (including mid-materialization of sorts, hash builds, and
@@ -322,6 +335,12 @@ impl Cursor {
                 used: 0,
                 finished: self.finished,
             });
+        }
+        if self.page_fault_armed {
+            self.page_fault_armed = false;
+            return Err(EngineError::storage(
+                "injected page-read fault (fault-injection hook)",
+            ));
         }
         self.ctx.arm_budget(budget);
         let outcome = loop {

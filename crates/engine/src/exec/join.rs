@@ -120,7 +120,10 @@ impl Operator for NestedLoopJoin {
                     }
                 }
             }
-            let l = self.current.as_ref().unwrap();
+            let l = self
+                .current
+                .as_ref()
+                .expect("invariant: outer row refilled by the loop above");
             while self.pos < self.inner.len() {
                 if ctx.exhausted() {
                     return Ok(Step::Pending);

@@ -123,7 +123,10 @@ impl Operator for IndexScanEq {
             };
             self.rids = Some(rids);
         }
-        let rids = self.rids.as_ref().unwrap();
+        let rids = self
+            .rids
+            .as_ref()
+            .expect("invariant: rid list populated just above");
         if self.pos >= rids.len() {
             return Ok(Step::Done);
         }
@@ -214,7 +217,10 @@ impl Operator for IndexScanRange {
             let hi = self.hi.as_ref().map(|e| eval(e, &[], ctx)).transpose()?;
             self.st = Some(idx.tree.range_start(lo.as_ref(), hi.as_ref(), &ctx.meter));
         }
-        let st = self.st.as_mut().unwrap();
+        let st = self
+            .st
+            .as_mut()
+            .expect("invariant: range state initialized just above");
         match idx.tree.range_next(st, &ctx.meter) {
             Some((_, rid)) => {
                 let row = self.table.heap.fetch(rid, &ctx.meter)?;

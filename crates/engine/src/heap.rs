@@ -60,7 +60,11 @@ impl HeapFile {
             self.pages.push(Page::new());
         }
         let page_no = (self.pages.len() - 1) as u32;
-        let slot = self.pages.last_mut().unwrap().insert(&bytes)?;
+        let slot = self
+            .pages
+            .last_mut()
+            .expect("invariant: a page was pushed when none fit")
+            .insert(&bytes)?;
         self.row_count += 1;
         self.byte_count += bytes.len() as u64;
         Ok(Rid {

@@ -100,8 +100,9 @@ impl Value {
             (Value::Int(a), Value::Int(b)) => a.cmp(b),
             (Value::Str(a), Value::Str(b)) => a.cmp(b),
             (a, b) if rank(a) == 1 && rank(b) == 1 => {
-                let x = a.as_f64().unwrap();
-                let y = b.as_f64().unwrap();
+                // invariant: rank 1 means numeric, so as_f64 succeeds.
+                let x = a.as_f64().expect("invariant: rank-1 value is numeric");
+                let y = b.as_f64().expect("invariant: rank-1 value is numeric");
                 x.total_cmp(&y)
             }
             (a, b) => rank(a).cmp(&rank(b)),

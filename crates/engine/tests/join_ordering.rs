@@ -2,6 +2,9 @@
 //! semantics (column order, result sets) regardless of FROM order, and must
 //! pick cheap orders for star-shaped queries.
 
+// Test code: unwrap/expect on known-good fixtures is fine here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use mqpi_engine::{ColumnType, Database, Schema, Value};
 
 /// A small star schema: facts (5k rows) referencing two dimensions.

@@ -2,6 +2,9 @@
 //! results when driven with a 1-unit budget (suspending constantly) as in
 //! one shot, and the work-unit totals must match.
 
+// Test code: unwrap/expect on known-good fixtures is fine here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use mqpi_engine::{ColumnType, Database, Schema, Value};
 
 fn db() -> &'static Database {

@@ -2,6 +2,9 @@
 //! decisions directly (the executor tests elsewhere check *results*; these
 //! check *plans*).
 
+// Test code: unwrap/expect on known-good fixtures is fine here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use mqpi_engine::plan::physical::{PlanNode, PlanOp};
 use mqpi_engine::{ColumnType, Database, Schema, Value};
 

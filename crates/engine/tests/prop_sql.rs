@@ -1,6 +1,9 @@
 //! Property-based tests for the SQL front end and end-to-end execution
 //! against a reference model.
 
+// Test code: unwrap/expect on known-good fixtures is fine here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 
 use mqpi_engine::sql::parse_query;

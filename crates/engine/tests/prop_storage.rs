@@ -1,6 +1,9 @@
 //! Property-based tests for the storage layer: tuple encoding, slotted
 //! pages, heap files, and the B+-tree.
 
+// Test code: unwrap/expect on known-good fixtures is fine here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 
 use mqpi_engine::btree::BTreeIndex;

@@ -1,6 +1,9 @@
 //! Tests for the extended SQL surface: DISTINCT, EXISTS, IN (list and
 //! subquery), BETWEEN, LIKE — including their NULL semantics.
 
+// Test code: unwrap/expect on known-good fixtures is fine here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use mqpi_engine::exec::eval::like_match;
 use mqpi_engine::{ColumnType, Database, Schema, Value};
 

@@ -11,8 +11,19 @@ pub enum AdmissionPolicy {
     /// Every query starts immediately.
     #[default]
     Unlimited,
-    /// At most this many queries occupy execution slots; the rest queue.
+    /// At most this many queries occupy execution slots; the rest queue
+    /// (unboundedly — an arrival burst can grow the queue without limit).
     MaxConcurrent(usize),
+    /// At most `slots` concurrent queries and at most `queue` waiting ones;
+    /// arrivals beyond both are *rejected* (load shedding) instead of
+    /// growing the queue unboundedly. Rejected queries leave immediately as
+    /// [`FinishKind::Rejected`](crate::system::FinishKind::Rejected).
+    Bounded {
+        /// Execution slots.
+        slots: usize,
+        /// Waiting-queue capacity.
+        queue: usize,
+    },
 }
 
 impl AdmissionPolicy {
@@ -21,6 +32,16 @@ impl AdmissionPolicy {
         match self {
             AdmissionPolicy::Unlimited => true,
             AdmissionPolicy::MaxConcurrent(k) => occupied_slots < *k,
+            AdmissionPolicy::Bounded { slots, .. } => occupied_slots < *slots,
+        }
+    }
+
+    /// Can a query that was not admitted wait, given the current queue
+    /// length? `false` means the arrival is shed.
+    pub fn queue_accepts(&self, queued: usize) -> bool {
+        match self {
+            AdmissionPolicy::Unlimited | AdmissionPolicy::MaxConcurrent(_) => true,
+            AdmissionPolicy::Bounded { queue, .. } => queued < *queue,
         }
     }
 }
@@ -42,5 +63,17 @@ mod tests {
         assert!(p.admits(1));
         assert!(!p.admits(2));
         assert!(!p.admits(3));
+        assert!(p.queue_accepts(10_000));
+    }
+
+    #[test]
+    fn bounded_sheds_beyond_queue_capacity() {
+        let p = AdmissionPolicy::Bounded { slots: 2, queue: 3 };
+        assert!(p.admits(1));
+        assert!(!p.admits(2));
+        assert!(p.queue_accepts(0));
+        assert!(p.queue_accepts(2));
+        assert!(!p.queue_accepts(3));
+        assert!(!p.queue_accepts(4));
     }
 }

@@ -42,6 +42,22 @@ pub trait Job: Send {
     fn exact_remaining(&self) -> Option<f64> {
         None
     }
+
+    /// Arm an engine-level fault: the next [`Job::run`] call must return an
+    /// error instead of doing work (how the fault injector models a failed
+    /// page read). Returns `false` when the job cannot honor the request,
+    /// in which case the injector counts the event as skipped.
+    fn inject_failure(&mut self) -> bool {
+        false
+    }
+
+    /// A pristine copy of this job for retry resubmission after an abort
+    /// or failure — same query, no progress, no armed faults. `None` when
+    /// re-execution isn't supported (engine cursors hold live operator
+    /// state and must be re-opened from their `Prepared` plan instead).
+    fn restart(&self) -> Option<Box<dyn Job>> {
+        None
+    }
 }
 
 /// A real engine cursor as a job.
@@ -79,6 +95,13 @@ impl Job for CursorJob {
             finished: p.finished,
         }
     }
+
+    fn inject_failure(&mut self) -> bool {
+        // Engine-level hook: the cursor's next installment surfaces a
+        // storage error from inside the executor, not a panic.
+        self.cursor.arm_page_fault();
+        true
+    }
 }
 
 /// A job with exactly known total cost. By default its progress reports
@@ -96,6 +119,9 @@ pub struct SyntheticJob {
     claimed_estimate: f64,
     /// Multiplier applied to the *reported* remaining cost (1.0 = exact).
     report_scale: f64,
+    /// When set, the next `run` call fails with a storage error (armed by
+    /// [`Job::inject_failure`]).
+    fail_armed: bool,
 }
 
 impl SyntheticJob {
@@ -106,6 +132,7 @@ impl SyntheticJob {
             done: 0,
             claimed_estimate: total as f64,
             report_scale: 1.0,
+            fail_armed: false,
         }
     }
 
@@ -113,10 +140,8 @@ impl SyntheticJob {
     /// the true cost is `total`.
     pub fn with_claimed_estimate(total: u64, claimed: f64) -> Self {
         SyntheticJob {
-            total,
-            done: 0,
             claimed_estimate: claimed,
-            report_scale: 1.0,
+            ..SyntheticJob::new(total)
         }
     }
 
@@ -125,10 +150,9 @@ impl SyntheticJob {
     pub fn with_report_scale(total: u64, scale: f64) -> Self {
         assert!(scale > 0.0);
         SyntheticJob {
-            total,
-            done: 0,
             claimed_estimate: total as f64 * scale,
             report_scale: scale,
+            ..SyntheticJob::new(total)
         }
     }
 
@@ -140,6 +164,12 @@ impl SyntheticJob {
 
 impl Job for SyntheticJob {
     fn run(&mut self, budget: u64) -> Result<u64> {
+        if self.fail_armed {
+            self.fail_armed = false;
+            return Err(mqpi_engine::error::EngineError::storage(
+                "injected page-read fault",
+            ));
+        }
         let used = budget.min(self.total - self.done);
         self.done += used;
         Ok(used)
@@ -161,6 +191,19 @@ impl Job for SyntheticJob {
     fn exact_remaining(&self) -> Option<f64> {
         // Unscaled truth: report_scale only distorts what the PI sees.
         Some((self.total - self.done) as f64)
+    }
+
+    fn inject_failure(&mut self) -> bool {
+        self.fail_armed = true;
+        true
+    }
+
+    fn restart(&self) -> Option<Box<dyn Job>> {
+        Some(Box::new(SyntheticJob {
+            claimed_estimate: self.claimed_estimate,
+            report_scale: self.report_scale,
+            ..SyntheticJob::new(self.total)
+        }))
     }
 }
 

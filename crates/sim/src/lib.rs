@@ -23,6 +23,7 @@
 
 pub mod admission;
 pub mod arrivals;
+pub mod faults;
 pub mod job;
 pub mod rng;
 pub mod speed;
@@ -31,11 +32,12 @@ pub mod weights;
 
 pub use admission::AdmissionPolicy;
 pub use arrivals::PoissonArrivals;
+pub use faults::{FaultEvent, FaultKind, FaultMix, FaultPlan, RetryPolicy};
 pub use job::{CursorJob, Job, JobProgress, SyntheticJob};
 pub use rng::{Rng, Zipf};
 pub use speed::SpeedMonitor;
 pub use system::{
-    FinishKind, FinishedQuery, QueryId, QueryState, QueuedState, RateModel, System, SystemConfig,
-    SystemSnapshot,
+    ErrorPolicy, FaultStats, FinishKind, FinishedQuery, InjectedFault, QueryId, QueryState,
+    QueuedState, RateModel, System, SystemConfig, SystemSnapshot,
 };
 pub use weights::Priority;

@@ -7,6 +7,8 @@
 //! is precisely the behaviour that makes single-query PIs mispredict when
 //! concurrent queries finish.
 
+use mqpi_engine::error::{EngineError, Result};
+
 /// Exponentially-smoothed speed estimate over virtual time.
 #[derive(Debug, Clone)]
 pub struct SpeedMonitor {
@@ -18,21 +20,26 @@ pub struct SpeedMonitor {
 
 impl SpeedMonitor {
     /// Create a monitor with smoothing time constant `tau` seconds; larger
-    /// values average over a longer window.
-    pub fn new(tau: f64) -> Self {
+    /// values average over a longer window. A non-positive or non-finite
+    /// `tau` is a configuration error, not a panic.
+    pub fn new(tau: f64) -> Result<Self> {
         Self::new_at(tau, 0.0)
     }
 
     /// Create a monitor whose baseline is time `t0` (for queries that start
     /// mid-simulation).
-    pub fn new_at(tau: f64, t0: f64) -> Self {
-        assert!(tau > 0.0, "time constant must be positive");
-        SpeedMonitor {
+    pub fn new_at(tau: f64, t0: f64) -> Result<Self> {
+        if !(tau > 0.0 && tau.is_finite()) {
+            return Err(EngineError::exec(format!(
+                "speed monitor time constant must be positive and finite, got {tau}"
+            )));
+        }
+        Ok(SpeedMonitor {
             tau,
             last_t: t0,
             last_units: 0.0,
             ema: None,
-        }
+        })
     }
 
     /// Record the cumulative `units` completed by time `t`.
@@ -64,7 +71,7 @@ mod tests {
 
     #[test]
     fn constant_speed_is_measured_exactly() {
-        let mut m = SpeedMonitor::new(5.0);
+        let mut m = SpeedMonitor::new(5.0).unwrap();
         for i in 1..=100 {
             m.update(i as f64, 10.0 * i as f64);
         }
@@ -74,7 +81,7 @@ mod tests {
 
     #[test]
     fn reacts_to_speed_changes_with_lag() {
-        let mut m = SpeedMonitor::new(5.0);
+        let mut m = SpeedMonitor::new(5.0).unwrap();
         let mut units = 0.0;
         for i in 1..=50 {
             units += 10.0;
@@ -101,7 +108,7 @@ mod tests {
 
     #[test]
     fn zero_dt_updates_are_ignored() {
-        let mut m = SpeedMonitor::new(1.0);
+        let mut m = SpeedMonitor::new(1.0).unwrap();
         m.update(1.0, 5.0);
         let s0 = m.speed();
         m.update(1.0, 50.0);
@@ -109,8 +116,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "time constant")]
-    fn zero_tau_panics() {
-        let _ = SpeedMonitor::new(0.0);
+    fn zero_tau_is_a_constructor_error() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = SpeedMonitor::new(bad).expect_err("tau must be rejected");
+            assert!(err.to_string().contains("time constant"), "err: {err}");
+        }
+        assert!(SpeedMonitor::new_at(0.0, 5.0).is_err());
     }
 }

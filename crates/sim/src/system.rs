@@ -24,7 +24,9 @@ use std::sync::Arc;
 use mqpi_engine::error::{EngineError, Result};
 
 use crate::admission::AdmissionPolicy;
+use crate::faults::{FaultKind, FaultPlan};
 use crate::job::Job;
+use crate::rng::Rng;
 use crate::speed::SpeedMonitor;
 
 /// Identifier of a query within one `System`.
@@ -118,6 +120,10 @@ struct Session {
     /// Holds `(units_done, remaining)` of the original query at abort time
     /// so the finished record reports the query's work, not the rollback's.
     rolling_back: Option<(f64, f64)>,
+    /// Multiplier on the *reported* remaining cost in snapshots — the
+    /// residue of injected [`FaultKind::CostNoise`] events. The scheduler
+    /// itself keeps using ground truth.
+    report_scale: f64,
 }
 
 /// How a query left the system.
@@ -127,6 +133,11 @@ pub enum FinishKind {
     Completed,
     /// Killed by a workload-management action.
     Aborted,
+    /// Removed after its job returned an execution error while
+    /// [`ErrorPolicy::Isolate`] was in effect.
+    Failed,
+    /// Shed at submission: the admission policy's bounded queue was full.
+    Rejected,
 }
 
 /// Record of a query that left the system.
@@ -150,6 +161,11 @@ pub struct FinishedQuery {
     pub units_done: f64,
     /// Estimated remaining cost at the moment of leaving (0 when completed).
     pub remaining_at_end: f64,
+    /// Rollback work executed after an abort, on top of `units_done`.
+    /// Zero except for queries that left via `abort_with_overhead`. Work
+    /// conservation: the system's total executed units equal
+    /// `Σ (units_done + rollback_units)` over finished plus live sessions.
+    pub rollback_units: f64,
 }
 
 /// Point-in-time state of a running (or blocked) query.
@@ -240,6 +256,74 @@ impl PartialEq for Scheduled {
 
 impl Eq for Scheduled {}
 
+/// What [`System::step`] does when a job's `run` fails mid-flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ErrorPolicy {
+    /// Propagate the error out of `step` (historical behavior; the whole
+    /// simulation stops).
+    #[default]
+    Propagate,
+    /// Record the failing query as [`FinishKind::Failed`], keep everyone
+    /// else running, and (when a fault plan is installed) resubmit the
+    /// victim per the plan's retry policy.
+    Isolate,
+}
+
+/// One fault the injector actually applied (victimless events that found no
+/// eligible target are counted in [`FaultStats`] but not logged here).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InjectedFault {
+    /// Virtual time of application.
+    pub at: f64,
+    /// The fault applied.
+    pub kind: FaultKind,
+    /// The query it hit, for targeted kinds.
+    pub victim: Option<QueryId>,
+}
+
+/// Counters kept by the fault injector.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultStats {
+    /// Faults applied, of any kind.
+    pub injected: u64,
+    /// Cost-noise events applied.
+    pub cost_noise: u64,
+    /// Rate dips applied.
+    pub rate_dips: u64,
+    /// Abort-with-retry events applied.
+    pub aborts: u64,
+    /// Arrival bursts applied.
+    pub bursts: u64,
+    /// Page faults armed.
+    pub page_faults: u64,
+    /// Retry resubmissions scheduled (after aborts or failures).
+    pub retries_scheduled: u64,
+    /// Retry chains that ran out of attempts.
+    pub retries_exhausted: u64,
+    /// Queries recorded as [`FinishKind::Failed`].
+    pub failures: u64,
+    /// Queries shed by a bounded admission queue.
+    pub rejected: u64,
+    /// Scheduled fault events skipped because no eligible victim was
+    /// running (or the victim's job does not support the fault).
+    pub skipped: u64,
+}
+
+/// Injector state while a [`FaultPlan`] is installed.
+struct FaultState {
+    plan: FaultPlan,
+    next_event: usize,
+    rng: Rng,
+    /// Current multiplier on the aggregate rate (1.0 = no dip active).
+    rate_factor: f64,
+    /// When the active dip expires (+∞ when none).
+    rate_restore_at: f64,
+    /// Retry attempt number per query id (absent = original submission).
+    attempts: HashMap<QueryId, u32>,
+    log: Vec<InjectedFault>,
+    stats: FaultStats,
+}
+
 /// The simulated multi-query RDBMS.
 pub struct System {
     cfg: SystemConfig,
@@ -252,13 +336,38 @@ pub struct System {
     /// id → index into `finished`.
     finished_index: HashMap<QueryId, usize>,
     next_id: QueryId,
+    faults: Option<FaultState>,
+    error_policy: ErrorPolicy,
+    /// Total work units actually executed by jobs (conservation ledger).
+    executed_units: f64,
+    /// Queries shed by a bounded admission queue.
+    rejected: u64,
 }
 
 impl System {
-    /// Create a system.
+    /// Create a system. Panics on an invalid configuration; use
+    /// [`System::try_new`] where graceful handling is needed.
     pub fn new(cfg: SystemConfig) -> Self {
-        assert!(cfg.rate > 0.0 && cfg.quantum_units > 0.0);
-        System {
+        match Self::try_new(cfg) {
+            Ok(sys) => sys,
+            Err(e) => panic!("invalid system configuration: {e}"),
+        }
+    }
+
+    /// Create a system, rejecting invalid configurations as errors.
+    pub fn try_new(cfg: SystemConfig) -> Result<Self> {
+        if !(cfg.rate > 0.0 && cfg.rate.is_finite()) {
+            return Err(EngineError::exec("system rate must be positive and finite"));
+        }
+        if !(cfg.quantum_units > 0.0 && cfg.quantum_units.is_finite()) {
+            return Err(EngineError::exec("quantum must be positive and finite"));
+        }
+        if !(cfg.speed_tau > 0.0 && cfg.speed_tau.is_finite()) {
+            return Err(EngineError::exec(
+                "speed monitor time constant must be positive and finite",
+            ));
+        }
+        Ok(System {
             cfg,
             clock: 0.0,
             running: Vec::new(),
@@ -267,6 +376,21 @@ impl System {
             finished: Vec::new(),
             finished_index: HashMap::new(),
             next_id: 1,
+            faults: None,
+            error_policy: ErrorPolicy::Propagate,
+            executed_units: 0.0,
+            rejected: 0,
+        })
+    }
+
+    /// Fresh speed monitor for a session starting now.
+    ///
+    /// invariant: `speed_tau` was validated positive and finite in
+    /// [`System::try_new`], so the constructor cannot fail here.
+    fn new_monitor(&self) -> SpeedMonitor {
+        match SpeedMonitor::new_at(self.cfg.speed_tau, self.clock) {
+            Ok(m) => m,
+            Err(_) => unreachable!("speed_tau validated at construction"),
         }
     }
 
@@ -304,9 +428,10 @@ impl System {
             started: None,
             credit: 0.0,
             units_done: 0.0,
-            monitor: SpeedMonitor::new_at(self.cfg.speed_tau, self.clock),
+            monitor: self.new_monitor(),
             blocked: false,
             rolling_back: None,
+            report_scale: 1.0,
         });
         id
     }
@@ -335,10 +460,28 @@ impl System {
     fn place(&mut self, mut s: Session) {
         if self.cfg.admission.admits(self.occupied_slots()) {
             s.started = Some(self.clock);
-            s.monitor = SpeedMonitor::new_at(self.cfg.speed_tau, self.clock);
+            s.monitor = self.new_monitor();
             self.running.push(s);
-        } else {
+        } else if self.cfg.admission.queue_accepts(self.queue.len()) {
             self.queue.push_back(s);
+        } else {
+            // Load shedding: the bounded admission queue is full. The query
+            // leaves immediately with a well-defined zero-progress record.
+            // (`fault_stats` mirrors this counter into `FaultStats::rejected`.)
+            self.rejected += 1;
+            let est = s.job.progress().remaining;
+            self.record_finished(FinishedQuery {
+                id: s.id,
+                name: s.name,
+                weight: s.weight,
+                arrived: s.arrived,
+                started: None,
+                finished: self.clock,
+                kind: FinishKind::Rejected,
+                units_done: 0.0,
+                remaining_at_end: est,
+                rollback_units: 0.0,
+            });
         }
     }
 
@@ -347,7 +490,10 @@ impl System {
             if first.at > self.clock {
                 break;
             }
-            let sch = self.scheduled.pop().unwrap();
+            // invariant: peek just returned Some, so pop cannot fail.
+            let Some(sch) = self.scheduled.pop() else {
+                break;
+            };
             self.place(Session {
                 id: sch.id,
                 name: sch.name,
@@ -357,25 +503,36 @@ impl System {
                 started: None,
                 credit: 0.0,
                 units_done: 0.0,
-                monitor: SpeedMonitor::new_at(self.cfg.speed_tau, self.clock),
+                monitor: self.new_monitor(),
                 blocked: false,
                 rolling_back: None,
+                report_scale: 1.0,
             });
         }
     }
 
     fn admit_from_queue(&mut self) {
         while !self.queue.is_empty() && self.cfg.admission.admits(self.occupied_slots()) {
-            let mut s = self.queue.pop_front().unwrap();
+            // invariant: the loop condition guarantees the queue is non-empty.
+            let Some(mut s) = self.queue.pop_front() else {
+                break;
+            };
             s.started = Some(self.clock);
-            s.monitor = SpeedMonitor::new_at(self.cfg.speed_tau, self.clock);
+            s.monitor = self.new_monitor();
             self.running.push(s);
         }
     }
 
-    /// Whether any work or future arrivals remain.
+    /// Whether any work, future arrivals, or pending fault events remain
+    /// (a scheduled burst can create work on an otherwise idle system).
     pub fn has_work(&self) -> bool {
-        !self.running.is_empty() || !self.queue.is_empty() || !self.scheduled.is_empty()
+        !self.running.is_empty()
+            || !self.queue.is_empty()
+            || !self.scheduled.is_empty()
+            || self
+                .faults
+                .as_ref()
+                .is_some_and(|fs| fs.next_event < fs.plan.events().len())
     }
 
     fn next_arrival_at(&self) -> Option<f64> {
@@ -385,6 +542,215 @@ impl System {
     fn record_finished(&mut self, rec: FinishedQuery) {
         self.finished_index.insert(rec.id, self.finished.len());
         self.finished.push(rec);
+    }
+
+    /// Install a fault plan. Events strictly in the past are applied on the
+    /// next step; the injector replays the plan at exact virtual times.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        // Separate stream from `FaultPlan::generate`'s so injection draws
+        // don't depend on how the plan was built.
+        let rng = Rng::seed_from_u64(plan.seed ^ 0xD6E8_FEB8_6659_FD93);
+        self.faults = Some(FaultState {
+            plan,
+            next_event: 0,
+            rng,
+            rate_factor: 1.0,
+            rate_restore_at: f64::INFINITY,
+            attempts: HashMap::new(),
+            log: Vec::new(),
+            stats: FaultStats::default(),
+        });
+    }
+
+    /// Set what `step` does when a job's `run` fails mid-flight.
+    pub fn set_error_policy(&mut self, policy: ErrorPolicy) {
+        self.error_policy = policy;
+    }
+
+    /// Injector counters, when a fault plan is installed.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.as_ref().map(|fs| FaultStats {
+            rejected: self.rejected,
+            ..fs.stats
+        })
+    }
+
+    /// Faults applied so far (empty when no plan is installed).
+    pub fn fault_log(&self) -> &[InjectedFault] {
+        self.faults.as_ref().map_or(&[], |fs| fs.log.as_slice())
+    }
+
+    /// Total work units actually executed by all jobs so far. Conservation:
+    /// this always equals `Σ units_done` over live sessions plus
+    /// `Σ (units_done + rollback_units)` over finished records.
+    pub fn executed_units(&self) -> f64 {
+        self.executed_units
+    }
+
+    /// `Σ units_done` over live (running and queued) sessions.
+    pub fn live_units_done(&self) -> f64 {
+        self.running
+            .iter()
+            .map(|s| s.units_done)
+            .chain(self.queue.iter().map(|s| s.units_done))
+            .sum()
+    }
+
+    /// Queries shed by a bounded admission queue so far.
+    pub fn rejected_count(&self) -> u64 {
+        self.rejected
+    }
+
+    /// The aggregate rate currently in effect (nominal rate times any
+    /// active dip). Snapshots keep reporting the nominal rate: progress
+    /// indicators are not supposed to see Assumption 1 being violated.
+    pub fn current_rate(&self) -> f64 {
+        self.cfg.rate * self.faults.as_ref().map_or(1.0, |fs| fs.rate_factor)
+    }
+
+    /// The next instant at which injector state changes (fault event or
+    /// dip expiry), if any — a step must not integrate across it.
+    fn next_fault_boundary(&self) -> Option<f64> {
+        let fs = self.faults.as_ref()?;
+        let mut at = fs.rate_restore_at;
+        if let Some(ev) = fs.plan.events().get(fs.next_event) {
+            at = at.min(ev.at);
+        }
+        at.is_finite().then_some(at)
+    }
+
+    /// Pick a running, not-rolling-back victim deterministically.
+    fn pick_victim(running: &[Session], rng: &mut Rng) -> Option<usize> {
+        let eligible: Vec<usize> = running
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.rolling_back.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        if eligible.is_empty() {
+            None
+        } else {
+            Some(eligible[rng.below(eligible.len() as u64) as usize])
+        }
+    }
+
+    /// Resubmit a fresh copy of an aborted/failed query through the
+    /// admission queue with capped exponential backoff, if the retry
+    /// budget allows and the job supports restarting.
+    fn schedule_retry(
+        &mut self,
+        fs: &mut FaultState,
+        prior_id: QueryId,
+        name: &Arc<str>,
+        weight: f64,
+        fresh: Option<Box<dyn Job>>,
+    ) {
+        let Some(job) = fresh else {
+            fs.stats.retries_exhausted += 1;
+            return;
+        };
+        let prior_attempt = fs.attempts.get(&prior_id).copied().unwrap_or(0);
+        let attempt = prior_attempt + 1;
+        match fs.plan.retry.delay_for(attempt) {
+            Some(delay) => {
+                // Strip any earlier retry suffix so names stay readable.
+                let base = match name.find("#r") {
+                    Some(i) => &name[..i],
+                    None => name.as_ref(),
+                };
+                let id = self.schedule(
+                    self.clock + delay,
+                    format!("{base}#r{attempt}"),
+                    job,
+                    weight,
+                );
+                fs.attempts.insert(id, attempt);
+                fs.stats.retries_scheduled += 1;
+            }
+            None => fs.stats.retries_exhausted += 1,
+        }
+    }
+
+    /// Apply every fault event due at or before the current clock, and
+    /// expire any finished rate dip.
+    fn apply_due_faults(&mut self) {
+        let Some(mut fs) = self.faults.take() else {
+            return;
+        };
+        if self.clock >= fs.rate_restore_at {
+            fs.rate_factor = 1.0;
+            fs.rate_restore_at = f64::INFINITY;
+        }
+        while let Some(ev) = fs.plan.events().get(fs.next_event).copied() {
+            if ev.at > self.clock {
+                break;
+            }
+            fs.next_event += 1;
+            self.apply_fault(&mut fs, ev.kind);
+        }
+        self.faults = Some(fs);
+    }
+
+    fn apply_fault(&mut self, fs: &mut FaultState, kind: FaultKind) {
+        let mut log_victim = None;
+        match kind {
+            FaultKind::CostNoise { factor } => {
+                let Some(i) = Self::pick_victim(&self.running, &mut fs.rng) else {
+                    fs.stats.skipped += 1;
+                    return;
+                };
+                self.running[i].report_scale *= factor;
+                log_victim = Some(self.running[i].id);
+                fs.stats.cost_noise += 1;
+            }
+            FaultKind::RateDip { factor, duration } => {
+                fs.rate_factor = factor.clamp(1e-6, 1.0);
+                fs.rate_restore_at = self.clock + duration.max(0.0);
+                fs.stats.rate_dips += 1;
+            }
+            FaultKind::AbortRetry { overhead } => {
+                let Some(i) = Self::pick_victim(&self.running, &mut fs.rng) else {
+                    fs.stats.skipped += 1;
+                    return;
+                };
+                let (id, weight) = (self.running[i].id, self.running[i].weight);
+                let name = Arc::clone(&self.running[i].name);
+                let fresh = self.running[i].job.restart();
+                // invariant: the victim index came from `running` just above.
+                if self.abort_with_overhead(id, overhead).is_err() {
+                    fs.stats.skipped += 1;
+                    return;
+                }
+                self.schedule_retry(fs, id, &name, weight, fresh);
+                log_victim = Some(id);
+                fs.stats.aborts += 1;
+            }
+            FaultKind::Burst { queries, cost } => {
+                for b in 0..queries {
+                    let name = format!("burst@{:.3}#{b}", self.clock);
+                    self.submit(name, Box::new(crate::job::SyntheticJob::new(cost)), 1.0);
+                }
+                fs.stats.bursts += 1;
+            }
+            FaultKind::PageFault => {
+                let Some(i) = Self::pick_victim(&self.running, &mut fs.rng) else {
+                    fs.stats.skipped += 1;
+                    return;
+                };
+                if !self.running[i].job.inject_failure() {
+                    fs.stats.skipped += 1;
+                    return;
+                }
+                log_victim = Some(self.running[i].id);
+                fs.stats.page_faults += 1;
+            }
+        }
+        fs.stats.injected += 1;
+        fs.log.push(InjectedFault {
+            at: self.clock,
+            kind,
+            victim: log_victim,
+        });
     }
 
     /// Time until the next completion event, valid when every unblocked
@@ -425,12 +791,25 @@ impl System {
             return Ok(Vec::new());
         }
         self.process_due_arrivals();
-        // Idle fast-forward to the next arrival (never past `limit`).
+        self.apply_due_faults();
+        // Idle fast-forward to the next wake-up — an arrival or a fault
+        // boundary (a burst creates work out of nothing) — never past
+        // `limit`.
         if self.running.is_empty() && self.queue.is_empty() {
-            match self.next_arrival_at() {
+            let wake = match (self.next_arrival_at(), self.next_fault_boundary()) {
+                (Some(a), Some(f)) => Some(a.min(f)),
+                (a, f) => a.or(f),
+            };
+            match wake {
                 Some(at) if at < limit => {
-                    self.clock = at;
+                    self.clock = at.max(self.clock);
                     self.process_due_arrivals();
+                    self.apply_due_faults();
+                    if self.running.is_empty() && self.queue.is_empty() {
+                        // The wake-up produced no work (e.g. a victimless
+                        // fault event); let the caller step again.
+                        return Ok(Vec::new());
+                    }
                 }
                 Some(_) => {
                     // Next event is beyond the boundary: pin to it.
@@ -448,7 +827,10 @@ impl System {
             .filter(|s| !s.blocked)
             .map(|s| s.weight)
             .sum();
-        let effective = self.cfg.rate_model.effective_rate(self.cfg.rate, active);
+        let effective = self
+            .cfg
+            .rate_model
+            .effective_rate(self.current_rate(), active);
 
         let mut dt = self.cfg.quantum_units / self.cfg.rate;
         if self.cfg.step_mode == StepMode::EventDriven && total_weight > 0.0 {
@@ -461,21 +843,37 @@ impl System {
                 dt = dt.min(at - self.clock);
             }
         }
+        // Never integrate across a fault event or a dip expiry: the rate in
+        // effect must be piecewise-constant within a step.
+        if let Some(at) = self.next_fault_boundary() {
+            if at > self.clock {
+                dt = dt.min(at - self.clock);
+            }
+        }
         let mut pinned = false;
         if limit.is_finite() && self.clock + dt >= limit {
             dt = limit - self.clock;
             pinned = true;
         }
 
+        let mut failed: Vec<QueryId> = Vec::new();
         if total_weight > 0.0 {
             let grant = effective * dt;
             for s in self.running.iter_mut().filter(|s| !s.blocked) {
                 s.credit += grant * s.weight / total_weight;
                 let budget = s.credit.floor();
                 if budget >= 1.0 {
-                    let used = s.job.run(budget as u64)?;
-                    s.credit -= used as f64;
-                    s.units_done += used as f64;
+                    match s.job.run(budget as u64) {
+                        Ok(used) => {
+                            s.credit -= used as f64;
+                            s.units_done += used as f64;
+                            self.executed_units += used as f64;
+                        }
+                        Err(e) => match self.error_policy {
+                            ErrorPolicy::Propagate => return Err(e),
+                            ErrorPolicy::Isolate => failed.push(s.id),
+                        },
+                    }
                 }
             }
         }
@@ -489,18 +887,56 @@ impl System {
             s.monitor.update(self.clock, done);
         }
 
-        // Collect finishers.
+        // Remove sessions whose jobs errored (graceful isolation): they
+        // leave as `Failed` with their progress preserved, and — when a
+        // fault plan is installed — are resubmitted per the retry policy.
+        let any_failed = !failed.is_empty();
         let mut done_ids = Vec::new();
+        for id in failed {
+            let Some(pos) = self.running.iter().position(|s| s.id == id) else {
+                continue;
+            };
+            let s = self.running.remove(pos);
+            let (units_done, remaining_at_end, rollback_units) = match s.rolling_back {
+                Some((done, rem)) => (done, rem, s.units_done - done),
+                None => (s.units_done, s.job.progress().remaining, 0.0),
+            };
+            let mut faults = self.faults.take();
+            if let Some(fs) = &mut faults {
+                fs.stats.failures += 1;
+                let fresh = s.job.restart();
+                self.schedule_retry(fs, s.id, &s.name, s.weight, fresh);
+            }
+            self.faults = faults;
+            done_ids.push(s.id);
+            self.record_finished(FinishedQuery {
+                id: s.id,
+                name: s.name,
+                weight: s.weight,
+                arrived: s.arrived,
+                started: s.started,
+                finished: self.clock,
+                kind: FinishKind::Failed,
+                units_done,
+                remaining_at_end,
+                rollback_units,
+            });
+        }
+
+        // Collect finishers.
         let mut i = 0;
         while i < self.running.len() {
             if self.running[i].job.finished() {
                 let s = self.running.remove(i);
                 done_ids.push(s.id);
                 // A rollback completion reports the *query's* progress at
-                // abort time, not the rollback job's counters.
-                let (kind, units_done, remaining_at_end) = match s.rolling_back {
-                    Some((done, remaining)) => (FinishKind::Aborted, done, remaining),
-                    None => (FinishKind::Completed, s.units_done, 0.0),
+                // abort time, not the rollback job's counters; the rollback
+                // work itself is attributed to `rollback_units`.
+                let (kind, units_done, remaining_at_end, rollback_units) = match s.rolling_back {
+                    Some((done, remaining)) => {
+                        (FinishKind::Aborted, done, remaining, s.units_done - done)
+                    }
+                    None => (FinishKind::Completed, s.units_done, 0.0, 0.0),
                 };
                 self.record_finished(FinishedQuery {
                     id: s.id,
@@ -512,12 +948,13 @@ impl System {
                     kind,
                     units_done,
                     remaining_at_end,
+                    rollback_units,
                 });
             } else {
                 i += 1;
             }
         }
-        if !done_ids.is_empty() {
+        if !done_ids.is_empty() || any_failed {
             self.admit_from_queue();
         }
         Ok(done_ids)
@@ -572,7 +1009,13 @@ impl System {
     pub fn abort(&mut self, id: QueryId) -> Result<()> {
         if let Some(pos) = self.running.iter().position(|s| s.id == id) {
             let s = self.running.remove(pos);
-            let remaining = s.job.progress().remaining;
+            // Aborting a session that is already rolling back keeps the
+            // original query's counters; the rollback work done so far is
+            // attributed to `rollback_units` so no work goes missing.
+            let (units_done, remaining_at_end, rollback_units) = match s.rolling_back {
+                Some((done, rem)) => (done, rem, s.units_done - done),
+                None => (s.units_done, s.job.progress().remaining, 0.0),
+            };
             self.record_finished(FinishedQuery {
                 id: s.id,
                 name: s.name,
@@ -581,15 +1024,24 @@ impl System {
                 started: s.started,
                 finished: self.clock,
                 kind: FinishKind::Aborted,
-                units_done: s.units_done,
-                remaining_at_end: remaining,
+                units_done,
+                remaining_at_end,
+                rollback_units,
             });
             self.admit_from_queue();
             return Ok(());
         }
         if let Some(pos) = self.queue.iter().position(|s| s.id == id) {
-            let s = self.queue.remove(pos).unwrap();
-            let remaining = s.job.progress().remaining;
+            // invariant: `pos` came from `position` on the same queue.
+            let Some(s) = self.queue.remove(pos) else {
+                return Err(EngineError::exec(format!("no such query {id}")));
+            };
+            // A queued query never started and never received work: its
+            // record is explicitly zero-progress (`started: None`,
+            // `units_done: 0`), with the pre-execution cost estimate as the
+            // remaining work it leaves behind. The next snapshot no longer
+            // lists it, so queue-position estimates drop it the same tick.
+            let est = s.job.progress().remaining;
             self.record_finished(FinishedQuery {
                 id: s.id,
                 name: s.name,
@@ -598,8 +1050,9 @@ impl System {
                 started: None,
                 finished: self.clock,
                 kind: FinishKind::Aborted,
-                units_done: s.units_done,
-                remaining_at_end: remaining,
+                units_done: 0.0,
+                remaining_at_end: est,
+                rollback_units: 0.0,
             });
             return Ok(());
         }
@@ -659,7 +1112,8 @@ impl System {
                         arrived: s.arrived,
                         started: s.started.unwrap_or(s.arrived),
                         done: p.done,
-                        remaining: p.remaining,
+                        // Injected cost noise distorts only what PIs see.
+                        remaining: p.remaining * s.report_scale,
                         initial_estimate: p.initial_estimate,
                         observed_speed: s.monitor.speed(),
                         blocked: s.blocked,
@@ -675,7 +1129,7 @@ impl System {
                     name: Arc::clone(&s.name),
                     weight: s.weight,
                     arrived: s.arrived,
-                    est_cost: s.job.progress().remaining,
+                    est_cost: s.job.progress().remaining * s.report_scale,
                 })
                 .collect(),
         }
@@ -1109,5 +1563,327 @@ mod tests {
         let mut sys = System::new(cfg(100.0, 4.0));
         sys.run_until(42.0).unwrap();
         assert!((sys.now() - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_configs() {
+        for bad in [
+            SystemConfig {
+                rate: 0.0,
+                ..cfg(100.0, 4.0)
+            },
+            SystemConfig {
+                quantum_units: -1.0,
+                ..cfg(100.0, 4.0)
+            },
+            SystemConfig {
+                speed_tau: 0.0,
+                ..cfg(100.0, 4.0)
+            },
+            SystemConfig {
+                rate: f64::NAN,
+                ..cfg(100.0, 4.0)
+            },
+        ] {
+            assert!(
+                System::try_new(bad).is_err(),
+                "cfg {bad:?} must be rejected"
+            );
+        }
+    }
+
+    use crate::faults::{FaultEvent, FaultKind, FaultPlan, RetryPolicy};
+
+    fn plan(events: Vec<FaultEvent>) -> FaultPlan {
+        FaultPlan::new(events, 99, RetryPolicy::default())
+    }
+
+    #[test]
+    fn cost_noise_scales_only_the_reported_remaining() {
+        let mut sys = System::new(cfg(100.0, 4.0));
+        let a = sys.submit("a", Box::new(SyntheticJob::new(10_000)), 1.0);
+        sys.install_faults(plan(vec![FaultEvent {
+            at: 1.0,
+            kind: FaultKind::CostNoise { factor: 2.0 },
+        }]));
+        sys.run_until(2.0).unwrap();
+        let snap = sys.snapshot();
+        let ra = snap.running.iter().find(|r| r.id == a).unwrap();
+        // True remaining ≈ 10000 − 200; reported is doubled.
+        assert!((ra.remaining - 2.0 * (10_000.0 - ra.done)).abs() < 1e-6);
+        // The scheduler itself is undisturbed: work proceeds at the rate.
+        assert!((ra.done - 200.0).abs() < 8.0);
+        assert_eq!(sys.fault_stats().unwrap().cost_noise, 1);
+    }
+
+    #[test]
+    fn rate_dip_slows_execution_then_recovers() {
+        let mut sys = System::new(cfg(100.0, 1.0));
+        sys.submit("a", Box::new(SyntheticJob::new(100_000)), 1.0);
+        sys.install_faults(plan(vec![FaultEvent {
+            at: 10.0,
+            kind: FaultKind::RateDip {
+                factor: 0.5,
+                duration: 10.0,
+            },
+        }]));
+        sys.run_until(30.0).unwrap();
+        // 10s at 100 + 10s at 50 + 10s at 100 = 2500 units.
+        let done = sys.snapshot().running[0].done;
+        assert!((done - 2500.0).abs() < 5.0, "done = {done}");
+        // The PI-visible nominal rate never changes.
+        assert_eq!(sys.snapshot().rate, 100.0);
+        assert_eq!(sys.current_rate(), 100.0); // dip expired
+        assert_eq!(sys.fault_stats().unwrap().rate_dips, 1);
+    }
+
+    #[test]
+    fn abort_retry_resubmits_with_backoff() {
+        let mut sys = System::new(cfg(100.0, 4.0));
+        sys.submit("victim", Box::new(SyntheticJob::new(5_000)), 1.0);
+        sys.install_faults(plan(vec![FaultEvent {
+            at: 5.0,
+            kind: FaultKind::AbortRetry { overhead: 100 },
+        }]));
+        sys.run_until_idle(1e6).unwrap();
+        let stats = sys.fault_stats().unwrap();
+        assert_eq!(stats.aborts, 1);
+        assert_eq!(stats.retries_scheduled, 1);
+        let finished = sys.finished();
+        let aborted = finished
+            .iter()
+            .find(|f| f.kind == FinishKind::Aborted)
+            .unwrap();
+        assert!(aborted.rollback_units > 0.0, "rollback work accounted");
+        // The retry ran to completion under a fresh name.
+        let retried = finished
+            .iter()
+            .find(|f| f.name.as_ref() == "victim#r1")
+            .unwrap();
+        assert_eq!(retried.kind, FinishKind::Completed);
+        // Backoff: the retry arrived base_delay after the abort fired.
+        assert!((retried.arrived - (5.0 + 1.0)).abs() < 0.1);
+        // Conservation across abort → rollback → retry.
+        let accounted: f64 = finished
+            .iter()
+            .map(|f| f.units_done + f.rollback_units)
+            .sum::<f64>()
+            + sys.live_units_done();
+        assert!((sys.executed_units() - accounted).abs() < 1e-6);
+    }
+
+    #[test]
+    fn burst_overloads_bounded_admission_and_sheds() {
+        let mut c = cfg(100.0, 4.0);
+        c.admission = AdmissionPolicy::Bounded { slots: 1, queue: 2 };
+        let mut sys = System::new(c);
+        sys.submit("long", Box::new(SyntheticJob::new(100_000)), 1.0);
+        sys.install_faults(plan(vec![FaultEvent {
+            at: 1.0,
+            kind: FaultKind::Burst {
+                queries: 5,
+                cost: 100,
+            },
+        }]));
+        sys.run_until(2.0).unwrap();
+        assert_eq!(sys.running_ids().len(), 1);
+        assert_eq!(sys.queued_ids().len(), 2);
+        assert_eq!(sys.rejected_count(), 3);
+        let rejected: Vec<_> = sys
+            .finished()
+            .iter()
+            .filter(|f| f.kind == FinishKind::Rejected)
+            .collect();
+        assert_eq!(rejected.len(), 3);
+        for r in rejected {
+            assert_eq!(r.units_done, 0.0);
+            assert!(r.started.is_none());
+            assert_eq!(r.remaining_at_end, 100.0);
+        }
+    }
+
+    #[test]
+    fn page_fault_is_isolated_and_retried() {
+        let mut sys = System::new(cfg(100.0, 4.0));
+        sys.set_error_policy(ErrorPolicy::Isolate);
+        sys.submit("a", Box::new(SyntheticJob::new(1_000)), 1.0);
+        let b = sys.submit("b", Box::new(SyntheticJob::new(1_000)), 1.0);
+        sys.install_faults(plan(vec![FaultEvent {
+            at: 2.0,
+            kind: FaultKind::PageFault,
+        }]));
+        sys.run_until_idle(1e6).unwrap();
+        let stats = sys.fault_stats().unwrap();
+        assert_eq!(stats.page_faults, 1);
+        assert_eq!(stats.failures, 1);
+        assert_eq!(stats.retries_scheduled, 1);
+        let failed = sys
+            .finished()
+            .iter()
+            .find(|f| f.kind == FinishKind::Failed)
+            .unwrap();
+        assert!(failed.units_done > 0.0);
+        // Everyone else completed untouched; the retry completed too.
+        assert!(sys.finished_record(b).is_some());
+        let completed = sys
+            .finished()
+            .iter()
+            .filter(|f| f.kind == FinishKind::Completed)
+            .count();
+        assert_eq!(completed, 2);
+    }
+
+    #[test]
+    fn page_fault_propagates_without_isolation() {
+        let mut sys = System::new(cfg(100.0, 4.0));
+        sys.submit("a", Box::new(SyntheticJob::new(1_000)), 1.0);
+        sys.install_faults(plan(vec![FaultEvent {
+            at: 2.0,
+            kind: FaultKind::PageFault,
+        }]));
+        assert!(sys.run_until_idle(1e6).is_err());
+    }
+
+    #[test]
+    fn burst_on_idle_system_fires_at_its_scheduled_time() {
+        let mut sys = System::new(cfg(100.0, 4.0));
+        sys.install_faults(plan(vec![FaultEvent {
+            at: 7.0,
+            kind: FaultKind::Burst {
+                queries: 2,
+                cost: 100,
+            },
+        }]));
+        sys.run_until_idle(1e6).unwrap();
+        assert_eq!(sys.finished().len(), 2);
+        for f in sys.finished() {
+            assert!((f.arrived - 7.0).abs() < 1e-9, "arrived {}", f.arrived);
+        }
+    }
+
+    #[test]
+    fn victimless_faults_are_skipped_not_applied() {
+        let mut sys = System::new(cfg(100.0, 4.0));
+        sys.install_faults(plan(vec![
+            FaultEvent {
+                at: 1.0,
+                kind: FaultKind::CostNoise { factor: 2.0 },
+            },
+            FaultEvent {
+                at: 2.0,
+                kind: FaultKind::PageFault,
+            },
+        ]));
+        sys.run_until(5.0).unwrap();
+        let stats = sys.fault_stats().unwrap();
+        assert_eq!(stats.injected, 0);
+        assert_eq!(stats.skipped, 2);
+        assert!(sys.fault_log().is_empty());
+    }
+
+    #[test]
+    fn retry_budget_is_exhausted_by_repeated_aborts() {
+        let mut sys = System::new(cfg(100.0, 4.0));
+        sys.submit("v", Box::new(SyntheticJob::new(1_000_000)), 1.0);
+        // Abort whatever runs every 20s; the chain v → v#r1 → v#r2 → v#r3
+        // exhausts the default 3-attempt budget.
+        let events = (1..=8)
+            .map(|i| FaultEvent {
+                at: 20.0 * i as f64,
+                kind: FaultKind::AbortRetry { overhead: 0 },
+            })
+            .collect();
+        sys.install_faults(plan(events));
+        sys.run_until_idle(1e6).unwrap();
+        let stats = sys.fault_stats().unwrap();
+        assert_eq!(stats.retries_scheduled, 3);
+        assert_eq!(stats.retries_exhausted, 1);
+        assert!(sys
+            .finished()
+            .iter()
+            .any(|f| f.name.as_ref() == "v#r3" && f.kind == FinishKind::Aborted));
+    }
+
+    #[test]
+    fn queued_abort_is_zero_progress_and_leaves_snapshot_same_tick() {
+        let mut c = cfg(100.0, 4.0);
+        c.admission = AdmissionPolicy::MaxConcurrent(1);
+        let mut sys = System::new(c);
+        let _a = sys.submit("a", Box::new(SyntheticJob::new(10_000)), 1.0);
+        let b = sys.submit("b", Box::new(SyntheticJob::new(500)), 1.0);
+        sys.run_until(1.0).unwrap();
+        assert!(sys.snapshot().queued.iter().any(|q| q.id == b));
+        sys.abort(b).unwrap();
+        let rec = sys.finished_record(b).unwrap();
+        assert_eq!(rec.kind, FinishKind::Aborted);
+        assert!(rec.started.is_none());
+        assert_eq!(rec.units_done, 0.0);
+        assert_eq!(rec.rollback_units, 0.0);
+        assert_eq!(rec.remaining_at_end, 500.0);
+        assert_eq!(rec.finished, sys.now());
+        // Same tick, no step in between: the snapshot no longer lists it.
+        let snap = sys.snapshot();
+        assert!(snap.queued.iter().all(|q| q.id != b));
+        assert!(snap.running.iter().all(|r| r.id != b));
+    }
+
+    #[test]
+    fn abort_of_rolling_back_session_conserves_work() {
+        let mut sys = System::new(cfg(100.0, 4.0));
+        let a = sys.submit("a", Box::new(SyntheticJob::new(10_000)), 1.0);
+        sys.run_until(2.0).unwrap();
+        sys.abort_with_overhead(a, 500).unwrap();
+        sys.run_until(4.0).unwrap(); // rollback partially done
+        sys.abort(a).unwrap();
+        let rec = sys.finished_record(a).unwrap();
+        assert_eq!(rec.kind, FinishKind::Aborted);
+        assert!((rec.units_done - 200.0).abs() < 8.0);
+        assert!(rec.rollback_units > 0.0);
+        let accounted: f64 = rec.units_done + rec.rollback_units;
+        assert!((sys.executed_units() - accounted).abs() < 1e-6);
+    }
+
+    #[test]
+    fn executed_units_ledger_balances_under_mixed_outcomes() {
+        let mut c = cfg(100.0, 4.0);
+        c.admission = AdmissionPolicy::Bounded { slots: 2, queue: 1 };
+        let mut sys = System::new(c);
+        sys.set_error_policy(ErrorPolicy::Isolate);
+        for i in 0..4u64 {
+            sys.submit(
+                format!("q{i}"),
+                Box::new(SyntheticJob::new(400 * (i + 1))),
+                1.0,
+            );
+        }
+        sys.install_faults(plan(vec![
+            FaultEvent {
+                at: 1.0,
+                kind: FaultKind::AbortRetry { overhead: 50 },
+            },
+            FaultEvent {
+                at: 2.0,
+                kind: FaultKind::PageFault,
+            },
+            FaultEvent {
+                at: 3.0,
+                kind: FaultKind::Burst {
+                    queries: 3,
+                    cost: 200,
+                },
+            },
+        ]));
+        sys.run_until_idle(1e6).unwrap();
+        let accounted: f64 = sys
+            .finished()
+            .iter()
+            .map(|f| f.units_done + f.rollback_units)
+            .sum::<f64>()
+            + sys.live_units_done();
+        assert!(
+            (sys.executed_units() - accounted).abs() < 1e-6,
+            "executed {} vs accounted {accounted}",
+            sys.executed_units()
+        );
     }
 }

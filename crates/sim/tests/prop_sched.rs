@@ -2,6 +2,9 @@
 //! must track the GPS fluid ideal, conserve work, and honor admission
 //! limits.
 
+// Test code: unwrap/expect on known-good fixtures is fine here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 
 use mqpi_sim::job::SyntheticJob;
