@@ -3,6 +3,7 @@
 //! ```text
 //! experiments [all|table1|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|chaos|bench-harness]
 //!             [--runs N] [--small] [--csv DIR] [--seed S] [--jobs N] [--chaos]
+//!             [--trace-out FILE] [--metrics-out FILE]
 //! ```
 //!
 //! Output is printed as text tables (the same rows/series the paper plots)
@@ -12,6 +13,14 @@
 //! serial path — results are bit-identical either way). `bench-harness`
 //! times the Fig. 6/7 sweep and the Fig. 11 maintenance runs serial vs
 //! parallel and writes `BENCH_2.json`.
+//!
+//! `--trace-out FILE` and `--metrics-out FILE` run the traced scenario
+//! suite ([`mqpi_bench::traced`]) with the observability layer enabled and
+//! write the concatenated trace-event log and the metrics export
+//! (CSV, or JSON when the path ends in `.json`). Both outputs are
+//! deterministic functions of `--seed`. The figure experiments themselves
+//! always run untraced, so their CSVs are byte-identical with or without
+//! these flags.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -20,6 +29,7 @@ use std::time::Instant;
 use mqpi_bench::report::{f2, pct, TextTable};
 use mqpi_bench::{
     ablations, analytic, chaos, db, maintenance, mcq, naq, parallel, scq, speedup_exp, table1,
+    traced,
 };
 use mqpi_workload::{McqConfig, TpcrDb};
 
@@ -30,6 +40,8 @@ struct Opts {
     csv: Option<PathBuf>,
     seed: u64,
     jobs: usize,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -40,6 +52,8 @@ fn parse_args() -> Result<Opts, String> {
         csv: None,
         seed: 1,
         jobs: parallel::default_jobs(),
+        trace_out: None,
+        metrics_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -71,10 +85,21 @@ fn parse_args() -> Result<Opts, String> {
             "--csv" => {
                 opts.csv = Some(PathBuf::from(args.next().ok_or("--csv needs a dir")?));
             }
+            "--trace-out" => {
+                opts.trace_out = Some(PathBuf::from(
+                    args.next().ok_or("--trace-out needs a file")?,
+                ));
+            }
+            "--metrics-out" => {
+                opts.metrics_out = Some(PathBuf::from(
+                    args.next().ok_or("--metrics-out needs a file")?,
+                ));
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: experiments [all|table1|fig1..fig11|ablations|speedup|chaos|bench-harness] \
-                            [--runs N] [--small] [--csv DIR] [--seed S] [--jobs N] [--chaos]"
+                            [--runs N] [--small] [--csv DIR] [--seed S] [--jobs N] [--chaos] \
+                            [--trace-out FILE] [--metrics-out FILE]"
                         .into(),
                 )
             }
@@ -545,6 +570,10 @@ fn main() -> ExitCode {
         if opts.what.iter().any(|w| w == "bench-harness") {
             bench_harness(tpcr, &opts)?;
         }
+        // Observability suite; runs whenever an output file is requested.
+        if opts.trace_out.is_some() || opts.metrics_out.is_some() {
+            write_observability(&opts)?;
+        }
         Ok(())
     };
 
@@ -555,6 +584,51 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Run the traced scenario suite and write its trace and/or metrics
+/// exports. The trace file concatenates every scenario's event log under
+/// `# scenario=<name> seed=<seed>` headers; the metrics file prefixes each
+/// row with the scenario name (CSV) or nests each registry under the
+/// scenario key (JSON, chosen by a `.json` extension).
+fn write_observability(opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
+    let runs = traced::run_all(opts.seed)?;
+    let violations: u64 = runs.iter().map(|r| r.violations).sum();
+    if violations > 0 {
+        return Err(format!("traced scenario suite saw {violations} invariant violations").into());
+    }
+    if let Some(path) = &opts.trace_out {
+        let mut out = String::new();
+        for r in &runs {
+            out.push_str(&format!("# scenario={} seed={}\n", r.scenario, opts.seed));
+            out.push_str(&r.trace);
+        }
+        std::fs::write(path, out)?;
+        eprintln!("# wrote {}", path.display());
+    }
+    if let Some(path) = &opts.metrics_out {
+        let json = path.extension().is_some_and(|e| e == "json");
+        let mut out = String::new();
+        if json {
+            out.push_str("{\n");
+            for (i, r) in runs.iter().enumerate() {
+                let body = r.metrics_json.trim_end().replace('\n', "\n  ");
+                out.push_str(&format!("  \"{}\": {body}", r.scenario));
+                out.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
+            }
+            out.push_str("}\n");
+        } else {
+            out.push_str("scenario,family,name,value,detail\n");
+            for r in &runs {
+                for line in r.metrics_csv.lines().skip(1) {
+                    out.push_str(&format!("{},{line}\n", r.scenario));
+                }
+            }
+        }
+        std::fs::write(path, out)?;
+        eprintln!("# wrote {}", path.display());
+    }
+    Ok(())
 }
 
 /// Serial-vs-parallel wall clock for the Fig. 6/7 λ sweep and the Fig. 11

@@ -30,3 +30,4 @@ pub mod report;
 pub mod scq;
 pub mod speedup_exp;
 pub mod table1;
+pub mod traced;

@@ -4,7 +4,7 @@
 //! that property by comparing the full Debug serialization (which prints
 //! every f64 bit-exactly) across jobs=1 and jobs=4.
 
-use mqpi_bench::{ablations, db, maintenance, scq, speedup_exp};
+use mqpi_bench::{ablations, db, maintenance, scq, speedup_exp, traced};
 
 #[test]
 fn scq_sweep_is_bit_identical_across_job_counts() {
@@ -57,4 +57,33 @@ fn ablations_are_bit_identical_across_job_counts() {
     let ov_serial = ablations::abort_overhead(tpcr, &[0.0, 500.0], 2, 11, db::RATE, 1).unwrap();
     let ov_parallel = ablations::abort_overhead(tpcr, &[0.0, 500.0], 2, 11, db::RATE, 4).unwrap();
     assert_eq!(format!("{ov_serial:?}"), format!("{ov_parallel:?}"));
+}
+
+/// Observability output is part of the determinism contract: each traced
+/// replicate owns its whole `Obs` handle (events, metrics, profile), so
+/// fanning replicates across threads cannot reorder a single byte of any
+/// run's trace or exports — including the chaos scenario, where fault
+/// injection, retries, and load shedding all emit while tracing is on.
+#[test]
+fn traced_scenarios_are_byte_identical_across_job_counts() {
+    for scenario in traced::SCENARIOS {
+        let serial = traced::run_replicated(scenario, 3, 42, 1).unwrap();
+        let parallel = traced::run_replicated(scenario, 3, 42, 4).unwrap();
+        assert_eq!(serial.len(), parallel.len());
+        for (r, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+            assert_eq!(s.trace, p.trace, "{scenario}/run{r}: trace differs");
+            assert_eq!(
+                s.metrics_json, p.metrics_json,
+                "{scenario}/run{r}: metrics JSON differs"
+            );
+            assert_eq!(
+                s.metrics_csv, p.metrics_csv,
+                "{scenario}/run{r}: metrics CSV differs"
+            );
+            assert_eq!(
+                s.violations, p.violations,
+                "{scenario}/run{r}: violation count differs"
+            );
+        }
+    }
 }

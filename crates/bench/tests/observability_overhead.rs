@@ -1,0 +1,39 @@
+//! The observability layer's overhead contract.
+//!
+//! With a disabled handle, every emission site reduces to one branch on
+//! `is_enabled()` and no emission touches the simulation (all reads, no
+//! RNG draws, no float arithmetic). The budgeted acceptance bound is ≤1%
+//! extra work units; the actual contract these tests pin is far stronger —
+//! the executed work is bit-for-bit identical whether tracing is enabled,
+//! disabled, or (as before this layer existed) absent.
+
+use mqpi_bench::traced;
+use mqpi_obs::Obs;
+
+#[test]
+fn disabled_tracing_costs_zero_work_units() {
+    for scenario in traced::SCENARIOS {
+        let on = traced::run_scenario_with(scenario, 42, Obs::enabled()).unwrap();
+        let off = traced::run_scenario_with(scenario, 42, Obs::disabled()).unwrap();
+        // Budget is ≤1% — the virtual-time design delivers exactly 0%.
+        assert_eq!(
+            on.executed_units.to_bits(),
+            off.executed_units.to_bits(),
+            "{scenario}: tracing changed executed work ({} vs {})",
+            on.executed_units,
+            off.executed_units
+        );
+        assert!(on.executed_units > 0.0, "{scenario}: nothing executed");
+    }
+}
+
+#[test]
+fn disabled_handle_produces_no_output() {
+    for scenario in traced::SCENARIOS {
+        let off = traced::run_scenario_with(scenario, 42, Obs::disabled()).unwrap();
+        assert!(off.trace.is_empty(), "{scenario}: disabled trace not empty");
+        assert_eq!(off.metrics_json, "{}\n", "{scenario}: disabled metrics");
+        assert!(off.metrics_csv.is_empty(), "{scenario}: disabled CSV");
+        assert_eq!(off.violations, 0);
+    }
+}

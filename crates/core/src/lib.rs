@@ -22,6 +22,7 @@ pub mod adaptive;
 pub mod estimate;
 pub mod fluid;
 pub mod multi;
+pub mod observe;
 pub mod percent;
 pub mod sanitize;
 pub mod single;
@@ -31,7 +32,11 @@ pub use adaptive::ArrivalRateEstimator;
 pub use estimate::{relative_error, Estimate, EstimateSet};
 pub use fluid::{standard_remaining_times, FluidPrediction, FluidQuery, FutureArrivals};
 pub use multi::{MultiQueryPi, Visibility};
+pub use observe::observe_estimates;
 pub use percent::{PercentDonePi, TimeFractionPi};
-pub use sanitize::{sanitize_fraction, sanitize_percent, sanitize_seconds, MAX_REMAINING_SECONDS};
+pub use sanitize::{
+    sanitize_fraction, sanitize_fraction_counted, sanitize_percent, sanitize_percent_counted,
+    sanitize_seconds, sanitize_seconds_counted, MAX_REMAINING_SECONDS,
+};
 pub use single::SingleQueryPi;
 pub use validator::{InvariantValidator, ValidationContext, Violation};

@@ -63,6 +63,11 @@ pub struct InvariantValidator {
     /// observation.
     last_running: HashMap<u64, (f64, bool, bool)>,
     violations: Vec<Violation>,
+    /// Observability handle: every violation is also emitted as a
+    /// `violation` trace event and counted under
+    /// `core.validator.violations`, so fail-on-violation checks can read
+    /// from the metrics registry instead of re-walking the list.
+    obs: mqpi_obs::Obs,
 }
 
 impl Default for InvariantValidator {
@@ -87,10 +92,23 @@ impl InvariantValidator {
             last_ids: HashSet::new(),
             last_running: HashMap::new(),
             violations: Vec::new(),
+            obs: mqpi_obs::Obs::disabled(),
         }
     }
 
+    /// Install an observability handle; each subsequent violation also
+    /// emits an `violation` trace event and increments
+    /// `core.validator.violations`.
+    pub fn set_obs(&mut self, obs: mqpi_obs::Obs) {
+        self.obs = obs;
+    }
+
     fn violate(&mut self, at: f64, rule: &'static str, detail: String) {
+        if self.obs.is_enabled() {
+            self.obs
+                .emit(at, mqpi_obs::TraceKind::InvariantViolation { rule });
+            self.obs.counter_add("core.validator.violations", 1);
+        }
         self.violations.push(Violation { at, rule, detail });
     }
 
@@ -363,6 +381,31 @@ mod tests {
             .violations()
             .iter()
             .any(|x| x.rule == "running_and_queued"));
+    }
+
+    #[test]
+    fn violations_surface_as_trace_events_and_counter() {
+        let obs = mqpi_obs::Obs::enabled();
+        let mut v = InvariantValidator::new();
+        v.set_obs(obs.clone());
+        v.observe(
+            &snap(5.0, vec![], vec![]),
+            &EstimateSet::new(),
+            ValidationContext::default(),
+        );
+        v.observe(
+            &snap(4.0, vec![], vec![]),
+            &EstimateSet::new(),
+            ValidationContext::default(),
+        );
+        v.check_conservation(4.0, 100.0, 0.0, &[], 1e-6);
+        assert_eq!(v.violations().len(), 2);
+        assert_eq!(obs.counter("core.validator.violations"), 2);
+        let trace = obs.render_trace();
+        assert_eq!(
+            trace,
+            "t=4 violation rule=time_monotone\nt=4 violation rule=work_conservation\n"
+        );
     }
 
     #[test]

@@ -323,6 +323,15 @@ impl Cursor {
         self.page_fault_armed = true;
     }
 
+    /// Install an observability handle: every subsequent [`Cursor::run`]
+    /// installment records profiling spans (`engine.cursor.run` plus the
+    /// root operator's tag) measured in meter work units, and mirrors the
+    /// meter into the handle's metrics. A disabled handle (the default)
+    /// costs one branch per installment.
+    pub fn set_obs(&mut self, obs: mqpi_obs::Obs) {
+        self.ctx.obs = obs;
+    }
+
     /// Run until roughly `budget` more work units are consumed or the query
     /// finishes. A budget of 0 does nothing. Execution suspends *inside*
     /// operators (including mid-materialization of sorts, hash builds, and
@@ -356,8 +365,19 @@ impl Cursor {
         };
         self.ctx.disarm_budget();
         outcome?;
+        let used = self.ctx.meter.used() - start;
+        if self.ctx.obs.is_enabled() {
+            let mut span = self.ctx.obs.span("engine.cursor.run");
+            span.add_units(used as f64);
+            drop(span);
+            let mut op_span = self.ctx.obs.span(self.root.profile_tag());
+            op_span.add_units(used as f64);
+            drop(op_span);
+            self.ctx.obs.counter_add("engine.meter.units", used);
+            self.ctx.meter.observe_into(&self.ctx.obs, used);
+        }
         Ok(RunOutcome {
-            used: self.ctx.meter.used() - start,
+            used,
             finished: self.finished,
         })
     }

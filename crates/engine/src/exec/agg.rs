@@ -209,6 +209,10 @@ impl Operator for Aggregate {
     fn label(&self) -> String {
         format!("Aggregate ({} groups seen)", self.order.len())
     }
+
+    fn profile_tag(&self) -> &'static str {
+        "op.aggregate"
+    }
     fn progress_children(&self) -> Vec<&dyn Operator> {
         vec![self.child.as_ref()]
     }
@@ -320,6 +324,10 @@ impl Distinct {
 impl Operator for Distinct {
     fn label(&self) -> String {
         "Distinct".to_string()
+    }
+
+    fn profile_tag(&self) -> &'static str {
+        "op.distinct"
     }
     fn progress_children(&self) -> Vec<&dyn Operator> {
         vec![self.child.as_ref()]

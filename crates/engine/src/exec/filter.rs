@@ -56,6 +56,10 @@ impl Operator for Filter {
     fn label(&self) -> String {
         "Filter".to_string()
     }
+
+    fn profile_tag(&self) -> &'static str {
+        "op.filter"
+    }
     fn progress_children(&self) -> Vec<&dyn Operator> {
         vec![self.child.as_ref()]
     }
@@ -124,6 +128,10 @@ impl Operator for Project {
     fn label(&self) -> String {
         "Project".to_string()
     }
+
+    fn profile_tag(&self) -> &'static str {
+        "op.project"
+    }
     fn progress_children(&self) -> Vec<&dyn Operator> {
         vec![self.child.as_ref()]
     }
@@ -179,6 +187,10 @@ impl Limit {
 impl Operator for Limit {
     fn label(&self) -> String {
         format!("Limit {}", self.n)
+    }
+
+    fn profile_tag(&self) -> &'static str {
+        "op.limit"
     }
     fn progress_children(&self) -> Vec<&dyn Operator> {
         vec![self.child.as_ref()]

@@ -85,6 +85,10 @@ impl Operator for NestedLoopJoin {
     fn label(&self) -> String {
         "NestedLoopJoin".to_string()
     }
+
+    fn profile_tag(&self) -> &'static str {
+        "op.nl_join"
+    }
     fn progress_children(&self) -> Vec<&dyn Operator> {
         vec![self.left.as_ref(), self.right.as_ref()]
     }
@@ -224,6 +228,10 @@ impl Operator for HashJoin {
     fn label(&self) -> String {
         "HashJoin".to_string()
     }
+
+    fn profile_tag(&self) -> &'static str {
+        "op.hash_join"
+    }
     fn progress_children(&self) -> Vec<&dyn Operator> {
         vec![self.left.as_ref(), self.right.as_ref()]
     }
@@ -356,6 +364,10 @@ impl IndexNLJoin {
 impl Operator for IndexNLJoin {
     fn label(&self) -> String {
         format!("IndexNLJoin with {}", self.table.name)
+    }
+
+    fn profile_tag(&self) -> &'static str {
+        "op.index_nl_join"
     }
     fn progress_children(&self) -> Vec<&dyn Operator> {
         vec![self.left.as_ref()]

@@ -38,6 +38,10 @@ pub type TableSet = BTreeMap<String, Arc<Table>>;
 pub struct ExecContext {
     /// Work-unit meter (shared by the whole query including subqueries).
     pub meter: WorkMeter,
+    /// Observability handle (disabled by default; shared with subqueries).
+    /// Emission through a disabled handle is a single `Option` check, so
+    /// the executor pays nothing when tracing is off.
+    pub obs: mqpi_obs::Obs,
     /// Correlation parameter values for the current subquery invocation.
     pub params: Vec<Value>,
     /// Catalog snapshot for building subquery operators.
@@ -63,6 +67,7 @@ impl ExecContext {
     pub fn new(tables: Arc<TableSet>) -> Self {
         ExecContext {
             meter: WorkMeter::new(),
+            obs: mqpi_obs::Obs::disabled(),
             params: Vec::new(),
             tables,
             deadline: Arc::new(AtomicU64::new(u64::MAX)),
@@ -76,6 +81,7 @@ impl ExecContext {
     pub fn subquery(&self, params: Vec<Value>) -> Self {
         ExecContext {
             meter: self.meter.clone(),
+            obs: self.obs.clone(),
             params,
             tables: Arc::clone(&self.tables),
             deadline: unbudgeted(),
@@ -153,6 +159,11 @@ pub trait Operator: Send {
 
     /// Short human-readable operator label (for progress displays).
     fn label(&self) -> String;
+
+    /// Stable static tag naming the operator type, used as the profiling
+    /// span key (`op.seq_scan`, `op.hash_join`, …). Unlike [`Self::label`]
+    /// it carries no per-instance detail, so span names stay `'static`.
+    fn profile_tag(&self) -> &'static str;
 
     /// Child operators (for progress-tree rendering).
     fn progress_children(&self) -> Vec<&dyn Operator> {

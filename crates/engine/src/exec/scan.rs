@@ -36,6 +36,10 @@ impl Operator for SeqScan {
         format!("SeqScan on {}", self.table.name)
     }
 
+    fn profile_tag(&self) -> &'static str {
+        "op.seq_scan"
+    }
+
     fn next(&mut self, ctx: &ExecContext) -> Result<Step> {
         if self.done {
             return Ok(Step::Done);
@@ -104,6 +108,10 @@ impl IndexScanEq {
 impl Operator for IndexScanEq {
     fn label(&self) -> String {
         format!("IndexScan(eq) on {}", self.table.name)
+    }
+
+    fn profile_tag(&self) -> &'static str {
+        "op.index_scan_eq"
     }
 
     fn next(&mut self, ctx: &ExecContext) -> Result<Step> {
@@ -199,6 +207,10 @@ impl IndexScanRange {
 impl Operator for IndexScanRange {
     fn label(&self) -> String {
         format!("IndexScan(range) on {}", self.table.name)
+    }
+
+    fn profile_tag(&self) -> &'static str {
+        "op.index_scan_range"
     }
 
     fn next(&mut self, ctx: &ExecContext) -> Result<Step> {

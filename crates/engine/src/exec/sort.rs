@@ -49,6 +49,10 @@ impl Operator for Sort {
     fn label(&self) -> String {
         "Sort".to_string()
     }
+
+    fn profile_tag(&self) -> &'static str {
+        "op.sort"
+    }
     fn progress_children(&self) -> Vec<&dyn Operator> {
         vec![self.child.as_ref()]
     }

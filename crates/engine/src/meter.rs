@@ -59,6 +59,25 @@ impl WorkMeter {
     pub fn same_as(&self, other: &WorkMeter) -> bool {
         Arc::ptr_eq(&self.used, &other.used)
     }
+
+    /// Publish this meter's cumulative reading into an observability
+    /// handle: gauge `engine.meter.used` plus a work-unit histogram sample
+    /// of the delta since the caller's last observation. The meter itself
+    /// stays wall-clock-free and unchanged; profiling is measured in the
+    /// units this meter counts, never in time.
+    pub fn observe_into(&self, obs: &mqpi_obs::Obs, delta: u64) {
+        if !obs.is_enabled() {
+            return;
+        }
+        obs.gauge_set("engine.meter.used", self.used() as f64);
+        if delta > 0 {
+            obs.histogram_observe(
+                "engine.meter.installment_units",
+                mqpi_obs::UNIT_BUCKETS,
+                delta as f64,
+            );
+        }
+    }
 }
 
 #[cfg(test)]

@@ -22,6 +22,7 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::Arc;
 
 use mqpi_engine::error::{EngineError, Result};
+use mqpi_obs::{Obs, TraceKind, SECOND_BUCKETS, UNIT_BUCKETS};
 
 use crate::admission::AdmissionPolicy;
 use crate::faults::{FaultKind, FaultPlan};
@@ -138,6 +139,18 @@ pub enum FinishKind {
     Failed,
     /// Shed at submission: the admission policy's bounded queue was full.
     Rejected,
+}
+
+impl FinishKind {
+    /// Stable lowercase label used in trace lines and per-kind metric names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FinishKind::Completed => "completed",
+            FinishKind::Aborted => "aborted",
+            FinishKind::Failed => "failed",
+            FinishKind::Rejected => "rejected",
+        }
+    }
 }
 
 /// Record of a query that left the system.
@@ -342,6 +355,10 @@ pub struct System {
     executed_units: f64,
     /// Queries shed by a bounded admission queue.
     rejected: u64,
+    /// Observability handle (disabled by default). Emission is read-only
+    /// with respect to scheduler state, so enabling tracing never changes
+    /// any computed result.
+    obs: Obs,
 }
 
 impl System {
@@ -380,7 +397,22 @@ impl System {
             error_policy: ErrorPolicy::Propagate,
             executed_units: 0.0,
             rejected: 0,
+            obs: Obs::disabled(),
         })
+    }
+
+    /// Install an observability handle: the scheduler then emits trace
+    /// events (arrival, admit, stage boundary, abort, retry, finish,
+    /// fault-injected), keeps counters/gauges/histograms, and profiles
+    /// [`System::step`] in work units. The default disabled handle costs
+    /// one branch per emission site.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// The installed observability handle (disabled by default).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Fresh speed monitor for a session starting now.
@@ -458,17 +490,52 @@ impl System {
     }
 
     fn place(&mut self, mut s: Session) {
+        if self.obs.is_enabled() {
+            self.obs.emit(
+                self.clock,
+                TraceKind::Arrival {
+                    id: s.id,
+                    name: Arc::clone(&s.name),
+                    cost: s.job.progress().remaining,
+                },
+            );
+            self.obs.counter_add("sim.arrivals", 1);
+        }
         if self.cfg.admission.admits(self.occupied_slots()) {
             s.started = Some(self.clock);
             s.monitor = self.new_monitor();
+            if self.obs.is_enabled() {
+                self.obs.emit(
+                    self.clock,
+                    TraceKind::Admit {
+                        id: s.id,
+                        waited: 0.0,
+                    },
+                );
+                self.obs.counter_add("sim.admitted", 1);
+            }
             self.running.push(s);
         } else if self.cfg.admission.queue_accepts(self.queue.len()) {
+            if self.obs.is_enabled() {
+                self.obs.emit(
+                    self.clock,
+                    TraceKind::Enqueue {
+                        id: s.id,
+                        depth: self.queue.len() + 1,
+                    },
+                );
+                self.obs.counter_add("sim.enqueued", 1);
+            }
             self.queue.push_back(s);
         } else {
             // Load shedding: the bounded admission queue is full. The query
             // leaves immediately with a well-defined zero-progress record.
             // (`fault_stats` mirrors this counter into `FaultStats::rejected`.)
             self.rejected += 1;
+            if self.obs.is_enabled() {
+                self.obs.emit(self.clock, TraceKind::Reject { id: s.id });
+                self.obs.counter_add("sim.rejected", 1);
+            }
             let est = s.job.progress().remaining;
             self.record_finished(FinishedQuery {
                 id: s.id,
@@ -519,6 +586,16 @@ impl System {
             };
             s.started = Some(self.clock);
             s.monitor = self.new_monitor();
+            if self.obs.is_enabled() {
+                self.obs.emit(
+                    self.clock,
+                    TraceKind::Admit {
+                        id: s.id,
+                        waited: self.clock - s.arrived,
+                    },
+                );
+                self.obs.counter_add("sim.admitted", 1);
+            }
             self.running.push(s);
         }
     }
@@ -540,6 +617,30 @@ impl System {
     }
 
     fn record_finished(&mut self, rec: FinishedQuery) {
+        if self.obs.is_enabled() {
+            self.obs.emit(
+                self.clock,
+                TraceKind::Finish {
+                    id: rec.id,
+                    kind: rec.kind.label(),
+                    units: rec.units_done,
+                },
+            );
+            let counter = match rec.kind {
+                FinishKind::Completed => "sim.finished.completed",
+                FinishKind::Aborted => "sim.finished.aborted",
+                FinishKind::Failed => "sim.finished.failed",
+                FinishKind::Rejected => "sim.finished.rejected",
+            };
+            self.obs.counter_add(counter, 1);
+            self.obs
+                .histogram_observe("sim.query.units_done", UNIT_BUCKETS, rec.units_done);
+            self.obs.histogram_observe(
+                "sim.query.latency",
+                SECOND_BUCKETS,
+                rec.finished - rec.arrived,
+            );
+        }
         self.finished_index.insert(rec.id, self.finished.len());
         self.finished.push(rec);
     }
@@ -658,14 +759,22 @@ impl System {
                     Some(i) => &name[..i],
                     None => name.as_ref(),
                 };
-                let id = self.schedule(
-                    self.clock + delay,
-                    format!("{base}#r{attempt}"),
-                    job,
-                    weight,
-                );
+                let due = self.clock + delay;
+                let id = self.schedule(due, format!("{base}#r{attempt}"), job, weight);
                 fs.attempts.insert(id, attempt);
                 fs.stats.retries_scheduled += 1;
+                if self.obs.is_enabled() {
+                    self.obs.emit(
+                        self.clock,
+                        TraceKind::Retry {
+                            prior: prior_id,
+                            id,
+                            attempt,
+                            due,
+                        },
+                    );
+                    self.obs.counter_add("sim.retries", 1);
+                }
             }
             None => fs.stats.retries_exhausted += 1,
         }
@@ -746,6 +855,16 @@ impl System {
             }
         }
         fs.stats.injected += 1;
+        if self.obs.is_enabled() {
+            self.obs.emit(
+                self.clock,
+                TraceKind::FaultInjected {
+                    kind: kind.label(),
+                    victim: log_victim,
+                },
+            );
+            self.obs.counter_add("sim.faults.injected", 1);
+        }
         fs.log.push(InjectedFault {
             at: self.clock,
             kind,
@@ -790,6 +909,11 @@ impl System {
         if limit <= self.clock {
             return Ok(Vec::new());
         }
+        // Snapshot composition and the work ledger so the tail of the step
+        // can emit a stage-boundary event and a profiling sample. Plain
+        // field reads — free enough to take even with tracing disabled.
+        let comp_before = (self.running.len(), self.queue.len(), self.finished.len());
+        let units_before = self.executed_units;
         self.process_due_arrivals();
         self.apply_due_faults();
         // Idle fast-forward to the next wake-up — an arrival or a fault
@@ -957,6 +1081,23 @@ impl System {
         if !done_ids.is_empty() || any_failed {
             self.admit_from_queue();
         }
+        if self.obs.is_enabled() {
+            let mut span = self.obs.span("sim.step");
+            span.add_units(self.executed_units - units_before);
+            drop(span);
+            if comp_before != (self.running.len(), self.queue.len(), self.finished.len()) {
+                self.obs.emit(
+                    self.clock,
+                    TraceKind::StageBoundary {
+                        running: self.running.len(),
+                        queued: self.queue.len(),
+                    },
+                );
+            }
+            self.obs.gauge_set("sim.running", self.running.len() as f64);
+            self.obs.gauge_set("sim.queued", self.queue.len() as f64);
+            self.obs.gauge_set("sim.clock", self.clock);
+        }
         Ok(done_ids)
     }
 
@@ -988,6 +1129,9 @@ impl System {
         match self.running.iter_mut().find(|s| s.id == id) {
             Some(s) => {
                 s.blocked = true;
+                if self.obs.is_enabled() {
+                    self.obs.emit(self.clock, TraceKind::Block { id });
+                }
                 Ok(())
             }
             None => Err(EngineError::exec(format!("no running query {id}"))),
@@ -999,6 +1143,9 @@ impl System {
         match self.running.iter_mut().find(|s| s.id == id) {
             Some(s) => {
                 s.blocked = false;
+                if self.obs.is_enabled() {
+                    self.obs.emit(self.clock, TraceKind::Resume { id });
+                }
                 Ok(())
             }
             None => Err(EngineError::exec(format!("no running query {id}"))),
@@ -1009,6 +1156,11 @@ impl System {
     pub fn abort(&mut self, id: QueryId) -> Result<()> {
         if let Some(pos) = self.running.iter().position(|s| s.id == id) {
             let s = self.running.remove(pos);
+            if self.obs.is_enabled() {
+                self.obs
+                    .emit(self.clock, TraceKind::Abort { id, overhead: 0 });
+                self.obs.counter_add("sim.aborts", 1);
+            }
             // Aborting a session that is already rolling back keeps the
             // original query's counters; the rollback work done so far is
             // attributed to `rollback_units` so no work goes missing.
@@ -1041,6 +1193,11 @@ impl System {
             // `units_done: 0`), with the pre-execution cost estimate as the
             // remaining work it leaves behind. The next snapshot no longer
             // lists it, so queue-position estimates drop it the same tick.
+            if self.obs.is_enabled() {
+                self.obs
+                    .emit(self.clock, TraceKind::Abort { id, overhead: 0 });
+                self.obs.counter_add("sim.aborts", 1);
+            }
             let est = s.job.progress().remaining;
             self.record_finished(FinishedQuery {
                 id: s.id,
@@ -1080,6 +1237,10 @@ impl System {
             s.job = Box::new(crate::job::SyntheticJob::new(overhead));
             s.blocked = false;
             s.credit = 0.0;
+            if self.obs.is_enabled() {
+                self.obs.emit(self.clock, TraceKind::Abort { id, overhead });
+                self.obs.counter_add("sim.aborts", 1);
+            }
             return Ok(());
         }
         if self.queue.iter().any(|s| s.id == id) {
@@ -1167,6 +1328,45 @@ mod tests {
     fn system_is_send() {
         fn send<T: Send>() {}
         send::<System>();
+    }
+
+    /// A traced lifecycle emits arrival → admit → stage/finish events, and
+    /// the same run with tracing disabled produces identical scheduler
+    /// results (the observability layer is read-only).
+    #[test]
+    fn tracing_captures_lifecycle_and_changes_nothing() {
+        let run = |traced: bool| {
+            let mut sys = System::new(cfg(100.0, 4.0));
+            if traced {
+                sys.set_obs(Obs::enabled());
+            }
+            sys.submit("a", Box::new(SyntheticJob::new(200)), 1.0);
+            sys.schedule(1.0, "b", Box::new(SyntheticJob::new(100)), 1.0);
+            sys.run_until_idle(1e6).unwrap();
+            sys
+        };
+        let traced = run(true);
+        let plain = run(false);
+        assert_eq!(traced.now(), plain.now());
+        assert_eq!(traced.executed_units(), plain.executed_units());
+
+        let obs = traced.obs();
+        let tags: Vec<&str> = obs.events().iter().map(|e| e.kind.tag()).collect();
+        assert!(tags.contains(&"arrival"));
+        assert!(tags.contains(&"admit"));
+        assert!(tags.contains(&"stage"));
+        assert!(tags.contains(&"finish"));
+        assert_eq!(obs.counter("sim.arrivals"), 2);
+        assert_eq!(obs.counter("sim.admitted"), 2);
+        assert_eq!(obs.counter("sim.finished.completed"), 2);
+        // Virtual-time stamps are monotone.
+        let stamps: Vec<f64> = obs.events().iter().map(|e| e.at).collect();
+        assert!(stamps.windows(2).all(|w| w[0] <= w[1]));
+        // The step span accounts for every executed unit.
+        let st = obs.span_stat("sim.step").unwrap();
+        assert!(st.calls > 0);
+        assert!((st.units - traced.executed_units()).abs() < 1e-9);
+        assert!(plain.obs().events().is_empty());
     }
 
     fn cfg(rate: f64, quantum: f64) -> SystemConfig {

@@ -18,9 +18,11 @@ pub mod policies;
 pub mod speedup;
 
 pub use maintenance::{
-    greedy_abort_plan, greedy_abort_plan_with_overhead, optimal_abort_set, AbortPlan, LostWorkCase,
+    greedy_abort_plan, greedy_abort_plan_observed, greedy_abort_plan_with_overhead,
+    optimal_abort_set, AbortPlan, LostWorkCase,
 };
 pub use policies::{decide_aborts, MaintenanceMethod};
 pub use speedup::{
-    best_multi_victim, best_single_victim, best_single_victims, QueryLoad, VictimChoice,
+    best_multi_victim, best_multi_victim_observed, best_single_victim, best_single_victim_observed,
+    best_single_victims, QueryLoad, VictimChoice,
 };
