@@ -4,6 +4,7 @@
 //! experiments [all|table1|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|chaos|bench-harness]
 //!             [--runs N] [--small] [--csv DIR] [--seed S] [--jobs N] [--chaos]
 //!             [--trace-out FILE] [--metrics-out FILE]
+//!             [--checkpoint-dir DIR] [--checkpoint-every N] [--resume-from PATH]
 //! ```
 //!
 //! Output is printed as text tables (the same rows/series the paper plots)
@@ -21,6 +22,16 @@
 //! deterministic functions of `--seed`. The figure experiments themselves
 //! always run untraced, so their CSVs are byte-identical with or without
 //! these flags.
+//!
+//! `--checkpoint-dir DIR` makes the chaos campaign crash-safe: every
+//! replicate snapshots its full state to `DIR/run-<seed>.ckpt` every
+//! `--checkpoint-every N` estimator ticks (default 1) and records its
+//! final outcome on completion, all via atomic temp-file + rename writes.
+//! After a crash, `--resume-from DIR` (or a snapshot file inside it) with
+//! the same campaign parameters skips finished replicates, continues
+//! partial ones from their snapshots, and reproduces the uninterrupted
+//! report bit for bit — at any `--jobs` value. Unreadable snapshots are
+//! rejected and rerun fresh, never trusted.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -42,6 +53,36 @@ struct Opts {
     jobs: usize,
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
+    checkpoint_dir: Option<PathBuf>,
+    checkpoint_every: Option<usize>,
+    resume_from: Option<PathBuf>,
+}
+
+impl Opts {
+    /// Build the chaos campaign's checkpoint configuration from the
+    /// `--checkpoint-*`/`--resume-from` flags, or `None` when neither a
+    /// snapshot directory nor a resume source was given.
+    fn checkpoint_cfg(&self) -> Option<chaos::CheckpointCfg> {
+        let (dir, resume) = match (&self.resume_from, &self.checkpoint_dir) {
+            (Some(p), _) => {
+                // Accept either the snapshot directory itself or one of
+                // the run-*.ckpt files inside it.
+                let dir = if p.is_dir() {
+                    p.clone()
+                } else {
+                    p.parent().map_or_else(|| PathBuf::from("."), PathBuf::from)
+                };
+                (dir, true)
+            }
+            (None, Some(d)) => (d.clone(), false),
+            (None, None) => return None,
+        };
+        let mut cfg = chaos::CheckpointCfg::new(dir);
+        cfg.every = self.checkpoint_every.unwrap_or(1);
+        cfg.resume = resume;
+        cfg.obs = mqpi_obs::Obs::enabled();
+        Some(cfg)
+    }
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -54,6 +95,9 @@ fn parse_args() -> Result<Opts, String> {
         jobs: parallel::default_jobs(),
         trace_out: None,
         metrics_out: None,
+        checkpoint_dir: None,
+        checkpoint_every: None,
+        resume_from: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -95,11 +139,30 @@ fn parse_args() -> Result<Opts, String> {
                     args.next().ok_or("--metrics-out needs a file")?,
                 ));
             }
+            "--checkpoint-dir" => {
+                opts.checkpoint_dir = Some(PathBuf::from(
+                    args.next().ok_or("--checkpoint-dir needs a dir")?,
+                ));
+            }
+            "--checkpoint-every" => {
+                opts.checkpoint_every = Some(
+                    args.next()
+                        .ok_or("--checkpoint-every needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--checkpoint-every: {e}"))?,
+                );
+            }
+            "--resume-from" => {
+                opts.resume_from = Some(PathBuf::from(
+                    args.next().ok_or("--resume-from needs a path")?,
+                ));
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: experiments [all|table1|fig1..fig11|ablations|speedup|chaos|bench-harness] \
                             [--runs N] [--small] [--csv DIR] [--seed S] [--jobs N] [--chaos] \
-                            [--trace-out FILE] [--metrics-out FILE]"
+                            [--trace-out FILE] [--metrics-out FILE] \
+                            [--checkpoint-dir DIR] [--checkpoint-every N] [--resume-from PATH]"
                         .into(),
                 )
             }
@@ -112,6 +175,15 @@ fn parse_args() -> Result<Opts, String> {
     }
     if opts.jobs == 0 {
         return Err("--jobs must be at least 1".into());
+    }
+    if opts.checkpoint_every.is_some()
+        && opts.checkpoint_dir.is_none()
+        && opts.resume_from.is_none()
+    {
+        return Err("--checkpoint-every needs --checkpoint-dir (or --resume-from)".into());
+    }
+    if opts.resume_from.is_some() && opts.checkpoint_dir.is_some() {
+        return Err("--resume-from already names the snapshot dir; drop --checkpoint-dir".into());
     }
     const KNOWN: &[&str] = &[
         "all",
@@ -144,6 +216,15 @@ fn parse_args() -> Result<Opts, String> {
         opts.what.push("all".into());
     }
     Ok(opts)
+}
+
+/// Render a stage's finishing query as a table cell. A stage can
+/// legitimately lack one (a blocked query's stage — see
+/// [`analytic::Stage::finisher`]), so this renders `-` instead of
+/// aborting the whole experiment run on `unwrap`.
+fn finisher_cell(s: &analytic::Stage) -> String {
+    s.finisher
+        .map_or_else(|| "-".to_string(), |q| format!("Q{q}"))
 }
 
 fn main() -> ExitCode {
@@ -203,22 +284,14 @@ fn main() -> ExitCode {
         if selected("fig1") {
             let mut t = TextTable::new(&["stage", "duration (s)", "finishing query"]);
             for s in analytic::fig1(100.0) {
-                t.row(vec![
-                    s.stage.to_string(),
-                    f2(s.duration),
-                    format!("Q{}", s.finisher.unwrap()),
-                ]);
+                t.row(vec![s.stage.to_string(), f2(s.duration), finisher_cell(&s)]);
             }
             emit("fig1", "fig1", &t);
         }
         if selected("fig2") {
             let mut t = TextTable::new(&["stage", "duration (s)", "finishing query"]);
             for s in analytic::fig2(100.0) {
-                t.row(vec![
-                    s.stage.to_string(),
-                    f2(s.duration),
-                    format!("Q{}", s.finisher.unwrap()),
-                ]);
+                t.row(vec![s.stage.to_string(), f2(s.duration), finisher_cell(&s)]);
             }
             emit("fig2 (Q3 blocked at time 0)", "fig2", &t);
         }
@@ -513,7 +586,9 @@ fn main() -> ExitCode {
         // skips it — fault campaigns are a robustness gate, not a figure).
         if opts.what.iter().any(|w| w == "chaos") {
             let intensities = [0.0, 2.0, 5.0, 10.0];
-            let rep = chaos::run(&intensities, opts.runs, opts.seed, opts.jobs)?;
+            let ckpt = opts.checkpoint_cfg();
+            let rep =
+                chaos::run_ckpt(&intensities, opts.runs, opts.seed, opts.jobs, ckpt.as_ref())?;
             let mut t = TextTable::new(&[
                 "shape",
                 "faults/100s",
@@ -557,6 +632,16 @@ fn main() -> ExitCode {
             );
             for d in rep.violation_details.iter().take(20) {
                 eprintln!("violation: {d}");
+            }
+            if let Some(c) = &ckpt {
+                eprintln!(
+                    "# checkpoints ({}): saved={} resumed={} done_skipped={} rejected={}",
+                    c.dir.display(),
+                    c.obs.counter("ckpt.saved"),
+                    c.obs.counter("ckpt.resumed"),
+                    c.obs.counter("ckpt.done_skipped"),
+                    c.obs.counter("ckpt.rejected"),
+                );
             }
             if rep.total_violations > 0 || rep.total_nonfinite > 0 {
                 return Err(format!(
@@ -603,7 +688,7 @@ fn write_observability(opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
             out.push_str(&format!("# scenario={} seed={}\n", r.scenario, opts.seed));
             out.push_str(&r.trace);
         }
-        std::fs::write(path, out)?;
+        mqpi_ckpt::atomic_write(path, out.as_bytes())?;
         eprintln!("# wrote {}", path.display());
     }
     if let Some(path) = &opts.metrics_out {
@@ -625,7 +710,7 @@ fn write_observability(opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
                 }
             }
         }
-        std::fs::write(path, out)?;
+        mqpi_ckpt::atomic_write(path, out.as_bytes())?;
         eprintln!("# wrote {}", path.display());
     }
     Ok(())
@@ -720,7 +805,7 @@ fn bench_harness(tpcr: &TpcrDb, opts: &Opts) -> Result<(), Box<dyn std::error::E
         db = if opts.small { "small" } else { "standard" },
         seed = opts.seed,
     );
-    std::fs::write("BENCH_2.json", json)?;
+    mqpi_ckpt::atomic_write(std::path::Path::new("BENCH_2.json"), json.as_bytes())?;
     eprintln!("# wrote BENCH_2.json");
     Ok(())
 }

@@ -24,11 +24,17 @@
 //! families. Replicates fan out across worker threads and fold in run
 //! order, so the report is bit-identical for any `--jobs` value.
 
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use mqpi_ckpt::{CkptError, Dec, Enc};
 use mqpi_core::{
     relative_error, EstimateSet, InvariantValidator, MultiQueryPi, SingleQueryPi,
     ValidationContext, Visibility,
 };
-use mqpi_engine::error::Result;
+use mqpi_engine::error::{EngineError, Result};
+use mqpi_obs::{Obs, TraceKind};
 use mqpi_sim::admission::AdmissionPolicy;
 use mqpi_sim::job::SyntheticJob;
 use mqpi_sim::rng::Rng;
@@ -107,6 +113,7 @@ pub struct ChaosReport {
 
 /// Outcome of a single replicate, folded into a [`ChaosPoint`] in run
 /// order so parallel campaigns reproduce the serial sums bit for bit.
+#[derive(Debug, Clone, PartialEq)]
 struct RunOutcome {
     faults_injected: u64,
     faults_skipped: u64,
@@ -121,6 +128,245 @@ struct RunOutcome {
     degraded: u64,
     nonfinite: u64,
     violations: Vec<String>,
+}
+
+/// Container kind tag of a per-run chaos snapshot file.
+const RUN_KIND: &str = "chaos-run";
+
+/// Crash-safe checkpointing for a chaos campaign.
+///
+/// When passed to [`run_ckpt`], every replicate periodically snapshots its
+/// complete state — scheduler, validator, collected samples — to
+/// `dir/run-<seed:016x>.ckpt` via atomic temp-file + rename, and writes a
+/// final "done" record holding its folded [`RunOutcome`] on completion.
+/// A killed campaign restarted with `resume = true` then skips finished
+/// replicates, continues partially-finished ones from their last snapshot,
+/// and runs never-started ones from scratch — producing a report
+/// bit-identical to an uninterrupted campaign.
+///
+/// Unreadable snapshots (truncated, corrupt, wrong version) never abort
+/// the campaign: the replicate falls back to a fresh start and the
+/// rejection is surfaced on `obs` as a `ckpt action=rejected` trace event
+/// plus a `ckpt.rejected` counter increment.
+pub struct CheckpointCfg {
+    /// Snapshot directory (created on demand).
+    pub dir: PathBuf,
+    /// Snapshot every N estimator ticks (0 disables periodic snapshots;
+    /// the final "done" record is still written).
+    pub every: usize,
+    /// Load existing snapshots from `dir` before running each replicate.
+    pub resume: bool,
+    /// Campaign-level handle for checkpoint lifecycle events and the
+    /// `ckpt.saved` / `ckpt.resumed` / `ckpt.done_skipped` /
+    /// `ckpt.rejected` counters. Trace-event *order* is nondeterministic
+    /// under `--jobs > 1` (workers interleave); the counters are not.
+    pub obs: Obs,
+    /// Test hook: simulate a crash by erroring out of a replicate right
+    /// after it writes the snapshot at this tick.
+    pub crash_after_ticks: Option<usize>,
+    /// Test hook: simulate a campaign-wide crash — workers refuse to start
+    /// new replicates once this many have completed.
+    pub crash_after_runs: Option<u64>,
+    /// Replicates completed so far (backs `crash_after_runs`).
+    done_runs: Arc<AtomicU64>,
+}
+
+impl CheckpointCfg {
+    /// Checkpointing into `dir`: snapshot every tick, no resume, no
+    /// observability. Override the public fields as needed.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        CheckpointCfg {
+            dir: dir.into(),
+            every: 1,
+            resume: false,
+            obs: Obs::disabled(),
+            crash_after_ticks: None,
+            crash_after_runs: None,
+            done_runs: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Record a checkpoint lifecycle event for one replicate.
+    fn note(&self, action: &'static str, seed: u64) {
+        self.obs.emit(0.0, TraceKind::Checkpoint { action, seed });
+        let counter = match action {
+            "saved" => "ckpt.saved",
+            "resumed" => "ckpt.resumed",
+            "rejected" => "ckpt.rejected",
+            _ => "ckpt.done_skipped",
+        };
+        self.obs.counter_add(counter, 1);
+    }
+
+    fn run_path(&self, seed: u64) -> PathBuf {
+        run_snapshot_path(&self.dir, seed)
+    }
+}
+
+/// The snapshot file a replicate seeded with `seed` reads and writes.
+pub fn run_snapshot_path(dir: &Path, seed: u64) -> PathBuf {
+    dir.join(format!("run-{seed:016x}.ckpt"))
+}
+
+fn ckpt_err(e: CkptError) -> EngineError {
+    EngineError::exec(format!("checkpoint: {e}"))
+}
+
+/// In-flight state of one replicate, as revived from a partial snapshot.
+struct PartialRun {
+    sys: System,
+    validator: InvariantValidator,
+    samples: Vec<(f64, u64, f64, f64)>,
+    degraded: u64,
+    nonfinite: u64,
+    last_fault_count: usize,
+    prev_rate_degraded: bool,
+    next_sample: f64,
+    tick: usize,
+}
+
+enum RunSnapshot {
+    Partial(Box<PartialRun>),
+    Done(RunOutcome),
+}
+
+#[allow(clippy::too_many_arguments)]
+fn encode_partial(
+    sys: &System,
+    validator: &InvariantValidator,
+    samples: &[(f64, u64, f64, f64)],
+    degraded: u64,
+    nonfinite: u64,
+    last_fault_count: usize,
+    prev_rate_degraded: bool,
+    next_sample: f64,
+    tick: usize,
+) -> std::result::Result<Vec<u8>, CkptError> {
+    let mut e = Enc::new();
+    e.put_u8(0); // partial
+    e.put_bytes(&sys.checkpoint()?);
+    e.put_bytes(&validator.checkpoint());
+    e.put_usize(samples.len());
+    for &(t, id, s_est, m_est) in samples {
+        e.put_f64(t);
+        e.put_u64(id);
+        e.put_f64(s_est);
+        e.put_f64(m_est);
+    }
+    e.put_u64(degraded);
+    e.put_u64(nonfinite);
+    e.put_usize(last_fault_count);
+    e.put_bool(prev_rate_degraded);
+    e.put_f64(next_sample);
+    e.put_usize(tick);
+    Ok(e.into_bytes())
+}
+
+fn encode_done(o: &RunOutcome) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.put_u8(1); // done
+    e.put_u64(o.faults_injected);
+    e.put_u64(o.faults_skipped);
+    e.put_u64(o.completed);
+    e.put_u64(o.failures);
+    e.put_u64(o.retries);
+    e.put_u64(o.rejected);
+    e.put_f64(o.single_sum);
+    e.put_u64(o.single_n);
+    e.put_f64(o.multi_sum);
+    e.put_u64(o.multi_n);
+    e.put_u64(o.degraded);
+    e.put_u64(o.nonfinite);
+    e.put_usize(o.violations.len());
+    for v in &o.violations {
+        e.put_str(v);
+    }
+    e.into_bytes()
+}
+
+fn decode_snapshot(payload: &[u8]) -> std::result::Result<RunSnapshot, CkptError> {
+    let mut d = Dec::new(payload);
+    let snap = match d.get_u8()? {
+        0 => {
+            let sys = System::restore(&d.get_bytes()?)?;
+            let validator = InvariantValidator::restore(&d.get_bytes()?)?;
+            let n = d.get_usize()?;
+            let mut samples = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                samples.push((d.get_f64()?, d.get_u64()?, d.get_f64()?, d.get_f64()?));
+            }
+            RunSnapshot::Partial(Box::new(PartialRun {
+                sys,
+                validator,
+                samples,
+                degraded: d.get_u64()?,
+                nonfinite: d.get_u64()?,
+                last_fault_count: d.get_usize()?,
+                prev_rate_degraded: d.get_bool()?,
+                next_sample: d.get_f64()?,
+                tick: d.get_usize()?,
+            }))
+        }
+        1 => {
+            let mut o = RunOutcome {
+                faults_injected: d.get_u64()?,
+                faults_skipped: d.get_u64()?,
+                completed: d.get_u64()?,
+                failures: d.get_u64()?,
+                retries: d.get_u64()?,
+                rejected: d.get_u64()?,
+                single_sum: d.get_f64()?,
+                single_n: d.get_u64()?,
+                multi_sum: d.get_f64()?,
+                multi_n: d.get_u64()?,
+                degraded: d.get_u64()?,
+                nonfinite: d.get_u64()?,
+                violations: Vec::new(),
+            };
+            let n = d.get_usize()?;
+            for _ in 0..n {
+                o.violations.push(d.get_str()?);
+            }
+            RunSnapshot::Done(o)
+        }
+        b => return Err(CkptError::Corrupt(format!("unknown run-snapshot tag {b}"))),
+    };
+    if !d.is_exhausted() {
+        return Err(CkptError::Corrupt(format!(
+            "{} trailing bytes after run snapshot",
+            d.remaining()
+        )));
+    }
+    Ok(snap)
+}
+
+/// Outcome of trying to load a replicate's snapshot on resume.
+enum Loaded {
+    Done(RunOutcome),
+    Partial(Box<PartialRun>),
+    Fresh,
+}
+
+fn load_run_snapshot(c: &CheckpointCfg, seed: u64) -> Loaded {
+    let path = c.run_path(seed);
+    let payload = match mqpi_ckpt::read_file(&path, RUN_KIND) {
+        Ok(p) => p,
+        Err(CkptError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => return Loaded::Fresh,
+        Err(_) => {
+            // Unreadable snapshot: graceful fall-back to a fresh run,
+            // surfaced as an observable rejection — never a panic.
+            c.note("rejected", seed);
+            return Loaded::Fresh;
+        }
+    };
+    match decode_snapshot(&payload) {
+        Ok(RunSnapshot::Done(o)) => Loaded::Done(o),
+        Ok(RunSnapshot::Partial(p)) => Loaded::Partial(p),
+        Err(_) => {
+            c.note("rejected", seed);
+            Loaded::Fresh
+        }
+    }
 }
 
 fn build_system(shape: &str, rng: &mut Rng) -> System {
@@ -163,22 +409,81 @@ fn count_bad(set: &EstimateSet) -> u64 {
         .count() as u64
 }
 
-fn one_run(shape: &'static str, intensity: f64, seed: u64) -> Result<RunOutcome> {
-    let mut rng = Rng::seed_from_u64(seed);
-    let mut sys = build_system(shape, &mut rng);
-    sys.set_error_policy(ErrorPolicy::Isolate);
+fn one_run(
+    shape: &'static str,
+    intensity: f64,
+    seed: u64,
+    ckpt: Option<&CheckpointCfg>,
+) -> Result<RunOutcome> {
     // `intensity` faults per 100 s over the horizon, split evenly across
     // the five kinds (rounded up to at least one of each when non-zero).
     let per_kind = ((intensity * HORIZON / 100.0) / 5.0).round() as usize;
     let faulty = per_kind > 0;
-    if faulty {
-        sys.install_faults(FaultPlan::generate(
-            seed ^ 0xC4A5_17E5_0F00_D5EE,
-            HORIZON,
-            &FaultMix::even(per_kind),
-        ));
+
+    // On resume, a finished replicate short-circuits to its recorded
+    // outcome and a partial one picks up from its last snapshot; both
+    // paths are bit-identical to running the replicate straight through.
+    let revived = match ckpt {
+        Some(c) if c.resume => match load_run_snapshot(c, seed) {
+            Loaded::Done(o) => {
+                c.note("done_skip", seed);
+                return Ok(o);
+            }
+            Loaded::Partial(p) => {
+                c.note("resumed", seed);
+                Some(p)
+            }
+            Loaded::Fresh => None,
+        },
+        _ => None,
+    };
+
+    let mut sys;
+    let mut validator;
+    let mut samples: Vec<(f64, u64, f64, f64)>;
+    let (mut degraded, mut nonfinite): (u64, u64);
+    let mut last_fault_count: usize;
+    let mut prev_rate_degraded: bool;
+    let mut next_sample: f64;
+    let mut tick: usize;
+    match revived {
+        Some(p) => {
+            sys = p.sys;
+            validator = p.validator;
+            samples = p.samples;
+            degraded = p.degraded;
+            nonfinite = p.nonfinite;
+            last_fault_count = p.last_fault_count;
+            prev_rate_degraded = p.prev_rate_degraded;
+            next_sample = p.next_sample;
+            tick = p.tick;
+        }
+        None => {
+            // The build rng is fully consumed before stepping starts, so
+            // fresh construction never needs to be checkpointed.
+            let mut rng = Rng::seed_from_u64(seed);
+            sys = build_system(shape, &mut rng);
+            sys.set_error_policy(ErrorPolicy::Isolate);
+            if faulty {
+                sys.install_faults(FaultPlan::generate(
+                    seed ^ 0xC4A5_17E5_0F00_D5EE,
+                    HORIZON,
+                    &FaultMix::even(per_kind),
+                ));
+            }
+            // Slack covers quantum discretization over a sampling interval.
+            validator = InvariantValidator::with_slack(2.0);
+            samples = Vec::new();
+            degraded = 0;
+            nonfinite = 0;
+            last_fault_count = 0;
+            prev_rate_degraded = false;
+            next_sample = 0.0;
+            tick = 0;
+        }
     }
 
+    // The PIs themselves are stateless readers, rebuilt from the shape.
     let single = SingleQueryPi::new();
     let multi = MultiQueryPi::new(match shape {
         // Queue shapes get the paper's §2.3 visibility: the PI predicts
@@ -186,14 +491,7 @@ fn one_run(shape: &'static str, intensity: f64, seed: u64) -> Result<RunOutcome>
         "naq" | "bounded" => Visibility::with_queue(Some(SLOTS)),
         _ => Visibility::concurrent_only(),
     });
-    // Slack covers quantum discretization over one sampling interval.
-    let mut validator = InvariantValidator::with_slack(2.0);
 
-    let mut samples: Vec<(f64, u64, f64, f64)> = Vec::new();
-    let (mut degraded, mut nonfinite) = (0u64, 0u64);
-    let mut last_fault_count = 0usize;
-    let mut prev_rate_degraded = false;
-    let mut next_sample = 0.0;
     loop {
         if sys.now() >= next_sample {
             let snap = sys.snapshot();
@@ -230,6 +528,28 @@ fn one_run(shape: &'static str, intensity: f64, seed: u64) -> Result<RunOutcome>
             }
             while next_sample <= sys.now() {
                 next_sample += SAMPLE_INTERVAL;
+            }
+            tick += 1;
+            if let Some(c) = ckpt {
+                if c.every > 0 && tick.is_multiple_of(c.every) {
+                    let bytes = encode_partial(
+                        &sys,
+                        &validator,
+                        &samples,
+                        degraded,
+                        nonfinite,
+                        last_fault_count,
+                        prev_rate_degraded,
+                        next_sample,
+                        tick,
+                    )
+                    .map_err(ckpt_err)?;
+                    mqpi_ckpt::write_file(&c.run_path(seed), RUN_KIND, &bytes).map_err(ckpt_err)?;
+                    c.note("saved", seed);
+                    if c.crash_after_ticks == Some(tick) {
+                        return Err(EngineError::exec("simulated crash after checkpoint"));
+                    }
+                }
             }
         }
         if sys.now() >= HORIZON || !sys.has_work() {
@@ -277,7 +597,7 @@ fn one_run(shape: &'static str, intensity: f64, seed: u64) -> Result<RunOutcome>
         .iter()
         .filter(|f| f.kind == FinishKind::Completed)
         .count() as u64;
-    Ok(RunOutcome {
+    let outcome = RunOutcome {
         faults_injected: stats.injected,
         faults_skipped: stats.skipped,
         completed,
@@ -295,13 +615,39 @@ fn one_run(shape: &'static str, intensity: f64, seed: u64) -> Result<RunOutcome>
             .iter()
             .map(|v| format!("{}@{:.2} {}", v.rule, v.at, v.detail))
             .collect(),
-    })
+    };
+    if let Some(c) = ckpt {
+        // The "done" record replaces any partial snapshot, so a resumed
+        // campaign skips this replicate entirely.
+        mqpi_ckpt::write_file(&c.run_path(seed), RUN_KIND, &encode_done(&outcome))
+            .map_err(ckpt_err)?;
+        c.note("saved", seed);
+    }
+    Ok(outcome)
 }
 
 /// Run a chaos campaign over `SHAPES` × `intensities` with `runs` seeded
 /// replicates per cell, using up to `jobs` worker threads. Output is
 /// bit-identical for any `jobs` value.
 pub fn run(intensities: &[f64], runs: usize, seed0: u64, jobs: usize) -> Result<ChaosReport> {
+    run_ckpt(intensities, runs, seed0, jobs, None)
+}
+
+/// [`run`] with optional crash-safe checkpointing (see [`CheckpointCfg`]).
+/// Per-run snapshot files are keyed by seed, so the same
+/// (`intensities`, `runs`, `seed0`) campaign must be used when resuming;
+/// `jobs` may differ — the folded report stays bit-identical.
+pub fn run_ckpt(
+    intensities: &[f64],
+    runs: usize,
+    seed0: u64,
+    jobs: usize,
+    ckpt: Option<&CheckpointCfg>,
+) -> Result<ChaosReport> {
+    if let Some(c) = ckpt {
+        std::fs::create_dir_all(&c.dir)
+            .map_err(|e| EngineError::exec(format!("checkpoint dir {}: {e}", c.dir.display())))?;
+    }
     let mut points = Vec::new();
     let mut details = Vec::new();
     let (mut total_faults, mut total_violations, mut total_nonfinite) = (0u64, 0u64, 0u64);
@@ -309,7 +655,19 @@ pub fn run(intensities: &[f64], runs: usize, seed0: u64, jobs: usize) -> Result<
         for (ii, &intensity) in intensities.iter().enumerate() {
             let cell = (si * intensities.len() + ii) as u64;
             let outcomes = crate::parallel::run_indexed(jobs, runs, |r| {
-                one_run(shape, intensity, seed0 + (cell << 32) + r as u64)
+                let seed = seed0 + (cell << 32) + r as u64;
+                if let Some(c) = ckpt {
+                    if let Some(n) = c.crash_after_runs {
+                        if c.done_runs.load(Ordering::SeqCst) >= n {
+                            return Err(EngineError::exec("simulated campaign crash"));
+                        }
+                    }
+                }
+                let o = one_run(shape, intensity, seed, ckpt);
+                if let (Some(c), true) = (ckpt, o.is_ok()) {
+                    c.done_runs.fetch_add(1, Ordering::SeqCst);
+                }
+                o
             });
             let mut p = ChaosPoint {
                 shape,
@@ -428,5 +786,52 @@ mod tests {
         let serial = run(&[0.0, 5.0], 2, 11, 1).unwrap();
         let parallel = run(&[0.0, 5.0], 2, 11, 4).unwrap();
         assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+    }
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("mqpi_chaos_{tag}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn mid_run_crash_resumes_bit_identically() {
+        let straight = one_run("bounded", 5.0, 12345, None).unwrap();
+
+        let dir = scratch_dir("midrun");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut crashing = CheckpointCfg::new(&dir);
+        crashing.every = 3;
+        crashing.crash_after_ticks = Some(6);
+        let err = one_run("bounded", 5.0, 12345, Some(&crashing)).unwrap_err();
+        assert!(err.to_string().contains("simulated crash"), "{err}");
+
+        let mut resuming = CheckpointCfg::new(&dir);
+        resuming.every = 3;
+        resuming.resume = true;
+        resuming.obs = Obs::enabled();
+        let resumed = one_run("bounded", 5.0, 12345, Some(&resuming)).unwrap();
+        assert_eq!(straight, resumed, "resumed run diverged from straight run");
+        assert_eq!(resuming.obs.counter("ckpt.resumed"), 1);
+        assert!(resuming.obs.render_trace().contains("ckpt action=resumed"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpointing_does_not_change_a_run() {
+        let dir = scratch_dir("noop");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let plain = one_run("naq", 2.0, 777, None).unwrap();
+        let cfg = CheckpointCfg::new(&dir);
+        let snapped = one_run("naq", 2.0, 777, Some(&cfg)).unwrap();
+        assert_eq!(plain, snapped);
+        // A second pass resumes straight off the "done" record.
+        let mut again = CheckpointCfg::new(&dir);
+        again.resume = true;
+        again.obs = Obs::enabled();
+        let skipped = one_run("naq", 2.0, 777, Some(&again)).unwrap();
+        assert_eq!(plain, skipped);
+        assert_eq!(again.obs.counter("ckpt.done_skipped"), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

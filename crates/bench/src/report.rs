@@ -51,7 +51,9 @@ impl TextTable {
         out
     }
 
-    /// Write as CSV.
+    /// Write as CSV, atomically: the bytes land in a sibling temp file
+    /// that is renamed over `path`, so a crash mid-write never leaves a
+    /// truncated CSV behind.
     pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir)?;
@@ -77,7 +79,7 @@ impl TextTable {
             s.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
             s.push('\n');
         }
-        std::fs::write(path, s)
+        mqpi_ckpt::atomic_write(path, s.as_bytes())
     }
 }
 

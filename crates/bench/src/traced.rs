@@ -14,6 +14,7 @@
 //! and virtual time only (no wall clock, no global state), so a scenario's
 //! trace is byte-identical across runs, platforms, and `--jobs` values.
 
+use mqpi_ckpt::{CkptError, Dec, Enc};
 use mqpi_core::{InvariantValidator, MultiQueryPi, SingleQueryPi, ValidationContext, Visibility};
 use mqpi_engine::error::{EngineError, Result};
 use mqpi_obs::Obs;
@@ -123,6 +124,26 @@ pub fn run_scenario(name: &str, seed: u64) -> Result<TracedRun> {
 /// site compiled down to a flag check — the basis of the zero-overhead
 /// acceptance tests.
 pub fn run_scenario_with(name: &str, seed: u64, obs: Obs) -> Result<TracedRun> {
+    run_scenario_impl(name, seed, obs, None)
+}
+
+/// [`run_scenario`], interrupted: at estimator tick `split_tick` the
+/// entire run state — scheduler, validator, observability buffers, and
+/// the scenario's own loop variables — is serialized through the
+/// checkpoint codec, decoded back into *fresh* objects that replace the
+/// live ones, and the run continues. The returned trace and metrics must
+/// be byte-identical to [`run_scenario`]'s, which the golden-trace suite
+/// asserts against the checked-in fixtures.
+pub fn run_scenario_resumed(name: &str, seed: u64, split_tick: usize) -> Result<TracedRun> {
+    run_scenario_impl(name, seed, Obs::enabled(), Some(split_tick))
+}
+
+fn ckpt_err(e: CkptError) -> EngineError {
+    EngineError::exec(format!("checkpoint: {e}"))
+}
+
+fn run_scenario_impl(name: &str, seed: u64, obs: Obs, split: Option<usize>) -> Result<TracedRun> {
+    let mut obs = obs;
     let scenario = canon(name)?;
     let mut rng = Rng::seed_from_u64(seed);
     let mut sys = build_system(scenario, &mut rng, &obs);
@@ -159,6 +180,7 @@ pub fn run_scenario_with(name: &str, seed: u64, obs: Obs) -> Result<TracedRun> {
     let mut last_fault_count = 0usize;
     let mut prev_rate_degraded = false;
     let mut next_sample = 0.0;
+    let mut tick = 0usize;
     loop {
         if sys.now() >= next_sample {
             let snap = sys.snapshot();
@@ -214,6 +236,59 @@ pub fn run_scenario_with(name: &str, seed: u64, obs: Obs) -> Result<TracedRun> {
 
             while next_sample <= sys.now() {
                 next_sample += SAMPLE_INTERVAL;
+            }
+            tick += 1;
+            if split == Some(tick) {
+                // Serialize the complete run state, then revive it into
+                // fresh objects in place of the live ones — exactly what a
+                // crash-restart would do, minus the process boundary.
+                let mut e = Enc::new();
+                e.put_bytes(&sys.checkpoint().map_err(ckpt_err)?);
+                e.put_bytes(&validator.checkpoint());
+                e.put_bytes(&obs.checkpoint());
+                e.put_opt_u64(victim);
+                e.put_bool(resumed);
+                e.put_bool(abort_planned);
+                e.put_usize(last_fault_count);
+                e.put_bool(prev_rate_degraded);
+                e.put_f64(next_sample);
+                let container = mqpi_ckpt::encode_container("traced-run", &e.into_bytes());
+
+                let payload =
+                    mqpi_ckpt::decode_container(&container, "traced-run").map_err(ckpt_err)?;
+                let mut d = Dec::new(&payload);
+                let mut revive = || -> std::result::Result<_, CkptError> {
+                    let sys = System::restore(&d.get_bytes()?)?;
+                    let validator = InvariantValidator::restore(&d.get_bytes()?)?;
+                    let obs = Obs::restore(&d.get_bytes()?)?;
+                    Ok((
+                        sys,
+                        validator,
+                        obs,
+                        d.get_opt_u64()?,
+                        d.get_bool()?,
+                        d.get_bool()?,
+                        d.get_usize()?,
+                        d.get_bool()?,
+                        d.get_f64()?,
+                    ))
+                };
+                let revived = revive().map_err(ckpt_err)?;
+                (
+                    sys,
+                    validator,
+                    obs,
+                    victim,
+                    resumed,
+                    abort_planned,
+                    last_fault_count,
+                    prev_rate_degraded,
+                    next_sample,
+                ) = revived;
+                // Restored handles come back disconnected; re-wire the
+                // live observability channel exactly as at startup.
+                sys.set_obs(obs.clone());
+                validator.set_obs(obs.clone());
             }
         }
         if sys.now() >= HORIZON || !sys.has_work() {
@@ -299,6 +374,29 @@ mod tests {
     #[test]
     fn unknown_scenario_is_an_error() {
         assert!(run_scenario("nope", 1).is_err());
+    }
+
+    #[test]
+    fn resumed_scenarios_are_byte_identical_to_straight_runs() {
+        // Horizon 150 s at a 5 s cadence gives ~30 ticks; split mid-run.
+        for scenario in SCENARIOS {
+            let straight = run_scenario(scenario, 42).unwrap();
+            let resumed = run_scenario_resumed(scenario, 42, 12).unwrap();
+            assert_eq!(straight.trace, resumed.trace, "{scenario}: trace");
+            assert_eq!(
+                straight.metrics_json, resumed.metrics_json,
+                "{scenario}: metrics json"
+            );
+            assert_eq!(
+                straight.metrics_csv, resumed.metrics_csv,
+                "{scenario}: metrics csv"
+            );
+            assert_eq!(
+                straight.executed_units.to_bits(),
+                resumed.executed_units.to_bits(),
+                "{scenario}: executed units"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! Kill-then-resume determinism for checkpointed chaos campaigns.
+//!
+//! A campaign that crashes mid-way (simulated via [`CheckpointCfg`]'s
+//! crash hooks — the CI smoke job does it with a real `SIGKILL`) and is
+//! then resumed from its snapshot directory must produce a report
+//! bit-identical to an uninterrupted campaign, at `--jobs 1` and
+//! `--jobs 4` alike. Snapshots that were truncated, overwritten with
+//! garbage, re-kinded, or version-bumped must be rejected — observably,
+//! without a panic — and their replicates rerun from scratch.
+
+// Test code: unwrap/expect on known-good fixtures is fine here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::PathBuf;
+
+use mqpi_bench::chaos::{self, CheckpointCfg};
+use mqpi_obs::Obs;
+
+const INTENSITIES: &[f64] = &[0.0, 5.0];
+const RUNS: usize = 3;
+const SEED: u64 = 2024;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mqpi_crash_resume_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn killed_campaign_resumes_bit_identically_at_jobs_1_and_4() {
+    let straight = chaos::run(INTENSITIES, RUNS, SEED, 1).unwrap();
+    for jobs in [1usize, 4] {
+        let dir = scratch_dir(&format!("kill{jobs}"));
+
+        let mut crashing = CheckpointCfg::new(&dir);
+        crashing.every = 2;
+        crashing.crash_after_runs = Some(5);
+        let err = chaos::run_ckpt(INTENSITIES, RUNS, SEED, jobs, Some(&crashing))
+            .expect_err("campaign must crash");
+        assert!(err.to_string().contains("simulated"), "jobs={jobs}: {err}");
+
+        let mut resuming = CheckpointCfg::new(&dir);
+        resuming.every = 2;
+        resuming.resume = true;
+        resuming.obs = Obs::enabled();
+        let resumed = chaos::run_ckpt(INTENSITIES, RUNS, SEED, jobs, Some(&resuming)).unwrap();
+        assert_eq!(
+            format!("{straight:?}"),
+            format!("{resumed:?}"),
+            "jobs={jobs}: resumed campaign diverged from the uninterrupted one"
+        );
+        // At least the five pre-crash replicates come back from their
+        // "done" records instead of being recomputed.
+        assert!(
+            resuming.obs.counter("ckpt.done_skipped") >= 5,
+            "jobs={jobs}: only {} replicates were skipped",
+            resuming.obs.counter("ckpt.done_skipped")
+        );
+        assert_eq!(resuming.obs.counter("ckpt.rejected"), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn unreadable_snapshots_are_rejected_observably_and_rerun() {
+    let straight = chaos::run(INTENSITIES, RUNS, SEED, 1).unwrap();
+    let dir = scratch_dir("corrupt");
+
+    // Populate the snapshot dir with a full, clean campaign.
+    let seeding = CheckpointCfg::new(&dir);
+    chaos::run_ckpt(INTENSITIES, RUNS, SEED, 1, Some(&seeding)).unwrap();
+
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    files.sort();
+    assert!(files.len() >= 4, "expected one snapshot per replicate");
+
+    // Four distinct ways for a snapshot to be unreadable.
+    let whole = std::fs::read(&files[0]).unwrap();
+    std::fs::write(&files[0], &whole[..whole.len() / 2]).unwrap(); // truncated
+    std::fs::write(&files[1], b"not a checkpoint at all").unwrap(); // garbage
+    std::fs::write(
+        &files[2],
+        mqpi_ckpt::encode_container("other-kind", b"payload"),
+    )
+    .unwrap();
+    let mut bumped = std::fs::read(&files[3]).unwrap(); // future version, valid CRC
+    bumped[4..8].copy_from_slice(&999u32.to_le_bytes());
+    let crc = mqpi_ckpt::crc32(&bumped[..bumped.len() - 4]);
+    let n = bumped.len();
+    bumped[n - 4..].copy_from_slice(&crc.to_le_bytes());
+    std::fs::write(&files[3], &bumped).unwrap();
+
+    let mut resuming = CheckpointCfg::new(&dir);
+    resuming.resume = true;
+    resuming.obs = Obs::enabled();
+    let resumed = chaos::run_ckpt(INTENSITIES, RUNS, SEED, 1, Some(&resuming)).unwrap();
+    assert_eq!(
+        format!("{straight:?}"),
+        format!("{resumed:?}"),
+        "campaign with rejected snapshots diverged from the uninterrupted one"
+    );
+    assert_eq!(resuming.obs.counter("ckpt.rejected"), 4);
+    assert!(resuming.obs.render_trace().contains("ckpt action=rejected"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

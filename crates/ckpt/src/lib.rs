@@ -1,0 +1,591 @@
+//! `mqpi-ckpt` — versioned, checksummed, byte-stable checkpoint containers.
+//!
+//! This crate is the dependency-free foundation of the crash-safe
+//! checkpoint/restore subsystem. It owns three things:
+//!
+//! * A tiny binary codec ([`Enc`]/[`Dec`]) with a fixed little-endian wire
+//!   format. Floats travel as IEEE-754 bit patterns ([`f64::to_bits`]), so
+//!   a round trip is *bit*-exact — the property the deterministic-resume
+//!   guarantee is built on.
+//! * A file container: `MQPI` magic, format version, a `kind` string naming
+//!   the payload schema, the length-prefixed payload, and a trailing CRC-32
+//!   over everything before it. [`read_file`] validates all of it and
+//!   returns a typed [`CkptError`] instead of panicking, so corrupt,
+//!   truncated, or version-mismatched snapshots degrade to a fresh start.
+//! * Atomic writes: [`atomic_write`] stages into a sibling temp file and
+//!   renames over the target, so a crash mid-write never leaves a torn
+//!   file behind (rename is atomic on POSIX filesystems).
+//!
+//! The state encoders themselves live next to the state they snapshot
+//! (`sim::System::checkpoint`, `core::InvariantValidator::checkpoint`,
+//! `obs::Obs::checkpoint`); this crate knows nothing about them — it only
+//! guarantees that what was written is exactly what is read back, or that
+//! the mismatch is reported.
+
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+/// Version stamp of the container layout *and* every payload schema built
+/// on top of it. Bump on any wire-format change; readers reject snapshots
+/// from other versions (a fresh run is always cheaper than decoding a
+/// guess).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// File magic, first four bytes of every snapshot.
+pub const MAGIC: &[u8; 4] = b"MQPI";
+
+/// Why a checkpoint could not be produced or consumed.
+#[derive(Debug)]
+pub enum CkptError {
+    /// The byte stream ended before the decoder got what it needed.
+    Truncated,
+    /// Structurally invalid data: bad magic, CRC mismatch, impossible
+    /// lengths, unknown enum tags.
+    Corrupt(String),
+    /// The snapshot was written by a different format version.
+    VersionMismatch {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
+    /// The snapshot holds a different payload schema than the caller asked
+    /// for (e.g. a `chaos-run` file passed to a trace restorer).
+    KindMismatch {
+        /// Kind string found in the file.
+        found: String,
+        /// Kind string the caller expected.
+        expected: String,
+    },
+    /// Filesystem-level failure.
+    Io(io::Error),
+    /// The live state cannot be snapshotted (e.g. a job backed by a live
+    /// engine cursor rather than serializable counters).
+    Unsupported(String),
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Truncated => write!(f, "checkpoint truncated"),
+            CkptError::Corrupt(why) => write!(f, "checkpoint corrupt: {why}"),
+            CkptError::VersionMismatch { found, expected } => {
+                write!(f, "checkpoint version {found} (expected {expected})")
+            }
+            CkptError::KindMismatch { found, expected } => {
+                write!(f, "checkpoint kind {found:?} (expected {expected:?})")
+            }
+            CkptError::Io(e) => write!(f, "checkpoint io: {e}"),
+            CkptError::Unsupported(why) => write!(f, "checkpoint unsupported: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+impl From<io::Error> for CkptError {
+    fn from(e: io::Error) -> Self {
+        CkptError::Io(e)
+    }
+}
+
+/// Crate-local result alias.
+pub type Result<T> = std::result::Result<T, CkptError>;
+
+// ---------------------------------------------------------------------------
+// codec
+// ---------------------------------------------------------------------------
+
+/// Append-only binary encoder. All integers are little-endian; floats are
+/// IEEE-754 bit patterns; strings and byte blobs are `u64` length-prefixed.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// Fresh empty encoder.
+    pub fn new() -> Self {
+        Enc::default()
+    }
+
+    /// Consume the encoder, yielding the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes encoded so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append one raw byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `usize` as a `u64` (the format is 64-bit regardless of
+    /// host width).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Append an `f64` as its IEEE-754 bit pattern — bit-exact round trip,
+    /// including negative zero, infinities, and NaN payloads.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Append a bool as one byte (0/1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Append a length-prefixed byte blob.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put_usize(b.len());
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Append an optional `f64`: presence tag byte, then the bits.
+    pub fn put_opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            Some(x) => {
+                self.put_u8(1);
+                self.put_f64(x);
+            }
+            None => self.put_u8(0),
+        }
+    }
+
+    /// Append an optional `u64`: presence tag byte, then the value.
+    pub fn put_opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                self.put_u8(1);
+                self.put_u64(x);
+            }
+            None => self.put_u8(0),
+        }
+    }
+}
+
+/// Cursor-based decoder over an encoded byte slice. Every getter returns
+/// [`CkptError::Truncated`] rather than panicking when the stream runs dry.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Decode from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the cursor consumed the whole input.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(CkptError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one raw byte.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        let mut a = [0u8; 4];
+        a.copy_from_slice(b);
+        Ok(u32::from_le_bytes(a))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// Read a `u64` and narrow it to `usize`, rejecting values that do not
+    /// fit the host (only possible on 32-bit hosts reading a hostile file).
+    pub fn get_usize(&mut self) -> Result<usize> {
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| CkptError::Corrupt(format!("length {v} overflows usize")))
+    }
+
+    /// Read an `f64` from its IEEE-754 bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Read a bool byte, rejecting anything but 0/1.
+    pub fn get_bool(&mut self) -> Result<bool> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(CkptError::Corrupt(format!("bool byte {b}"))),
+        }
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String> {
+        let n = self.get_usize()?;
+        let b = self.take(n)?;
+        String::from_utf8(b.to_vec()).map_err(|_| CkptError::Corrupt("non-utf8 string".into()))
+    }
+
+    /// Read a length-prefixed byte blob.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>> {
+        let n = self.get_usize()?;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Read an optional `f64` written by [`Enc::put_opt_f64`].
+    pub fn get_opt_f64(&mut self) -> Result<Option<f64>> {
+        Ok(if self.get_bool()? {
+            Some(self.get_f64()?)
+        } else {
+            None
+        })
+    }
+
+    /// Read an optional `u64` written by [`Enc::put_opt_u64`].
+    pub fn get_opt_u64(&mut self) -> Result<Option<u64>> {
+        Ok(if self.get_bool()? {
+            Some(self.get_u64()?)
+        } else {
+            None
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected, table-driven)
+// ---------------------------------------------------------------------------
+
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE) of `data` — the polynomial used by gzip/zip/PNG, so
+/// snapshots can be cross-checked with standard tools.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// container
+// ---------------------------------------------------------------------------
+
+/// Frame `payload` into the container format: magic, version, kind,
+/// length-prefixed payload, CRC-32 of everything prior.
+pub fn encode_container(kind: &str, payload: &[u8]) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.buf.extend_from_slice(MAGIC);
+    e.put_u32(FORMAT_VERSION);
+    e.put_str(kind);
+    e.put_bytes(payload);
+    let crc = crc32(&e.buf);
+    e.put_u32(crc);
+    e.into_bytes()
+}
+
+/// Validate a container framed by [`encode_container`] and return its
+/// payload. Checks, in order: length, magic, CRC (before trusting any
+/// other field), format version, kind.
+pub fn decode_container(bytes: &[u8], expected_kind: &str) -> Result<Vec<u8>> {
+    if bytes.len() < MAGIC.len() + 4 + 4 {
+        return Err(CkptError::Truncated);
+    }
+    if &bytes[..4] != MAGIC {
+        return Err(CkptError::Corrupt("bad magic".into()));
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let mut a = [0u8; 4];
+    a.copy_from_slice(crc_bytes);
+    let stored = u32::from_le_bytes(a);
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(CkptError::Corrupt(format!(
+            "crc mismatch: stored {stored:#010x}, computed {computed:#010x}"
+        )));
+    }
+    let mut d = Dec::new(&body[4..]);
+    let version = d.get_u32()?;
+    if version != FORMAT_VERSION {
+        return Err(CkptError::VersionMismatch {
+            found: version,
+            expected: FORMAT_VERSION,
+        });
+    }
+    let kind = d.get_str()?;
+    if kind != expected_kind {
+        return Err(CkptError::KindMismatch {
+            found: kind,
+            expected: expected_kind.to_string(),
+        });
+    }
+    let payload = d.get_bytes()?;
+    if !d.is_exhausted() {
+        return Err(CkptError::Corrupt(format!(
+            "{} trailing bytes after payload",
+            d.remaining()
+        )));
+    }
+    Ok(payload)
+}
+
+// ---------------------------------------------------------------------------
+// atomic file I/O
+// ---------------------------------------------------------------------------
+
+/// Write `contents` to `path` atomically: stage into a sibling `.tmp` file,
+/// then rename over the target. Readers never observe a torn file — they
+/// see either the old contents or the new, and a crash mid-write leaves at
+/// worst a stray temp file.
+pub fn atomic_write(path: &Path, contents: &[u8]) -> io::Result<()> {
+    let mut tmp_name = path
+        .file_name()
+        .map_or_else(|| "ckpt".into(), |n| n.to_os_string());
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    std::fs::write(&tmp, contents)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// Atomically write `payload` to `path` as a framed, checksummed snapshot.
+pub fn write_file(path: &Path, kind: &str, payload: &[u8]) -> Result<()> {
+    atomic_write(path, &encode_container(kind, payload))?;
+    Ok(())
+}
+
+/// Read and validate a snapshot written by [`write_file`], returning its
+/// payload. A missing file surfaces as `CkptError::Io` with
+/// [`io::ErrorKind::NotFound`] so callers can distinguish "never written"
+/// from "written but damaged".
+pub fn read_file(path: &Path, kind: &str) -> Result<Vec<u8>> {
+    let bytes = std::fs::read(path)?;
+    decode_container(&bytes, kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_payload() -> Vec<u8> {
+        let mut e = Enc::new();
+        e.put_u8(7);
+        e.put_u32(0xDEAD_BEEF);
+        e.put_u64(u64::MAX);
+        e.put_f64(-0.0);
+        e.put_f64(f64::INFINITY);
+        e.put_f64(0.1 + 0.2);
+        e.put_bool(true);
+        e.put_str("héllo");
+        e.put_bytes(&[1, 2, 3]);
+        e.put_opt_f64(None);
+        e.put_opt_f64(Some(1.5));
+        e.put_opt_u64(Some(9));
+        e.into_bytes()
+    }
+
+    #[test]
+    fn codec_round_trips_bit_exactly() {
+        let bytes = sample_payload();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.get_u8().unwrap(), 7);
+        assert_eq!(d.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.get_u64().unwrap(), u64::MAX);
+        assert_eq!(d.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(d.get_f64().unwrap(), f64::INFINITY);
+        assert_eq!(d.get_f64().unwrap().to_bits(), (0.1f64 + 0.2).to_bits());
+        assert!(d.get_bool().unwrap());
+        assert_eq!(d.get_str().unwrap(), "héllo");
+        assert_eq!(d.get_bytes().unwrap(), vec![1, 2, 3]);
+        assert_eq!(d.get_opt_f64().unwrap(), None);
+        assert_eq!(d.get_opt_f64().unwrap(), Some(1.5));
+        assert_eq!(d.get_opt_u64().unwrap(), Some(9));
+        assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn decoder_reports_truncation_not_panic() {
+        let bytes = sample_payload();
+        let mut d = Dec::new(&bytes[..3]);
+        assert_eq!(d.get_u8().unwrap(), 7);
+        assert!(matches!(d.get_u32(), Err(CkptError::Truncated)));
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn container_round_trips() {
+        let framed = encode_container("unit-test", b"payload bytes");
+        let payload = decode_container(&framed, "unit-test").unwrap();
+        assert_eq!(payload, b"payload bytes");
+    }
+
+    #[test]
+    fn container_rejects_bit_flip() {
+        let mut framed = encode_container("unit-test", b"payload bytes");
+        let mid = framed.len() / 2;
+        framed[mid] ^= 0x40;
+        assert!(matches!(
+            decode_container(&framed, "unit-test"),
+            Err(CkptError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn container_rejects_truncation() {
+        let framed = encode_container("unit-test", b"payload bytes");
+        let cut = &framed[..framed.len() - 5];
+        // Truncation shears the CRC, so it surfaces as either Truncated or
+        // Corrupt — never a panic and never a payload.
+        assert!(decode_container(cut, "unit-test").is_err());
+        assert!(decode_container(&framed[..6], "unit-test").is_err());
+    }
+
+    #[test]
+    fn container_rejects_version_mismatch() {
+        // Re-frame by hand with a future version and a valid CRC.
+        let mut e = Enc::new();
+        e.buf.extend_from_slice(MAGIC);
+        e.put_u32(FORMAT_VERSION + 1);
+        e.put_str("unit-test");
+        e.put_bytes(b"payload");
+        let crc = crc32(&e.buf);
+        e.put_u32(crc);
+        let framed = e.into_bytes();
+        assert!(matches!(
+            decode_container(&framed, "unit-test"),
+            Err(CkptError::VersionMismatch { found, expected })
+                if found == FORMAT_VERSION + 1 && expected == FORMAT_VERSION
+        ));
+    }
+
+    #[test]
+    fn container_rejects_kind_mismatch() {
+        let framed = encode_container("chaos-run", b"payload");
+        assert!(matches!(
+            decode_container(&framed, "trace-state"),
+            Err(CkptError::KindMismatch { found, expected })
+                if found == "chaos-run" && expected == "trace-state"
+        ));
+    }
+
+    #[test]
+    fn container_rejects_bad_magic() {
+        let mut framed = encode_container("unit-test", b"payload");
+        framed[0] = b'X';
+        assert!(matches!(
+            decode_container(&framed, "unit-test"),
+            Err(CkptError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn file_round_trip_and_missing_file() {
+        let dir = std::env::temp_dir().join(format!("mqpi-ckpt-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.ckpt");
+        write_file(&path, "unit-test", b"abc").unwrap();
+        assert_eq!(read_file(&path, "unit-test").unwrap(), b"abc");
+        let missing = dir.join("missing.ckpt");
+        assert!(matches!(
+            read_file(&missing, "unit-test"),
+            Err(CkptError::Io(e)) if e.kind() == io::ErrorKind::NotFound
+        ));
+        // Overwrite goes through the same atomic path.
+        write_file(&path, "unit-test", b"def").unwrap();
+        assert_eq!(read_file(&path, "unit-test").unwrap(), b"def");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_temp_file() {
+        let dir = std::env::temp_dir().join(format!("mqpi-ckpt-tmp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.csv");
+        atomic_write(&path, b"a,b\n1,2\n").unwrap();
+        let names: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(names, vec![std::ffi::OsString::from("out.csv")]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

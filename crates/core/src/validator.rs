@@ -279,6 +279,88 @@ impl InvariantValidator {
     pub fn is_clean(&self) -> bool {
         self.violations.is_empty()
     }
+
+    /// Serialize the validator's full state for a checkpoint. Maps and
+    /// sets are written in sorted key order, so the encoding is canonical.
+    /// The obs handle is excluded (re-install via
+    /// [`InvariantValidator::set_obs`] after restore).
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut e = mqpi_ckpt::Enc::new();
+        e.put_f64(self.slack);
+        e.put_opt_f64(self.last_time);
+        let mut est: Vec<(u64, f64)> = self.last_estimates.iter().map(|(k, v)| (*k, *v)).collect();
+        est.sort_unstable_by_key(|(id, _)| *id);
+        e.put_usize(est.len());
+        for (id, v) in est {
+            e.put_u64(id);
+            e.put_f64(v);
+        }
+        let mut ids: Vec<u64> = self.last_ids.iter().copied().collect();
+        ids.sort_unstable();
+        e.put_usize(ids.len());
+        for id in ids {
+            e.put_u64(id);
+        }
+        let mut running: Vec<(u64, (f64, bool, bool))> =
+            self.last_running.iter().map(|(k, v)| (*k, *v)).collect();
+        running.sort_unstable_by_key(|(id, _)| *id);
+        e.put_usize(running.len());
+        for (id, (done, blocked, rolling)) in running {
+            e.put_u64(id);
+            e.put_f64(done);
+            e.put_bool(blocked);
+            e.put_bool(rolling);
+        }
+        e.put_usize(self.violations.len());
+        for v in &self.violations {
+            e.put_f64(v.at);
+            e.put_str(v.rule);
+            e.put_str(&v.detail);
+        }
+        e.into_bytes()
+    }
+
+    /// Rebuild a validator from [`InvariantValidator::checkpoint`] bytes.
+    /// Rule identifiers are re-interned to `&'static str`; the restored
+    /// validator's obs handle is disabled.
+    pub fn restore(bytes: &[u8]) -> Result<Self, mqpi_ckpt::CkptError> {
+        let mut d = mqpi_ckpt::Dec::new(bytes);
+        let slack = d.get_f64()?;
+        let last_time = d.get_opt_f64()?;
+        let mut v = InvariantValidator::with_slack(slack);
+        v.last_time = last_time;
+        let n = d.get_usize()?;
+        for _ in 0..n {
+            let id = d.get_u64()?;
+            v.last_estimates.insert(id, d.get_f64()?);
+        }
+        let n = d.get_usize()?;
+        for _ in 0..n {
+            v.last_ids.insert(d.get_u64()?);
+        }
+        let n = d.get_usize()?;
+        for _ in 0..n {
+            let id = d.get_u64()?;
+            let done = d.get_f64()?;
+            let blocked = d.get_bool()?;
+            let rolling = d.get_bool()?;
+            v.last_running.insert(id, (done, blocked, rolling));
+        }
+        let n = d.get_usize()?;
+        for _ in 0..n {
+            let at = d.get_f64()?;
+            let rule = mqpi_obs::intern(&d.get_str()?);
+            let detail = d.get_str()?;
+            v.violations.push(Violation { at, rule, detail });
+        }
+        if !d.is_exhausted() {
+            return Err(mqpi_ckpt::CkptError::Corrupt(format!(
+                "{} trailing bytes after validator state",
+                d.remaining()
+            )));
+        }
+        Ok(v)
+    }
 }
 
 #[cfg(test)]
@@ -406,6 +488,40 @@ mod tests {
             trace,
             "t=4 violation rule=time_monotone\nt=4 violation rule=work_conservation\n"
         );
+    }
+
+    #[test]
+    fn checkpoint_restore_continues_identically() {
+        let drive = |v: &mut InvariantValidator, range: std::ops::Range<u64>| {
+            let ctx = ValidationContext {
+                faults_in_interval: false,
+                check_monotonicity: true,
+            };
+            for k in range {
+                let t = k as f64;
+                let done = 100.0 * t;
+                let s = snap(t, vec![state(1, done, 1000.0 - done)], vec![]);
+                // The estimate grows at t=3 → one deliberate violation.
+                let est_t = if k == 3 {
+                    99.0
+                } else {
+                    (1000.0 - done) / 100.0
+                };
+                v.observe(&s, &EstimateSet::from_pairs([(1, est_t)], false), ctx);
+            }
+        };
+        let mut straight = InvariantValidator::with_slack(0.5);
+        drive(&mut straight, 0..8);
+        let mut first = InvariantValidator::with_slack(0.5);
+        drive(&mut first, 0..4);
+        let mut resumed = InvariantValidator::restore(&first.checkpoint()).unwrap();
+        drive(&mut resumed, 4..8);
+        assert_eq!(
+            format!("{:?}", resumed.violations()),
+            format!("{:?}", straight.violations())
+        );
+        assert_eq!(resumed.checkpoint(), straight.checkpoint());
+        assert!(InvariantValidator::restore(&[1, 2, 3]).is_err());
     }
 
     #[test]

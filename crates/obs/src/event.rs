@@ -142,6 +142,16 @@ pub enum TraceKind {
         /// The query the decision targets, when there is one.
         id: Option<u64>,
     },
+    /// Checkpoint lifecycle: a snapshot was saved, resumed from, skipped
+    /// (already complete), or rejected as damaged. Emitted to the
+    /// campaign-level obs handle, never into per-scenario traces — those
+    /// must stay byte-identical to an uninterrupted run.
+    Checkpoint {
+        /// What happened: `saved`, `resumed`, `done_skip`, or `rejected`.
+        action: &'static str,
+        /// Seed of the run the snapshot belongs to.
+        seed: u64,
+    },
 }
 
 impl TraceKind {
@@ -163,6 +173,7 @@ impl TraceKind {
             TraceKind::FaultInjected { .. } => "fault",
             TraceKind::InvariantViolation { .. } => "violation",
             TraceKind::WlmDecision { .. } => "wlm",
+            TraceKind::Checkpoint { .. } => "ckpt",
         }
     }
 }
@@ -208,6 +219,9 @@ impl fmt::Display for TraceEvent {
                     Some(v) => write!(f, " id={v}"),
                     None => write!(f, " id=-"),
                 }
+            }
+            TraceKind::Checkpoint { action, seed } => {
+                write!(f, " action={action} seed={seed:#018x}")
             }
         }
     }
@@ -274,6 +288,10 @@ mod tests {
                 action: "speedup_victim",
                 id: Some(4),
             },
+            TraceKind::Checkpoint {
+                action: "saved",
+                seed: 0x2A,
+            },
         ];
         let tags: Vec<&str> = kinds.iter().map(|k| k.tag()).collect();
         assert_eq!(
@@ -286,8 +304,20 @@ mod tests {
                 "abort",
                 "retry",
                 "violation",
-                "wlm"
+                "wlm",
+                "ckpt"
             ]
+        );
+        assert_eq!(
+            TraceEvent::new(
+                0.0,
+                TraceKind::Checkpoint {
+                    action: "saved",
+                    seed: 0x2A,
+                }
+            )
+            .to_string(),
+            "t=0 ckpt action=saved seed=0x000000000000002a"
         );
     }
 }

@@ -17,13 +17,13 @@ use std::fmt::Write as _;
 /// Fixed bucket boundaries for work-unit-sized observations (a query's
 /// total work, a span's units). Upper-inclusive; values beyond the last
 /// bound land in the overflow bucket.
-pub const UNIT_BUCKETS: &[f64] = &[
+pub static UNIT_BUCKETS: &[f64] = &[
     1.0, 10.0, 100.0, 500.0, 1_000.0, 2_000.0, 5_000.0, 10_000.0, 100_000.0,
 ];
 
 /// Fixed bucket boundaries for virtual-second observations (latencies,
 /// waits, remaining-time estimates).
-pub const SECOND_BUCKETS: &[f64] = &[0.1, 1.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 1_000.0];
+pub static SECOND_BUCKETS: &[f64] = &[0.1, 1.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 1_000.0];
 
 /// A fixed-bucket histogram. Buckets are set at first observation and are
 /// part of the metric's identity; observing the same name with different
@@ -202,6 +202,110 @@ impl MetricsRegistry {
         }
         out
     }
+}
+
+impl MetricsRegistry {
+    /// Serialize every family into `e` for checkpointing. Iteration order
+    /// is the `BTreeMap` key order, so the encoding is canonical: two
+    /// registries with equal contents produce identical bytes.
+    pub fn encode_into(&self, e: &mut mqpi_ckpt::Enc) {
+        e.put_usize(self.counters.len());
+        for (k, v) in &self.counters {
+            e.put_str(k);
+            e.put_u64(*v);
+        }
+        e.put_usize(self.gauges.len());
+        for (k, v) in &self.gauges {
+            e.put_str(k);
+            e.put_f64(*v);
+        }
+        e.put_usize(self.histograms.len());
+        for (k, h) in &self.histograms {
+            e.put_str(k);
+            e.put_usize(h.bounds.len());
+            for b in h.bounds {
+                e.put_f64(*b);
+            }
+            e.put_usize(h.counts.len());
+            for c in &h.counts {
+                e.put_u64(*c);
+            }
+            e.put_f64(h.sum);
+            e.put_u64(h.n);
+        }
+    }
+
+    /// Rebuild a registry encoded by [`MetricsRegistry::encode_into`].
+    /// Names are re-interned to `&'static str`; histogram bounds are
+    /// matched by value against the canonical bucket statics
+    /// ([`UNIT_BUCKETS`], [`SECOND_BUCKETS`]) so the pointer-identity
+    /// invariant of [`MetricsRegistry::histogram_observe`] keeps holding
+    /// after a restore, falling back to a leaked copy for custom bounds.
+    pub fn decode_from(d: &mut mqpi_ckpt::Dec<'_>) -> Result<Self, mqpi_ckpt::CkptError> {
+        let mut m = MetricsRegistry::new();
+        let n = d.get_usize()?;
+        for _ in 0..n {
+            let k = crate::intern(&d.get_str()?);
+            m.counters.insert(k, d.get_u64()?);
+        }
+        let n = d.get_usize()?;
+        for _ in 0..n {
+            let k = crate::intern(&d.get_str()?);
+            m.gauges.insert(k, d.get_f64()?);
+        }
+        let n = d.get_usize()?;
+        for _ in 0..n {
+            let k = crate::intern(&d.get_str()?);
+            let nb = d.get_usize()?;
+            let mut bounds = Vec::with_capacity(nb.min(1024));
+            for _ in 0..nb {
+                bounds.push(d.get_f64()?);
+            }
+            let bounds = canonical_bounds(&bounds);
+            let nc = d.get_usize()?;
+            if nc != bounds.len() + 1 {
+                return Err(mqpi_ckpt::CkptError::Corrupt(format!(
+                    "histogram {k}: {nc} counts for {} bounds",
+                    bounds.len()
+                )));
+            }
+            let mut counts = Vec::with_capacity(nc.min(1024));
+            for _ in 0..nc {
+                counts.push(d.get_u64()?);
+            }
+            let sum = d.get_f64()?;
+            let n = d.get_u64()?;
+            m.histograms.insert(
+                k,
+                Histogram {
+                    bounds,
+                    counts,
+                    sum,
+                    n,
+                },
+            );
+        }
+        Ok(m)
+    }
+}
+
+/// Map decoded bucket bounds back onto the canonical statics when they
+/// match bit for bit, preserving pointer identity across a checkpoint
+/// round trip; unknown bound sets are leaked once (restores are rare and
+/// bound sets are tiny).
+fn canonical_bounds(decoded: &[f64]) -> &'static [f64] {
+    let same = |s: &[f64]| {
+        s.len() == decoded.len()
+            && s.iter()
+                .zip(decoded)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    };
+    for canon in [UNIT_BUCKETS, SECOND_BUCKETS] {
+        if same(canon) {
+            return canon;
+        }
+    }
+    Box::leak(decoded.to_vec().into_boxed_slice())
 }
 
 /// JSON-safe float rendering: shortest round-trip, with `.0` forced onto

@@ -43,6 +43,31 @@ impl Profile {
         self.spans.is_empty()
     }
 
+    /// Serialize the table into `e` for checkpointing (canonical: sorted
+    /// by span name via the `BTreeMap`).
+    pub fn encode_into(&self, e: &mut mqpi_ckpt::Enc) {
+        e.put_usize(self.spans.len());
+        for (k, s) in &self.spans {
+            e.put_str(k);
+            e.put_u64(s.calls);
+            e.put_f64(s.units);
+        }
+    }
+
+    /// Rebuild a table encoded by [`Profile::encode_into`], re-interning
+    /// span names.
+    pub fn decode_from(d: &mut mqpi_ckpt::Dec<'_>) -> Result<Self, mqpi_ckpt::CkptError> {
+        let mut p = Profile::default();
+        let n = d.get_usize()?;
+        for _ in 0..n {
+            let k = crate::intern(&d.get_str()?);
+            let calls = d.get_u64()?;
+            let units = d.get_f64()?;
+            p.spans.insert(k, SpanStat { calls, units });
+        }
+        Ok(p)
+    }
+
     /// One CSV row per span: `span,calls,units`. Sorted by name.
     pub fn to_csv(&self) -> String {
         let mut out = String::from("span,calls,units\n");

@@ -105,6 +105,30 @@ fn golden_wlm() {
     check("wlm");
 }
 
+/// Crash-safe resume against the review surface itself: a chaos run that
+/// is checkpointed mid-way, torn down, and revived from the snapshot must
+/// reproduce the *checked-in fixture* of the uninterrupted run byte for
+/// byte — trace preamble, continued events, metrics, everything. No
+/// separate fixture exists for the resumed run on purpose: it has to match
+/// the straight one.
+#[test]
+fn golden_chaos_resumed_matches_straight_fixture() {
+    let run = traced::run_scenario_resumed("chaos", GOLDEN_SEED, 12).expect("resumed run");
+    assert_eq!(run.violations, 0, "resumed chaos: invariant violations");
+    let got = artifact(&run);
+    let path = fixture_path("chaos");
+    if std::env::var_os("MQPI_BLESS").is_some_and(|v| v == "1") {
+        // Blessing is owned by `golden_chaos`; this test only compares.
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {} ({e})", path.display()));
+    assert_eq!(
+        got, want,
+        "resumed chaos run diverged from the straight run's fixture"
+    );
+}
+
 /// The bless path must produce exactly what the check path compares:
 /// running any scenario twice yields identical artifacts.
 #[test]

@@ -23,6 +23,7 @@
 
 pub mod admission;
 pub mod arrivals;
+mod checkpoint;
 pub mod faults;
 pub mod job;
 pub mod rng;
@@ -33,7 +34,7 @@ pub mod weights;
 pub use admission::AdmissionPolicy;
 pub use arrivals::PoissonArrivals;
 pub use faults::{FaultEvent, FaultKind, FaultMix, FaultPlan, RetryPolicy};
-pub use job::{CursorJob, Job, JobProgress, SyntheticJob};
+pub use job::{CursorJob, Job, JobProgress, JobSnapshot, SyntheticJob};
 pub use rng::{Rng, Zipf};
 pub use speed::SpeedMonitor;
 pub use system::{

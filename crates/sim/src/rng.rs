@@ -27,6 +27,17 @@ impl Rng {
         Rng { s }
     }
 
+    /// The raw generator state, for checkpointing. Restoring with
+    /// [`Rng::from_state`] resumes the stream at exactly this position.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator from state captured by [`Rng::state`].
+    pub fn from_state(s: [u64; 4]) -> Self {
+        Rng { s }
+    }
+
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         let result = self.s[0]

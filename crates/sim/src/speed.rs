@@ -42,6 +42,20 @@ impl SpeedMonitor {
         })
     }
 
+    /// Decompose into `(tau, last_t, last_units, ema)` for checkpointing.
+    pub fn to_parts(&self) -> (f64, f64, f64, Option<f64>) {
+        (self.tau, self.last_t, self.last_units, self.ema)
+    }
+
+    /// Rebuild a monitor from parts captured by [`SpeedMonitor::to_parts`];
+    /// `tau` is re-validated like in [`SpeedMonitor::new`].
+    pub fn from_parts(tau: f64, last_t: f64, last_units: f64, ema: Option<f64>) -> Result<Self> {
+        let mut m = Self::new_at(tau, last_t)?;
+        m.last_units = last_units;
+        m.ema = ema;
+        Ok(m)
+    }
+
     /// Record the cumulative `units` completed by time `t`.
     pub fn update(&mut self, t: f64, units: f64) {
         let dt = t - self.last_t;

@@ -21,10 +21,12 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::Arc;
 
+use mqpi_ckpt::{CkptError, Dec, Enc};
 use mqpi_engine::error::{EngineError, Result};
 use mqpi_obs::{Obs, TraceKind, SECOND_BUCKETS, UNIT_BUCKETS};
 
 use crate::admission::AdmissionPolicy;
+use crate::checkpoint as ckpt;
 use crate::faults::{FaultKind, FaultPlan};
 use crate::job::Job;
 use crate::rng::Rng;
@@ -1317,6 +1319,267 @@ impl System {
     }
 }
 
+// ---------------------------------------------------------------------------
+// checkpoint/restore
+// ---------------------------------------------------------------------------
+
+/// Checkpointing serializes the *complete* simulated world — config, clock,
+/// every live session (job counters, GPS credit, speed monitor), the
+/// admission queue in order, the scheduled-arrival heap in canonical
+/// `(at, id)` order, all finished records, and the fault injector's plan
+/// cursor, RNG stream position, active rate dip, retry ledger, log, and
+/// stats. Restoring and continuing is bit-identical to never having
+/// stopped: every subsequent step reads exactly the same state an
+/// uninterrupted run would have.
+///
+/// Only the [`Obs`] handle is excluded: trace/metrics continuity is the
+/// observability layer's own concern (see `mqpi_obs::Obs::checkpoint`), and
+/// a restored system starts with a disabled handle until the caller
+/// re-installs one via [`System::set_obs`].
+impl System {
+    /// Serialize the full scheduler state. Fails with
+    /// [`CkptError::Unsupported`] when any live job cannot snapshot itself
+    /// (engine cursors hold live operator state); synthetic workloads —
+    /// everything the experiment campaigns run — always succeed.
+    pub fn checkpoint(&self) -> std::result::Result<Vec<u8>, CkptError> {
+        let mut e = Enc::new();
+        e.put_f64(self.cfg.rate);
+        e.put_f64(self.cfg.quantum_units);
+        ckpt::encode_admission(&mut e, self.cfg.admission);
+        e.put_f64(self.cfg.speed_tau);
+        ckpt::encode_rate_model(&mut e, self.cfg.rate_model);
+        ckpt::encode_step_mode(&mut e, self.cfg.step_mode);
+        e.put_f64(self.clock);
+        e.put_u64(self.next_id);
+        e.put_f64(self.executed_units);
+        e.put_u64(self.rejected);
+        ckpt::encode_error_policy(&mut e, self.error_policy);
+        e.put_usize(self.running.len());
+        for s in &self.running {
+            Self::encode_session(&mut e, s)?;
+        }
+        e.put_usize(self.queue.len());
+        for s in &self.queue {
+            Self::encode_session(&mut e, s)?;
+        }
+        // The heap serializes in canonical (at, id) order — the exact order
+        // future pops will see, since the heap's `Ord` is total (ids are
+        // unique), so rebuilding by pushes reproduces identical behavior.
+        let mut scheduled: Vec<&Scheduled> = self.scheduled.iter().collect();
+        scheduled.sort_by(|a, b| a.at.total_cmp(&b.at).then_with(|| a.id.cmp(&b.id)));
+        e.put_usize(scheduled.len());
+        for s in scheduled {
+            e.put_f64(s.at);
+            e.put_u64(s.id);
+            e.put_str(&s.name);
+            Self::encode_job(&mut e, s.job.as_ref(), s.id)?;
+            e.put_f64(s.weight);
+        }
+        e.put_usize(self.finished.len());
+        for f in &self.finished {
+            ckpt::encode_finished(&mut e, f);
+        }
+        match &self.faults {
+            None => e.put_bool(false),
+            Some(fs) => {
+                e.put_bool(true);
+                ckpt::encode_fault_plan(&mut e, &fs.plan);
+                e.put_usize(fs.next_event);
+                for w in fs.rng.state() {
+                    e.put_u64(w);
+                }
+                e.put_f64(fs.rate_factor);
+                e.put_f64(fs.rate_restore_at);
+                let mut attempts: Vec<(QueryId, u32)> =
+                    fs.attempts.iter().map(|(k, v)| (*k, *v)).collect();
+                attempts.sort_unstable_by_key(|(id, _)| *id);
+                e.put_usize(attempts.len());
+                for (id, n) in attempts {
+                    e.put_u64(id);
+                    e.put_u32(n);
+                }
+                e.put_usize(fs.log.len());
+                for f in &fs.log {
+                    ckpt::encode_injected_fault(&mut e, f);
+                }
+                ckpt::encode_fault_stats(&mut e, &fs.stats);
+            }
+        }
+        Ok(e.into_bytes())
+    }
+
+    /// Rebuild a system from [`System::checkpoint`] bytes. The restored
+    /// system's obs handle is disabled; re-install one with
+    /// [`System::set_obs`] before stepping if tracing should continue.
+    pub fn restore(bytes: &[u8]) -> std::result::Result<System, CkptError> {
+        let mut d = Dec::new(bytes);
+        let rate = d.get_f64()?;
+        let quantum_units = d.get_f64()?;
+        let admission = ckpt::decode_admission(&mut d)?;
+        let speed_tau = d.get_f64()?;
+        let rate_model = ckpt::decode_rate_model(&mut d)?;
+        let step_mode = ckpt::decode_step_mode(&mut d)?;
+        let cfg = SystemConfig {
+            rate,
+            quantum_units,
+            admission,
+            speed_tau,
+            rate_model,
+            step_mode,
+        };
+        let mut sys = System::try_new(cfg)
+            .map_err(|e| CkptError::Corrupt(format!("invalid config in checkpoint: {e}")))?;
+        sys.clock = d.get_f64()?;
+        sys.next_id = d.get_u64()?;
+        sys.executed_units = d.get_f64()?;
+        sys.rejected = d.get_u64()?;
+        sys.error_policy = ckpt::decode_error_policy(&mut d)?;
+        let n = d.get_usize()?;
+        for _ in 0..n {
+            let s = Self::decode_session(&mut d)?;
+            sys.running.push(s);
+        }
+        let n = d.get_usize()?;
+        for _ in 0..n {
+            let s = Self::decode_session(&mut d)?;
+            sys.queue.push_back(s);
+        }
+        let n = d.get_usize()?;
+        for _ in 0..n {
+            let at = d.get_f64()?;
+            let id = d.get_u64()?;
+            let name: Arc<str> = d.get_str()?.into();
+            let job = Self::decode_job(&mut d)?;
+            let weight = d.get_f64()?;
+            sys.scheduled.push(Scheduled {
+                at,
+                id,
+                name,
+                job,
+                weight,
+            });
+        }
+        let n = d.get_usize()?;
+        for _ in 0..n {
+            let rec = ckpt::decode_finished(&mut d)?;
+            sys.finished_index.insert(rec.id, sys.finished.len());
+            sys.finished.push(rec);
+        }
+        if d.get_bool()? {
+            let plan = ckpt::decode_fault_plan(&mut d)?;
+            let next_event = d.get_usize()?;
+            if next_event > plan.events().len() {
+                return Err(CkptError::Corrupt(format!(
+                    "fault cursor {next_event} beyond {} events",
+                    plan.events().len()
+                )));
+            }
+            let rng_state = [d.get_u64()?, d.get_u64()?, d.get_u64()?, d.get_u64()?];
+            let rate_factor = d.get_f64()?;
+            let rate_restore_at = d.get_f64()?;
+            let mut attempts = HashMap::new();
+            let na = d.get_usize()?;
+            for _ in 0..na {
+                let id = d.get_u64()?;
+                let n = d.get_u32()?;
+                attempts.insert(id, n);
+            }
+            let nl = d.get_usize()?;
+            let mut log = Vec::with_capacity(nl.min(4096));
+            for _ in 0..nl {
+                log.push(ckpt::decode_injected_fault(&mut d)?);
+            }
+            let stats = ckpt::decode_fault_stats(&mut d)?;
+            sys.faults = Some(FaultState {
+                plan,
+                next_event,
+                rng: Rng::from_state(rng_state),
+                rate_factor,
+                rate_restore_at,
+                attempts,
+                log,
+                stats,
+            });
+        }
+        if !d.is_exhausted() {
+            return Err(CkptError::Corrupt(format!(
+                "{} trailing bytes after system state",
+                d.remaining()
+            )));
+        }
+        Ok(sys)
+    }
+
+    fn encode_job(e: &mut Enc, job: &dyn Job, id: QueryId) -> std::result::Result<(), CkptError> {
+        let snap = job.snapshot_state().ok_or_else(|| {
+            CkptError::Unsupported(format!("job of query {id} holds live engine state"))
+        })?;
+        ckpt::encode_job_snapshot(e, &snap);
+        Ok(())
+    }
+
+    fn decode_job(d: &mut Dec<'_>) -> std::result::Result<Box<dyn Job>, CkptError> {
+        let snap = ckpt::decode_job_snapshot(d)?;
+        Ok(Box::new(crate::job::SyntheticJob::from_snapshot(snap)))
+    }
+
+    fn encode_session(e: &mut Enc, s: &Session) -> std::result::Result<(), CkptError> {
+        e.put_u64(s.id);
+        e.put_str(&s.name);
+        Self::encode_job(e, s.job.as_ref(), s.id)?;
+        e.put_f64(s.weight);
+        e.put_f64(s.arrived);
+        e.put_opt_f64(s.started);
+        e.put_f64(s.credit);
+        e.put_f64(s.units_done);
+        ckpt::encode_speed_monitor(e, &s.monitor);
+        e.put_bool(s.blocked);
+        match s.rolling_back {
+            Some((done, remaining)) => {
+                e.put_bool(true);
+                e.put_f64(done);
+                e.put_f64(remaining);
+            }
+            None => e.put_bool(false),
+        }
+        e.put_f64(s.report_scale);
+        Ok(())
+    }
+
+    fn decode_session(d: &mut Dec<'_>) -> std::result::Result<Session, CkptError> {
+        let id = d.get_u64()?;
+        let name: Arc<str> = d.get_str()?.into();
+        let job = Self::decode_job(d)?;
+        let weight = d.get_f64()?;
+        let arrived = d.get_f64()?;
+        let started = d.get_opt_f64()?;
+        let credit = d.get_f64()?;
+        let units_done = d.get_f64()?;
+        let monitor = ckpt::decode_speed_monitor(d)?;
+        let blocked = d.get_bool()?;
+        let rolling_back = if d.get_bool()? {
+            Some((d.get_f64()?, d.get_f64()?))
+        } else {
+            None
+        };
+        let report_scale = d.get_f64()?;
+        Ok(Session {
+            id,
+            name,
+            job,
+            weight,
+            arrived,
+            started,
+            credit,
+            units_done,
+            monitor,
+            blocked,
+            rolling_back,
+            report_scale,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2085,5 +2348,191 @@ mod tests {
             "executed {} vs accounted {accounted}",
             sys.executed_units()
         );
+    }
+}
+
+#[cfg(test)]
+mod checkpoint_tests {
+    use super::*;
+    use crate::faults::{FaultMix, FaultPlan};
+    use crate::job::{JobProgress, SyntheticJob};
+
+    fn chaos_system(seed: u64) -> System {
+        let mut sys = System::new(SystemConfig {
+            rate: 100.0,
+            quantum_units: 8.0,
+            admission: AdmissionPolicy::Bounded { slots: 3, queue: 2 },
+            speed_tau: 5.0,
+            rate_model: RateModel::Contention { alpha: 0.05 },
+            step_mode: StepMode::Quantum,
+        });
+        sys.set_error_policy(ErrorPolicy::Isolate);
+        for i in 0..5u64 {
+            sys.submit(
+                format!("q{i}"),
+                Box::new(SyntheticJob::with_report_scale(300 * (i + 1), 1.25)),
+                1.0 + i as f64 * 0.5,
+            );
+        }
+        sys.schedule(4.0, "late", Box::new(SyntheticJob::new(500)), 2.0);
+        sys.install_faults(FaultPlan::generate(seed, 40.0, &FaultMix::even(2)));
+        sys
+    }
+
+    /// Fingerprint every observable outcome bit-exactly (floats via their
+    /// bit patterns, not display rounding).
+    fn fingerprint(sys: &System) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "clock={:016x} executed={:016x} rejected={} next_id={}",
+            sys.now().to_bits(),
+            sys.executed_units().to_bits(),
+            sys.rejected_count(),
+            sys.next_id,
+        );
+        for f in sys.finished() {
+            let _ = writeln!(
+                out,
+                "fin id={} name={} kind={:?} arr={:016x} fin={:016x} done={:016x} rem={:016x} rb={:016x}",
+                f.id,
+                f.name,
+                f.kind,
+                f.arrived.to_bits(),
+                f.finished.to_bits(),
+                f.units_done.to_bits(),
+                f.remaining_at_end.to_bits(),
+                f.rollback_units.to_bits(),
+            );
+        }
+        if let Some(st) = sys.fault_stats() {
+            let _ = writeln!(out, "stats={st:?}");
+        }
+        for f in sys.fault_log() {
+            let _ = writeln!(
+                out,
+                "fault at={:016x} {:?} v={:?}",
+                f.at.to_bits(),
+                f.kind,
+                f.victim
+            );
+        }
+        let snap = sys.snapshot();
+        for q in &snap.running {
+            let _ = writeln!(
+                out,
+                "run id={} done={:016x} rem={:016x} spd={:?} blk={} rb={}",
+                q.id,
+                q.done.to_bits(),
+                q.remaining.to_bits(),
+                q.observed_speed.map(f64::to_bits),
+                q.blocked,
+                q.rolling_back,
+            );
+        }
+        for q in &snap.queued {
+            let _ = writeln!(out, "que id={} est={:016x}", q.id, q.est_cost.to_bits());
+        }
+        out
+    }
+
+    /// Checkpointing at *every* step boundary and continuing from the
+    /// restored copy must be bit-identical to never having stopped.
+    #[test]
+    fn restore_at_every_boundary_is_bit_identical() {
+        let mut straight = chaos_system(11);
+        let mut hopped = chaos_system(11);
+        let mut steps = 0usize;
+        while straight.has_work() && straight.now() < 60.0 && steps < 20_000 {
+            straight.step().unwrap();
+            hopped.step().unwrap();
+            let bytes = hopped.checkpoint().unwrap();
+            hopped = System::restore(&bytes).unwrap();
+            assert_eq!(fingerprint(&hopped), fingerprint(&straight));
+            steps += 1;
+        }
+        assert!(steps > 50, "scenario too small to be meaningful: {steps}");
+        assert!(!straight.finished().is_empty());
+    }
+
+    /// A second encode of a restored system yields the same bytes — the
+    /// encoding is canonical, not merely equivalent.
+    #[test]
+    fn checkpoint_encoding_is_canonical() {
+        let mut sys = chaos_system(3);
+        sys.run_until(10.0).unwrap();
+        let a = sys.checkpoint().unwrap();
+        let restored = System::restore(&a).unwrap();
+        let b = restored.checkpoint().unwrap();
+        assert_eq!(a, b);
+    }
+
+    /// Event-driven mode survives a round trip mid-flight too.
+    #[test]
+    fn event_driven_mode_round_trips() {
+        let mk = || {
+            let mut sys = System::new(SystemConfig {
+                rate: 50.0,
+                step_mode: StepMode::EventDriven,
+                ..SystemConfig::default()
+            });
+            for i in 0..3u64 {
+                sys.submit(
+                    format!("e{i}"),
+                    Box::new(SyntheticJob::new(400 + 100 * i)),
+                    1.0,
+                );
+            }
+            sys.schedule(7.0, "later", Box::new(SyntheticJob::new(250)), 1.0);
+            sys
+        };
+        let mut straight = mk();
+        let mut hopped = mk();
+        while straight.has_work() {
+            straight.step().unwrap();
+            hopped.step().unwrap();
+            hopped = System::restore(&hopped.checkpoint().unwrap()).unwrap();
+        }
+        assert_eq!(fingerprint(&hopped), fingerprint(&straight));
+    }
+
+    /// Jobs with live, non-serializable state make the checkpoint fail
+    /// gracefully, not silently lose work.
+    #[test]
+    fn unsupported_job_is_reported() {
+        struct OpaqueJob;
+        impl Job for OpaqueJob {
+            fn run(&mut self, budget: u64) -> Result<u64> {
+                Ok(budget)
+            }
+            fn finished(&self) -> bool {
+                false
+            }
+            fn progress(&self) -> JobProgress {
+                JobProgress {
+                    done: 0.0,
+                    remaining: 1.0,
+                    initial_estimate: 1.0,
+                    finished: false,
+                }
+            }
+        }
+        let mut sys = System::new(SystemConfig::default());
+        sys.submit("opaque", Box::new(OpaqueJob), 1.0);
+        assert!(matches!(sys.checkpoint(), Err(CkptError::Unsupported(_))));
+    }
+
+    /// Damaged bytes are rejected with typed errors, never a panic.
+    #[test]
+    fn restore_rejects_damaged_bytes() {
+        let mut sys = chaos_system(5);
+        sys.run_until(5.0).unwrap();
+        let bytes = sys.checkpoint().unwrap();
+        assert!(System::restore(&bytes[..bytes.len() / 2]).is_err());
+        assert!(System::restore(&[]).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(System::restore(&trailing).is_err());
     }
 }
