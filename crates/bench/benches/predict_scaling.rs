@@ -45,7 +45,7 @@ fn workload(
 fn bench_predict_scaling(c: &mut Criterion) {
     let mut g = c.benchmark_group("predict_scaling");
     g.sample_size(10);
-    for n in [100usize, 1_000, 10_000, 100_000] {
+    for n in [100usize, 1_000, 10_000, 100_000, 1_000_000] {
         let (running, queued, slots, future) = workload(n);
         g.bench_with_input(
             BenchmarkId::new("virtual_time", n),
@@ -79,9 +79,72 @@ fn bench_predict_scaling(c: &mut Criterion) {
                 },
             );
         }
+        // Per-id finish-time lookups over the prediction — the driver-loop
+        // pattern (`remaining_for` for every tracked query per tick) that
+        // the dense offset index replaced a `HashMap` for.
+        let prediction = predict(&running, &queued, slots, Some(&future), 100.0);
+        g.bench_with_input(
+            BenchmarkId::new("remaining_for_all_ids", n),
+            &prediction,
+            |b, p| {
+                b.iter(|| {
+                    let mut acc = 0.0f64;
+                    for id in 0..(n / 2) as u64 {
+                        if let Some(t) = p.remaining_for(black_box(id)) {
+                            acc += t;
+                        }
+                    }
+                    black_box(acc)
+                });
+            },
+        );
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_predict_scaling);
+/// Raw `System::step_discard` throughput at n = 10^5 and 10^6 — the same
+/// churn shape as `experiments --bench-sim`, here under criterion so the
+/// data-oriented core's per-step cost is tracked alongside the predictor.
+fn bench_sim_step_scaling(c: &mut Criterion) {
+    use mqpi_sim::job::SyntheticJob;
+    use mqpi_sim::system::{StepMode, System, SystemConfig};
+    use mqpi_sim::AdmissionPolicy;
+    use std::sync::Arc;
+
+    let mut g = c.benchmark_group("sim_step_scaling");
+    g.sample_size(10);
+    for n in [100_000usize, 1_000_000] {
+        g.bench_with_input(BenchmarkId::new("churn_drain", n), &n, |b, &n| {
+            b.iter(|| {
+                let rate = 1e5;
+                let spacing = 950.0 / rate * 1.05;
+                let mut sys = System::new(SystemConfig {
+                    rate,
+                    quantum_units: 16.0,
+                    admission: AdmissionPolicy::MaxConcurrent(256),
+                    speed_tau: 10.0,
+                    step_mode: StepMode::EventDriven,
+                    ..Default::default()
+                });
+                let name: Arc<str> = "bench".into();
+                for i in 0..n {
+                    sys.schedule(
+                        i as f64 * spacing,
+                        Arc::clone(&name),
+                        Box::new(SyntheticJob::new(500 + (i as u64).wrapping_mul(37) % 900)),
+                        1.0,
+                    );
+                }
+                let mut finished = 0u64;
+                while sys.has_work() {
+                    finished += sys.step_discard().unwrap() as u64;
+                }
+                black_box(finished)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_predict_scaling, bench_sim_step_scaling);
 criterion_main!(benches);

@@ -28,6 +28,7 @@ pub mod naq;
 pub mod parallel;
 pub mod report;
 pub mod scq;
+pub mod simbench;
 pub mod speedup_exp;
 pub mod table1;
 pub mod traced;

@@ -1,0 +1,275 @@
+//! Raw event throughput of `sim::System` itself (`experiments --bench-sim`).
+//!
+//! The paper's multi-query PI re-estimates every running and queued query
+//! on every scheduler event, which only scales if the event loop is nearly
+//! free; BENCH_1 pushed the fluid predictor to n = 10^5, and this harness
+//! pushes the simulator core to the same regime. Two scenarios, both driven
+//! exclusively through the public `System` API so the same binary measures
+//! any core implementation:
+//!
+//! * **churn** — n queries flow *through* the system under a concurrency
+//!   cap: arrivals come off the scheduled-arrival queue, run event-driven
+//!   under GPS, complete, and admit successors. This exercises the full
+//!   event machinery (arrival queue, admission, grant loop, completion
+//!   harvest) and is the headline events/sec metric. The drive loop uses
+//!   [`System::step_discard`] so the harness itself allocates nothing per
+//!   step — the number measures the core, not the caller's `Vec` churn.
+//! * **scan** — n queries run *concurrently* in quantum mode for a fixed
+//!   number of steps, measuring the per-step session scan (weight sum,
+//!   grant, speed monitors) in session-updates/sec at n up to 10^6.
+//!
+//! Both scenarios end with conservation checks so a broken core cannot
+//! post a fast number.
+//!
+//! # Measurement methodology
+//!
+//! The reference builder is a single-vCPU VM whose kernel periodically
+//! steals multi-second bursts (page-cache and memory-management housekeeping
+//! shows up as sys time an order of magnitude above user time on identical
+//! runs). A single timing can therefore be off by 2-5x. Every scenario runs
+//! `MQPI_BENCH_REPS` times (default 3) and reports the **fastest** run: the
+//! minimum over repetitions converges on the true cost because the noise is
+//! strictly additive. The recorded baselines in [`baseline`] were taken the
+//! same way on the pre-refactor core, keeping the comparison symmetric.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mqpi_sim::job::SyntheticJob;
+use mqpi_sim::system::{StepMode, System, SystemConfig};
+use mqpi_sim::AdmissionPolicy;
+
+/// Result of one churn run.
+#[derive(Debug, Clone)]
+pub struct ChurnResult {
+    /// Number of queries pushed through the system.
+    pub n: usize,
+    /// Concurrency cap (admission slots).
+    pub slots: usize,
+    /// Wall-clock seconds (best of [`reps`] repetitions).
+    pub wall_s: f64,
+    /// Scheduler steps taken.
+    pub steps: u64,
+    /// Completions observed.
+    pub finished: u64,
+    /// Total events (steps + arrivals + completions).
+    pub events: u64,
+    /// Events per wall-clock second.
+    pub events_per_sec: f64,
+}
+
+/// Result of one concurrent-scan run.
+#[derive(Debug, Clone)]
+pub struct ScanResult {
+    /// Concurrent queries resident during the measurement.
+    pub n: usize,
+    /// Quantum steps taken.
+    pub steps: u64,
+    /// Wall-clock seconds (stepping only; setup excluded; best of [`reps`]).
+    pub wall_s: f64,
+    /// Per-session updates performed (n × steps).
+    pub session_updates: u64,
+    /// Session updates per wall-clock second.
+    pub updates_per_sec: f64,
+}
+
+/// Repetitions per scenario; the fastest is reported. Override with
+/// `MQPI_BENCH_REPS` (e.g. `1` for a smoke run, more on a noisy box).
+pub fn reps() -> usize {
+    std::env::var("MQPI_BENCH_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&r| r >= 1)
+        .unwrap_or(3)
+}
+
+/// Deterministic per-query cost in [500, 1400] units — cheap to generate,
+/// varied enough that completions interleave with arrivals.
+fn cost_of(i: usize) -> u64 {
+    500 + ((i as u64).wrapping_mul(37)) % 900
+}
+
+/// Push `n` queries through a `slots`-capped event-driven system and
+/// measure end-to-end event throughput. Best of [`reps`] repetitions.
+pub fn churn(n: usize, slots: usize) -> Result<ChurnResult, String> {
+    let mut best: Option<ChurnResult> = None;
+    for _ in 0..reps() {
+        let r = churn_once(n, slots)?;
+        if best.as_ref().is_none_or(|b| r.wall_s < b.wall_s) {
+            best = Some(r);
+        }
+    }
+    Ok(best.expect("reps() >= 1"))
+}
+
+fn churn_once(n: usize, slots: usize) -> Result<ChurnResult, String> {
+    // Arrival rate just below the service rate so the admission queue stays
+    // shallow: mean cost 950 U at 10^5 U/s over `slots` concurrent queries.
+    let rate = 1e5;
+    let mean_cost = 950.0;
+    let spacing = mean_cost / rate * 1.05;
+    let mut sys = System::new(SystemConfig {
+        rate,
+        quantum_units: 16.0,
+        admission: AdmissionPolicy::MaxConcurrent(slots),
+        speed_tau: 10.0,
+        step_mode: StepMode::EventDriven,
+        ..Default::default()
+    });
+    // One shared interned-style name: the bench measures the scheduler, not
+    // the caller's label allocation.
+    let name: Arc<str> = "churn".into();
+    for i in 0..n {
+        sys.schedule(
+            i as f64 * spacing,
+            Arc::clone(&name),
+            Box::new(SyntheticJob::new(cost_of(i))),
+            1.0,
+        );
+    }
+    let t0 = Instant::now();
+    let mut steps = 0u64;
+    let mut finished = 0u64;
+    while sys.has_work() {
+        finished += sys.step_discard().map_err(|e| e.to_string())? as u64;
+        steps += 1;
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    if finished != n as u64 {
+        return Err(format!("churn: {finished} of {n} queries completed"));
+    }
+    let total_cost: f64 = (0..n).map(|i| cost_of(i) as f64).sum();
+    if (sys.executed_units() - total_cost).abs() > 1e-6 * total_cost.max(1.0) {
+        return Err(format!(
+            "churn: executed {} units, expected {total_cost}",
+            sys.executed_units()
+        ));
+    }
+    let events = steps + 2 * n as u64; // one arrival and one completion per query
+    Ok(ChurnResult {
+        n,
+        slots,
+        wall_s,
+        steps,
+        finished,
+        events,
+        events_per_sec: events as f64 / wall_s,
+    })
+}
+
+/// Hold `n` queries concurrently resident and take `steps` quantum steps,
+/// measuring the per-step session scan. Best of [`reps`] repetitions.
+pub fn concurrent_scan(n: usize, steps: u64) -> Result<ScanResult, String> {
+    let mut best: Option<ScanResult> = None;
+    for _ in 0..reps() {
+        let r = concurrent_scan_once(n, steps)?;
+        if best.as_ref().is_none_or(|b| r.wall_s < b.wall_s) {
+            best = Some(r);
+        }
+    }
+    Ok(best.expect("reps() >= 1"))
+}
+
+fn concurrent_scan_once(n: usize, steps: u64) -> Result<ScanResult, String> {
+    // Costs far above what `steps` quanta can complete, so the population
+    // stays exactly `n` for the whole measurement.
+    let mut sys = System::new(SystemConfig {
+        rate: 1e6,
+        quantum_units: (n as f64).max(1.0),
+        admission: AdmissionPolicy::Unlimited,
+        speed_tau: 10.0,
+        step_mode: StepMode::Quantum,
+        ..Default::default()
+    });
+    let name: Arc<str> = "scan".into();
+    for _ in 0..n {
+        sys.submit(
+            Arc::clone(&name),
+            Box::new(SyntheticJob::new(u64::MAX / 2)),
+            1.0,
+        );
+    }
+    let t0 = Instant::now();
+    for _ in 0..steps {
+        let done = sys.step_discard().map_err(|e| e.to_string())?;
+        if done != 0 {
+            return Err("scan: a query completed mid-measurement".into());
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    if sys.running_ids().len() != n {
+        return Err(format!(
+            "scan: population changed to {}",
+            sys.running_ids().len()
+        ));
+    }
+    if sys.executed_units() <= 0.0 {
+        return Err("scan: no work executed".into());
+    }
+    let session_updates = n as u64 * steps;
+    Ok(ScanResult {
+        n,
+        steps,
+        wall_s,
+        session_updates,
+        updates_per_sec: session_updates as f64 / wall_s,
+    })
+}
+
+/// Scan step counts sized so each measurement stays in the hundreds of
+/// milliseconds while touching every session `steps` times.
+pub fn scan_steps_for(n: usize) -> u64 {
+    match n {
+        0..=10_000 => 2_000,
+        10_001..=100_000 => 300,
+        _ => 40,
+    }
+}
+
+/// Pre-refactor throughput of the object-soup core (`Box<dyn Job>` sessions,
+/// `BinaryHeap` schedule, per-id `HashMap`s), measured with this exact
+/// harness (same shapes, best-of-k repetitions) on the reference 1-core
+/// builder before the data-oriented core landed. Each entry is the *best*
+/// throughput the old core ever posted across repeated runs — a deliberately
+/// conservative baseline, since the builder's kernel-noise bursts can only
+/// slow a run down, never speed it up. A size absent here reports no
+/// speedup rather than a guessed one.
+pub mod baseline {
+    /// `(n, events_per_sec)` for [`super::churn`] at 256 slots.
+    pub const CHURN_EVENTS_PER_SEC: &[(usize, f64)] = &[
+        (10_000, 9_698_223.0),
+        (100_000, 6_370_000.0),
+        (1_000_000, 3_970_000.0),
+    ];
+    /// `(n, session_updates_per_sec)` for [`super::concurrent_scan`].
+    pub const SCAN_UPDATES_PER_SEC: &[(usize, f64)] = &[
+        (10_000, 44_448_369.0),
+        (100_000, 32_826_461.0),
+        (1_000_000, 13_710_413.0),
+    ];
+
+    /// Baseline lookup for size `n`.
+    pub fn lookup(table: &[(usize, f64)], n: usize) -> Option<f64> {
+        table.iter().find(|(m, _)| *m == n).map(|(_, v)| *v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_completes_and_counts_events() {
+        let r = churn(500, 32).unwrap();
+        assert_eq!(r.finished, 500);
+        assert!(r.events >= 1000, "events = {}", r.events);
+        assert!(r.events_per_sec > 0.0);
+    }
+
+    #[test]
+    fn scan_holds_population_constant() {
+        let r = concurrent_scan(200, 50).unwrap();
+        assert_eq!(r.session_updates, 200 * 50);
+        assert!(r.updates_per_sec > 0.0);
+    }
+}

@@ -23,7 +23,7 @@
 //! `O(events × n)` dense sweep kept as [`predict_reference`].
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
 /// One query as the fluid model sees it.
@@ -79,16 +79,76 @@ pub struct FluidPrediction {
     pub truncated: bool,
     /// id → position in `finish_times`, so per-id lookups in driver loops
     /// are O(1) instead of a scan.
-    index: HashMap<u64, usize>,
+    index: IdIndex,
+}
+
+/// Position index over `finish_times`. Query ids from the simulator are
+/// sequential, so the common case is a dense offset table — one bounds
+/// check and one `Vec` load per lookup, no hashing. Arbitrary (sparse)
+/// id sets fall back to a sorted slice with binary search rather than
+/// paying O(id range) memory.
+#[derive(Debug, Clone)]
+enum IdIndex {
+    /// `pos[id - base]` is `position + 1`; `0` marks an absent id.
+    Dense { base: u64, pos: Vec<u32> },
+    /// `(id, position)` sorted by id.
+    Sorted(Vec<(u64, u32)>),
+}
+
+impl IdIndex {
+    fn build(finish_times: &[(u64, f64)]) -> Self {
+        let n = finish_times.len();
+        if n == 0 {
+            return IdIndex::Dense {
+                base: 0,
+                pos: Vec::new(),
+            };
+        }
+        let (mut min, mut max) = (u64::MAX, u64::MIN);
+        for &(id, _) in finish_times {
+            min = min.min(id);
+            max = max.max(id);
+        }
+        let range = max - min + 1;
+        // Dense only when the table stays linear in n (ids are sequential
+        // up to small gaps); 4x slack plus a constant floor for tiny sets.
+        if range <= (4 * n as u64).max(64) {
+            let mut pos = vec![0u32; range as usize];
+            for (p, (id, _)) in finish_times.iter().enumerate() {
+                pos[(id - min) as usize] = p as u32 + 1;
+            }
+            IdIndex::Dense { base: min, pos }
+        } else {
+            let mut pairs: Vec<(u64, u32)> = finish_times
+                .iter()
+                .enumerate()
+                .map(|(p, (id, _))| (*id, p as u32))
+                .collect();
+            pairs.sort_unstable_by_key(|&(id, _)| id);
+            IdIndex::Sorted(pairs)
+        }
+    }
+
+    fn get(&self, id: u64) -> Option<usize> {
+        match self {
+            IdIndex::Dense { base, pos } => {
+                let off = id.checked_sub(*base)?;
+                match pos.get(off as usize) {
+                    Some(&p) if p != 0 => Some(p as usize - 1),
+                    _ => None,
+                }
+            }
+            IdIndex::Sorted(pairs) => pairs
+                .binary_search_by_key(&id, |&(id, _)| id)
+                .ok()
+                .map(|i| pairs[i].1 as usize),
+        }
+    }
 }
 
 impl FluidPrediction {
     pub fn new(finish_times: Vec<(u64, f64)>, truncated: bool) -> Self {
-        let index = finish_times
-            .iter()
-            .enumerate()
-            .map(|(pos, (id, _))| (*id, pos))
-            .collect();
+        let index = IdIndex::build(&finish_times);
         Self {
             finish_times,
             truncated,
@@ -98,7 +158,7 @@ impl FluidPrediction {
 
     /// Finish time for one id.
     pub fn remaining_for(&self, id: u64) -> Option<f64> {
-        self.index.get(&id).map(|&pos| self.finish_times[pos].1)
+        self.index.get(id).map(|pos| self.finish_times[pos].1)
     }
 }
 
@@ -608,6 +668,25 @@ mod tests {
         let p = predict(&[q(1, 0.0, 1.0), q(2, 100.0, 1.0)], &[], None, None, 100.0);
         assert_eq!(p.remaining_for(1).unwrap(), 0.0);
         assert!((p.remaining_for(2).unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn remaining_for_handles_sparse_and_dense_ids() {
+        // Sequential ids take the dense offset table...
+        let dense = FluidPrediction::new((0..100).map(|i| (i + 7, i as f64)).collect(), false);
+        for i in 0..100u64 {
+            assert_eq!(dense.remaining_for(i + 7), Some(i as f64));
+        }
+        assert_eq!(dense.remaining_for(6), None);
+        assert_eq!(dense.remaining_for(107), None);
+        // ...while scattered ids fall back to the sorted index.
+        let ids = [3u64, u64::MAX - 1, 1 << 40, 17, 9_999_999];
+        let sparse = FluidPrediction::new(ids.iter().map(|&id| (id, id as f64)).collect(), false);
+        for &id in &ids {
+            assert_eq!(sparse.remaining_for(id), Some(id as f64));
+        }
+        assert_eq!(sparse.remaining_for(4), None);
+        assert_eq!(sparse.remaining_for(0), None);
     }
 
     #[test]

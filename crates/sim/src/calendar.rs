@@ -1,0 +1,437 @@
+//! Bucketed calendar queue for the scheduled-arrival timeline.
+//!
+//! Replaces the `BinaryHeap<Scheduled>` schedule. A binary heap pays
+//! O(log n) per operation and, worse, every sift moves fat entries and
+//! touches log n cache lines; with 10^5-10^6 pre-scheduled arrivals that
+//! dominated the whole step loop. The calendar queue (Brown, CACM 1988)
+//! hashes each event by time into a ring of buckets of `width` seconds and
+//! pops by scanning forward from the current day, giving O(1) amortized
+//! push/pop when events are spread over time — which scheduled arrivals,
+//! retry timers, and fault boundaries are.
+//!
+//! Determinism contract (load-bearing for bit-identical replay):
+//!
+//! * Pop order is the exact total order by `(at, id)` — `f64::total_cmp`
+//!   on time, then the monotonically assigned id, so simultaneous events
+//!   dequeue FIFO in submission order. Internal bucket layout, resize
+//!   history, and width are *never* observable through `pop`/`peek`.
+//! * Each cell stores its integer day `trunc(at / width)` computed at
+//!   push (and recomputed on resize), so bucket membership and the pop
+//!   scan use the same integer and no float-boundary disagreement can
+//!   reorder events. `at1 <= at2` implies `day1 <= day2` (division by a
+//!   positive width and `trunc` are monotone), so the earliest nonempty
+//!   day always holds the global minimum.
+//! * Resizing doubles/halves the power-of-two bucket count when the
+//!   population leaves [buckets/4, 2*buckets] and re-derives `width` from
+//!   the deterministic population statistics (3x the mean gap
+//!   `(max-min)/(len-1)`), so identical operation sequences always
+//!   produce identical internal states.
+//!
+//! Buckets sort lazily: a bucket is left unsorted by pushes and sorted
+//! (descending by `(at, id)`, so the minimum sits at the tail) the first
+//! time a pop or min-rebuild targets it. That keeps a same-instant flood
+//! of k events — every one hashing to the same cell, where classic
+//! calendar queues degrade to O(k^2) rescans — at O(k log k) for the
+//! whole drain, while steady sparse traffic never pays the sort (cells of
+//! 0–2 entries are trivially sorted).
+//!
+//! The queue is generic over a small `Copy` payload (the scheduler stores
+//! slab slots); checkpoints encode entries sorted by `(at, id)` and
+//! rebuild by pushes, which is canonical by the first bullet.
+
+/// One queued event, as seen by callers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Entry<T> {
+    /// Due time (finite, non-negative).
+    pub at: f64,
+    /// Tie-break id; unique per live entry, FIFO for equal `at`.
+    pub id: u64,
+    /// Caller payload (the scheduler stores a slab slot).
+    pub payload: T,
+}
+
+/// Internal cell: an [`Entry`] plus its cached integer day.
+#[derive(Debug, Clone, Copy)]
+struct Cell<T> {
+    at: f64,
+    id: u64,
+    day: u64,
+    payload: T,
+}
+
+/// One ring bucket: its cells plus whether they are currently sorted
+/// descending by `(at, id)` (minimum at the tail).
+#[derive(Debug, Clone)]
+struct Bucket<T> {
+    cells: Vec<Cell<T>>,
+    sorted: bool,
+}
+
+impl<T> Bucket<T> {
+    fn empty() -> Self {
+        Bucket {
+            cells: Vec::new(),
+            sorted: true,
+        }
+    }
+}
+
+impl<T: Copy> Bucket<T> {
+    /// Sort descending by `(at, id)` so the minimum is `cells.last()`.
+    /// Keys are unique (ids are), so unstable sorting is deterministic.
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.cells
+                .sort_unstable_by_key(|c| std::cmp::Reverse(key(c.at, c.id)));
+            self.sorted = true;
+        }
+    }
+}
+
+const MIN_BUCKETS: usize = 16;
+
+/// Calendar queue keyed by `(at, id)`. See the module docs for the
+/// determinism contract.
+#[derive(Debug, Clone)]
+pub struct CalendarQueue<T> {
+    buckets: Vec<Bucket<T>>,
+    mask: usize,
+    width: f64,
+    len: usize,
+    /// Cached `(at, id)` of the global minimum, kept exact by every
+    /// mutation so `peek` is a load and `pop` knows which bucket to open.
+    min: Option<(f64, u64)>,
+}
+
+impl<T: Copy> Default for CalendarQueue<T> {
+    fn default() -> Self {
+        CalendarQueue::new()
+    }
+}
+
+impl<T: Copy> CalendarQueue<T> {
+    pub fn new() -> Self {
+        CalendarQueue {
+            buckets: (0..MIN_BUCKETS).map(|_| Bucket::empty()).collect(),
+            mask: MIN_BUCKETS - 1,
+            width: 1.0,
+            len: 0,
+            min: None,
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `(at, id)` of the next event to pop, without removing it.
+    #[inline]
+    pub fn peek(&self) -> Option<(f64, u64)> {
+        self.min
+    }
+
+    /// Due time of the next event.
+    #[inline]
+    pub fn next_at(&self) -> Option<f64> {
+        self.min.map(|(at, _)| at)
+    }
+
+    #[inline]
+    fn day_of(&self, at: f64) -> u64 {
+        // Saturating float->int cast; `at` is validated finite and >= 0.
+        (at / self.width) as u64
+    }
+
+    pub fn push(&mut self, at: f64, id: u64, payload: T) {
+        assert!(
+            at.is_finite() && at >= 0.0,
+            "calendar time must be finite and non-negative, got {at}"
+        );
+        if self.len + 1 > 2 * self.buckets.len() {
+            self.resize(self.buckets.len() * 2);
+        }
+        let day = self.day_of(at);
+        let b = (day as usize) & self.mask;
+        let bucket = &mut self.buckets[b];
+        // Appending below the current tail keeps a sorted bucket sorted;
+        // anything else (including pushing onto an empty bucket) does too
+        // only in the trivial cases handled here.
+        bucket.sorted = match bucket.cells.last() {
+            None => true,
+            Some(last) => bucket.sorted && key(at, id) < key(last.at, last.id),
+        };
+        bucket.cells.push(Cell {
+            at,
+            id,
+            day,
+            payload,
+        });
+        self.len += 1;
+        if self.min.is_none_or(|m| key(at, id) < key(m.0, m.1)) {
+            self.min = Some((at, id));
+        }
+    }
+
+    /// Remove and return the `(at, id)`-minimal entry.
+    pub fn pop(&mut self) -> Option<Entry<T>> {
+        let (at, id) = self.min?;
+        let day = self.day_of(at);
+        let b = (day as usize) & self.mask;
+        let bucket = &mut self.buckets[b];
+        bucket.ensure_sorted();
+        // The cached global minimum lives in this bucket and a sorted
+        // bucket keeps its minimum at the tail.
+        let cell = bucket
+            .cells
+            .pop()
+            .expect("cached minimum must be present in its bucket");
+        debug_assert_eq!((cell.at.to_bits(), cell.id), (at.to_bits(), id));
+        self.len -= 1;
+        if self.len < self.buckets.len() / 4 && self.buckets.len() > MIN_BUCKETS {
+            self.resize(self.buckets.len() / 2);
+        }
+        self.recompute_min(self.day_of(cell.at));
+        Some(Entry {
+            at: cell.at,
+            id: cell.id,
+            payload: cell.payload,
+        })
+    }
+
+    /// Remove the entry with `id`, wherever it is. O(n); exists for
+    /// cancellation paths and model-based tests, not the hot loop.
+    pub fn cancel(&mut self, id: u64) -> Option<Entry<T>> {
+        for b in 0..self.buckets.len() {
+            if let Some(idx) = self.buckets[b].cells.iter().position(|c| c.id == id) {
+                let cell = self.buckets[b].cells.swap_remove(idx);
+                self.buckets[b].sorted = self.buckets[b].cells.len() <= 1;
+                self.len -= 1;
+                if self.min == Some((cell.at, cell.id)) {
+                    self.recompute_min(self.day_of(cell.at));
+                }
+                if self.len < self.buckets.len() / 4 && self.buckets.len() > MIN_BUCKETS {
+                    self.resize(self.buckets.len() / 2);
+                }
+                return Some(Entry {
+                    at: cell.at,
+                    id: cell.id,
+                    payload: cell.payload,
+                });
+            }
+        }
+        None
+    }
+
+    /// All entries sorted by `(at, id)` — the canonical external view,
+    /// used for checkpoints and shutdown draining.
+    pub fn sorted_entries(&self) -> Vec<Entry<T>> {
+        let mut out: Vec<Entry<T>> = self
+            .buckets
+            .iter()
+            .flat_map(|b| &b.cells)
+            .map(|c| Entry {
+                at: c.at,
+                id: c.id,
+                payload: c.payload,
+            })
+            .collect();
+        out.sort_by_key(|e| key(e.at, e.id));
+        out
+    }
+
+    pub fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.cells.clear();
+            b.sorted = true;
+        }
+        self.len = 0;
+        self.min = None;
+    }
+
+    /// Rebuild the cached minimum by scanning days forward from
+    /// `from_day` (a lower bound on every remaining entry's day). After a
+    /// fruitless full lap of the ring, fall back to a direct scan of the
+    /// whole population (sparse mode).
+    fn recompute_min(&mut self, from_day: u64) {
+        if self.len == 0 {
+            self.min = None;
+            return;
+        }
+        let mut day = from_day;
+        for _ in 0..self.buckets.len() {
+            let bucket = &self.buckets[(day as usize) & self.mask];
+            if bucket.sorted {
+                // A sorted bucket's minimum is its tail; it is the day's
+                // minimum exactly when it belongs to this day (an earlier
+                // day would already have been drained, a later one means
+                // the day is empty in this bucket).
+                match bucket.cells.last() {
+                    Some(c) if c.day == day => {
+                        self.min = Some((c.at, c.id));
+                        return;
+                    }
+                    _ => {}
+                }
+            } else {
+                let mut best: Option<(f64, u64)> = None;
+                for c in &bucket.cells {
+                    if c.day == day && best.is_none_or(|m| key(c.at, c.id) < key(m.0, m.1)) {
+                        best = Some((c.at, c.id));
+                    }
+                }
+                if best.is_some() {
+                    self.min = best;
+                    return;
+                }
+            }
+            day = match day.checked_add(1) {
+                Some(d) => d,
+                None => break,
+            };
+        }
+        self.min = self
+            .buckets
+            .iter()
+            .flat_map(|b| &b.cells)
+            .map(|c| (c.at, c.id))
+            .min_by_key(|&(at, id)| key(at, id));
+    }
+
+    /// Rebuild with `new_buckets` buckets (power of two) and a width of
+    /// 3x the mean inter-event gap of the current population.
+    fn resize(&mut self, new_buckets: usize) {
+        debug_assert!(new_buckets.is_power_of_two() && new_buckets >= MIN_BUCKETS);
+        let cells: Vec<Cell<T>> = self
+            .buckets
+            .iter_mut()
+            .flat_map(|b| std::mem::take(&mut b.cells))
+            .collect();
+        if cells.len() >= 2 {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for c in &cells {
+                lo = lo.min(c.at);
+                hi = hi.max(c.at);
+            }
+            let width = (hi - lo) / (cells.len() as f64 - 1.0) * 3.0;
+            if width.is_finite() && width > 0.0 {
+                self.width = width;
+            }
+        }
+        self.buckets = (0..new_buckets).map(|_| Bucket::empty()).collect();
+        self.mask = new_buckets - 1;
+        for mut c in cells {
+            c.day = self.day_of(c.at);
+            let b = (c.day as usize) & self.mask;
+            let bucket = &mut self.buckets[b];
+            bucket.sorted = match bucket.cells.last() {
+                None => true,
+                Some(last) => bucket.sorted && key(c.at, c.id) < key(last.at, last.id),
+            };
+            bucket.cells.push(c);
+        }
+        // `min` is a pure (at, id) fact; layout changes don't touch it.
+    }
+}
+
+#[inline]
+fn key(at: f64, id: u64) -> (u64, u64) {
+    // total_cmp-compatible ordering for non-negative finite floats.
+    (at.to_bits(), id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_then_id_order() {
+        let mut q = CalendarQueue::new();
+        q.push(2.0, 1, ());
+        q.push(1.0, 2, ());
+        q.push(1.0, 3, ());
+        q.push(0.5, 9, ());
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|e| e.id)).collect();
+        assert_eq!(order, vec![9, 2, 3, 1]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn survives_growth_and_shrink() {
+        let mut q = CalendarQueue::new();
+        for i in 0..1000u64 {
+            // Deterministic scramble so pushes are far from sorted.
+            let at = ((i * 7919) % 1000) as f64 * 0.013;
+            q.push(at, i, i);
+        }
+        assert_eq!(q.len(), 1000);
+        let mut last = (f64::NEG_INFINITY, 0u64);
+        let mut seen = 0;
+        while let Some(e) = q.pop() {
+            assert!(key(e.at, e.id) > key(last.0.max(0.0), last.1) || seen == 0);
+            assert!(e.at >= last.0);
+            last = (e.at, e.id);
+            seen += 1;
+        }
+        assert_eq!(seen, 1000);
+    }
+
+    #[test]
+    fn cancel_removes_and_preserves_order() {
+        let mut q = CalendarQueue::new();
+        for i in 0..10u64 {
+            q.push(i as f64, i, ());
+        }
+        assert_eq!(q.cancel(0).map(|e| e.id), Some(0));
+        assert_eq!(q.cancel(5).map(|e| e.id), Some(5));
+        assert_eq!(q.cancel(99), None);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|e| e.id)).collect();
+        assert_eq!(order, vec![1, 2, 3, 4, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn identical_times_dequeue_fifo() {
+        let mut q = CalendarQueue::new();
+        for i in (0..100u64).rev() {
+            q.push(1.5, i, ());
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|e| e.id)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn same_instant_flood_drains_fifo() {
+        // 10^4 events at one instant land in one cell; the lazy bucket
+        // sort keeps this O(k log k) instead of O(k^2) rescans.
+        let mut q = CalendarQueue::new();
+        for i in (0..10_000u64).rev() {
+            q.push(0.0, i, i);
+        }
+        let mut expect = 0u64;
+        while let Some(e) = q.pop() {
+            assert_eq!(e.id, expect);
+            expect += 1;
+        }
+        assert_eq!(expect, 10_000);
+    }
+
+    #[test]
+    fn sorted_entries_is_canonical() {
+        let mut q = CalendarQueue::new();
+        q.push(3.0, 1, 'a');
+        q.push(1.0, 2, 'b');
+        q.push(1.0, 0, 'c');
+        let sorted = q.sorted_entries();
+        assert_eq!(
+            sorted.iter().map(|e| e.id).collect::<Vec<_>>(),
+            vec![0, 2, 1]
+        );
+        assert_eq!(q.len(), 3);
+    }
+}

@@ -67,6 +67,108 @@ pub trait Job: Send {
     fn snapshot_state(&self) -> Option<JobSnapshot> {
         None
     }
+
+    /// Opt-in hook for the scheduler's monomorphic fast path. A job that
+    /// *is* a [`SyntheticJob`] returns itself here, and the scheduler then
+    /// stores it inline (no box, static dispatch) for the rest of its life.
+    /// Everything else stays behind the trait object and takes the cold
+    /// path; the default keeps third-party jobs conservative.
+    fn as_synthetic(&self) -> Option<&SyntheticJob> {
+        None
+    }
+}
+
+/// How the scheduler actually holds a job: common job kinds run through a
+/// monomorphic enum arm (inline state, static dispatch, no pointer chase),
+/// and the [`Job`] trait is reduced to the cold-path escape hatch for
+/// engine cursors and custom jobs.
+pub(crate) enum JobState {
+    /// Fast path: the job state lives inline in the slab column.
+    Synthetic(SyntheticJob),
+    /// Cold path: anything else, behind the original trait object.
+    Dyn(Box<dyn Job>),
+}
+
+impl std::fmt::Debug for JobState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobState::Synthetic(j) => f.debug_tuple("Synthetic").field(j).finish(),
+            JobState::Dyn(_) => f.write_str("Dyn(..)"),
+        }
+    }
+}
+
+impl JobState {
+    /// Adopt a caller-supplied boxed job, unwrapping synthetic jobs onto
+    /// the fast path via [`Job::as_synthetic`].
+    pub(crate) fn from_box(job: Box<dyn Job>) -> Self {
+        match job.as_synthetic() {
+            Some(s) => JobState::Synthetic(s.clone()),
+            None => JobState::Dyn(job),
+        }
+    }
+
+    /// Placeholder stored in freed slab rows (drops any boxed job now).
+    pub(crate) fn vacant() -> Self {
+        JobState::Synthetic(SyntheticJob::new(0))
+    }
+
+    #[inline]
+    pub(crate) fn run(&mut self, budget: u64) -> Result<u64> {
+        match self {
+            JobState::Synthetic(j) => j.run(budget),
+            JobState::Dyn(j) => j.run(budget),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn finished(&self) -> bool {
+        match self {
+            JobState::Synthetic(j) => Job::finished(j),
+            JobState::Dyn(j) => j.finished(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn progress(&self) -> JobProgress {
+        match self {
+            JobState::Synthetic(j) => Job::progress(j),
+            JobState::Dyn(j) => j.progress(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn exact_remaining(&self) -> Option<f64> {
+        match self {
+            JobState::Synthetic(j) => Job::exact_remaining(j),
+            JobState::Dyn(j) => j.exact_remaining(),
+        }
+    }
+
+    pub(crate) fn inject_failure(&mut self) -> bool {
+        match self {
+            JobState::Synthetic(j) => Job::inject_failure(j),
+            JobState::Dyn(j) => j.inject_failure(),
+        }
+    }
+
+    /// Pristine restart copy, staying on the fast path when possible.
+    pub(crate) fn restart(&self) -> Option<JobState> {
+        match self {
+            JobState::Synthetic(j) => {
+                let boxed = Job::restart(j)?;
+                Some(JobState::from_box(boxed))
+            }
+            JobState::Dyn(j) => j.restart().map(JobState::from_box),
+        }
+    }
+
+    pub(crate) fn snapshot_state(&self) -> Option<JobSnapshot> {
+        match self {
+            JobState::Synthetic(j) => Job::snapshot_state(j),
+            JobState::Dyn(j) => j.snapshot_state(),
+        }
+    }
 }
 
 /// Serializable state of a [`SyntheticJob`], captured by
@@ -251,6 +353,10 @@ impl Job for SyntheticJob {
             report_scale: self.report_scale,
             fail_armed: self.fail_armed,
         })
+    }
+
+    fn as_synthetic(&self) -> Option<&SyntheticJob> {
+        Some(self)
     }
 }
 

@@ -23,10 +23,13 @@
 
 pub mod admission;
 pub mod arrivals;
+pub mod calendar;
 mod checkpoint;
 pub mod faults;
+mod intern;
 pub mod job;
 pub mod rng;
+mod slab;
 pub mod speed;
 pub mod system;
 pub mod weights;

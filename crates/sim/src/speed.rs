@@ -77,6 +77,33 @@ impl SpeedMonitor {
     pub fn speed(&self) -> Option<f64> {
         self.ema
     }
+
+    /// [`SpeedMonitor::update`] with the smoothing factor hoisted out.
+    ///
+    /// Every running session's monitor is updated on every scheduler step,
+    /// so at step end all monitors share the same `last_t` and the same
+    /// `tau` — which makes `alpha = 1 - exp(-dt/tau)` bitwise identical
+    /// across sessions. The scheduler computes it once per step and passes
+    /// it in, turning n `exp()` calls per step into one. The guard checks
+    /// that this monitor really is in lockstep (`dt`, `tau` both match) and
+    /// otherwise falls back to the full update, so the result is always
+    /// bit-identical to calling [`SpeedMonitor::update`].
+    #[inline]
+    pub(crate) fn update_with_alpha(&mut self, t: f64, units: f64, dt: f64, tau: f64, alpha: f64) {
+        if t - self.last_t != dt || self.tau != tau {
+            self.update(t, units);
+            return;
+        }
+        // dt > 0 here: the caller skips the monitor pass entirely when the
+        // step did not advance the clock, matching update()'s early return.
+        let inst = (units - self.last_units).max(0.0) / dt;
+        self.ema = Some(match self.ema {
+            None => inst,
+            Some(prev) => prev + alpha * (inst - prev),
+        });
+        self.last_t = t;
+        self.last_units = units;
+    }
 }
 
 #[cfg(test)]

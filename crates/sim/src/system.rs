@@ -16,9 +16,21 @@
 //! The system also implements the workload-management verbs the paper's §3
 //! algorithms need: [`System::block`], [`System::resume`], and
 //! [`System::abort`].
+//!
+//! # Data-oriented core
+//!
+//! Session state lives in a struct-of-arrays slab
+//! (`crate::slab::SessionSlab`): the running set, admission queue, and
+//! scheduled-arrival timeline store 8-byte [`JobSlot`] handles, and each
+//! per-step pass streams over exactly the columns it reads. Names are
+//! interned to `u32` symbols and resolved only at trace/report boundaries;
+//! the arrival timeline is a bucketed [`CalendarQueue`] with O(1) amortized
+//! push/pop instead of a binary heap of fat entries. The steady-state step
+//! path performs no heap allocation: completion ids accumulate in scratch
+//! buffers owned by the `System`. See `DESIGN.md` §12 for the layout and
+//! the determinism argument.
 
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use mqpi_ckpt::{CkptError, Dec, Enc};
@@ -26,10 +38,13 @@ use mqpi_engine::error::{EngineError, Result};
 use mqpi_obs::{Obs, TraceKind, SECOND_BUCKETS, UNIT_BUCKETS};
 
 use crate::admission::AdmissionPolicy;
+use crate::calendar::CalendarQueue;
 use crate::checkpoint as ckpt;
 use crate::faults::{FaultKind, FaultPlan};
-use crate::job::Job;
+use crate::intern::{Interner, Sym};
+use crate::job::{Job, JobState};
 use crate::rng::Rng;
+use crate::slab::{JobSlot, SessionSlab};
 use crate::speed::SpeedMonitor;
 
 /// Identifier of a query within one `System`.
@@ -105,28 +120,6 @@ impl Default for SystemConfig {
             step_mode: StepMode::Quantum,
         }
     }
-}
-
-struct Session {
-    id: QueryId,
-    name: Arc<str>,
-    job: Box<dyn Job>,
-    weight: f64,
-    arrived: f64,
-    started: Option<f64>,
-    credit: f64,
-    units_done: f64,
-    monitor: SpeedMonitor,
-    blocked: bool,
-    /// Set when the session is executing rollback work after an abort; it
-    /// still occupies capacity, and completes as `FinishKind::Aborted`.
-    /// Holds `(units_done, remaining)` of the original query at abort time
-    /// so the finished record reports the query's work, not the rollback's.
-    rolling_back: Option<(f64, f64)>,
-    /// Multiplier on the *reported* remaining cost in snapshots — the
-    /// residue of injected [`FaultKind::CostNoise`] events. The scheduler
-    /// itself keeps using ground truth.
-    report_scale: f64,
 }
 
 /// How a query left the system.
@@ -238,39 +231,6 @@ pub struct SystemSnapshot {
     pub queued: Vec<QueuedState>,
 }
 
-struct Scheduled {
-    at: f64,
-    id: QueryId,
-    name: Arc<str>,
-    job: Box<dyn Job>,
-    weight: f64,
-}
-
-// Min-heap order on (at, id): the entry with the earliest arrival time —
-// ties broken by submission order — is the `BinaryHeap` maximum.
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .at
-            .total_cmp(&self.at)
-            .then_with(|| other.id.cmp(&self.id))
-    }
-}
-
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
-    }
-}
-
-impl Eq for Scheduled {}
-
 /// What [`System::step`] does when a job's `run` fails mid-flight.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ErrorPolicy {
@@ -324,7 +284,8 @@ pub struct FaultStats {
     pub skipped: u64,
 }
 
-/// Injector state while a [`FaultPlan`] is installed.
+/// Injector state while a [`FaultPlan`] is installed. Retry attempt counts
+/// live in the session slab's `attempt` column, not here.
 struct FaultState {
     plan: FaultPlan,
     next_event: usize,
@@ -333,8 +294,6 @@ struct FaultState {
     rate_factor: f64,
     /// When the active dip expires (+∞ when none).
     rate_restore_at: f64,
-    /// Retry attempt number per query id (absent = original submission).
-    attempts: HashMap<QueryId, u32>,
     log: Vec<InjectedFault>,
     stats: FaultStats,
 }
@@ -343,13 +302,18 @@ struct FaultState {
 pub struct System {
     cfg: SystemConfig,
     clock: f64,
-    running: Vec<Session>,
-    queue: VecDeque<Session>,
-    /// Future arrivals, earliest first.
-    scheduled: BinaryHeap<Scheduled>,
+    /// All session state, columnar; the collections below hold slots.
+    slab: SessionSlab,
+    /// Name symbols for the slab's `name` column.
+    names: Interner,
+    running: Vec<JobSlot>,
+    queue: VecDeque<JobSlot>,
+    /// Future arrivals, earliest first (keyed by `(at, id)`).
+    scheduled: CalendarQueue<JobSlot>,
     finished: Vec<FinishedQuery>,
-    /// id → index into `finished`.
-    finished_index: HashMap<QueryId, usize>,
+    /// Dense id → index into `finished` (`u32::MAX` = still live). Ids are
+    /// assigned sequentially from 1, so the map is a plain vector.
+    finished_of: Vec<u32>,
     next_id: QueryId,
     faults: Option<FaultState>,
     error_policy: ErrorPolicy,
@@ -361,6 +325,14 @@ pub struct System {
     /// with respect to scheduler state, so enabling tracing never changes
     /// any computed result.
     obs: Obs,
+    /// Scratch: completions collected during the current step. Owned by
+    /// the system so the steady-state step path never allocates.
+    scratch_done: Vec<QueryId>,
+    /// Scratch: ids whose jobs errored during the current step.
+    scratch_failed: Vec<QueryId>,
+    /// Scratch: positions (into `running`) of sessions that finished during
+    /// the current step, recorded in ascending order by the fused pass.
+    scratch_finish: Vec<u32>,
 }
 
 impl System {
@@ -389,17 +361,22 @@ impl System {
         Ok(System {
             cfg,
             clock: 0.0,
+            slab: SessionSlab::new(),
+            names: Interner::new(),
             running: Vec::new(),
             queue: VecDeque::new(),
-            scheduled: BinaryHeap::new(),
+            scheduled: CalendarQueue::new(),
             finished: Vec::new(),
-            finished_index: HashMap::new(),
+            finished_of: Vec::new(),
             next_id: 1,
             faults: None,
             error_policy: ErrorPolicy::Propagate,
             executed_units: 0.0,
             rejected: 0,
             obs: Obs::disabled(),
+            scratch_done: Vec::new(),
+            scratch_failed: Vec::new(),
+            scratch_finish: Vec::new(),
         })
     }
 
@@ -453,20 +430,18 @@ impl System {
         assert!(weight > 0.0, "scheduling weight must be positive");
         let id = self.next_id;
         self.next_id += 1;
-        self.place(Session {
+        let sym = self.names.intern(name.into());
+        let monitor = self.new_monitor();
+        let h = self.slab.alloc(
             id,
-            name: name.into(),
-            job,
+            sym,
+            JobState::from_box(job),
             weight,
-            arrived: self.clock,
-            started: None,
-            credit: 0.0,
-            units_done: 0.0,
-            monitor: self.new_monitor(),
-            blocked: false,
-            rolling_back: None,
-            report_scale: 1.0,
-        });
+            self.clock,
+            monitor,
+            0,
+        );
+        self.place(h);
         id
     }
 
@@ -479,126 +454,138 @@ impl System {
         weight: f64,
     ) -> QueryId {
         assert!(weight > 0.0, "scheduling weight must be positive");
+        self.schedule_state(at, name.into(), JobState::from_box(job), weight, 0)
+    }
+
+    /// Allocate a slab row for a future arrival and enter it in the
+    /// calendar. The monitor is a placeholder: [`System::process_due_arrivals`]
+    /// installs a fresh one at pop time, exactly like the old core created
+    /// the session at pop time.
+    fn schedule_state(
+        &mut self,
+        at: f64,
+        name: Arc<str>,
+        job: JobState,
+        weight: f64,
+        attempt: u32,
+    ) -> QueryId {
         let id = self.next_id;
         self.next_id += 1;
-        self.scheduled.push(Scheduled {
-            at: at.max(self.clock),
-            id,
-            name: name.into(),
-            job,
-            weight,
-        });
+        let at = at.max(self.clock);
+        let sym = self.names.intern(name);
+        let monitor = self.new_monitor();
+        let h = self.slab.alloc(id, sym, job, weight, at, monitor, attempt);
+        self.scheduled.push(at, id, h);
         id
     }
 
-    fn place(&mut self, mut s: Session) {
+    fn place(&mut self, h: JobSlot) {
+        let i = self.slab.at(h);
         if self.obs.is_enabled() {
             self.obs.emit(
                 self.clock,
                 TraceKind::Arrival {
-                    id: s.id,
-                    name: Arc::clone(&s.name),
-                    cost: s.job.progress().remaining,
+                    id: self.slab.id[i],
+                    name: Arc::clone(self.names.resolve(self.slab.name[i])),
+                    cost: self.slab.job[i].progress().remaining,
                 },
             );
             self.obs.counter_add("sim.arrivals", 1);
         }
         if self.cfg.admission.admits(self.occupied_slots()) {
-            s.started = Some(self.clock);
-            s.monitor = self.new_monitor();
+            self.slab.started[i] = Some(self.clock);
+            self.slab.monitor[i] = self.new_monitor();
             if self.obs.is_enabled() {
                 self.obs.emit(
                     self.clock,
                     TraceKind::Admit {
-                        id: s.id,
+                        id: self.slab.id[i],
                         waited: 0.0,
                     },
                 );
                 self.obs.counter_add("sim.admitted", 1);
             }
-            self.running.push(s);
+            self.running.push(h);
         } else if self.cfg.admission.queue_accepts(self.queue.len()) {
             if self.obs.is_enabled() {
                 self.obs.emit(
                     self.clock,
                     TraceKind::Enqueue {
-                        id: s.id,
+                        id: self.slab.id[i],
                         depth: self.queue.len() + 1,
                     },
                 );
                 self.obs.counter_add("sim.enqueued", 1);
             }
-            self.queue.push_back(s);
+            self.queue.push_back(h);
         } else {
             // Load shedding: the bounded admission queue is full. The query
             // leaves immediately with a well-defined zero-progress record.
             // (`fault_stats` mirrors this counter into `FaultStats::rejected`.)
             self.rejected += 1;
             if self.obs.is_enabled() {
-                self.obs.emit(self.clock, TraceKind::Reject { id: s.id });
+                self.obs.emit(
+                    self.clock,
+                    TraceKind::Reject {
+                        id: self.slab.id[i],
+                    },
+                );
                 self.obs.counter_add("sim.rejected", 1);
             }
-            let est = s.job.progress().remaining;
-            self.record_finished(FinishedQuery {
-                id: s.id,
-                name: s.name,
-                weight: s.weight,
-                arrived: s.arrived,
+            let est = self.slab.job[i].progress().remaining;
+            let rec = FinishedQuery {
+                id: self.slab.id[i],
+                name: Arc::clone(self.names.resolve(self.slab.name[i])),
+                weight: self.slab.weight[i],
+                arrived: self.slab.arrived[i],
                 started: None,
                 finished: self.clock,
                 kind: FinishKind::Rejected,
                 units_done: 0.0,
                 remaining_at_end: est,
                 rollback_units: 0.0,
-            });
+            };
+            self.slab.free(h);
+            self.record_finished(rec);
         }
     }
 
     fn process_due_arrivals(&mut self) {
-        while let Some(first) = self.scheduled.peek() {
-            if first.at > self.clock {
+        while let Some((at, _)) = self.scheduled.peek() {
+            if at > self.clock {
                 break;
             }
             // invariant: peek just returned Some, so pop cannot fail.
-            let Some(sch) = self.scheduled.pop() else {
+            let Some(e) = self.scheduled.pop() else {
                 break;
             };
-            self.place(Session {
-                id: sch.id,
-                name: sch.name,
-                job: sch.job,
-                weight: sch.weight,
-                arrived: sch.at,
-                started: None,
-                credit: 0.0,
-                units_done: 0.0,
-                monitor: self.new_monitor(),
-                blocked: false,
-                rolling_back: None,
-                report_scale: 1.0,
-            });
+            let h = e.payload;
+            let i = self.slab.at(h);
+            self.slab.monitor[i] = self.new_monitor();
+            self.place(h);
         }
     }
 
     fn admit_from_queue(&mut self) {
         while !self.queue.is_empty() && self.cfg.admission.admits(self.occupied_slots()) {
             // invariant: the loop condition guarantees the queue is non-empty.
-            let Some(mut s) = self.queue.pop_front() else {
+            let Some(h) = self.queue.pop_front() else {
                 break;
             };
-            s.started = Some(self.clock);
-            s.monitor = self.new_monitor();
+            let i = self.slab.at(h);
+            self.slab.started[i] = Some(self.clock);
+            self.slab.monitor[i] = self.new_monitor();
             if self.obs.is_enabled() {
                 self.obs.emit(
                     self.clock,
                     TraceKind::Admit {
-                        id: s.id,
-                        waited: self.clock - s.arrived,
+                        id: self.slab.id[i],
+                        waited: self.clock - self.slab.arrived[i],
                     },
                 );
                 self.obs.counter_add("sim.admitted", 1);
             }
-            self.running.push(s);
+            self.running.push(h);
         }
     }
 
@@ -615,7 +602,43 @@ impl System {
     }
 
     fn next_arrival_at(&self) -> Option<f64> {
-        self.scheduled.peek().map(|s| s.at)
+        self.scheduled.next_at()
+    }
+
+    /// Remove `running[pos]`, record its terminal [`FinishedQuery`]
+    /// (completed, or aborted when the rollback job just drained), and
+    /// queue its id in `scratch_done`.
+    fn finish_at(&mut self, pos: usize) {
+        let h = self.running.remove(pos);
+        let si = h.idx as usize;
+        self.scratch_done.push(self.slab.id[si]);
+        // A rollback completion reports the *query's* progress at abort
+        // time, not the rollback job's counters; the rollback work itself
+        // is attributed to `rollback_units`.
+        let (kind, units_done, remaining_at_end, rollback_units) = match self.slab.rolling_back[si]
+        {
+            Some((done, remaining)) => (
+                FinishKind::Aborted,
+                done,
+                remaining,
+                self.slab.units_done[si] - done,
+            ),
+            None => (FinishKind::Completed, self.slab.units_done[si], 0.0, 0.0),
+        };
+        let rec = FinishedQuery {
+            id: self.slab.id[si],
+            name: Arc::clone(self.names.resolve(self.slab.name[si])),
+            weight: self.slab.weight[si],
+            arrived: self.slab.arrived[si],
+            started: self.slab.started[si],
+            finished: self.clock,
+            kind,
+            units_done,
+            remaining_at_end,
+            rollback_units,
+        };
+        self.slab.free(h);
+        self.record_finished(rec);
     }
 
     fn record_finished(&mut self, rec: FinishedQuery) {
@@ -643,7 +666,12 @@ impl System {
                 rec.finished - rec.arrived,
             );
         }
-        self.finished_index.insert(rec.id, self.finished.len());
+        let slot = rec.id as usize;
+        if self.finished_of.len() <= slot {
+            self.finished_of.resize(slot + 1, u32::MAX);
+        }
+        // A Vec<FinishedQuery> outgrows memory long before u32 wraps.
+        self.finished_of[slot] = self.finished.len() as u32;
         self.finished.push(rec);
     }
 
@@ -659,7 +687,6 @@ impl System {
             rng,
             rate_factor: 1.0,
             rate_restore_at: f64::INFINITY,
-            attempts: HashMap::new(),
             log: Vec::new(),
             stats: FaultStats::default(),
         });
@@ -694,8 +721,8 @@ impl System {
     pub fn live_units_done(&self) -> f64 {
         self.running
             .iter()
-            .map(|s| s.units_done)
-            .chain(self.queue.iter().map(|s| s.units_done))
+            .chain(self.queue.iter())
+            .map(|&h| self.slab.units_done[h.idx as usize])
             .sum()
     }
 
@@ -723,11 +750,12 @@ impl System {
     }
 
     /// Pick a running, not-rolling-back victim deterministically.
-    fn pick_victim(running: &[Session], rng: &mut Rng) -> Option<usize> {
-        let eligible: Vec<usize> = running
+    fn pick_victim(&self, rng: &mut Rng) -> Option<usize> {
+        let eligible: Vec<usize> = self
+            .running
             .iter()
             .enumerate()
-            .filter(|(_, s)| s.rolling_back.is_none())
+            .filter(|(_, h)| self.slab.rolling_back[h.idx as usize].is_none())
             .map(|(i, _)| i)
             .collect();
         if eligible.is_empty() {
@@ -744,15 +772,15 @@ impl System {
         &mut self,
         fs: &mut FaultState,
         prior_id: QueryId,
+        prior_attempt: u32,
         name: &Arc<str>,
         weight: f64,
-        fresh: Option<Box<dyn Job>>,
+        fresh: Option<JobState>,
     ) {
         let Some(job) = fresh else {
             fs.stats.retries_exhausted += 1;
             return;
         };
-        let prior_attempt = fs.attempts.get(&prior_id).copied().unwrap_or(0);
         let attempt = prior_attempt + 1;
         match fs.plan.retry.delay_for(attempt) {
             Some(delay) => {
@@ -762,8 +790,13 @@ impl System {
                     None => name.as_ref(),
                 };
                 let due = self.clock + delay;
-                let id = self.schedule(due, format!("{base}#r{attempt}"), job, weight);
-                fs.attempts.insert(id, attempt);
+                let id = self.schedule_state(
+                    due,
+                    format!("{base}#r{attempt}").into(),
+                    job,
+                    weight,
+                    attempt,
+                );
                 fs.stats.retries_scheduled += 1;
                 if self.obs.is_enabled() {
                     self.obs.emit(
@@ -806,12 +839,13 @@ impl System {
         let mut log_victim = None;
         match kind {
             FaultKind::CostNoise { factor } => {
-                let Some(i) = Self::pick_victim(&self.running, &mut fs.rng) else {
+                let Some(i) = self.pick_victim(&mut fs.rng) else {
                     fs.stats.skipped += 1;
                     return;
                 };
-                self.running[i].report_scale *= factor;
-                log_victim = Some(self.running[i].id);
+                let si = self.running[i].idx as usize;
+                self.slab.report_scale[si] *= factor;
+                log_victim = Some(self.slab.id[si]);
                 fs.stats.cost_noise += 1;
             }
             FaultKind::RateDip { factor, duration } => {
@@ -820,19 +854,23 @@ impl System {
                 fs.stats.rate_dips += 1;
             }
             FaultKind::AbortRetry { overhead } => {
-                let Some(i) = Self::pick_victim(&self.running, &mut fs.rng) else {
+                let Some(i) = self.pick_victim(&mut fs.rng) else {
                     fs.stats.skipped += 1;
                     return;
                 };
-                let (id, weight) = (self.running[i].id, self.running[i].weight);
-                let name = Arc::clone(&self.running[i].name);
-                let fresh = self.running[i].job.restart();
+                let si = self.running[i].idx as usize;
+                let (id, weight) = (self.slab.id[si], self.slab.weight[si]);
+                let name = Arc::clone(self.names.resolve(self.slab.name[si]));
+                let prior_attempt = self.slab.attempt[si];
+                // Capture the restart copy before the abort replaces the
+                // victim's job with a rollback job.
+                let fresh = self.slab.job[si].restart();
                 // invariant: the victim index came from `running` just above.
                 if self.abort_with_overhead(id, overhead).is_err() {
                     fs.stats.skipped += 1;
                     return;
                 }
-                self.schedule_retry(fs, id, &name, weight, fresh);
+                self.schedule_retry(fs, id, prior_attempt, &name, weight, fresh);
                 log_victim = Some(id);
                 fs.stats.aborts += 1;
             }
@@ -844,15 +882,16 @@ impl System {
                 fs.stats.bursts += 1;
             }
             FaultKind::PageFault => {
-                let Some(i) = Self::pick_victim(&self.running, &mut fs.rng) else {
+                let Some(i) = self.pick_victim(&mut fs.rng) else {
                     fs.stats.skipped += 1;
                     return;
                 };
-                if !self.running[i].job.inject_failure() {
+                let si = self.running[i].idx as usize;
+                if !self.slab.job[si].inject_failure() {
                     fs.stats.skipped += 1;
                     return;
                 }
-                log_victim = Some(self.running[i].id);
+                log_victim = Some(self.slab.id[si]);
                 fs.stats.page_faults += 1;
             }
         }
@@ -879,10 +918,14 @@ impl System {
     /// back to the quantum path.
     fn event_jump(&self, effective: f64, total_weight: f64) -> Option<f64> {
         let mut dt = f64::INFINITY;
-        for s in self.running.iter().filter(|s| !s.blocked) {
-            let remaining = s.job.exact_remaining()?;
-            let need = (remaining - s.credit).max(0.0);
-            let speed = effective * s.weight / total_weight;
+        for &h in &self.running {
+            let i = h.idx as usize;
+            if self.slab.blocked[i] {
+                continue;
+            }
+            let remaining = self.slab.job[i].exact_remaining()?;
+            let need = (remaining - self.slab.credit[i]).max(0.0);
+            let speed = effective * self.slab.weight[i] / total_weight;
             dt = dt.min(need / speed);
         }
         if !dt.is_finite() {
@@ -893,23 +936,74 @@ impl System {
         Some(dt * (1.0 + 1e-9) + 1e-12)
     }
 
+    /// [`System::event_jump`] when every unblocked weight is exactly 1.0.
+    /// All sessions then share one speed: `effective * 1.0 / total_weight`
+    /// is bit-identical to `effective / total_weight` (multiplying by 1.0
+    /// is exact). IEEE division by a positive constant is monotone, so
+    /// `min_i(need_i / speed)` equals `min_i(need_i) / speed` bit-for-bit
+    /// — one division per step instead of two per session.
+    fn event_jump_uniform(&self, effective: f64, total_weight: f64) -> Option<f64> {
+        let mut need_min = f64::INFINITY;
+        for &h in &self.running {
+            let i = h.idx as usize;
+            if self.slab.blocked[i] {
+                continue;
+            }
+            let remaining = self.slab.job[i].exact_remaining()?;
+            need_min = need_min.min((remaining - self.slab.credit[i]).max(0.0));
+        }
+        let dt = need_min / (effective / total_weight);
+        if !dt.is_finite() {
+            return None;
+        }
+        Some(dt * (1.0 + 1e-9) + 1e-12)
+    }
+
     /// Advance one step (a quantum, or an event jump in
     /// [`StepMode::EventDriven`]). Returns ids of queries that completed
     /// during this step.
     pub fn step(&mut self) -> Result<Vec<QueryId>> {
-        self.step_bounded(f64::INFINITY)
+        self.step_bounded(f64::INFINITY)?;
+        Ok(std::mem::take(&mut self.scratch_done))
+    }
+
+    /// Advance one step without surrendering the completion buffer: the
+    /// ids of queries that completed stay readable via
+    /// [`System::last_completed`] until the next step. Unlike
+    /// [`System::step`] — whose returned `Vec` forces a fresh allocation
+    /// on every step that completes something — this never allocates in
+    /// steady state, so tight drive loops that only count completions
+    /// (benchmarks, progress replay) should prefer it.
+    pub fn step_discard(&mut self) -> Result<usize> {
+        self.step_bounded(f64::INFINITY)?;
+        Ok(self.scratch_done.len())
+    }
+
+    /// Ids of queries that completed during the most recent
+    /// [`System::step_discard`] call (empty after a plain `step`, which
+    /// moves the buffer to its caller).
+    pub fn last_completed(&self) -> &[QueryId] {
+        &self.scratch_done
     }
 
     /// Like [`System::step`], but never advances the clock past `limit` —
     /// event jumps and quanta alike are clipped to the boundary, so callers
     /// can sample the system at exact instants.
     pub fn step_until(&mut self, limit: f64) -> Result<Vec<QueryId>> {
-        self.step_bounded(limit)
+        self.step_bounded(limit)?;
+        Ok(std::mem::take(&mut self.scratch_done))
     }
 
-    fn step_bounded(&mut self, limit: f64) -> Result<Vec<QueryId>> {
+    /// One scheduler step. Steady state (work granted, nobody finishes,
+    /// no obs) touches only slab columns and the scratch buffers — no heap
+    /// allocation; `crates/sim/tests/alloc_free.rs` pins that down with a
+    /// counting allocator.
+    fn step_bounded(&mut self, limit: f64) -> Result<()> {
+        self.scratch_done.clear();
+        self.scratch_failed.clear();
+        self.scratch_finish.clear();
         if limit <= self.clock {
-            return Ok(Vec::new());
+            return Ok(());
         }
         // Snapshot composition and the work ledger so the tail of the step
         // can emit a stage-boundary event and a profiling sample. Plain
@@ -934,25 +1028,40 @@ impl System {
                     if self.running.is_empty() && self.queue.is_empty() {
                         // The wake-up produced no work (e.g. a victimless
                         // fault event); let the caller step again.
-                        return Ok(Vec::new());
+                        return Ok(());
                     }
                 }
                 Some(_) => {
                     // Next event is beyond the boundary: pin to it.
                     self.clock = limit;
-                    return Ok(Vec::new());
+                    return Ok(());
                 }
-                None => return Ok(Vec::new()),
+                None => return Ok(()),
             }
         }
 
-        let active = self.running.iter().filter(|s| !s.blocked).count();
-        let total_weight: f64 = self
-            .running
-            .iter()
-            .filter(|s| !s.blocked)
-            .map(|s| s.weight)
-            .sum();
+        // The clock all running monitors were last updated at; after the
+        // advance below, `clock - t_prev` is shared by every monitor, so
+        // the EMA smoothing factor is computed once (see
+        // `SpeedMonitor::update_with_alpha`).
+        let t_prev = self.clock;
+        // One fused pass over the weight/blocked columns; the f64 sum
+        // accumulates in running order exactly like the old two-pass code.
+        // `unit_w` tracks whether every unblocked weight is exactly 1.0,
+        // which unlocks the shared-divisor fast paths below; those paths
+        // produce bit-identical values (see `event_jump_uniform`).
+        let mut active = 0usize;
+        let mut total_weight = 0.0f64;
+        let mut unit_w = true;
+        for &h in &self.running {
+            let i = h.idx as usize;
+            if !self.slab.blocked[i] {
+                active += 1;
+                let w = self.slab.weight[i];
+                unit_w &= w == 1.0;
+                total_weight += w;
+            }
+        }
         let effective = self
             .cfg
             .rate_model
@@ -960,7 +1069,12 @@ impl System {
 
         let mut dt = self.cfg.quantum_units / self.cfg.rate;
         if self.cfg.step_mode == StepMode::EventDriven && total_weight > 0.0 {
-            if let Some(jump) = self.event_jump(effective, total_weight) {
+            let jump = if unit_w {
+                self.event_jump_uniform(effective, total_weight)
+            } else {
+                self.event_jump(effective, total_weight)
+            };
+            if let Some(jump) = jump {
                 dt = jump;
             }
         }
@@ -982,105 +1096,150 @@ impl System {
             pinned = true;
         }
 
-        let mut failed: Vec<QueryId> = Vec::new();
-        if total_weight > 0.0 {
-            let grant = effective * dt;
-            for s in self.running.iter_mut().filter(|s| !s.blocked) {
-                s.credit += grant * s.weight / total_weight;
-                let budget = s.credit.floor();
+        // Compute the post-step instant up front (`clock` itself is only
+        // committed once the pass below succeeds, so a propagated job error
+        // still leaves the clock un-advanced like the historical multi-pass
+        // order). Knowing `t_new` early lets the work grant, the speed
+        // monitor update and the finish check run as ONE pass over the
+        // running set instead of three: every value is identical to the
+        // multi-pass order because each session's dataflow is independent —
+        // its monitor reads only its own (already granted) `units_done`
+        // plus the shared `t_new`/`mdt`/`alpha`.
+        let t_new = if pinned {
+            // Land exactly on the boundary despite floating-point rounding.
+            limit
+        } else {
+            self.clock + dt
+        };
+        let mdt = t_new - t_prev;
+        let tau = self.cfg.speed_tau;
+        // Hoisted smoothing factor: one exp() per step, not per session.
+        // A monitor not in lockstep falls back to the full update inside
+        // `update_with_alpha`; skipping the updates when the clock did not
+        // advance matches `update()`'s early return for every monitor.
+        let alpha = if mdt > 0.0 {
+            1.0 - (-mdt / tau).exp()
+        } else {
+            0.0
+        };
+        let do_grant = total_weight > 0.0;
+        let grant = effective * dt;
+        // With every weight bit-equal to 1.0, `grant * w / total_weight` is
+        // `grant / total_weight` for every session (multiplying by 1.0 is
+        // exact), so the division hoists out of the loop.
+        let grant_each = if do_grant && unit_w {
+            grant / total_weight
+        } else {
+            0.0
+        };
+        for k in 0..self.running.len() {
+            let i = self.running[k].idx as usize;
+            if do_grant && !self.slab.blocked[i] {
+                self.slab.credit[i] += if unit_w {
+                    grant_each
+                } else {
+                    grant * self.slab.weight[i] / total_weight
+                };
+                let budget = self.slab.credit[i].floor();
                 if budget >= 1.0 {
-                    match s.job.run(budget as u64) {
+                    match self.slab.job[i].run(budget as u64) {
                         Ok(used) => {
-                            s.credit -= used as f64;
-                            s.units_done += used as f64;
+                            self.slab.credit[i] -= used as f64;
+                            self.slab.units_done[i] += used as f64;
                             self.executed_units += used as f64;
                         }
                         Err(e) => match self.error_policy {
                             ErrorPolicy::Propagate => return Err(e),
-                            ErrorPolicy::Isolate => failed.push(s.id),
+                            ErrorPolicy::Isolate => self.scratch_failed.push(self.slab.id[i]),
                         },
                     }
                 }
             }
+            if mdt > 0.0 {
+                let done = self.slab.units_done[i];
+                self.slab.monitor[i].update_with_alpha(t_new, done, mdt, tau, alpha);
+            }
+            if self.slab.job[i].finished() {
+                self.scratch_finish.push(k as u32);
+            }
         }
-        self.clock += dt;
-        if pinned {
-            // Land exactly on the boundary despite floating-point rounding.
-            self.clock = limit;
-        }
-        for s in &mut self.running {
-            let done = s.units_done;
-            s.monitor.update(self.clock, done);
-        }
+        self.clock = t_new;
 
         // Remove sessions whose jobs errored (graceful isolation): they
         // leave as `Failed` with their progress preserved, and — when a
         // fault plan is installed — are resubmitted per the retry policy.
-        let any_failed = !failed.is_empty();
-        let mut done_ids = Vec::new();
-        for id in failed {
-            let Some(pos) = self.running.iter().position(|s| s.id == id) else {
+        let any_failed = !self.scratch_failed.is_empty();
+        for fi in 0..self.scratch_failed.len() {
+            let id = self.scratch_failed[fi];
+            let Some(pos) = self
+                .running
+                .iter()
+                .position(|&h| self.slab.id[h.idx as usize] == id)
+            else {
                 continue;
             };
-            let s = self.running.remove(pos);
-            let (units_done, remaining_at_end, rollback_units) = match s.rolling_back {
-                Some((done, rem)) => (done, rem, s.units_done - done),
-                None => (s.units_done, s.job.progress().remaining, 0.0),
+            let h = self.running.remove(pos);
+            let i = self.slab.at(h);
+            let (units_done, remaining_at_end, rollback_units) = match self.slab.rolling_back[i] {
+                Some((done, rem)) => (done, rem, self.slab.units_done[i] - done),
+                None => (
+                    self.slab.units_done[i],
+                    self.slab.job[i].progress().remaining,
+                    0.0,
+                ),
             };
+            let name = Arc::clone(self.names.resolve(self.slab.name[i]));
+            let weight = self.slab.weight[i];
             let mut faults = self.faults.take();
             if let Some(fs) = &mut faults {
                 fs.stats.failures += 1;
-                let fresh = s.job.restart();
-                self.schedule_retry(fs, s.id, &s.name, s.weight, fresh);
+                let fresh = self.slab.job[i].restart();
+                let prior_attempt = self.slab.attempt[i];
+                self.schedule_retry(fs, id, prior_attempt, &name, weight, fresh);
             }
             self.faults = faults;
-            done_ids.push(s.id);
-            self.record_finished(FinishedQuery {
-                id: s.id,
-                name: s.name,
-                weight: s.weight,
-                arrived: s.arrived,
-                started: s.started,
+            self.scratch_done.push(id);
+            let rec = FinishedQuery {
+                id,
+                name,
+                weight,
+                arrived: self.slab.arrived[i],
+                started: self.slab.started[i],
                 finished: self.clock,
                 kind: FinishKind::Failed,
                 units_done,
                 remaining_at_end,
                 rollback_units,
-            });
+            };
+            self.slab.free(h);
+            self.record_finished(rec);
         }
 
-        // Collect finishers.
-        let mut i = 0;
-        while i < self.running.len() {
-            if self.running[i].job.finished() {
-                let s = self.running.remove(i);
-                done_ids.push(s.id);
-                // A rollback completion reports the *query's* progress at
-                // abort time, not the rollback job's counters; the rollback
-                // work itself is attributed to `rollback_units`.
-                let (kind, units_done, remaining_at_end, rollback_units) = match s.rolling_back {
-                    Some((done, remaining)) => {
-                        (FinishKind::Aborted, done, remaining, s.units_done - done)
-                    }
-                    None => (FinishKind::Completed, s.units_done, 0.0, 0.0),
-                };
-                self.record_finished(FinishedQuery {
-                    id: s.id,
-                    name: s.name,
-                    weight: s.weight,
-                    arrived: s.arrived,
-                    started: s.started,
-                    finished: self.clock,
-                    kind,
-                    units_done,
-                    remaining_at_end,
-                    rollback_units,
-                });
-            } else {
-                i += 1;
+        // Collect finishers. The fused pass recorded their positions in
+        // `scratch_finish` (ascending running order); if the failure path
+        // above removed sessions those positions are stale, so rescan —
+        // identical result, just slower on that rare path.
+        if any_failed {
+            self.scratch_finish.clear();
+            let mut i = 0;
+            while i < self.running.len() {
+                let si = self.running[i].idx as usize;
+                if self.slab.job[si].finished() {
+                    self.finish_at(i);
+                } else {
+                    i += 1;
+                }
             }
+        } else {
+            for fi in 0..self.scratch_finish.len() {
+                // Positions were recorded ascending, so each earlier
+                // removal shifts the remaining ones left by exactly one.
+                let pos = self.scratch_finish[fi] as usize - fi;
+                self.finish_at(pos);
+            }
+            self.scratch_finish.clear();
         }
-        if !done_ids.is_empty() || any_failed {
+        if !self.scratch_done.is_empty() || any_failed {
             self.admit_from_queue();
         }
         if self.obs.is_enabled() {
@@ -1100,14 +1259,18 @@ impl System {
             self.obs.gauge_set("sim.queued", self.queue.len() as f64);
             self.obs.gauge_set("sim.clock", self.clock);
         }
-        Ok(done_ids)
+        // Completions stay in `scratch_done`; the public wrappers either
+        // hand the buffer out (`step`) or expose it in place
+        // (`step_discard` + `last_completed`).
+        Ok(())
     }
 
     /// Run until virtual time `t` (or until idle with no future arrivals).
     pub fn run_until(&mut self, t: f64) -> Result<Vec<QueryId>> {
         let mut finished = Vec::new();
         while self.clock < t && self.has_work() {
-            finished.extend(self.step_bounded(t)?);
+            self.step_bounded(t)?;
+            finished.extend_from_slice(&self.scratch_done);
         }
         if self.clock < t && !self.has_work() {
             self.clock = t;
@@ -1120,7 +1283,8 @@ impl System {
     pub fn run_until_idle(&mut self, max_t: f64) -> Result<Vec<QueryId>> {
         let mut finished = Vec::new();
         while self.has_work() && self.clock < max_t {
-            finished.extend(self.step_bounded(max_t)?);
+            self.step_bounded(max_t)?;
+            finished.extend_from_slice(&self.scratch_done);
         }
         Ok(finished)
     }
@@ -1128,9 +1292,14 @@ impl System {
     /// Block a running query: it keeps its slot but receives no more work
     /// (the paper's single-/multiple-query speed-up victim action).
     pub fn block(&mut self, id: QueryId) -> Result<()> {
-        match self.running.iter_mut().find(|s| s.id == id) {
-            Some(s) => {
-                s.blocked = true;
+        match self
+            .running
+            .iter()
+            .find(|&&h| self.slab.id[h.idx as usize] == id)
+        {
+            Some(&h) => {
+                let i = self.slab.at(h);
+                self.slab.blocked[i] = true;
                 if self.obs.is_enabled() {
                     self.obs.emit(self.clock, TraceKind::Block { id });
                 }
@@ -1142,9 +1311,14 @@ impl System {
 
     /// Resume a blocked query.
     pub fn resume(&mut self, id: QueryId) -> Result<()> {
-        match self.running.iter_mut().find(|s| s.id == id) {
-            Some(s) => {
-                s.blocked = false;
+        match self
+            .running
+            .iter()
+            .find(|&&h| self.slab.id[h.idx as usize] == id)
+        {
+            Some(&h) => {
+                let i = self.slab.at(h);
+                self.slab.blocked[i] = false;
                 if self.obs.is_enabled() {
                     self.obs.emit(self.clock, TraceKind::Resume { id });
                 }
@@ -1156,8 +1330,13 @@ impl System {
 
     /// Abort a running or queued query.
     pub fn abort(&mut self, id: QueryId) -> Result<()> {
-        if let Some(pos) = self.running.iter().position(|s| s.id == id) {
-            let s = self.running.remove(pos);
+        if let Some(pos) = self
+            .running
+            .iter()
+            .position(|&h| self.slab.id[h.idx as usize] == id)
+        {
+            let h = self.running.remove(pos);
+            let i = self.slab.at(h);
             if self.obs.is_enabled() {
                 self.obs
                     .emit(self.clock, TraceKind::Abort { id, overhead: 0 });
@@ -1166,30 +1345,41 @@ impl System {
             // Aborting a session that is already rolling back keeps the
             // original query's counters; the rollback work done so far is
             // attributed to `rollback_units` so no work goes missing.
-            let (units_done, remaining_at_end, rollback_units) = match s.rolling_back {
-                Some((done, rem)) => (done, rem, s.units_done - done),
-                None => (s.units_done, s.job.progress().remaining, 0.0),
+            let (units_done, remaining_at_end, rollback_units) = match self.slab.rolling_back[i] {
+                Some((done, rem)) => (done, rem, self.slab.units_done[i] - done),
+                None => (
+                    self.slab.units_done[i],
+                    self.slab.job[i].progress().remaining,
+                    0.0,
+                ),
             };
-            self.record_finished(FinishedQuery {
-                id: s.id,
-                name: s.name,
-                weight: s.weight,
-                arrived: s.arrived,
-                started: s.started,
+            let rec = FinishedQuery {
+                id,
+                name: Arc::clone(self.names.resolve(self.slab.name[i])),
+                weight: self.slab.weight[i],
+                arrived: self.slab.arrived[i],
+                started: self.slab.started[i],
                 finished: self.clock,
                 kind: FinishKind::Aborted,
                 units_done,
                 remaining_at_end,
                 rollback_units,
-            });
+            };
+            self.slab.free(h);
+            self.record_finished(rec);
             self.admit_from_queue();
             return Ok(());
         }
-        if let Some(pos) = self.queue.iter().position(|s| s.id == id) {
+        if let Some(pos) = self
+            .queue
+            .iter()
+            .position(|&h| self.slab.id[h.idx as usize] == id)
+        {
             // invariant: `pos` came from `position` on the same queue.
-            let Some(s) = self.queue.remove(pos) else {
+            let Some(h) = self.queue.remove(pos) else {
                 return Err(EngineError::exec(format!("no such query {id}")));
             };
+            let i = self.slab.at(h);
             // A queued query never started and never received work: its
             // record is explicitly zero-progress (`started: None`,
             // `units_done: 0`), with the pre-execution cost estimate as the
@@ -1200,19 +1390,21 @@ impl System {
                     .emit(self.clock, TraceKind::Abort { id, overhead: 0 });
                 self.obs.counter_add("sim.aborts", 1);
             }
-            let est = s.job.progress().remaining;
-            self.record_finished(FinishedQuery {
-                id: s.id,
-                name: s.name,
-                weight: s.weight,
-                arrived: s.arrived,
+            let est = self.slab.job[i].progress().remaining;
+            let rec = FinishedQuery {
+                id,
+                name: Arc::clone(self.names.resolve(self.slab.name[i])),
+                weight: self.slab.weight[i],
+                arrived: self.slab.arrived[i],
                 started: None,
                 finished: self.clock,
                 kind: FinishKind::Aborted,
                 units_done: 0.0,
                 remaining_at_end: est,
                 rollback_units: 0.0,
-            });
+            };
+            self.slab.free(h);
+            self.record_finished(rec);
             return Ok(());
         }
         Err(EngineError::exec(format!("no such query {id}")))
@@ -1228,24 +1420,33 @@ impl System {
         if overhead == 0 {
             return self.abort(id);
         }
-        if let Some(s) = self.running.iter_mut().find(|s| s.id == id) {
-            if s.rolling_back.is_some() {
+        if let Some(&h) = self
+            .running
+            .iter()
+            .find(|&&h| self.slab.id[h.idx as usize] == id)
+        {
+            let i = self.slab.at(h);
+            if self.slab.rolling_back[i].is_some() {
                 return Err(EngineError::exec(format!(
                     "query {id} is already rolling back"
                 )));
             }
-            let remaining = s.job.progress().remaining;
-            s.rolling_back = Some((s.units_done, remaining));
-            s.job = Box::new(crate::job::SyntheticJob::new(overhead));
-            s.blocked = false;
-            s.credit = 0.0;
+            let remaining = self.slab.job[i].progress().remaining;
+            self.slab.rolling_back[i] = Some((self.slab.units_done[i], remaining));
+            self.slab.job[i] = JobState::Synthetic(crate::job::SyntheticJob::new(overhead));
+            self.slab.blocked[i] = false;
+            self.slab.credit[i] = 0.0;
             if self.obs.is_enabled() {
                 self.obs.emit(self.clock, TraceKind::Abort { id, overhead });
                 self.obs.counter_add("sim.aborts", 1);
             }
             return Ok(());
         }
-        if self.queue.iter().any(|s| s.id == id) {
+        if self
+            .queue
+            .iter()
+            .any(|&h| self.slab.id[h.idx as usize] == id)
+        {
             return self.abort(id);
         }
         Err(EngineError::exec(format!("no such query {id}")))
@@ -1255,6 +1456,9 @@ impl System {
     /// O1: "no new queries are allowed to enter the RDBMS"). Pending
     /// scheduled arrivals are dropped; queued queries stay queued.
     pub fn close_admission(&mut self) {
+        for e in self.scheduled.sorted_entries() {
+            self.slab.free(e.payload);
+        }
         self.scheduled.clear();
     }
 
@@ -1266,33 +1470,37 @@ impl System {
             running: self
                 .running
                 .iter()
-                .map(|s| {
-                    let p = s.job.progress();
+                .map(|&h| {
+                    let i = h.idx as usize;
+                    let p = self.slab.job[i].progress();
                     QueryState {
-                        id: s.id,
-                        name: Arc::clone(&s.name),
-                        weight: s.weight,
-                        arrived: s.arrived,
-                        started: s.started.unwrap_or(s.arrived),
+                        id: self.slab.id[i],
+                        name: Arc::clone(self.names.resolve(self.slab.name[i])),
+                        weight: self.slab.weight[i],
+                        arrived: self.slab.arrived[i],
+                        started: self.slab.started[i].unwrap_or(self.slab.arrived[i]),
                         done: p.done,
                         // Injected cost noise distorts only what PIs see.
-                        remaining: p.remaining * s.report_scale,
+                        remaining: p.remaining * self.slab.report_scale[i],
                         initial_estimate: p.initial_estimate,
-                        observed_speed: s.monitor.speed(),
-                        blocked: s.blocked,
-                        rolling_back: s.rolling_back.is_some(),
+                        observed_speed: self.slab.monitor[i].speed(),
+                        blocked: self.slab.blocked[i],
+                        rolling_back: self.slab.rolling_back[i].is_some(),
                     }
                 })
                 .collect(),
             queued: self
                 .queue
                 .iter()
-                .map(|s| QueuedState {
-                    id: s.id,
-                    name: Arc::clone(&s.name),
-                    weight: s.weight,
-                    arrived: s.arrived,
-                    est_cost: s.job.progress().remaining * s.report_scale,
+                .map(|&h| {
+                    let i = h.idx as usize;
+                    QueuedState {
+                        id: self.slab.id[i],
+                        name: Arc::clone(self.names.resolve(self.slab.name[i])),
+                        weight: self.slab.weight[i],
+                        arrived: self.slab.arrived[i],
+                        est_cost: self.slab.job[i].progress().remaining * self.slab.report_scale[i],
+                    }
                 })
                 .collect(),
         }
@@ -1303,19 +1511,30 @@ impl System {
         &self.finished
     }
 
-    /// The finished record for `id`, if it has left the system.
+    /// The finished record for `id`, if it has left the system. Plain
+    /// vector indexing on the dense id space — no hash map on this path.
     pub fn finished_record(&self, id: QueryId) -> Option<&FinishedQuery> {
-        self.finished_index.get(&id).map(|&i| &self.finished[i])
+        let fi = *self.finished_of.get(id as usize)?;
+        if fi == u32::MAX {
+            return None;
+        }
+        self.finished.get(fi as usize)
     }
 
     /// Ids of currently running (including blocked) queries.
     pub fn running_ids(&self) -> Vec<QueryId> {
-        self.running.iter().map(|s| s.id).collect()
+        self.running
+            .iter()
+            .map(|&h| self.slab.id[h.idx as usize])
+            .collect()
     }
 
     /// Ids of currently queued queries, front first.
     pub fn queued_ids(&self) -> Vec<QueryId> {
-        self.queue.iter().map(|s| s.id).collect()
+        self.queue
+            .iter()
+            .map(|&h| self.slab.id[h.idx as usize])
+            .collect()
     }
 }
 
@@ -1324,13 +1543,21 @@ impl System {
 // ---------------------------------------------------------------------------
 
 /// Checkpointing serializes the *complete* simulated world — config, clock,
-/// every live session (job counters, GPS credit, speed monitor), the
-/// admission queue in order, the scheduled-arrival heap in canonical
-/// `(at, id)` order, all finished records, and the fault injector's plan
-/// cursor, RNG stream position, active rate dip, retry ledger, log, and
-/// stats. Restoring and continuing is bit-identical to never having
-/// stopped: every subsequent step reads exactly the same state an
-/// uninterrupted run would have.
+/// a compacted name table, every live session (job counters, GPS credit,
+/// speed monitor, retry attempt), the admission queue in order, the
+/// scheduled-arrival calendar in canonical `(at, id)` order, all finished
+/// records, and the fault injector's plan cursor, RNG stream position,
+/// active rate dip, log, and stats. Restoring and continuing is
+/// bit-identical to never having stopped: every subsequent step reads
+/// exactly the same state an uninterrupted run would have. (Slab slot
+/// numbering and interner symbols may differ after a restore; both are
+/// private and unobservable — iteration orders and pop orders are defined
+/// by the collections and `(at, id)`, never by slot or symbol values.)
+///
+/// The name table lists each distinct live name once, in first-seen order
+/// over (running, queue, scheduled); sessions reference table indices.
+/// Restore re-interns the table in that order, so re-encoding a restored
+/// system reproduces the same table — the encoding stays canonical.
 ///
 /// Only the [`Obs`] handle is excluded: trace/metrics continuity is the
 /// observability layer's own concern (see `mqpi_obs::Obs::checkpoint`), and
@@ -1342,6 +1569,11 @@ impl System {
     /// (engine cursors hold live operator state); synthetic workloads —
     /// everything the experiment campaigns run — always succeed.
     pub fn checkpoint(&self) -> std::result::Result<Vec<u8>, CkptError> {
+        debug_assert_eq!(
+            self.slab.live(),
+            self.running.len() + self.queue.len() + self.scheduled.len(),
+            "every live slab row is owned by exactly one collection"
+        );
         let mut e = Enc::new();
         e.put_f64(self.cfg.rate);
         e.put_f64(self.cfg.quantum_units);
@@ -1354,26 +1586,49 @@ impl System {
         e.put_f64(self.executed_units);
         e.put_u64(self.rejected);
         ckpt::encode_error_policy(&mut e, self.error_policy);
+        // The calendar serializes in canonical (at, id) order — the exact
+        // order future pops will see, since pop order is the total order by
+        // (at, id) regardless of internal bucket layout — so rebuilding by
+        // pushes reproduces identical behavior.
+        let sched = self.scheduled.sorted_entries();
+        // Name table: first-seen order over (running, queue, scheduled).
+        let mut index_of: Vec<u32> = vec![u32::MAX; self.names.len()];
+        let mut table: Vec<Sym> = Vec::new();
+        for &h in self.running.iter().chain(self.queue.iter()) {
+            let sym = self.slab.name[h.idx as usize];
+            if index_of[sym as usize] == u32::MAX {
+                index_of[sym as usize] = table.len() as u32;
+                table.push(sym);
+            }
+        }
+        for entry in &sched {
+            let sym = self.slab.name[entry.payload.idx as usize];
+            if index_of[sym as usize] == u32::MAX {
+                index_of[sym as usize] = table.len() as u32;
+                table.push(sym);
+            }
+        }
+        e.put_usize(table.len());
+        for &sym in &table {
+            e.put_str(self.names.resolve(sym));
+        }
         e.put_usize(self.running.len());
-        for s in &self.running {
-            Self::encode_session(&mut e, s)?;
+        for &h in &self.running {
+            self.encode_session(&mut e, h, &index_of)?;
         }
         e.put_usize(self.queue.len());
-        for s in &self.queue {
-            Self::encode_session(&mut e, s)?;
+        for &h in &self.queue {
+            self.encode_session(&mut e, h, &index_of)?;
         }
-        // The heap serializes in canonical (at, id) order — the exact order
-        // future pops will see, since the heap's `Ord` is total (ids are
-        // unique), so rebuilding by pushes reproduces identical behavior.
-        let mut scheduled: Vec<&Scheduled> = self.scheduled.iter().collect();
-        scheduled.sort_by(|a, b| a.at.total_cmp(&b.at).then_with(|| a.id.cmp(&b.id)));
-        e.put_usize(scheduled.len());
-        for s in scheduled {
-            e.put_f64(s.at);
-            e.put_u64(s.id);
-            e.put_str(&s.name);
-            Self::encode_job(&mut e, s.job.as_ref(), s.id)?;
-            e.put_f64(s.weight);
+        e.put_usize(sched.len());
+        for entry in &sched {
+            let i = entry.payload.idx as usize;
+            e.put_f64(entry.at);
+            e.put_u64(entry.id);
+            e.put_u32(index_of[self.slab.name[i] as usize]);
+            Self::encode_job(&mut e, &self.slab.job[i], self.slab.id[i])?;
+            e.put_f64(self.slab.weight[i]);
+            e.put_u32(self.slab.attempt[i]);
         }
         e.put_usize(self.finished.len());
         for f in &self.finished {
@@ -1390,14 +1645,6 @@ impl System {
                 }
                 e.put_f64(fs.rate_factor);
                 e.put_f64(fs.rate_restore_at);
-                let mut attempts: Vec<(QueryId, u32)> =
-                    fs.attempts.iter().map(|(k, v)| (*k, *v)).collect();
-                attempts.sort_unstable_by_key(|(id, _)| *id);
-                e.put_usize(attempts.len());
-                for (id, n) in attempts {
-                    e.put_u64(id);
-                    e.put_u32(n);
-                }
                 e.put_usize(fs.log.len());
                 for f in &fs.log {
                     ckpt::encode_injected_fault(&mut e, f);
@@ -1434,35 +1681,44 @@ impl System {
         sys.executed_units = d.get_f64()?;
         sys.rejected = d.get_u64()?;
         sys.error_policy = ckpt::decode_error_policy(&mut d)?;
-        let n = d.get_usize()?;
-        for _ in 0..n {
-            let s = Self::decode_session(&mut d)?;
-            sys.running.push(s);
+        // Intern the name table in encode order, so a re-encode of the
+        // restored system derives the same first-seen order.
+        let nt = d.get_usize()?;
+        let mut table: Vec<Sym> = Vec::with_capacity(nt.min(4096));
+        for _ in 0..nt {
+            let name: Arc<str> = d.get_str()?.into();
+            table.push(sys.names.intern(name));
         }
         let n = d.get_usize()?;
         for _ in 0..n {
-            let s = Self::decode_session(&mut d)?;
-            sys.queue.push_back(s);
+            let h = sys.decode_session(&mut d, &table)?;
+            sys.running.push(h);
+        }
+        let n = d.get_usize()?;
+        for _ in 0..n {
+            let h = sys.decode_session(&mut d, &table)?;
+            sys.queue.push_back(h);
         }
         let n = d.get_usize()?;
         for _ in 0..n {
             let at = d.get_f64()?;
             let id = d.get_u64()?;
-            let name: Arc<str> = d.get_str()?.into();
+            let sym = table_sym(&table, d.get_u32()?)?;
             let job = Self::decode_job(&mut d)?;
             let weight = d.get_f64()?;
-            sys.scheduled.push(Scheduled {
-                at,
-                id,
-                name,
-                job,
-                weight,
-            });
+            let attempt = d.get_u32()?;
+            let monitor = sys.new_monitor();
+            let h = sys.slab.alloc(id, sym, job, weight, at, monitor, attempt);
+            sys.scheduled.push(at, id, h);
         }
         let n = d.get_usize()?;
         for _ in 0..n {
             let rec = ckpt::decode_finished(&mut d)?;
-            sys.finished_index.insert(rec.id, sys.finished.len());
+            let slot = rec.id as usize;
+            if sys.finished_of.len() <= slot {
+                sys.finished_of.resize(slot + 1, u32::MAX);
+            }
+            sys.finished_of[slot] = sys.finished.len() as u32;
             sys.finished.push(rec);
         }
         if d.get_bool()? {
@@ -1477,13 +1733,6 @@ impl System {
             let rng_state = [d.get_u64()?, d.get_u64()?, d.get_u64()?, d.get_u64()?];
             let rate_factor = d.get_f64()?;
             let rate_restore_at = d.get_f64()?;
-            let mut attempts = HashMap::new();
-            let na = d.get_usize()?;
-            for _ in 0..na {
-                let id = d.get_u64()?;
-                let n = d.get_u32()?;
-                attempts.insert(id, n);
-            }
             let nl = d.get_usize()?;
             let mut log = Vec::with_capacity(nl.min(4096));
             for _ in 0..nl {
@@ -1496,7 +1745,6 @@ impl System {
                 rng: Rng::from_state(rng_state),
                 rate_factor,
                 rate_restore_at,
-                attempts,
                 log,
                 stats,
             });
@@ -1510,7 +1758,7 @@ impl System {
         Ok(sys)
     }
 
-    fn encode_job(e: &mut Enc, job: &dyn Job, id: QueryId) -> std::result::Result<(), CkptError> {
+    fn encode_job(e: &mut Enc, job: &JobState, id: QueryId) -> std::result::Result<(), CkptError> {
         let snap = job.snapshot_state().ok_or_else(|| {
             CkptError::Unsupported(format!("job of query {id} holds live engine state"))
         })?;
@@ -1518,23 +1766,31 @@ impl System {
         Ok(())
     }
 
-    fn decode_job(d: &mut Dec<'_>) -> std::result::Result<Box<dyn Job>, CkptError> {
+    fn decode_job(d: &mut Dec<'_>) -> std::result::Result<JobState, CkptError> {
         let snap = ckpt::decode_job_snapshot(d)?;
-        Ok(Box::new(crate::job::SyntheticJob::from_snapshot(snap)))
+        Ok(JobState::Synthetic(
+            crate::job::SyntheticJob::from_snapshot(snap),
+        ))
     }
 
-    fn encode_session(e: &mut Enc, s: &Session) -> std::result::Result<(), CkptError> {
-        e.put_u64(s.id);
-        e.put_str(&s.name);
-        Self::encode_job(e, s.job.as_ref(), s.id)?;
-        e.put_f64(s.weight);
-        e.put_f64(s.arrived);
-        e.put_opt_f64(s.started);
-        e.put_f64(s.credit);
-        e.put_f64(s.units_done);
-        ckpt::encode_speed_monitor(e, &s.monitor);
-        e.put_bool(s.blocked);
-        match s.rolling_back {
+    fn encode_session(
+        &self,
+        e: &mut Enc,
+        h: JobSlot,
+        index_of: &[u32],
+    ) -> std::result::Result<(), CkptError> {
+        let i = h.idx as usize;
+        e.put_u64(self.slab.id[i]);
+        e.put_u32(index_of[self.slab.name[i] as usize]);
+        Self::encode_job(e, &self.slab.job[i], self.slab.id[i])?;
+        e.put_f64(self.slab.weight[i]);
+        e.put_f64(self.slab.arrived[i]);
+        e.put_opt_f64(self.slab.started[i]);
+        e.put_f64(self.slab.credit[i]);
+        e.put_f64(self.slab.units_done[i]);
+        ckpt::encode_speed_monitor(e, &self.slab.monitor[i]);
+        e.put_bool(self.slab.blocked[i]);
+        match self.slab.rolling_back[i] {
             Some((done, remaining)) => {
                 e.put_bool(true);
                 e.put_f64(done);
@@ -1542,13 +1798,18 @@ impl System {
             }
             None => e.put_bool(false),
         }
-        e.put_f64(s.report_scale);
+        e.put_f64(self.slab.report_scale[i]);
+        e.put_u32(self.slab.attempt[i]);
         Ok(())
     }
 
-    fn decode_session(d: &mut Dec<'_>) -> std::result::Result<Session, CkptError> {
+    fn decode_session(
+        &mut self,
+        d: &mut Dec<'_>,
+        table: &[Sym],
+    ) -> std::result::Result<JobSlot, CkptError> {
         let id = d.get_u64()?;
-        let name: Arc<str> = d.get_str()?.into();
+        let sym = table_sym(table, d.get_u32()?)?;
         let job = Self::decode_job(d)?;
         let weight = d.get_f64()?;
         let arrived = d.get_f64()?;
@@ -1563,21 +1824,26 @@ impl System {
             None
         };
         let report_scale = d.get_f64()?;
-        Ok(Session {
-            id,
-            name,
-            job,
-            weight,
-            arrived,
-            started,
-            credit,
-            units_done,
-            monitor,
-            blocked,
-            rolling_back,
-            report_scale,
-        })
+        let attempt = d.get_u32()?;
+        let h = self
+            .slab
+            .alloc(id, sym, job, weight, arrived, monitor, attempt);
+        let i = self.slab.at(h);
+        self.slab.started[i] = started;
+        self.slab.credit[i] = credit;
+        self.slab.units_done[i] = units_done;
+        self.slab.blocked[i] = blocked;
+        self.slab.rolling_back[i] = rolling_back;
+        self.slab.report_scale[i] = report_scale;
+        Ok(h)
     }
+}
+
+fn table_sym(table: &[Sym], idx: u32) -> std::result::Result<Sym, CkptError> {
+    table
+        .get(idx as usize)
+        .copied()
+        .ok_or_else(|| CkptError::Corrupt(format!("name table index {idx} out of range")))
 }
 
 #[cfg(test)]

@@ -1,0 +1,133 @@
+//! Pins the "allocation-free dispatch" contract of the data-oriented core:
+//! once a system is warm, `step_discard` must perform **zero** heap
+//! allocations on the steady-state path (grant + monitor update, nobody
+//! arriving or finishing), and only amortized bookkeeping growth on the
+//! full churn path. A counting `#[global_allocator]` makes the contract a
+//! hard test instead of a code-review promise — clippy can lint explicit
+//! `Vec::new` calls, but only the allocator sees what the optimizer
+//! actually emits.
+
+// Test code: unwrap/expect on known-good fixtures is fine here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::alloc::{GlobalAlloc, Layout, System as SystemAlloc};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use mqpi_sim::job::SyntheticJob;
+use mqpi_sim::system::{StepMode, System, SystemConfig};
+use mqpi_sim::AdmissionPolicy;
+
+/// Counts every allocation the process makes. Frees are not counted: the
+/// contract under test is "no new memory", not "no memory traffic".
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { SystemAlloc.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { SystemAlloc.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { SystemAlloc.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Steady-state quantum stepping — a resident population being granted
+/// work and monitored, nobody arriving or finishing — must allocate
+/// nothing at all.
+#[test]
+fn warm_quantum_steps_allocate_nothing() {
+    let n = 512;
+    let mut sys = System::new(SystemConfig {
+        rate: 1e6,
+        quantum_units: n as f64,
+        admission: AdmissionPolicy::Unlimited,
+        speed_tau: 10.0,
+        step_mode: StepMode::Quantum,
+        ..Default::default()
+    });
+    let name: Arc<str> = "alloc".into();
+    for _ in 0..n {
+        sys.submit(
+            Arc::clone(&name),
+            Box::new(SyntheticJob::new(u64::MAX / 2)),
+            1.0,
+        );
+    }
+    // Warm up: first steps may still grow scratch buffers to capacity.
+    for _ in 0..32 {
+        assert_eq!(sys.step_discard().unwrap(), 0);
+    }
+    let before = allocs();
+    for _ in 0..1_000 {
+        assert_eq!(sys.step_discard().unwrap(), 0);
+    }
+    let during = allocs() - before;
+    assert_eq!(
+        during, 0,
+        "steady-state step_discard allocated {during} times over 1000 steps"
+    );
+}
+
+/// The full churn path (arrivals admitted, queries finishing, records
+/// appended) may grow long-lived containers, but only amortized: over a
+/// long window the allocation count must stay far below one per step —
+/// doubling growth of the finished log and scratch buffers, nothing
+/// per-event. The pre-refactor core allocated several times per step here
+/// (boxed sessions, per-id map entries, per-step result vectors).
+#[test]
+fn churn_steps_allocate_only_amortized_growth() {
+    let n = 20_000usize;
+    let rate = 1e5;
+    let spacing = 950.0 / rate * 1.05;
+    let mut sys = System::new(SystemConfig {
+        rate,
+        quantum_units: 16.0,
+        admission: AdmissionPolicy::MaxConcurrent(256),
+        speed_tau: 10.0,
+        step_mode: StepMode::EventDriven,
+        ..Default::default()
+    });
+    let name: Arc<str> = "alloc".into();
+    for i in 0..n {
+        sys.schedule(
+            i as f64 * spacing,
+            Arc::clone(&name),
+            Box::new(SyntheticJob::new(500 + (i as u64).wrapping_mul(37) % 900)),
+            1.0,
+        );
+    }
+    // Warm up through the first chunk of arrivals and completions.
+    for _ in 0..2_000 {
+        sys.step_discard().unwrap();
+    }
+    let before = allocs();
+    let mut steps = 0u64;
+    while sys.has_work() && steps < 20_000 {
+        sys.step_discard().unwrap();
+        steps += 1;
+    }
+    let during = allocs() - before;
+    assert!(steps >= 10_000, "workload too small to measure ({steps})");
+    // Amortized growth of the finished log (one Vec doubling costs one
+    // realloc) stays under a handful of allocations per thousand steps.
+    assert!(
+        during < steps / 100,
+        "churn allocated {during} times over {steps} steps — dispatch is not allocation-free"
+    );
+}

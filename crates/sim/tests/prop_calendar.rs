@@ -1,0 +1,211 @@
+//! Model-based tests for the calendar queue: arbitrary interleavings of
+//! insert / cancel / advance must dequeue in exactly the order a reference
+//! `BinaryHeap` model produces — same times, same FIFO tie-breaking — and a
+//! full `System` checkpoint at n = 10^5 must round-trip bit-identically.
+
+// Test code: unwrap/expect on known-good fixtures is fine here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use mqpi_sim::calendar::CalendarQueue;
+use mqpi_sim::job::SyntheticJob;
+use mqpi_sim::system::{StepMode, System, SystemConfig};
+use mqpi_sim::AdmissionPolicy;
+
+/// Reference model: a `BinaryHeap` ordered by `(at bits, id)` with lazy
+/// cancellation. Trivially correct; the calendar must match it exactly.
+#[derive(Default)]
+struct HeapModel {
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+    live: HashMap<u64, u64>, // id -> at bits
+}
+
+impl HeapModel {
+    fn push(&mut self, at: f64, id: u64) {
+        self.heap.push(Reverse((at.to_bits(), id)));
+        self.live.insert(id, at.to_bits());
+    }
+
+    fn cancel(&mut self, id: u64) -> Option<f64> {
+        self.live.remove(&id).map(f64::from_bits)
+    }
+
+    fn pop(&mut self) -> Option<(f64, u64)> {
+        while let Some(Reverse((bits, id))) = self.heap.pop() {
+            if self.live.get(&id) == Some(&bits) {
+                self.live.remove(&id);
+                return Some((f64::from_bits(bits), id));
+            }
+        }
+        None
+    }
+
+    fn peek(&mut self) -> Option<(f64, u64)> {
+        while let Some(&Reverse((bits, id))) = self.heap.peek() {
+            if self.live.get(&id) == Some(&bits) {
+                return Some((f64::from_bits(bits), id));
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    fn len(&self) -> usize {
+        self.live.len()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert at one of a small set of times — duplicates are likely, which
+    /// is the point: equal times must drain FIFO by id.
+    Push(u8),
+    Pop,
+    /// Cancel a pseudo-randomly chosen live id.
+    Cancel(u8),
+    /// Pop everything due at or before one of the slot times.
+    Advance(u8),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        // The vendored proptest shim has no weight syntax; repeating the
+        // push arm biases the mix toward inserts.
+        prop_oneof![
+            any::<u8>().prop_map(Op::Push),
+            any::<u8>().prop_map(Op::Push),
+            any::<u8>().prop_map(Op::Push),
+            Just(Op::Pop),
+            Just(Op::Pop),
+            any::<u8>().prop_map(Op::Cancel),
+            any::<u8>().prop_map(Op::Advance),
+        ],
+        0..200,
+    )
+}
+
+/// Time slots deliberately collide: 16 distinct values for 256 slot ids.
+fn slot_time(slot: u8) -> f64 {
+    f64::from(slot % 16) * 0.25
+}
+
+proptest! {
+    #[test]
+    fn calendar_matches_binary_heap_model(ops in arb_ops()) {
+        let mut cal: CalendarQueue<u64> = CalendarQueue::new();
+        let mut model = HeapModel::default();
+        let mut next_id = 0u64;
+        let mut live_ids: Vec<u64> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Push(slot) => {
+                    let at = slot_time(slot);
+                    cal.push(at, next_id, next_id);
+                    model.push(at, next_id);
+                    live_ids.push(next_id);
+                    next_id += 1;
+                }
+                Op::Pop => {
+                    let got = cal.pop().map(|e| (e.at, e.id));
+                    let want = model.pop();
+                    prop_assert_eq!(got, want);
+                    if let Some((_, id)) = want {
+                        live_ids.retain(|&l| l != id);
+                    }
+                }
+                Op::Cancel(pick) => {
+                    if live_ids.is_empty() {
+                        continue;
+                    }
+                    let id = live_ids[usize::from(pick) % live_ids.len()];
+                    let got = cal.cancel(id).map(|e| e.at);
+                    let want = model.cancel(id);
+                    prop_assert_eq!(got, want);
+                    live_ids.retain(|&l| l != id);
+                }
+                Op::Advance(slot) => {
+                    let until = slot_time(slot);
+                    while cal.peek().is_some_and(|(at, _)| at <= until) {
+                        let got = cal.pop().map(|e| (e.at, e.id));
+                        let want = model.pop();
+                        prop_assert_eq!(got, want);
+                        if let Some((_, id)) = want {
+                            live_ids.retain(|&l| l != id);
+                        }
+                    }
+                    // The model must agree nothing else is due.
+                    prop_assert!(!model.peek().is_some_and(|(at, _)| at <= until));
+                }
+            }
+            prop_assert_eq!(cal.len(), model.len());
+            prop_assert_eq!(cal.peek(), model.peek());
+        }
+
+        // Final drain: exact dequeue-order equality, ties FIFO by id.
+        let mut last = None;
+        while let Some(e) = cal.pop() {
+            let want = model.pop();
+            prop_assert_eq!(Some((e.at, e.id)), want);
+            if let Some((pat, pid)) = last {
+                prop_assert!((e.at, e.id) > (pat, pid) || (e.at == pat && e.id > pid));
+            }
+            last = Some((e.at, e.id));
+        }
+        prop_assert_eq!(model.pop(), None);
+    }
+}
+
+/// Checkpoint round-trip at n = 10^5: restoring a mid-flight checkpoint
+/// must reproduce the byte-identical checkpoint, and driving the original
+/// and the restored system in lockstep must produce identical completions
+/// and identical bytes again at the end.
+#[test]
+fn checkpoint_round_trip_at_1e5_is_bit_identical() {
+    let n = 100_000usize;
+    let rate = 1e5;
+    let spacing = 950.0 / rate * 1.05;
+    let mut sys = System::new(SystemConfig {
+        rate,
+        quantum_units: 16.0,
+        admission: AdmissionPolicy::MaxConcurrent(256),
+        speed_tau: 10.0,
+        step_mode: StepMode::EventDriven,
+        ..Default::default()
+    });
+    let name: Arc<str> = "ckpt".into();
+    for i in 0..n {
+        sys.schedule(
+            i as f64 * spacing,
+            Arc::clone(&name),
+            Box::new(SyntheticJob::new(500 + (i as u64).wrapping_mul(37) % 900)),
+            1.0,
+        );
+    }
+    // Run into the steady state so the checkpoint captures a busy system:
+    // running sessions, queued arrivals, and a non-trivial finished log.
+    for _ in 0..20_000 {
+        sys.step_discard().unwrap();
+    }
+    let bytes = sys.checkpoint().unwrap();
+    let mut restored = System::restore(&bytes).unwrap();
+    assert_eq!(
+        restored.checkpoint().unwrap(),
+        bytes,
+        "restore(checkpoint(s)) must re-encode to the same bytes"
+    );
+    // Lockstep resume: identical completions step by step, identical bytes
+    // at the end.
+    for step in 0..20_000 {
+        let a = sys.step().unwrap();
+        let b = restored.step().unwrap();
+        assert_eq!(a, b, "completion divergence at resumed step {step}");
+        assert_eq!(sys.now().to_bits(), restored.now().to_bits());
+    }
+    assert_eq!(sys.checkpoint().unwrap(), restored.checkpoint().unwrap());
+}
