@@ -102,6 +102,47 @@ fn bench_predict_scaling(c: &mut Criterion) {
     g.finish();
 }
 
+/// Incremental maintenance vs the rebuild it replaces, under criterion:
+/// per-event delta application (arrive + finish keeps the population
+/// stable, followed by one O(log n) point estimate) against one full
+/// `predict` call over the same population — the "per scheduler event"
+/// cost the PI session service actually pays on each side.
+fn bench_incremental_scaling(c: &mut Criterion) {
+    use mqpi_core::IncrementalFluid;
+
+    let mut g = c.benchmark_group("incremental_scaling");
+    g.sample_size(10);
+    for n in [100usize, 1_000, 10_000, 100_000, 1_000_000] {
+        let pop = queries(n, 3);
+        // Delta path: one arrive + finish churn pair plus a point query.
+        g.bench_with_input(BenchmarkId::new("delta_event", n), &pop, |b, pop| {
+            let mut f = IncrementalFluid::with_capacity(100.0, n + 8);
+            for q in pop {
+                f.arrive(q.id, q.cost, q.weight);
+            }
+            let mut next = n as u64;
+            let mut oldest = 0u64;
+            b.iter(|| {
+                f.arrive(next, 1_000.0, 1.0);
+                let est = f.estimate(black_box(next));
+                f.finish(oldest);
+                next += 1;
+                oldest += 1;
+                black_box(est)
+            });
+        });
+        // Rebuild path: the full predict over all n the pre-incremental
+        // architecture would run for that same event (gated like the
+        // reference sweep — one call is seconds at 10^6).
+        if n <= 100_000 {
+            g.bench_with_input(BenchmarkId::new("full_rebuild", n), &pop, |b, pop| {
+                b.iter(|| black_box(predict(black_box(pop), &[], None, None, 100.0)));
+            });
+        }
+    }
+    g.finish();
+}
+
 /// Raw `System::step_discard` throughput at n = 10^5 and 10^6 — the same
 /// churn shape as `experiments --bench-sim`, here under criterion so the
 /// data-oriented core's per-step cost is tracked alongside the predictor.
@@ -146,5 +187,10 @@ fn bench_sim_step_scaling(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_predict_scaling, bench_sim_step_scaling);
+criterion_group!(
+    benches,
+    bench_predict_scaling,
+    bench_incremental_scaling,
+    bench_sim_step_scaling
+);
 criterion_main!(benches);

@@ -42,8 +42,8 @@ use std::time::Instant;
 
 use mqpi_bench::report::{f2, pct, TextTable};
 use mqpi_bench::{
-    ablations, analytic, chaos, db, maintenance, mcq, naq, parallel, scq, simbench, speedup_exp,
-    table1, traced,
+    ablations, analytic, chaos, db, maintenance, mcq, naq, parallel, pibench, piserve, scq,
+    simbench, speedup_exp, table1, traced,
 };
 use mqpi_workload::{McqConfig, TpcrDb};
 
@@ -162,7 +162,7 @@ fn parse_args() -> Result<Opts, String> {
             }
             "--help" | "-h" => {
                 return Err(
-                    "usage: experiments [all|table1|fig1..fig11|ablations|speedup|chaos|bench-harness|bench-sim] \
+                    "usage: experiments [all|table1|fig1..fig11|ablations|speedup|chaos|bench-harness|bench-sim|bench-pi|pi-serve] \
                             [--runs N] [--small] [--csv DIR] [--seed S] [--jobs N] [--chaos] \
                             [--trace-out FILE] [--metrics-out FILE] \
                             [--checkpoint-dir DIR] [--checkpoint-every N] [--resume-from PATH]"
@@ -207,6 +207,8 @@ fn parse_args() -> Result<Opts, String> {
         "chaos",
         "bench-harness",
         "bench-sim",
+        "bench-pi",
+        "pi-serve",
     ];
     for w in &opts.what {
         if !KNOWN.contains(&w.as_str()) {
@@ -666,6 +668,14 @@ fn main() -> ExitCode {
         if opts.what.iter().any(|w| w == "bench-sim") {
             bench_sim(&opts)?;
         }
+        // Incremental-predictor delta-vs-rebuild; only when asked by name.
+        if opts.what.iter().any(|w| w == "bench-pi") {
+            bench_pi(&opts)?;
+        }
+        // Deterministic PI-service campaign; only when asked by name.
+        if opts.what.iter().any(|w| w == "pi-serve") {
+            pi_serve(&opts)?;
+        }
         // Observability suite; runs whenever an output file is requested.
         if opts.trace_out.is_some() || opts.metrics_out.is_some() {
             write_observability(&opts)?;
@@ -984,5 +994,223 @@ fn bench_sim(opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
     json.push_str("}\n");
     mqpi_ckpt::atomic_write(std::path::Path::new("BENCH_6.json"), json.as_bytes())?;
     eprintln!("# wrote BENCH_6.json");
+    Ok(())
+}
+
+/// Incremental-predictor cost (`bench-pi`): amortized per-event cost of
+/// delta updates vs a full `fluid::predict` rebuild per event, at
+/// n = 10^4 (always), 10^5 and 10^6 (skipped under `--small`), plus the
+/// PI-service serving loop. Prints per-size rows, asserts the tentpole
+/// speedup floors (>= 10x at 10^4, >= 50x at 10^6), and writes
+/// `BENCH_7.json`.
+fn bench_pi(opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
+    const DELTA_EVENTS: usize = 200_000;
+    let sizes: &[u64] = if opts.small {
+        &[10_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+
+    let mut rows = Vec::new();
+    let mut t = TextTable::new(&[
+        "n",
+        "delta ns/ev",
+        "p99 (us)",
+        "events/sec",
+        "rebuild ns/ev",
+        "ratio",
+    ]);
+    for &n in sizes {
+        // Full-rebuild events are O(n log n) each; keep the rebuild side
+        // to a handful at the large sizes.
+        let rebuild_events = (2_000_000 / n as usize).clamp(4, 200);
+        let d = pibench::delta(n, DELTA_EVENTS)?;
+        let r = pibench::rebuild(n, rebuild_events)?;
+        let ratio = r.ns_per_event / d.ns_per_event;
+        eprintln!(
+            "# bench-pi delta n={n}: {:.0} ns/event (p99 {:.1} us, {:.0} events/sec)",
+            d.ns_per_event, d.p99_us, d.events_per_sec
+        );
+        eprintln!(
+            "# bench-pi rebuild n={n}: {:.0} ns/event ({} events)",
+            r.ns_per_event, r.events
+        );
+        eprintln!("# bench-pi ratio n={n}: {ratio:.1}");
+        t.row(vec![
+            n.to_string(),
+            format!("{:.0}", d.ns_per_event),
+            format!("{:.1}", d.p99_us),
+            format!("{:.0}", d.events_per_sec),
+            format!("{:.0}", r.ns_per_event),
+            format!("{ratio:.0}x"),
+        ]);
+        rows.push((n, d, r, ratio));
+    }
+    println!("== bench-pi: delta updates vs full rebuild per event ==");
+    println!("{}", t.render());
+
+    let serve = pibench::serve(2_000, 20_000)?;
+    eprintln!(
+        "# bench-pi serve: {:.0} cycles/sec, {:.0} pushes/sec ({} sessions)",
+        serve.cycles_per_sec, serve.pushes_per_sec, serve.sessions
+    );
+    println!(
+        "serve: {:.0} submit+advance+pump cycles/sec, {:.0} estimate pushes/sec, {} suppressed",
+        serve.cycles_per_sec, serve.pushes_per_sec, serve.suppressed
+    );
+
+    // The tentpole's acceptance floors. 10^6 only runs without --small.
+    for &(n, _, _, ratio) in &rows {
+        let floor = match n {
+            10_000 => 10.0,
+            1_000_000 => 50.0,
+            _ => 1.0,
+        };
+        if ratio < floor {
+            return Err(format!(
+                "bench-pi: delta/rebuild ratio {ratio:.1} at n={n} is below the {floor}x floor"
+            )
+            .into());
+        }
+    }
+
+    type PiRow = (u64, pibench::DeltaResult, pibench::RebuildResult, f64);
+    let field_of = |n: u64, f: &dyn Fn(&PiRow) -> String| {
+        rows.iter()
+            .find(|r| r.0 == n)
+            .map_or_else(|| "null".into(), f)
+    };
+    let mut json = String::from("{\n");
+    json.push_str(
+        "  \"benchmark\": \"incremental fluid predictor: delta updates vs rebuild-per-event (crates/bench/src/pibench.rs)\",\n",
+    );
+    json.push_str(&format!(
+        "  \"config\": \"resident population n; {DELTA_EVENTS} scripted events (arrive/finish/re-weight/refine/rate/advance) \
+         applied as IncrementalFluid deltas with one O(log n) point estimate each, vs a full fluid::predict \
+         over all n queries after every event; serve: 2000 subscribed sessions, submit+advance+pump cycles\",\n"
+    ));
+    json.push_str("  \"metric\": \"amortized ns/event, p99 per-event latency (us), events/sec, delta/rebuild ratio\",\n");
+    json.push_str(&format!(
+        "  \"methodology\": \"best of {} repetitions (MQPI_BENCH_REPS); every delta run ends with a bit-identity \
+         audit of estimates_full against a fresh predict over the extracted live set\",\n",
+        simbench::reps()
+    ));
+    json.push_str("  \"before\": {\n");
+    json.push_str(
+        "    \"implementation\": \"full predict rebuild on every scheduler event (paper SS2.3 re-estimation)\",\n",
+    );
+    json.push_str("    \"ns_per_event\": {");
+    for (i, (n, _, r, _)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "{}\"n_{}\": {:.0}",
+            if i == 0 { " " } else { ", " },
+            n,
+            r.ns_per_event
+        ));
+    }
+    json.push_str(" }\n  },\n");
+    json.push_str("  \"after\": {\n");
+    json.push_str(
+        "    \"implementation\": \"IncrementalFluid: order-statistic treap over completion virtual times, lazy rate rescaling\",\n",
+    );
+    json.push_str("    \"ns_per_event\": {");
+    for (i, (n, d, _, _)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "{}\"n_{}\": {:.0}",
+            if i == 0 { " " } else { ", " },
+            n,
+            d.ns_per_event
+        ));
+    }
+    json.push_str(" },\n    \"p99_event_latency_us\": {");
+    for (i, (n, d, _, _)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "{}\"n_{}\": {:.2}",
+            if i == 0 { " " } else { ", " },
+            n,
+            d.p99_us
+        ));
+    }
+    json.push_str(" },\n    \"events_per_sec\": {");
+    for (i, (n, d, _, _)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "{}\"n_{}\": {:.0}",
+            if i == 0 { " " } else { ", " },
+            n,
+            d.events_per_sec
+        ));
+    }
+    json.push_str(" }\n  },\n");
+    json.push_str(&format!(
+        "  \"delta_speedup_at_n_10000\": {},\n",
+        field_of(10_000, &|r| format!("{:.1}", r.3))
+    ));
+    json.push_str(&format!(
+        "  \"delta_speedup_at_n_100000\": {},\n",
+        field_of(100_000, &|r| format!("{:.1}", r.3))
+    ));
+    json.push_str(&format!(
+        "  \"delta_speedup_at_n_1000000\": {},\n",
+        field_of(1_000_000, &|r| format!("{:.1}", r.3))
+    ));
+    json.push_str("  \"required_speedup_at_n_10000\": 10.0,\n");
+    json.push_str("  \"required_speedup_at_n_1000000\": 50.0,\n");
+    json.push_str("  \"serve\": {\n");
+    json.push_str(&format!("    \"sessions\": {},\n", serve.sessions));
+    json.push_str(&format!(
+        "    \"cycles_per_sec\": {:.0},\n",
+        serve.cycles_per_sec
+    ));
+    json.push_str(&format!(
+        "    \"pushes_per_sec\": {:.0},\n",
+        serve.pushes_per_sec
+    ));
+    json.push_str(&format!("    \"suppressed\": {}\n", serve.suppressed));
+    json.push_str("  }\n");
+    json.push_str("}\n");
+    mqpi_ckpt::atomic_write(std::path::Path::new("BENCH_7.json"), json.as_bytes())?;
+    eprintln!("# wrote BENCH_7.json");
+    Ok(())
+}
+
+/// Deterministic PI-service campaign (`pi-serve`): replicated served
+/// estimate streams digested per replicate. Honors `--seed`, `--runs`,
+/// `--jobs`, `--checkpoint-dir`/`--checkpoint-every` (crash-safe
+/// snapshots) and `--resume-from` (continue from snapshots after a kill).
+/// Digest rows go to stdout; CI diffs them across worker counts and
+/// across a SIGKILL + resume.
+fn pi_serve(opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
+    let mut cfg = piserve::ServeCampaign {
+        seed: opts.seed,
+        replicates: opts.runs.min(64),
+        jobs: opts.jobs,
+        ..piserve::ServeCampaign::default()
+    };
+    if opts.small {
+        cfg.iters = 1_000;
+        cfg.sessions = 24;
+    }
+    if let Some(dir) = &opts.checkpoint_dir {
+        cfg.checkpoint_dir = Some(dir.clone());
+    }
+    if let Some(dir) = &opts.resume_from {
+        cfg.checkpoint_dir = Some(dir.clone());
+        cfg.resume = true;
+    }
+    if let Some(every) = opts.checkpoint_every {
+        cfg.checkpoint_every = every;
+    }
+    let rows = piserve::run_campaign(&cfg)?;
+    println!(
+        "== pi-serve: {} replicates x {} iters, {} sessions ==",
+        cfg.replicates, cfg.iters, cfg.sessions
+    );
+    for r in &rows {
+        println!(
+            "pi-serve rep={} seed={:016x} pushes={} digest={:016x}",
+            r.rep, r.seed, r.pushes, r.digest
+        );
+    }
+    eprintln!("# pi-serve: {} replicates clean", rows.len());
     Ok(())
 }

@@ -26,6 +26,8 @@ pub mod maintenance;
 pub mod mcq;
 pub mod naq;
 pub mod parallel;
+pub mod pibench;
+pub mod piserve;
 pub mod report;
 pub mod scq;
 pub mod simbench;

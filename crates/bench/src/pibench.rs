@@ -1,0 +1,422 @@
+//! Incremental-predictor benchmarks (`experiments bench-pi`).
+//!
+//! The tentpole claim behind `core::incremental`: maintaining the fluid
+//! model by **delta updates** (amortized O(log n) per scheduler event,
+//! O(1) for rate changes) beats **rebuilding** the prediction with a fresh
+//! `fluid::predict` call per event by orders of magnitude once the
+//! resident population is large. This module measures both sides under
+//! the same deterministic event stream and a PI-service serving loop on
+//! top:
+//!
+//! * **delta** — a resident population of n queries receives a scripted
+//!   stream of arrivals, finishes, re-weights, cost refinements, rate
+//!   changes, and clock advances, applied as [`IncrementalFluid`] delta
+//!   updates; each event is followed by one O(log n) point estimate (the
+//!   "someone is watching this query" read). Reports amortized ns/event,
+//!   p99 per-event latency, and events/sec.
+//! * **rebuild** — the same stream drives a plain snapshot state, and
+//!   every event triggers a full `fluid::predict` over all n queries (the
+//!   pre-incremental architecture: re-estimate everything on every
+//!   scheduler event, paper §2.3). Reports amortized ns/event.
+//! * **serve** — a [`PiService`] with thousands of subscribed sessions in
+//!   steady-state churn (submit + advance + pump per cycle), reporting
+//!   cycles/sec and pushes/sec.
+//!
+//! Every delta run ends with a bit-identity audit — `estimates_full`
+//! against a fresh `predict` over the extracted live set — so a broken
+//! incremental structure cannot post a fast number.
+//!
+//! Methodology matches `simbench`: `MQPI_BENCH_REPS` repetitions
+//! (default 3), fastest run reported, because the 1-vCPU builder's
+//! kernel-noise bursts are strictly additive.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use mqpi_core::fluid::{predict, FluidQuery};
+use mqpi_core::IncrementalFluid;
+use mqpi_pi::{PiConfig, PiService};
+
+use crate::simbench::reps;
+
+/// One scripted scheduler event. Ids are dense and FIFO: the generator
+/// retires the oldest live query so the population stays within ±1 of n.
+#[derive(Debug, Clone, Copy)]
+pub enum Ev {
+    Arrive { id: u64, cost: f64, weight: f64 },
+    Finish { id: u64 },
+    Reweight { id: u64, weight: f64 },
+    Refine { id: u64, cost: f64 },
+    Rate { rate: f64 },
+    Advance { dt: f64 },
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Deterministic per-query cost in [10^5, 10^6) work units — large enough
+/// that the small scripted advances never retire a query mid-stream, so
+/// both measurement paths see identical live sets.
+fn cost_of(i: u64) -> f64 {
+    1e5 + (splitmix64(i) % 900_000) as f64
+}
+
+fn weight_of(i: u64) -> f64 {
+    [0.5, 1.0, 2.0, 4.0][(splitmix64(i ^ 0xabcd) % 4) as usize]
+}
+
+/// Script `events` events over a population seeded with ids `0..n`.
+/// Mixture: 2/8 arrivals, 2/8 finishes (oldest first), 1/8 re-weights,
+/// 1/8 cost refinements, 1/8 rate changes, 1/8 advances.
+pub fn event_stream(n: u64, events: usize) -> Vec<Ev> {
+    let mut out = Vec::with_capacity(events);
+    let mut head = 0u64; // oldest live id
+    let mut next = n; // next fresh id
+    for i in 0..events as u64 {
+        let pick = head + splitmix64(i ^ 0x5eed) % (next - head);
+        out.push(match i % 8 {
+            0 | 4 => {
+                let id = next;
+                next += 1;
+                Ev::Arrive {
+                    id,
+                    cost: cost_of(id),
+                    weight: weight_of(id),
+                }
+            }
+            1 | 5 => {
+                let id = head;
+                head += 1;
+                Ev::Finish { id }
+            }
+            2 => Ev::Reweight {
+                id: pick,
+                weight: weight_of(pick ^ i),
+            },
+            3 => Ev::Advance {
+                dt: 1e-4 + (splitmix64(i ^ 0xd7) % 100) as f64 * 1e-5,
+            },
+            6 => Ev::Refine {
+                id: pick,
+                cost: cost_of(pick ^ i),
+            },
+            _ => Ev::Rate {
+                rate: 800.0 + (splitmix64(i ^ 0x11) % 400) as f64,
+            },
+        });
+    }
+    out
+}
+
+/// Result of a delta-update run.
+#[derive(Debug, Clone)]
+pub struct DeltaResult {
+    pub n: u64,
+    pub events: usize,
+    /// Wall-clock seconds for the whole stream (best of [`reps`]).
+    pub wall_s: f64,
+    /// Amortized nanoseconds per event (apply + one point estimate).
+    pub ns_per_event: f64,
+    pub events_per_sec: f64,
+    /// 99th-percentile single-event latency, microseconds (one
+    /// instrumented pass; includes timer overhead).
+    pub p99_us: f64,
+}
+
+/// Result of a rebuild-per-event run.
+#[derive(Debug, Clone)]
+pub struct RebuildResult {
+    pub n: u64,
+    pub events: usize,
+    pub wall_s: f64,
+    pub ns_per_event: f64,
+}
+
+fn seed_fluid(n: u64) -> IncrementalFluid {
+    let mut f = IncrementalFluid::with_capacity(1000.0, n as usize + 64);
+    for id in 0..n {
+        f.arrive(id, cost_of(id), weight_of(id));
+    }
+    f
+}
+
+fn apply_delta(f: &mut IncrementalFluid, ev: Ev) -> Option<f64> {
+    match ev {
+        Ev::Arrive { id, cost, weight } => {
+            f.arrive(id, cost, weight);
+            f.estimate(id)
+        }
+        Ev::Finish { id } => {
+            f.finish(id);
+            None
+        }
+        Ev::Reweight { id, weight } => {
+            f.reweight(id, weight);
+            f.estimate(id)
+        }
+        Ev::Refine { id, cost } => {
+            f.refine_cost(id, cost);
+            f.estimate(id)
+        }
+        Ev::Rate { rate } => {
+            f.set_rate(rate);
+            None
+        }
+        Ev::Advance { dt } => {
+            f.advance(dt);
+            None
+        }
+    }
+}
+
+/// Drive the event stream through delta updates. Best of [`reps`]
+/// repetitions for throughput, one extra instrumented pass for p99.
+pub fn delta(n: u64, events: usize) -> Result<DeltaResult, String> {
+    let stream = event_stream(n, events);
+    let mut best: Option<f64> = None;
+    let mut sink = 0.0f64;
+    for _ in 0..reps() {
+        let mut f = seed_fluid(n);
+        let t0 = Instant::now();
+        for &ev in &stream {
+            if let Some(e) = apply_delta(&mut f, ev) {
+                sink += e;
+            }
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        if best.is_none_or(|b| wall < b) {
+            best = Some(wall);
+        }
+        audit(&mut f)?;
+    }
+    let wall_s = best.ok_or("reps() >= 1")?;
+
+    // Instrumented pass for tail latency (timer overhead included, which
+    // only makes the reported p99 conservative).
+    let mut lat = Vec::with_capacity(events);
+    let mut f = seed_fluid(n);
+    for &ev in &stream {
+        let t0 = Instant::now();
+        if let Some(e) = apply_delta(&mut f, ev) {
+            sink += e;
+        }
+        lat.push(t0.elapsed().as_nanos() as u64);
+    }
+    lat.sort_unstable();
+    let p99 = lat[(lat.len() * 99 / 100).min(lat.len() - 1)] as f64 / 1e3;
+    if !sink.is_finite() {
+        return Err(format!("non-finite estimate sink {sink}"));
+    }
+    Ok(DeltaResult {
+        n,
+        events,
+        wall_s,
+        ns_per_event: wall_s * 1e9 / events as f64,
+        events_per_sec: events as f64 / wall_s,
+        p99_us: p99,
+    })
+}
+
+/// A broken incremental structure must not post a fast number: the
+/// maintained state must still reproduce a fresh `predict` bit-for-bit.
+fn audit(f: &mut IncrementalFluid) -> Result<(), String> {
+    let mut live = Vec::with_capacity(f.len());
+    f.extract_into(&mut live);
+    let rate = f.rate();
+    let maintained = f.estimates_full(&[], None, None);
+    let fresh = predict(&live, &[], None, None, rate);
+    if maintained.finish_times.len() != fresh.finish_times.len() {
+        return Err("audit: estimate count mismatch".into());
+    }
+    for (a, b) in maintained
+        .finish_times
+        .iter()
+        .zip(fresh.finish_times.iter())
+    {
+        if a.0 != b.0 || a.1.to_bits() != b.1.to_bits() {
+            return Err(format!(
+                "audit: maintained estimate for {} = {} != fresh {} ({})",
+                a.0, a.1, b.1, b.0
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Drive the same stream through the pre-incremental architecture: a
+/// snapshot state plus a full `fluid::predict` over all n queries after
+/// every event. `events` is small because each event costs O(n log n).
+pub fn rebuild(n: u64, events: usize) -> Result<RebuildResult, String> {
+    let stream = event_stream(n, events);
+    let mut best: Option<f64> = None;
+    let mut sink = 0.0f64;
+    for _ in 0..reps() {
+        // Snapshot state: dense vec + id index, the cheapest honest
+        // bookkeeping an en-masse rebuilder would keep.
+        let mut live: Vec<FluidQuery> = (0..n)
+            .map(|id| FluidQuery {
+                id,
+                cost: cost_of(id),
+                weight: weight_of(id),
+            })
+            .collect();
+        let mut index: HashMap<u64, usize> = (0..n).map(|id| (id, id as usize)).collect();
+        let mut rate = 1000.0;
+        let t0 = Instant::now();
+        for &ev in &stream {
+            match ev {
+                Ev::Arrive { id, cost, weight } => {
+                    index.insert(id, live.len());
+                    live.push(FluidQuery { id, cost, weight });
+                }
+                Ev::Finish { id } => {
+                    if let Some(i) = index.remove(&id) {
+                        live.swap_remove(i);
+                        if i < live.len() {
+                            index.insert(live[i].id, i);
+                        }
+                    }
+                }
+                Ev::Reweight { id, weight } => {
+                    if let Some(&i) = index.get(&id) {
+                        live[i].weight = weight;
+                    }
+                }
+                Ev::Refine { id, cost } => {
+                    if let Some(&i) = index.get(&id) {
+                        live[i].cost = cost;
+                    }
+                }
+                Ev::Rate { rate: r } => rate = r,
+                Ev::Advance { .. } => {}
+            }
+            let p = predict(&live, &[], None, None, rate);
+            if p.finish_times.len() != live.len() {
+                return Err("rebuild: predict dropped queries".into());
+            }
+            sink += p.finish_times.last().map_or(0.0, |t| t.1);
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        if best.is_none_or(|b| wall < b) {
+            best = Some(wall);
+        }
+    }
+    if !sink.is_finite() {
+        return Err(format!("non-finite estimate sink {sink}"));
+    }
+    let wall_s = best.ok_or("reps() >= 1")?;
+    Ok(RebuildResult {
+        n,
+        events,
+        wall_s,
+        ns_per_event: wall_s * 1e9 / events as f64,
+    })
+}
+
+/// Result of the service loop.
+#[derive(Debug, Clone)]
+pub struct ServeResult {
+    pub sessions: usize,
+    pub cycles: usize,
+    pub wall_s: f64,
+    pub cycles_per_sec: f64,
+    /// Estimate pushes delivered during the measured window.
+    pub pushes: u64,
+    pub pushes_per_sec: f64,
+    /// Pushes suppressed by the epsilon filter during the window.
+    pub suppressed: u64,
+}
+
+/// Steady-state serving: `sessions` subscribed sessions, a resident
+/// population of `sessions` queries, one submit + advance + pump cycle per
+/// iteration. Best of [`reps`] repetitions.
+pub fn serve(sessions: usize, cycles: usize) -> Result<ServeResult, String> {
+    const COST: f64 = 100.0;
+    const RATE: f64 = 10_000.0;
+    let mut best: Option<ServeResult> = None;
+    for _ in 0..reps() {
+        let mut svc = PiService::with_capacity(
+            PiConfig {
+                rate: RATE,
+                epsilon: 0.05,
+                slots: None,
+                ..PiConfig::default()
+            },
+            4 * sessions,
+        );
+        let sids: Vec<_> = (0..sessions).map(|_| svc.register_session()).collect();
+        for (i, &sid) in sids.iter().enumerate() {
+            svc.submit(sid, COST * (1.0 + (i % 7) as f64), 1.0);
+        }
+        let mut out = Vec::with_capacity(4 * sessions);
+        // Warm to steady state.
+        for i in 0..sessions {
+            svc.submit(sids[i % sessions], COST, 1.0);
+            svc.advance(COST / RATE);
+            out.clear();
+            svc.pump(&mut out);
+        }
+        let pushes0 = svc.stats().pushes;
+        let suppressed0 = svc.stats().suppressed;
+        let t0 = Instant::now();
+        for i in 0..cycles {
+            svc.submit(sids[i % sessions], COST, 1.0);
+            svc.advance(COST / RATE);
+            out.clear();
+            svc.pump(&mut out);
+        }
+        let wall_s = t0.elapsed().as_secs_f64();
+        if svc.live_queries() == 0 {
+            return Err("serve: population collapsed".into());
+        }
+        let pushes = svc.stats().pushes - pushes0;
+        let r = ServeResult {
+            sessions,
+            cycles,
+            wall_s,
+            cycles_per_sec: cycles as f64 / wall_s,
+            pushes,
+            pushes_per_sec: pushes as f64 / wall_s,
+            suppressed: svc.stats().suppressed - suppressed0,
+        };
+        if best.as_ref().is_none_or(|b| r.wall_s < b.wall_s) {
+            best = Some(r);
+        }
+    }
+    best.ok_or_else(|| "reps() >= 1".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_and_rebuild_run_clean_at_small_scale() {
+        let d = delta(500, 2_000).expect("delta");
+        assert!(d.ns_per_event > 0.0);
+        assert!(d.p99_us > 0.0);
+        let r = rebuild(500, 50).expect("rebuild");
+        assert!(r.ns_per_event > d.ns_per_event, "rebuild must cost more");
+    }
+
+    #[test]
+    fn serve_pushes_estimates() {
+        let s = serve(64, 500).expect("serve");
+        assert!(s.pushes > 0);
+        assert!(s.cycles_per_sec > 0.0);
+    }
+
+    #[test]
+    fn event_stream_is_deterministic() {
+        let a = event_stream(100, 500);
+        let b = event_stream(100, 500);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(format!("{x:?}"), format!("{y:?}"));
+        }
+    }
+}

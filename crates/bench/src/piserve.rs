@@ -1,0 +1,284 @@
+//! Deterministic PI-service campaign (`experiments pi-serve`).
+//!
+//! CI's `pi-serve-smoke` job needs three properties pinned on the served
+//! estimate streams, not just on internal state:
+//!
+//! 1. **Worker-count independence** — replicates fan out over a thread
+//!    pool ([`crate::parallel::run_indexed`]); the per-replicate digest
+//!    rows must be byte-identical between `--jobs 1` and `--jobs 4`.
+//! 2. **Crash-safe resume** — with `--checkpoint-dir`, every replicate
+//!    snapshots its full service (plus stream digest and loop position)
+//!    every `--checkpoint-every` iterations via atomic temp-file +
+//!    rename. A SIGKILLed campaign restarted with `--resume-from` must
+//!    produce exactly the digests of an uninterrupted run.
+//! 3. **Replayability** — the whole workload derives from the campaign
+//!    seed; same seed, same rows, forever.
+//!
+//! Each replicate drives one [`PiService`] with a scripted multi-session
+//! workload (submits, aborts, re-weights, rate changes, advances, pumps)
+//! and folds every pushed estimate — session, query, timestamp bits,
+//! estimate bits, done flag — into an FNV-1a digest. The digest is the
+//! observable: if any push changes by one bit, the row changes.
+
+use std::path::{Path, PathBuf};
+
+use mqpi_ckpt::{Dec, Enc};
+use mqpi_pi::{EstimatePush, PiConfig, PiService};
+
+use crate::parallel;
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct ServeCampaign {
+    /// Campaign seed; replicate r runs with `seed + r`.
+    pub seed: u64,
+    /// Number of independent replicates.
+    pub replicates: usize,
+    /// Workload iterations per replicate.
+    pub iters: usize,
+    /// Sessions per replicate service.
+    pub sessions: usize,
+    /// Worker threads.
+    pub jobs: usize,
+    /// Snapshot directory (None = no checkpointing).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Iterations between snapshots.
+    pub checkpoint_every: usize,
+    /// Load existing snapshots before running (crash resume).
+    pub resume: bool,
+}
+
+impl Default for ServeCampaign {
+    fn default() -> Self {
+        ServeCampaign {
+            seed: 42,
+            replicates: 8,
+            iters: 4_000,
+            sessions: 48,
+            jobs: 1,
+            checkpoint_dir: None,
+            checkpoint_every: 500,
+            resume: false,
+        }
+    }
+}
+
+/// One replicate's observable outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicateRow {
+    pub rep: usize,
+    pub seed: u64,
+    /// Total estimate pushes the service delivered.
+    pub pushes: u64,
+    /// FNV-1a digest over the full push stream.
+    pub digest: u64,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_fold(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn fold_push(h: u64, p: &EstimatePush) -> u64 {
+    let mut h = fnv_fold(h, &p.session.to_le_bytes());
+    h = fnv_fold(h, &p.query.to_le_bytes());
+    h = fnv_fold(h, &p.at.to_bits().to_le_bytes());
+    h = fnv_fold(h, &p.estimate.to_bits().to_le_bytes());
+    fnv_fold(h, &[p.done as u8])
+}
+
+fn snapshot_path(dir: &Path, seed: u64) -> PathBuf {
+    dir.join(format!("run-{seed:016x}.ckpt"))
+}
+
+/// Mid-replicate snapshot: loop position, digest state, the driver's
+/// live-query list (abort/re-weight targets), and the full service
+/// checkpoint — everything the loop needs to continue bit-identically.
+fn save_snapshot(
+    dir: &Path,
+    seed: u64,
+    iter: usize,
+    digest: u64,
+    live: &[u64],
+    svc: &PiService,
+) -> Result<(), String> {
+    let mut e = Enc::new();
+    e.put_u64(iter as u64);
+    e.put_u64(digest);
+    e.put_usize(live.len());
+    for &q in live {
+        e.put_u64(q);
+    }
+    e.put_bytes(&svc.checkpoint());
+    mqpi_ckpt::atomic_write(&snapshot_path(dir, seed), &e.into_bytes())
+        .map_err(|e| format!("checkpoint write: {e}"))
+}
+
+type Snapshot = (usize, u64, Vec<u64>, PiService);
+
+fn load_snapshot(dir: &Path, seed: u64) -> Result<Option<Snapshot>, String> {
+    let path = snapshot_path(dir, seed);
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(format!("checkpoint read {}: {e}", path.display())),
+    };
+    let mut d = Dec::new(&bytes);
+    let iter = d.get_u64().map_err(|e| e.to_string())? as usize;
+    let digest = d.get_u64().map_err(|e| e.to_string())?;
+    let nl = d.get_usize().map_err(|e| e.to_string())?;
+    let mut live = Vec::with_capacity(nl.min(1 << 20));
+    for _ in 0..nl {
+        live.push(d.get_u64().map_err(|e| e.to_string())?);
+    }
+    let payload = d.get_bytes().map_err(|e| e.to_string())?;
+    let svc = PiService::restore(&payload).map_err(|e| format!("restore: {e}"))?;
+    Ok(Some((iter, digest, live, svc)))
+}
+
+/// Run one replicate from `start_iter` (0 on a fresh start) to completion.
+fn run_one(cfg: &ServeCampaign, rep: usize) -> Result<ReplicateRow, String> {
+    let seed = cfg.seed.wrapping_add(rep as u64);
+    let resumed = if cfg.resume {
+        if let Some(dir) = &cfg.checkpoint_dir {
+            load_snapshot(dir, seed)?
+        } else {
+            None
+        }
+    } else {
+        None
+    };
+    let (start_iter, mut digest, mut live, mut svc) = match resumed {
+        Some((iter, digest, live, svc)) => (iter, digest, live, svc),
+        None => {
+            let mut svc = PiService::with_capacity(
+                PiConfig {
+                    rate: 500.0,
+                    epsilon: 0.1,
+                    slots: Some(32),
+                    ..PiConfig::default()
+                },
+                4 * cfg.sessions,
+            );
+            for _ in 0..cfg.sessions {
+                svc.register_session();
+            }
+            (0, FNV_OFFSET, Vec::new(), svc)
+        }
+    };
+
+    let mut out: Vec<EstimatePush> = Vec::with_capacity(4 * cfg.sessions);
+    for i in start_iter..cfg.iters {
+        let r = splitmix64(seed ^ (i as u64).wrapping_mul(0x2545_f491_4f6c_dd1d));
+        let sid = (r % cfg.sessions as u64) as u32;
+        match r % 16 {
+            0..=6 => {
+                let cost = 20.0 + (splitmix64(r) % 400) as f64;
+                let weight = [0.5, 1.0, 2.0, 4.0][(r >> 8) as usize % 4];
+                live.push(svc.submit(sid, cost, weight));
+            }
+            7 if !live.is_empty() => {
+                let q = live.swap_remove((r >> 16) as usize % live.len());
+                svc.abort(q);
+            }
+            8 if !live.is_empty() => {
+                let q = live[(r >> 16) as usize % live.len()];
+                svc.reweight(q, [0.5, 1.0, 2.0, 4.0][(r >> 24) as usize % 4]);
+            }
+            9 => {
+                svc.set_rate(300.0 + (r % 400) as f64);
+            }
+            _ => {}
+        }
+        svc.advance(0.01 + (r % 32) as f64 * 0.005);
+        out.clear();
+        svc.pump(&mut out);
+        for p in &out {
+            digest = fold_push(digest, p);
+        }
+        live.retain(|&q| !out.iter().any(|p| p.done && p.query == q));
+
+        if let Some(dir) = &cfg.checkpoint_dir {
+            if cfg.checkpoint_every > 0 && (i + 1) % cfg.checkpoint_every == 0 {
+                save_snapshot(dir, seed, i + 1, digest, &live, &svc)?;
+            }
+        }
+    }
+    Ok(ReplicateRow {
+        rep,
+        seed,
+        pushes: svc.stats().pushes,
+        digest,
+    })
+}
+
+/// Run the campaign; rows come back in replicate order regardless of
+/// worker interleaving, so output is bit-identical across `--jobs`.
+pub fn run_campaign(cfg: &ServeCampaign) -> Result<Vec<ReplicateRow>, String> {
+    if let Some(dir) = &cfg.checkpoint_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("checkpoint dir: {e}"))?;
+    }
+    let results = parallel::run_indexed(cfg.jobs, cfg.replicates, |rep| run_one(cfg, rep));
+    results.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ServeCampaign {
+        ServeCampaign {
+            replicates: 3,
+            iters: 400,
+            sessions: 16,
+            ..ServeCampaign::default()
+        }
+    }
+
+    #[test]
+    fn campaign_is_deterministic_across_jobs() {
+        let mut cfg = small();
+        let a = run_campaign(&cfg).expect("jobs=1");
+        cfg.jobs = 4;
+        let b = run_campaign(&cfg).expect("jobs=4");
+        assert_eq!(a, b, "digest rows must not depend on worker count");
+    }
+
+    #[test]
+    fn mid_run_snapshot_resumes_bit_identically() {
+        let dir = std::env::temp_dir().join(format!("piserve-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let straight = run_campaign(&small()).expect("straight");
+
+        // Partial run: checkpoint every 100 iters, then truncate by
+        // pretending the process died (snapshots remain on disk).
+        let mut partial = small();
+        partial.checkpoint_dir = Some(dir.clone());
+        partial.checkpoint_every = 100;
+        partial.iters = 250; // dies mid-flight, last snapshot at 200
+        run_campaign(&partial).expect("partial");
+
+        let mut resumed_cfg = small();
+        resumed_cfg.checkpoint_dir = Some(dir.clone());
+        resumed_cfg.checkpoint_every = 100;
+        resumed_cfg.resume = true;
+        let resumed = run_campaign(&resumed_cfg).expect("resumed");
+        assert_eq!(straight, resumed, "resumed digests diverged");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -30,7 +30,10 @@ use std::path::Path;
 /// on top of it. Bump on any wire-format change; readers reject snapshots
 /// from other versions (a fresh run is always cheaper than decoding a
 /// guess).
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// v2: `System` payloads grew a trailing delta-event-feed section, and the
+/// PI session service (`mqpi-pi`) introduced its own payload kinds.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// File magic, first four bytes of every snapshot.
 pub const MAGIC: &[u8; 4] = b"MQPI";

@@ -9,6 +9,8 @@
 //! update, so the estimate converges to the true rate as evidence
 //! accumulates while still using the prior early on.
 
+use mqpi_ckpt::{CkptError, Dec, Enc};
+
 /// Online arrival-rate estimator with a prior.
 #[derive(Debug, Clone)]
 pub struct ArrivalRateEstimator {
@@ -47,6 +49,34 @@ impl ArrivalRateEstimator {
     pub fn observed_time(&self) -> f64 {
         self.observed_time
     }
+
+    /// Serialize for crash-safe checkpoints (bit-exact: floats travel as
+    /// IEEE-754 bit patterns).
+    pub fn encode(&self, e: &mut Enc) {
+        e.put_f64(self.prior_events);
+        e.put_f64(self.prior_time);
+        e.put_f64(self.observed_events);
+        e.put_f64(self.observed_time);
+    }
+
+    /// Rebuild from [`ArrivalRateEstimator::encode`] bytes.
+    pub fn decode(d: &mut Dec<'_>) -> Result<Self, CkptError> {
+        let prior_events = d.get_f64()?;
+        let prior_time = d.get_f64()?;
+        let observed_events = d.get_f64()?;
+        let observed_time = d.get_f64()?;
+        if prior_time.is_nan() || prior_time <= 0.0 {
+            return Err(CkptError::Corrupt(format!(
+                "non-positive prior_time {prior_time} in arrival-rate state"
+            )));
+        }
+        Ok(ArrivalRateEstimator {
+            prior_events,
+            prior_time,
+            observed_events,
+            observed_time,
+        })
+    }
 }
 
 /// Online mean-cost estimator with a prior, used the same way for c̄′.
@@ -75,6 +105,24 @@ impl MeanCostEstimator {
     /// Current mean estimate.
     pub fn mean(&self) -> f64 {
         self.sum / self.count
+    }
+
+    /// Serialize for crash-safe checkpoints.
+    pub fn encode(&self, e: &mut Enc) {
+        e.put_f64(self.sum);
+        e.put_f64(self.count);
+    }
+
+    /// Rebuild from [`MeanCostEstimator::encode`] bytes.
+    pub fn decode(d: &mut Dec<'_>) -> Result<Self, CkptError> {
+        let sum = d.get_f64()?;
+        let count = d.get_f64()?;
+        if count.is_nan() || count <= 0.0 {
+            return Err(CkptError::Corrupt(format!(
+                "non-positive sample count {count} in mean-cost state"
+            )));
+        }
+        Ok(MeanCostEstimator { sum, count })
     }
 }
 

@@ -109,23 +109,32 @@ impl IdIndex {
             min = min.min(id);
             max = max.max(id);
         }
-        let range = max - min + 1;
+        // `max - min + 1` overflows when the ids span the whole u64 line
+        // (e.g. a snapshot holding both id 0 and id u64::MAX); an overflowed
+        // range used to alias distinct ids onto the same dense slot, so a
+        // lookup for a query finished before the snapshot could return a
+        // stale live entry. Checked arithmetic routes any such span to the
+        // sorted fallback, which never aliases.
+        let range = max.checked_sub(min).and_then(|r| r.checked_add(1));
         // Dense only when the table stays linear in n (ids are sequential
         // up to small gaps); 4x slack plus a constant floor for tiny sets.
-        if range <= (4 * n as u64).max(64) {
-            let mut pos = vec![0u32; range as usize];
-            for (p, (id, _)) in finish_times.iter().enumerate() {
-                pos[(id - min) as usize] = p as u32 + 1;
+        match range {
+            Some(range) if range <= (n as u64).saturating_mul(4).max(64) => {
+                let mut pos = vec![0u32; range as usize];
+                for (p, (id, _)) in finish_times.iter().enumerate() {
+                    pos[(id - min) as usize] = p as u32 + 1;
+                }
+                IdIndex::Dense { base: min, pos }
             }
-            IdIndex::Dense { base: min, pos }
-        } else {
-            let mut pairs: Vec<(u64, u32)> = finish_times
-                .iter()
-                .enumerate()
-                .map(|(p, (id, _))| (*id, p as u32))
-                .collect();
-            pairs.sort_unstable_by_key(|&(id, _)| id);
-            IdIndex::Sorted(pairs)
+            _ => {
+                let mut pairs: Vec<(u64, u32)> = finish_times
+                    .iter()
+                    .enumerate()
+                    .map(|(p, (id, _))| (*id, p as u32))
+                    .collect();
+                pairs.sort_unstable_by_key(|&(id, _)| id);
+                IdIndex::Sorted(pairs)
+            }
         }
     }
 
@@ -687,6 +696,35 @@ mod tests {
         }
         assert_eq!(sparse.remaining_for(4), None);
         assert_eq!(sparse.remaining_for(0), None);
+    }
+
+    #[test]
+    fn remaining_for_is_none_for_queries_finished_before_the_snapshot() {
+        // Regression: a PI asking about a query that completed before this
+        // snapshot was taken must get `None`, never a stale neighbour's
+        // slot. Dense path with an interior gap (id 50 finished earlier):
+        let times: Vec<(u64, f64)> = (0..100).filter(|&i| i != 50).map(|i| (i, 1.0)).collect();
+        let dense = FluidPrediction::new(times, false);
+        assert_eq!(dense.remaining_for(50), None);
+        assert_eq!(dense.remaining_for(49), Some(1.0));
+        // Sparse path: the old-generation id 12 is absent from the new set.
+        let sparse =
+            FluidPrediction::new(vec![(3, 1.0), (1 << 40, 2.0), (u64::MAX - 1, 3.0)], false);
+        assert_eq!(sparse.remaining_for(12), None);
+        assert_eq!(sparse.remaining_for(u64::MAX), None);
+    }
+
+    #[test]
+    fn remaining_for_survives_full_u64_id_span() {
+        // Regression: `max - min + 1` used to overflow for a snapshot
+        // containing both id 0 and id u64::MAX (panic in debug; in release
+        // an aliased dense table could hand back a stale slot). The span
+        // must route to the sorted fallback and answer exactly.
+        let p = FluidPrediction::new(vec![(0, 1.5), (u64::MAX, 2.5)], false);
+        assert_eq!(p.remaining_for(0), Some(1.5));
+        assert_eq!(p.remaining_for(u64::MAX), Some(2.5));
+        assert_eq!(p.remaining_for(1), None);
+        assert_eq!(p.remaining_for(u64::MAX - 1), None);
     }
 
     #[test]

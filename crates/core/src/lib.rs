@@ -21,6 +21,7 @@
 pub mod adaptive;
 pub mod estimate;
 pub mod fluid;
+pub mod incremental;
 pub mod multi;
 pub mod observe;
 pub mod percent;
@@ -31,6 +32,7 @@ pub mod validator;
 pub use adaptive::ArrivalRateEstimator;
 pub use estimate::{relative_error, Estimate, EstimateSet};
 pub use fluid::{standard_remaining_times, FluidPrediction, FluidQuery, FutureArrivals};
+pub use incremental::{DeltaCounters, IncrementalFluid};
 pub use multi::{MultiQueryPi, Visibility};
 pub use observe::observe_estimates;
 pub use percent::{PercentDonePi, TimeFractionPi};

@@ -1,0 +1,311 @@
+//! Property tests for the incremental fluid predictor: random event
+//! sequences (arrivals, finishes, aborts, re-weights, cost refinements,
+//! rate changes, clock advances) drive an [`IncrementalFluid`] alongside a
+//! deliberately naive O(n²) GPS shadow simulation, and every intermediate
+//! estimate is checked three ways:
+//!
+//! 1. **Bit-exact against the `predict` oracle** — `estimates_full` must
+//!    return exactly what a fresh `fluid::predict` call over the extracted
+//!    live set returns (same bits, not just close), per the delta-update
+//!    contract.
+//! 2. **Analytically against the shadow** — remaining costs and point
+//!    estimates must agree with the naive simulation to tight relative
+//!    tolerance, so the treap bookkeeping can't drift from the model it
+//!    claims to maintain.
+//! 3. **Against `predict_reference`** — the dense-timeline reference
+//!    implementation, to the same tolerance the snapshot path is held to.
+//!
+//! Checkpoints are taken at a random cut: the restored structure must
+//! re-encode byte-identically and serve bit-identical estimates.
+
+// Test code: unwrap/expect on known-good fixtures is fine here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use proptest::prelude::*;
+
+use mqpi_core::fluid::{predict, predict_reference, FluidQuery};
+use mqpi_core::IncrementalFluid;
+
+/// One scripted operation, decoded from raw generated scalars.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Arrive { cost: f64, weight: f64 },
+    Finish { pick: f64 },
+    Abort { pick: f64 },
+    Reweight { pick: f64, weight: f64 },
+    RefineCost { pick: f64, cost: f64 },
+    SetRate { rate: f64 },
+    Advance { dt: f64 },
+}
+
+fn arb_ops(max_len: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec((0u8..10, 0.0f64..1.0, 0.0f64..1.0), 1..max_len).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(sel, a, b)| match sel {
+                // Bias toward arrivals so the structure grows.
+                0..=3 => Op::Arrive {
+                    cost: 1.0 + a * 2000.0,
+                    weight: [0.5, 1.0, 2.0, 4.0][(b * 4.0) as usize % 4],
+                },
+                4 => Op::Finish { pick: a },
+                5 => Op::Abort { pick: a },
+                6 => Op::Reweight {
+                    pick: a,
+                    weight: [0.5, 1.0, 2.0, 4.0][(b * 4.0) as usize % 4],
+                },
+                7 => Op::RefineCost {
+                    pick: a,
+                    cost: 1.0 + b * 2000.0,
+                },
+                8 => Op::SetRate {
+                    rate: 10.0 + a * 400.0,
+                },
+                _ => Op::Advance { dt: a * 8.0 },
+            })
+            .collect()
+    })
+}
+
+/// Naive GPS fluid simulation: each live query drains at
+/// `rate · w_i / W`; advancing crosses completion boundaries one at a
+/// time. O(n) per boundary, recomputed from scratch — slow and obviously
+/// correct.
+struct Shadow {
+    live: Vec<FluidQuery>,
+    rate: f64,
+}
+
+impl Shadow {
+    fn advance(&mut self, mut dt: f64) {
+        while dt > 0.0 && !self.live.is_empty() {
+            let w_tot: f64 = self.live.iter().map(|q| q.weight).sum();
+            // Time to the earliest completion at current membership.
+            let dtc = self
+                .live
+                .iter()
+                .map(|q| q.cost * w_tot / (self.rate * q.weight))
+                .fold(f64::INFINITY, f64::min);
+            let step = dtc.min(dt);
+            for q in &mut self.live {
+                q.cost -= step * self.rate * q.weight / w_tot;
+            }
+            // Work-unit slack ~ seconds·rate scaled; completions in the
+            // treap trigger on a 1e-9 virtual-time epsilon, so allow the
+            // shadow a little float drift at the boundary.
+            self.live.retain(|q| q.cost > 1e-6);
+            dt -= step;
+        }
+    }
+}
+
+fn pick_id(live: &[FluidQuery], pick: f64) -> Option<u64> {
+    if live.is_empty() {
+        return None;
+    }
+    let i = ((pick * live.len() as f64) as usize).min(live.len() - 1);
+    Some(live[i].id)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The maintained structure, the naive shadow, the `predict` oracle,
+    /// and `predict_reference` all tell the same story at every step.
+    #[test]
+    fn random_event_streams_match_oracles(ops in arb_ops(60), rate0 in 20.0f64..200.0) {
+        let mut inc = IncrementalFluid::new(rate0);
+        let mut shadow = Shadow { live: Vec::new(), rate: rate0 };
+        let mut next_id = 0u64;
+        let mut due = Vec::new();
+        let mut extracted = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Arrive { cost, weight } => {
+                    inc.arrive(next_id, cost, weight);
+                    shadow.live.push(FluidQuery { id: next_id, cost, weight });
+                    next_id += 1;
+                }
+                Op::Finish { pick } => {
+                    if let Some(id) = pick_id(&shadow.live, pick) {
+                        prop_assert!(inc.finish(id), "finish({id}) not live in treap");
+                        shadow.live.retain(|q| q.id != id);
+                    }
+                }
+                Op::Abort { pick } => {
+                    if let Some(id) = pick_id(&shadow.live, pick) {
+                        prop_assert!(inc.abort(id), "abort({id}) not live in treap");
+                        shadow.live.retain(|q| q.id != id);
+                    }
+                }
+                Op::Reweight { pick, weight } => {
+                    if let Some(id) = pick_id(&shadow.live, pick) {
+                        prop_assert!(inc.reweight(id, weight));
+                        let q = shadow.live.iter_mut().find(|q| q.id == id).unwrap();
+                        q.weight = weight;
+                    }
+                }
+                Op::RefineCost { pick, cost } => {
+                    if let Some(id) = pick_id(&shadow.live, pick) {
+                        prop_assert!(inc.refine_cost(id, cost));
+                        let q = shadow.live.iter_mut().find(|q| q.id == id).unwrap();
+                        q.cost = cost;
+                    }
+                }
+                Op::SetRate { rate } => {
+                    inc.set_rate(rate);
+                    shadow.rate = rate;
+                }
+                Op::Advance { dt } => {
+                    inc.advance(dt);
+                    due.clear();
+                    inc.drain_due(&mut due);
+                    shadow.advance(dt);
+                }
+            }
+
+            // Live sets agree, modulo boundary-epsilon completions: a
+            // query one side retired may linger in the other only with a
+            // negligible residual.
+            for q in &shadow.live {
+                if !inc.contains(q.id) {
+                    prop_assert!(
+                        q.cost < 1e-3,
+                        "treap retired {} early (shadow cost {})", q.id, q.cost
+                    );
+                }
+            }
+            let mut shadow_ids: Vec<u64> = shadow.live.iter().map(|q| q.id).collect();
+            shadow_ids.sort_unstable();
+            extracted.clear();
+            inc.extract_into(&mut extracted);
+            for q in &extracted {
+                if shadow_ids.binary_search(&q.id).is_err() {
+                    prop_assert!(
+                        q.cost < 1e-3,
+                        "shadow retired {} early (treap cost {})", q.id, q.cost
+                    );
+                }
+            }
+
+            // (1) Bit-exact vs the predict oracle over the extracted set.
+            let full = inc.estimates_full(&[], None, None);
+            let fresh = predict(&extracted, &[], None, None, inc.rate());
+            prop_assert_eq!(full.finish_times.len(), fresh.finish_times.len());
+            for (a, b) in full.finish_times.iter().zip(fresh.finish_times.iter()) {
+                prop_assert_eq!(a.0, b.0);
+                prop_assert_eq!(
+                    a.1.to_bits(), b.1.to_bits(),
+                    "estimates_full not bit-identical to fresh predict for {}", a.0
+                );
+            }
+
+            // (2) Remaining costs and point estimates vs the naive shadow.
+            let reference = predict_reference(&extracted, &[], None, None, inc.rate());
+            for q in &shadow.live {
+                if q.cost < 1e-3 || !inc.contains(q.id) {
+                    continue;
+                }
+                let rc = inc.remaining_cost(q.id).unwrap();
+                prop_assert!(
+                    (rc - q.cost).abs() <= 1e-6 * q.cost.max(1.0),
+                    "remaining_cost({}) = {} vs shadow {}", q.id, rc, q.cost
+                );
+                let est = inc.estimate(q.id).unwrap();
+                let oracle = fresh.remaining_for(q.id).unwrap();
+                prop_assert!(
+                    (est - oracle).abs() <= 1e-6 * oracle.max(1.0),
+                    "estimate({}) = {} vs oracle {}", q.id, est, oracle
+                );
+                // (3) And the dense reference timeline agrees.
+                let rf = reference.remaining_for(q.id).unwrap();
+                prop_assert!(
+                    (est - rf).abs() <= 1e-5 * rf.max(1.0),
+                    "estimate({}) = {} vs reference {}", q.id, est, rf
+                );
+            }
+        }
+    }
+
+    /// Checkpointing at a random cut of the stream: byte-identical
+    /// re-encode, bit-identical estimates, identical future evolution.
+    #[test]
+    fn checkpoint_cut_preserves_everything(ops in arb_ops(40), rate0 in 20.0f64..200.0, cut in 0.0f64..1.0) {
+        let mut inc = IncrementalFluid::new(rate0);
+        let mut next_id = 0u64;
+        let mut live: Vec<u64> = Vec::new();
+        let cut_at = (cut * ops.len() as f64) as usize;
+        let mut due = Vec::new();
+
+        let apply = |inc: &mut IncrementalFluid, live: &mut Vec<u64>, next_id: &mut u64, due: &mut Vec<u64>, op: Op| {
+            match op {
+                Op::Arrive { cost, weight } => {
+                    inc.arrive(*next_id, cost, weight);
+                    live.push(*next_id);
+                    *next_id += 1;
+                }
+                Op::Finish { pick } | Op::Abort { pick } => {
+                    if !live.is_empty() {
+                        let i = ((pick * live.len() as f64) as usize).min(live.len() - 1);
+                        let id = live.swap_remove(i);
+                        inc.finish(id);
+                    }
+                }
+                Op::Reweight { pick, weight } => {
+                    if !live.is_empty() {
+                        let i = ((pick * live.len() as f64) as usize).min(live.len() - 1);
+                        inc.reweight(live[i], weight);
+                    }
+                }
+                Op::RefineCost { pick, cost } => {
+                    if !live.is_empty() {
+                        let i = ((pick * live.len() as f64) as usize).min(live.len() - 1);
+                        inc.refine_cost(live[i], cost);
+                    }
+                }
+                Op::SetRate { rate } => inc.set_rate(rate),
+                Op::Advance { dt } => {
+                    inc.advance(dt);
+                    due.clear();
+                    inc.drain_due(due);
+                    live.retain(|id| inc.contains(*id));
+                }
+            }
+        };
+
+        for &op in &ops[..cut_at] {
+            apply(&mut inc, &mut live, &mut next_id, &mut due, op);
+        }
+
+        let mut e = mqpi_ckpt::Enc::new();
+        inc.encode(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = mqpi_ckpt::Dec::new(&bytes);
+        let mut restored = IncrementalFluid::decode(&mut d).expect("decode");
+        prop_assert!(d.is_exhausted());
+
+        let mut e2 = mqpi_ckpt::Enc::new();
+        restored.encode(&mut e2);
+        prop_assert_eq!(&bytes, &e2.into_bytes(), "re-encode must be byte-identical");
+
+        // Replay the tail of the stream against both structures.
+        let mut live2 = live.clone();
+        let mut next2 = next_id;
+        let mut due2 = Vec::new();
+        for &op in &ops[cut_at..] {
+            apply(&mut inc, &mut live, &mut next_id, &mut due, op);
+            apply(&mut restored, &mut live2, &mut next2, &mut due2, op);
+            prop_assert_eq!(inc.len(), restored.len());
+            prop_assert_eq!(inc.virtual_time().to_bits(), restored.virtual_time().to_bits());
+            for &id in &live {
+                match (inc.estimate(id), restored.estimate(id)) {
+                    (Some(a), Some(b)) => prop_assert_eq!(
+                        a.to_bits(), b.to_bits(),
+                        "estimate({}) diverged after restore", id
+                    ),
+                    (a, b) => prop_assert_eq!(a.is_some(), b.is_some()),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,1036 @@
+//! `mqpi-pi` — a long-running, multi-session progress-indicator service.
+//!
+//! The paper's prototype answers "how much longer?" for queries inside one
+//! DBMS process; the deployment shape the ROADMAP targets is a *service*:
+//! thousands of concurrent sessions submitting queries against one shared
+//! predictor and arrival model, each subscribed to a stream of refreshed
+//! estimates. [`PiService`] provides exactly that:
+//!
+//! * **One shared model.** All sessions feed a single
+//!   [`IncrementalFluid`] — every arrival, finish, abort, re-weight, and
+//!   rate change is an `O(log n)` delta update, never a rebuild — plus one
+//!   shared Gamma-Poisson arrival-rate estimator and mean-cost estimator
+//!   (§2.4/§5.2.3) used when a full [`EstimateSet`] injects predicted
+//!   future arrivals.
+//! * **Epsilon-push subscriptions.** Sessions subscribe to query ids;
+//!   [`PiService::pump`] walks subscriptions with `O(log n)` point queries
+//!   and pushes a refreshed estimate only when it moved by more than the
+//!   configured epsilon since the last push (completions always push a
+//!   final zero). Estimates that moved less are suppressed — the
+//!   "don't wake a million clients per tick" half of the design.
+//! * **Deterministic and checkpointable.** The service runs on the caller's
+//!   virtual clock ([`PiService::advance`]); identical call sequences
+//!   produce bit-identical pushes, and [`PiService::checkpoint`] /
+//!   [`PiService::restore`] round-trip the whole service (model, sessions,
+//!   subscriptions, arrival statistics) through `mqpi-ckpt` containers with
+//!   byte-identical re-encodes — the SIGKILL-resume CI job serves the same
+//!   estimate stream after a kill as an uninterrupted run.
+//!
+//! [`mirror::SystemMirror`] connects the service world to the simulator:
+//! it consumes the [`mqpi_sim::System`] delta-event feed and maintains the
+//! same incremental model the service uses, so a simulated RDBMS can drive
+//! live subscriptions without ever rebuilding from snapshots.
+
+use std::collections::VecDeque;
+
+use mqpi_ckpt::{CkptError, Dec, Enc};
+use mqpi_core::adaptive::MeanCostEstimator;
+use mqpi_core::{ArrivalRateEstimator, EstimateSet, FluidQuery, FutureArrivals, IncrementalFluid};
+use mqpi_obs::Obs;
+
+pub mod mirror;
+
+pub use mirror::SystemMirror;
+
+const NIL: u32 = u32::MAX;
+
+/// Checkpoint payload kind for a serialized [`PiService`].
+pub const CKPT_KIND_SERVICE: &str = "pi-service";
+
+/// A registered session, identified by a dense slot index. Slots are
+/// reused after [`PiService::close_session`], so holders must not use ids
+/// across a close.
+pub type SessionId = u32;
+
+/// Service configuration.
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+pub struct PiConfig {
+    /// Aggregate processing rate `C` (work units per second).
+    pub rate: f64,
+    /// Push threshold in seconds: a subscription is pushed only when its
+    /// estimate moved by more than this since the last push.
+    pub epsilon: f64,
+    /// Admission limit (`None` = unlimited): queries beyond it wait in a
+    /// FIFO queue, exactly like `fluid::predict`'s `slots` input.
+    pub slots: Option<usize>,
+    /// Prior arrival rate λ′ for the shared arrival model.
+    pub lambda_prior: f64,
+    /// Strength of the λ prior, in seconds of pseudo-observation.
+    pub lambda_prior_time: f64,
+    /// Prior mean query cost c̄′ for the shared cost model.
+    pub cost_prior: f64,
+    /// Strength of the cost prior, in pseudo-samples.
+    pub cost_prior_strength: f64,
+}
+
+impl Default for PiConfig {
+    fn default() -> Self {
+        PiConfig {
+            rate: 100.0,
+            epsilon: 0.25,
+            slots: None,
+            lambda_prior: 0.0,
+            lambda_prior_time: 60.0,
+            cost_prior: 500.0,
+            cost_prior_strength: 3.0,
+        }
+    }
+}
+
+/// One estimate pushed to a subscribed session.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EstimatePush {
+    /// Receiving session.
+    pub session: SessionId,
+    /// Subject query.
+    pub query: u64,
+    /// Service virtual time of the push.
+    pub at: f64,
+    /// Remaining seconds (0 for a final push).
+    pub estimate: f64,
+    /// True when the query left the system; the subscription is closed
+    /// after this push.
+    pub done: bool,
+}
+
+/// Service counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PiStats {
+    pub submitted: u64,
+    pub completed: u64,
+    pub aborted: u64,
+    pub pumps: u64,
+    /// Estimate pushes delivered (including finals).
+    pub pushes: u64,
+    /// Pump visits whose estimate moved ≤ epsilon (no push).
+    pub suppressed: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Session {
+    alive: bool,
+    /// Head of this session's subscription chain.
+    sub_head: u32,
+}
+
+/// A subscription lives on two intrusive doubly-linked chains — its
+/// session's (for `close_session`) and its query's (for final pushes) —
+/// so slot reclamation is O(1) with no allocation. Invariant: every
+/// chained slot is active; inactive slots are on the free list only.
+#[derive(Debug, Clone, Copy)]
+struct Sub {
+    active: bool,
+    session: u32,
+    query: u64,
+    /// Last pushed estimate (NaN = never pushed; first pump always pushes).
+    last_push: f64,
+    next_in_session: u32,
+    prev_in_session: u32,
+    next_same_query: u32,
+    prev_same_query: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Queued {
+    id: u64,
+    cost: f64,
+    weight: f64,
+}
+
+/// The always-on PI session service. See the crate docs for the design.
+#[derive(Debug)]
+pub struct PiService {
+    cfg: PiConfig,
+    clock: f64,
+    fluid: IncrementalFluid,
+    queue: VecDeque<Queued>,
+    /// Queued entries by id (small; admission keeps this short-lived).
+    sessions: Vec<Session>,
+    session_free: Vec<u32>,
+    subs: Vec<Sub>,
+    sub_free: Vec<u32>,
+    /// query id → head of its subscriber chain. Sorted-key encoding keeps
+    /// checkpoints canonical; lookups go through a plain hash map.
+    by_query: std::collections::HashMap<u64, u32>,
+    next_query: u64,
+    arrivals: ArrivalRateEstimator,
+    mean_cost: MeanCostEstimator,
+    /// Arrivals seen since the last `advance` (fed to the rate estimator).
+    pending_arrivals: u64,
+    /// Queries that departed since the last pump; their subscribers get a
+    /// final push.
+    pending_final: Vec<u64>,
+    stats: PiStats,
+    obs: Obs,
+    scratch_done: Vec<u64>,
+    scratch_queued: Vec<FluidQuery>,
+}
+
+impl PiService {
+    /// # Panics
+    /// Panics if the configuration is invalid (non-positive rate or
+    /// epsilon, zero slots, negative priors).
+    pub fn new(cfg: PiConfig) -> Self {
+        Self::with_capacity(cfg, 0)
+    }
+
+    /// Pre-size internal storage for `cap` concurrent queries/sessions so
+    /// the steady state never allocates.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid.
+    pub fn with_capacity(cfg: PiConfig, cap: usize) -> Self {
+        assert!(cfg.rate > 0.0, "rate must be positive");
+        assert!(cfg.epsilon >= 0.0, "epsilon must be non-negative");
+        if let Some(k) = cfg.slots {
+            assert!(k >= 1, "admission limit must be at least 1");
+        }
+        PiService {
+            cfg,
+            clock: 0.0,
+            fluid: IncrementalFluid::with_capacity(cfg.rate, cap),
+            queue: VecDeque::with_capacity(cap.min(1024)),
+            sessions: Vec::with_capacity(cap),
+            session_free: Vec::with_capacity(cap.min(1024)),
+            subs: Vec::with_capacity(cap),
+            sub_free: Vec::with_capacity(cap.min(1024)),
+            by_query: std::collections::HashMap::with_capacity(cap),
+            next_query: 1,
+            arrivals: ArrivalRateEstimator::new(cfg.lambda_prior, cfg.lambda_prior_time),
+            mean_cost: MeanCostEstimator::new(cfg.cost_prior, cfg.cost_prior_strength),
+            pending_arrivals: 0,
+            pending_final: Vec::with_capacity(cap.min(1024)),
+            stats: PiStats::default(),
+            obs: Obs::disabled(),
+            scratch_done: Vec::with_capacity(cap.min(1024)),
+            scratch_queued: Vec::with_capacity(cap.min(1024)),
+        }
+    }
+
+    /// Install an observability handle (disabled by default).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    pub fn config(&self) -> &PiConfig {
+        &self.cfg
+    }
+
+    /// Service virtual time.
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+
+    /// Currently admitted (live) queries.
+    pub fn live_queries(&self) -> usize {
+        self.fluid.len()
+    }
+
+    /// Currently queued queries.
+    pub fn queued_queries(&self) -> usize {
+        self.queue.len()
+    }
+
+    pub fn stats(&self) -> PiStats {
+        self.stats
+    }
+
+    /// Delta counters of the underlying incremental model.
+    pub fn delta_counters(&self) -> mqpi_core::DeltaCounters {
+        self.fluid.counters()
+    }
+
+    /// Current shared arrival-rate estimate λ.
+    pub fn lambda(&self) -> f64 {
+        self.arrivals.lambda()
+    }
+
+    /// Register a session. Sessions receive pushes for queries they
+    /// submitted or subscribed to.
+    pub fn register_session(&mut self) -> SessionId {
+        let rec = Session {
+            alive: true,
+            sub_head: NIL,
+        };
+        if let Some(s) = self.session_free.pop() {
+            self.sessions[s as usize] = rec;
+            s
+        } else {
+            self.sessions.push(rec);
+            (self.sessions.len() - 1) as u32
+        }
+    }
+
+    /// Deactivate a session and all its subscriptions. Its queries keep
+    /// running (ownership is not tracked; aborts are explicit).
+    pub fn close_session(&mut self, sid: SessionId) {
+        let Some(s) = self.sessions.get_mut(sid as usize) else {
+            return;
+        };
+        if !s.alive {
+            return;
+        }
+        s.alive = false;
+        let mut cur = s.sub_head;
+        s.sub_head = NIL;
+        while cur != NIL {
+            let next = self.subs[cur as usize].next_in_session;
+            self.unlink_from_query(cur);
+            self.subs[cur as usize].active = false;
+            self.sub_free.push(cur);
+            cur = next;
+        }
+        self.session_free.push(sid);
+    }
+
+    /// Remove a sub slot from its query's chain (head map updated/removed).
+    fn unlink_from_query(&mut self, slot: u32) {
+        let Sub {
+            query,
+            prev_same_query: p,
+            next_same_query: n,
+            ..
+        } = self.subs[slot as usize];
+        if p == NIL {
+            if n == NIL {
+                self.by_query.remove(&query);
+            } else {
+                self.by_query.insert(query, n);
+            }
+        } else {
+            self.subs[p as usize].next_same_query = n;
+        }
+        if n != NIL {
+            self.subs[n as usize].prev_same_query = p;
+        }
+    }
+
+    /// Remove a sub slot from its session's chain.
+    fn unlink_from_session(&mut self, slot: u32) {
+        let Sub {
+            session,
+            prev_in_session: p,
+            next_in_session: n,
+            ..
+        } = self.subs[slot as usize];
+        if p == NIL {
+            self.sessions[session as usize].sub_head = n;
+        } else {
+            self.subs[p as usize].next_in_session = n;
+        }
+        if n != NIL {
+            self.subs[n as usize].prev_in_session = p;
+        }
+    }
+
+    fn session_alive(&self, sid: SessionId) -> bool {
+        self.sessions
+            .get(sid as usize)
+            .is_some_and(|session| session.alive)
+    }
+
+    /// Submit a query on behalf of `session`; it is admitted immediately
+    /// when a slot is free, else queued FIFO. The submitting session is
+    /// auto-subscribed. Returns the query id.
+    ///
+    /// # Panics
+    /// Panics if the session is not alive or `weight` is not positive.
+    pub fn submit(&mut self, session: SessionId, cost: f64, weight: f64) -> u64 {
+        assert!(self.session_alive(session), "no such session {session}");
+        assert!(weight > 0.0, "scheduling weight must be positive");
+        let id = self.next_query;
+        self.next_query += 1;
+        self.mean_cost.observe(cost.max(0.0));
+        self.pending_arrivals += 1;
+        let admit = self.queue.is_empty() && self.cfg.slots.is_none_or(|k| self.fluid.len() < k);
+        if admit {
+            self.fluid.arrive(id, cost, weight);
+        } else {
+            self.queue.push_back(Queued { id, cost, weight });
+        }
+        self.stats.submitted += 1;
+        if self.obs.is_enabled() {
+            self.obs.counter_add("pi.submitted", 1);
+            self.obs.counter_add(
+                if admit {
+                    "pi.delta.arrive"
+                } else {
+                    "pi.enqueued"
+                },
+                1,
+            );
+        }
+        self.subscribe(session, id);
+        id
+    }
+
+    /// Subscribe a session to a query's estimate stream. No-op for dead
+    /// sessions or queries that already left the system.
+    pub fn subscribe(&mut self, session: SessionId, query: u64) {
+        if !self.session_alive(session) {
+            return;
+        }
+        if !self.fluid.contains(query) && !self.queue.iter().any(|q| q.id == query) {
+            return;
+        }
+        let next_ss = self.sessions[session as usize].sub_head;
+        let next_sq = self.by_query.get(&query).copied().unwrap_or(NIL);
+        let rec = Sub {
+            active: true,
+            session,
+            query,
+            last_push: f64::NAN,
+            next_in_session: next_ss,
+            prev_in_session: NIL,
+            next_same_query: next_sq,
+            prev_same_query: NIL,
+        };
+        let slot = if let Some(s) = self.sub_free.pop() {
+            self.subs[s as usize] = rec;
+            s
+        } else {
+            self.subs.push(rec);
+            (self.subs.len() - 1) as u32
+        };
+        if next_ss != NIL {
+            self.subs[next_ss as usize].prev_in_session = slot;
+        }
+        if next_sq != NIL {
+            self.subs[next_sq as usize].prev_same_query = slot;
+        }
+        self.sessions[session as usize].sub_head = slot;
+        self.by_query.insert(query, slot);
+        if self.obs.is_enabled() {
+            self.obs.counter_add("pi.subscribed", 1);
+        }
+    }
+
+    fn depart(&mut self, id: u64) {
+        if self.by_query.contains_key(&id) {
+            self.pending_final.push(id);
+        }
+    }
+
+    fn admit_from_queue(&mut self) {
+        while self.cfg.slots.is_none_or(|k| self.fluid.len() < k) {
+            let Some(q) = self.queue.pop_front() else {
+                break;
+            };
+            self.fluid.arrive(q.id, q.cost, q.weight);
+            if self.obs.is_enabled() {
+                self.obs.counter_add("pi.delta.arrive", 1);
+            }
+        }
+    }
+
+    /// Advance the service clock by `dt` seconds: the shared model runs
+    /// forward, queries whose completion tags are crossed depart (their
+    /// subscribers get a final push on the next [`PiService::pump`]), and
+    /// freed slots admit from the queue.
+    pub fn advance(&mut self, dt: f64) {
+        let dt = dt.max(0.0);
+        self.clock += dt;
+        self.arrivals.observe(dt, self.pending_arrivals);
+        self.pending_arrivals = 0;
+        self.fluid.advance(dt);
+        self.scratch_done.clear();
+        self.fluid.drain_due(&mut self.scratch_done);
+        if !self.scratch_done.is_empty() {
+            let done = std::mem::take(&mut self.scratch_done);
+            for &id in &done {
+                self.stats.completed += 1;
+                self.depart(id);
+            }
+            self.scratch_done = done;
+            self.admit_from_queue();
+            if self.obs.is_enabled() {
+                self.obs
+                    .counter_add("pi.completed", self.scratch_done.len() as u64);
+            }
+        }
+    }
+
+    /// Abort a query (live or queued). Subscribers get a final push on the
+    /// next pump. Returns false if the query is unknown.
+    pub fn abort(&mut self, query: u64) -> bool {
+        if self.fluid.abort(query) {
+            self.stats.aborted += 1;
+            self.depart(query);
+            self.admit_from_queue();
+            if self.obs.is_enabled() {
+                self.obs.counter_add("pi.delta.abort", 1);
+            }
+            return true;
+        }
+        if let Some(pos) = self.queue.iter().position(|q| q.id == query) {
+            self.queue.remove(pos);
+            self.stats.aborted += 1;
+            self.depart(query);
+            return true;
+        }
+        false
+    }
+
+    /// Change a live query's scheduling weight (priority change, §4).
+    /// Returns false when the query is not currently admitted.
+    pub fn reweight(&mut self, query: u64, weight: f64) -> bool {
+        assert!(weight > 0.0, "scheduling weight must be positive");
+        if self.fluid.reweight(query, weight) {
+            if self.obs.is_enabled() {
+                self.obs.counter_add("pi.delta.reweight", 1);
+            }
+            return true;
+        }
+        if let Some(q) = self.queue.iter_mut().find(|q| q.id == query) {
+            q.weight = weight;
+            return true;
+        }
+        false
+    }
+
+    /// Replace a live query's remaining-cost estimate (cost refinement).
+    pub fn refine_cost(&mut self, query: u64, cost: f64) -> bool {
+        let ok = self.fluid.refine_cost(query, cost);
+        if ok && self.obs.is_enabled() {
+            self.obs.counter_add("pi.delta.refine", 1);
+        }
+        ok
+    }
+
+    /// Change the aggregate rate `C` — O(1) in the incremental model.
+    pub fn set_rate(&mut self, rate: f64) {
+        assert!(rate > 0.0, "rate must be positive");
+        self.fluid.set_rate(rate);
+        if self.obs.is_enabled() {
+            self.obs.counter_add("pi.delta.rate", 1);
+        }
+    }
+
+    /// Walk all subscriptions and push refreshed estimates into `out`:
+    /// final zero-estimates for departed queries first (closing those
+    /// subscriptions), then an `O(log n)` point estimate per live
+    /// subscription, pushed only when it moved more than epsilon since the
+    /// last push. Queued (not yet admitted) queries are not point-queried;
+    /// their subscribers are pushed once admission gives them a tag.
+    ///
+    /// Push order is deterministic: finals in departure order, then
+    /// subscriptions in slot order. Appends to `out` without clearing it.
+    pub fn pump(&mut self, out: &mut Vec<EstimatePush>) {
+        let _span = self.obs.span("pi.pump");
+        self.stats.pumps += 1;
+        let finals = std::mem::take(&mut self.pending_final);
+        for &query in &finals {
+            let Some(&head) = self.by_query.get(&query) else {
+                continue;
+            };
+            let mut cur = head;
+            while cur != NIL {
+                let sub = self.subs[cur as usize];
+                out.push(EstimatePush {
+                    session: sub.session,
+                    query,
+                    at: self.clock,
+                    estimate: 0.0,
+                    done: true,
+                });
+                self.stats.pushes += 1;
+                self.unlink_from_session(cur);
+                self.subs[cur as usize].active = false;
+                self.sub_free.push(cur);
+                cur = sub.next_same_query;
+            }
+            self.by_query.remove(&query);
+        }
+        let mut finals = finals;
+        finals.clear();
+        self.pending_final = finals;
+        for slot in 0..self.subs.len() {
+            let sub = self.subs[slot];
+            if !sub.active {
+                continue;
+            }
+            let Some(est) = self.fluid.estimate(sub.query) else {
+                continue; // queued behind the admission limit
+            };
+            let moved = sub.last_push.is_nan() || (est - sub.last_push).abs() > self.cfg.epsilon;
+            if moved {
+                out.push(EstimatePush {
+                    session: sub.session,
+                    query: sub.query,
+                    at: self.clock,
+                    estimate: est,
+                    done: false,
+                });
+                self.subs[slot].last_push = est;
+                self.stats.pushes += 1;
+            } else {
+                self.stats.suppressed += 1;
+            }
+        }
+        if self.obs.is_enabled() {
+            self.obs.counter_add("pi.pump.calls", 1);
+            let c = self.fluid.counters();
+            let deltas = c.arrivals
+                + c.finishes
+                + c.aborts
+                + c.reweights
+                + c.cost_refinements
+                + c.rate_changes
+                + c.completions;
+            self.obs.gauge_set(
+                "pi.rebuilds.avoided",
+                deltas.saturating_sub(c.full_rebuilds) as f64,
+            );
+            self.obs.gauge_set("pi.live", self.fluid.len() as f64);
+            self.obs.counter_add("pi.push.sent", self.stats.pushes);
+        }
+    }
+
+    /// Full [`EstimateSet`] over live and queued queries, injecting
+    /// predicted future arrivals from the shared arrival model — the cold
+    /// path, running the exact `predict` kernel over the maintained state
+    /// (bit-identical to a fresh call; see `IncrementalFluid` docs).
+    pub fn estimates(&mut self) -> EstimateSet {
+        let _span = self.obs.span("pi.estimates_full");
+        let mut queued = std::mem::take(&mut self.scratch_queued);
+        queued.clear();
+        queued.extend(self.queue.iter().map(|q| FluidQuery {
+            id: q.id,
+            cost: q.cost,
+            weight: q.weight,
+        }));
+        let future = FutureArrivals::from_rate(self.arrivals.lambda(), self.mean_cost.mean(), 1.0);
+        let p = self
+            .fluid
+            .estimates_full(&queued, self.cfg.slots, future.as_ref());
+        self.scratch_queued = queued;
+        if self.obs.is_enabled() {
+            self.obs.counter_add("pi.rebuilds.full", 1);
+        }
+        EstimateSet::from_pairs(p.finish_times.iter().copied(), p.truncated)
+    }
+
+    /// Serialize the whole service into a versioned, CRC-checked container
+    /// ([`CKPT_KIND_SERVICE`]). Re-encoding a restored service is
+    /// byte-identical, and a restored service serves bit-identical pushes.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.put_f64(self.cfg.rate);
+        e.put_f64(self.cfg.epsilon);
+        match self.cfg.slots {
+            None => e.put_bool(false),
+            Some(k) => {
+                e.put_bool(true);
+                e.put_usize(k);
+            }
+        }
+        e.put_f64(self.cfg.lambda_prior);
+        e.put_f64(self.cfg.lambda_prior_time);
+        e.put_f64(self.cfg.cost_prior);
+        e.put_f64(self.cfg.cost_prior_strength);
+        e.put_f64(self.clock);
+        e.put_u64(self.next_query);
+        e.put_u64(self.pending_arrivals);
+        self.fluid.encode(&mut e);
+        self.arrivals.encode(&mut e);
+        self.mean_cost.encode(&mut e);
+        e.put_usize(self.queue.len());
+        for q in &self.queue {
+            e.put_u64(q.id);
+            e.put_f64(q.cost);
+            e.put_f64(q.weight);
+        }
+        e.put_usize(self.sessions.len());
+        for s in &self.sessions {
+            e.put_bool(s.alive);
+            e.put_u32(s.sub_head);
+        }
+        e.put_usize(self.session_free.len());
+        for &s in &self.session_free {
+            e.put_u32(s);
+        }
+        e.put_usize(self.subs.len());
+        for s in &self.subs {
+            e.put_bool(s.active);
+            e.put_u32(s.session);
+            e.put_u64(s.query);
+            e.put_f64(s.last_push);
+            e.put_u32(s.next_in_session);
+            e.put_u32(s.prev_in_session);
+            e.put_u32(s.next_same_query);
+            e.put_u32(s.prev_same_query);
+        }
+        e.put_usize(self.sub_free.len());
+        for &s in &self.sub_free {
+            e.put_u32(s);
+        }
+        // Canonical order for the query→subscriber-chain heads.
+        let mut heads: Vec<(u64, u32)> = self.by_query.iter().map(|(&q, &h)| (q, h)).collect();
+        heads.sort_unstable_by_key(|&(q, _)| q);
+        e.put_usize(heads.len());
+        for (q, h) in heads {
+            e.put_u64(q);
+            e.put_u32(h);
+        }
+        e.put_usize(self.pending_final.len());
+        for &q in &self.pending_final {
+            e.put_u64(q);
+        }
+        for v in [
+            self.stats.submitted,
+            self.stats.completed,
+            self.stats.aborted,
+            self.stats.pumps,
+            self.stats.pushes,
+            self.stats.suppressed,
+        ] {
+            e.put_u64(v);
+        }
+        mqpi_ckpt::encode_container(CKPT_KIND_SERVICE, &e.into_bytes())
+    }
+
+    /// Rebuild a service from [`PiService::checkpoint`] bytes. The restored
+    /// service has a disabled obs handle; re-install with
+    /// [`PiService::set_obs`].
+    pub fn restore(bytes: &[u8]) -> Result<Self, CkptError> {
+        let payload = mqpi_ckpt::decode_container(bytes, CKPT_KIND_SERVICE)?;
+        let mut d = Dec::new(&payload);
+        let rate = d.get_f64()?;
+        let epsilon = d.get_f64()?;
+        let slots = if d.get_bool()? {
+            Some(d.get_usize()?)
+        } else {
+            None
+        };
+        let cfg = PiConfig {
+            rate,
+            epsilon,
+            slots,
+            lambda_prior: d.get_f64()?,
+            lambda_prior_time: d.get_f64()?,
+            cost_prior: d.get_f64()?,
+            cost_prior_strength: d.get_f64()?,
+        };
+        if cfg.rate.is_nan() || cfg.rate <= 0.0 || cfg.epsilon.is_nan() || cfg.epsilon < 0.0 {
+            return Err(CkptError::Corrupt(
+                "invalid service configuration in checkpoint".into(),
+            ));
+        }
+        if cfg.slots == Some(0) {
+            return Err(CkptError::Corrupt(
+                "zero admission slots in checkpoint".into(),
+            ));
+        }
+        let clock = d.get_f64()?;
+        let next_query = d.get_u64()?;
+        let pending_arrivals = d.get_u64()?;
+        // The model owns the live rate (set_rate applies there); cfg.rate
+        // is only the construction-time value. Both travel in the payload.
+        let fluid = IncrementalFluid::decode(&mut d)?;
+        let arrivals = ArrivalRateEstimator::decode(&mut d)?;
+        let mean_cost = MeanCostEstimator::decode(&mut d)?;
+        let nq = d.get_usize()?;
+        let mut queue = VecDeque::with_capacity(nq.min(1 << 20));
+        for _ in 0..nq {
+            queue.push_back(Queued {
+                id: d.get_u64()?,
+                cost: d.get_f64()?,
+                weight: d.get_f64()?,
+            });
+        }
+        let ns = d.get_usize()?;
+        let mut sessions = Vec::with_capacity(ns.min(1 << 20));
+        for _ in 0..ns {
+            sessions.push(Session {
+                alive: d.get_bool()?,
+                sub_head: d.get_u32()?,
+            });
+        }
+        let nf = d.get_usize()?;
+        let mut session_free = Vec::with_capacity(nf.min(1 << 20));
+        for _ in 0..nf {
+            session_free.push(d.get_u32()?);
+        }
+        let nsub = d.get_usize()?;
+        let mut subs = Vec::with_capacity(nsub.min(1 << 20));
+        for _ in 0..nsub {
+            subs.push(Sub {
+                active: d.get_bool()?,
+                session: d.get_u32()?,
+                query: d.get_u64()?,
+                last_push: d.get_f64()?,
+                next_in_session: d.get_u32()?,
+                prev_in_session: d.get_u32()?,
+                next_same_query: d.get_u32()?,
+                prev_same_query: d.get_u32()?,
+            });
+        }
+        let nsf = d.get_usize()?;
+        let mut sub_free = Vec::with_capacity(nsf.min(1 << 20));
+        for _ in 0..nsf {
+            sub_free.push(d.get_u32()?);
+        }
+        let nh = d.get_usize()?;
+        let mut by_query = std::collections::HashMap::with_capacity(nh.min(1 << 20));
+        for _ in 0..nh {
+            let q = d.get_u64()?;
+            let h = d.get_u32()?;
+            if h != NIL && h as usize >= subs.len() {
+                return Err(CkptError::Corrupt(format!(
+                    "subscriber head {h} beyond {} subs",
+                    subs.len()
+                )));
+            }
+            by_query.insert(q, h);
+        }
+        let npf = d.get_usize()?;
+        let mut pending_final = Vec::with_capacity(npf.min(1 << 20));
+        for _ in 0..npf {
+            pending_final.push(d.get_u64()?);
+        }
+        let stats = PiStats {
+            submitted: d.get_u64()?,
+            completed: d.get_u64()?,
+            aborted: d.get_u64()?,
+            pumps: d.get_u64()?,
+            pushes: d.get_u64()?,
+            suppressed: d.get_u64()?,
+        };
+        if !d.is_exhausted() {
+            return Err(CkptError::Corrupt(format!(
+                "{} trailing bytes after service state",
+                d.remaining()
+            )));
+        }
+        Ok(PiService {
+            cfg,
+            clock,
+            fluid,
+            queue,
+            sessions,
+            session_free,
+            subs,
+            sub_free,
+            by_query,
+            next_query,
+            arrivals,
+            mean_cost,
+            pending_arrivals,
+            pending_final,
+            stats,
+            obs: Obs::disabled(),
+            scratch_done: Vec::new(),
+            scratch_queued: Vec::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn svc(slots: Option<usize>) -> PiService {
+        PiService::new(PiConfig {
+            rate: 100.0,
+            epsilon: 0.25,
+            slots,
+            ..PiConfig::default()
+        })
+    }
+
+    #[test]
+    fn submit_advance_pump_lifecycle() {
+        let mut s = svc(None);
+        let sid = s.register_session();
+        let q1 = s.submit(sid, 100.0, 1.0);
+        let q2 = s.submit(sid, 300.0, 1.0);
+        let mut out = Vec::new();
+        s.pump(&mut out);
+        assert_eq!(out.len(), 2, "first pump pushes both");
+        // Fluid: q1 finishes at 2s, q2 at 4s.
+        out.clear();
+        s.advance(2.0);
+        s.pump(&mut out);
+        let f: Vec<_> = out.iter().filter(|p| p.done).collect();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].query, q1);
+        assert_eq!(f[0].estimate, 0.0);
+        let live: Vec<_> = out.iter().filter(|p| !p.done).collect();
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].query, q2);
+        assert!((live[0].estimate - 2.0).abs() < 1e-6);
+        out.clear();
+        s.advance(5.0);
+        s.pump(&mut out);
+        assert!(out.iter().any(|p| p.done && p.query == q2));
+        assert_eq!(s.live_queries(), 0);
+    }
+
+    #[test]
+    fn epsilon_suppresses_small_moves() {
+        let mut s = svc(None);
+        let sid = s.register_session();
+        let q = s.submit(sid, 10_000.0, 1.0);
+        let mut out = Vec::new();
+        s.pump(&mut out); // first push always
+        assert_eq!(out.len(), 1);
+        out.clear();
+        // A single lonely query's estimate shrinks 1:1 with time; a move of
+        // 0.1 s is under epsilon = 0.25.
+        s.advance(0.1);
+        s.pump(&mut out);
+        assert!(out.is_empty(), "move under epsilon must be suppressed");
+        assert_eq!(s.stats().suppressed, 1);
+        // Another query doubling the load moves the estimate by ~100 s.
+        s.submit(sid, 10_000.0, 1.0);
+        s.advance(0.1);
+        s.pump(&mut out);
+        assert!(out.iter().any(|p| p.query == q && !p.done));
+    }
+
+    #[test]
+    fn admission_queue_defers_point_pushes_until_admitted() {
+        let mut s = svc(Some(1));
+        let sid = s.register_session();
+        let q1 = s.submit(sid, 100.0, 1.0);
+        let q2 = s.submit(sid, 100.0, 1.0);
+        assert_eq!(s.live_queries(), 1);
+        assert_eq!(s.queued_queries(), 1);
+        let mut out = Vec::new();
+        s.pump(&mut out);
+        assert_eq!(out.len(), 1, "queued query has no point estimate yet");
+        assert_eq!(out[0].query, q1);
+        // Full estimates still cover the queued query.
+        let full = s.estimates();
+        assert!(full.get(q2).is_some());
+        out.clear();
+        s.advance(1.0); // q1 done; q2 admitted
+        s.pump(&mut out);
+        assert!(out.iter().any(|p| p.done && p.query == q1));
+        assert!(out.iter().any(|p| !p.done && p.query == q2));
+    }
+
+    #[test]
+    fn abort_live_and_queued() {
+        let mut s = svc(Some(1));
+        let sid = s.register_session();
+        let q1 = s.submit(sid, 100.0, 1.0);
+        let q2 = s.submit(sid, 100.0, 1.0);
+        assert!(s.abort(q2), "queued abort");
+        assert!(s.abort(q1), "live abort");
+        assert!(!s.abort(999));
+        let mut out = Vec::new();
+        s.pump(&mut out);
+        assert_eq!(out.iter().filter(|p| p.done).count(), 2);
+        assert_eq!(s.stats().aborted, 2);
+    }
+
+    #[test]
+    fn closed_sessions_receive_nothing() {
+        let mut s = svc(None);
+        let a = s.register_session();
+        let b = s.register_session();
+        let q = s.submit(a, 500.0, 1.0);
+        s.subscribe(b, q);
+        s.close_session(b);
+        let mut out = Vec::new();
+        s.pump(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].session, a);
+    }
+
+    #[test]
+    fn deterministic_replay_is_bit_identical() {
+        let run = || {
+            let mut s = svc(Some(4));
+            let sids: Vec<_> = (0..8).map(|_| s.register_session()).collect();
+            let mut out = Vec::new();
+            for i in 0..50u64 {
+                let sid = sids[(i % 8) as usize];
+                s.submit(sid, 50.0 + (i * 37 % 900) as f64, 1.0 + (i % 3) as f64);
+                s.advance(0.25);
+                if i % 7 == 0 {
+                    s.set_rate(80.0 + (i % 5) as f64 * 10.0);
+                }
+                s.pump(&mut out);
+            }
+            out
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.session, y.session);
+            assert_eq!(x.query, y.query);
+            assert_eq!(x.at.to_bits(), y.at.to_bits());
+            assert_eq!(x.estimate.to_bits(), y.estimate.to_bits());
+            assert_eq!(x.done, y.done);
+        }
+    }
+
+    #[test]
+    fn checkpoint_restore_serves_identical_stream() {
+        let mut s = svc(Some(8));
+        let sids: Vec<_> = (0..16).map(|_| s.register_session()).collect();
+        let mut out = Vec::new();
+        for i in 0..60u64 {
+            s.submit(sids[(i % 16) as usize], 100.0 + i as f64, 1.0);
+            s.advance(0.2);
+            s.pump(&mut out);
+        }
+        let bytes = s.checkpoint();
+        let mut r = PiService::restore(&bytes).expect("restore");
+        assert_eq!(bytes, r.checkpoint(), "re-encode must be byte-identical");
+        // Continue both worlds identically; streams must match bit-for-bit.
+        let (mut oa, mut ob) = (Vec::new(), Vec::new());
+        for i in 0..40u64 {
+            s.submit(sids[(i % 16) as usize], 80.0 + i as f64, 2.0);
+            r.submit(sids[(i % 16) as usize], 80.0 + i as f64, 2.0);
+            s.advance(0.3);
+            r.advance(0.3);
+            s.pump(&mut oa);
+            r.pump(&mut ob);
+        }
+        assert_eq!(oa.len(), ob.len());
+        for (x, y) in oa.iter().zip(ob.iter()) {
+            assert_eq!(x.session, y.session);
+            assert_eq!(x.query, y.query);
+            assert_eq!(x.estimate.to_bits(), y.estimate.to_bits());
+            assert_eq!(x.done, y.done);
+        }
+        assert_eq!(s.stats(), r.stats());
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_container() {
+        let s = svc(None);
+        let mut bytes = s.checkpoint();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        assert!(PiService::restore(&bytes).is_err());
+    }
+
+    #[test]
+    fn arrival_model_learns_from_traffic() {
+        let mut s = PiService::new(PiConfig {
+            lambda_prior: 0.0,
+            ..PiConfig::default()
+        });
+        let sid = s.register_session();
+        for _ in 0..100 {
+            s.submit(sid, 10.0, 1.0);
+            s.advance(1.0);
+        }
+        // 100 arrivals over 100 s against a weak zero prior: λ ≈ 0.6+.
+        assert!(s.lambda() > 0.5, "λ = {}", s.lambda());
+    }
+}

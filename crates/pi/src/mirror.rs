@@ -1,0 +1,344 @@
+//! Maintaining the service's incremental model from a simulator's
+//! delta-event feed.
+//!
+//! [`SystemMirror`] consumes [`mqpi_sim::SimEvent`]s (the opt-in feed from
+//! [`mqpi_sim::System::enable_event_feed`]) and keeps an
+//! [`IncrementalFluid`] — plus the admission queue and blocked set the
+//! fluid model doesn't track — in sync with the simulated scheduler using
+//! only `O(log n)` delta updates, never a snapshot rebuild. This is the
+//! "event hooks feed deltas instead of rebuilds" integration: a
+//! [`PiService`](crate::PiService)-style consumer can point-query the
+//! mirror between simulator steps at `O(log n)` per estimate.
+//!
+//! Semantics per event:
+//!
+//! * `Admitted` — the query enters the GPS pool (leaving the mirror's
+//!   queue copy if it waited there).
+//! * `Enqueued` — tracked in a side list; queued queries have no virtual
+//!   tag yet, so point estimates cover admitted queries only (exactly like
+//!   the service's pump path).
+//! * `Blocked` / `Resumed` — a blocked query neither executes nor
+//!   occupies GPS bandwidth in the simulator, so the mirror withdraws it
+//!   (remembering its remaining cost and weight) and re-admits it on
+//!   resume. That matches the scheduler, where blocked queries are skipped
+//!   when distributing quanta.
+//! * `CostRefined` — replaces remaining cost wherever the query lives
+//!   (admitted, blocked, or queued).
+//! * `RateChanged` — `O(1)` lazy rescale.
+//! * `Departed` — removes the query from whichever structure holds it.
+//!   The fluid model may already have retired it at a predicted-completion
+//!   boundary; the event is then a no-op, and the simulator stays the
+//!   source of truth for *when* queries actually left.
+//!
+//! The mirror advances its model to each event's timestamp before applying
+//! it, so estimates queried between batches are always relative to the
+//! last applied event time.
+
+use std::collections::HashMap;
+
+use mqpi_core::IncrementalFluid;
+use mqpi_sim::{SimEvent, System};
+
+/// Incremental predictor state mirrored off a simulator event feed.
+#[derive(Debug)]
+pub struct SystemMirror {
+    fluid: IncrementalFluid,
+    /// Queued (not yet admitted) queries: `(id, cost, weight)` FIFO.
+    queue: Vec<(u64, f64, f64)>,
+    /// Blocked queries withdrawn from the GPS pool: id → (remaining cost,
+    /// weight).
+    blocked: HashMap<u64, (f64, f64)>,
+    clock: f64,
+    /// Ids the fluid model retired at predicted completion boundaries.
+    predicted_done: Vec<u64>,
+}
+
+impl SystemMirror {
+    /// Mirror for a system running at aggregate rate `rate`.
+    pub fn new(rate: f64) -> Self {
+        SystemMirror {
+            fluid: IncrementalFluid::new(rate),
+            queue: Vec::new(),
+            blocked: HashMap::new(),
+            clock: 0.0,
+            predicted_done: Vec::new(),
+        }
+    }
+
+    /// Mirror configured from a live system (rate and current clock).
+    pub fn for_system(sys: &System) -> Self {
+        let mut m = SystemMirror::new(sys.config().rate);
+        m.clock = sys.now();
+        m
+    }
+
+    /// The maintained incremental model.
+    pub fn fluid(&self) -> &IncrementalFluid {
+        &self.fluid
+    }
+
+    /// Time of the last applied event.
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+
+    /// Admitted, unblocked queries currently in the model.
+    pub fn live(&self) -> usize {
+        self.fluid.len()
+    }
+
+    /// Mirrored admission-queue length.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Mirrored blocked-set size.
+    pub fn blocked_count(&self) -> usize {
+        self.blocked.len()
+    }
+
+    /// `O(log n)` remaining-seconds estimate for an admitted query.
+    /// Queued and blocked queries return `None` (no virtual tag / not
+    /// consuming bandwidth).
+    pub fn estimate(&self, id: u64) -> Option<f64> {
+        self.fluid.estimate(id)
+    }
+
+    /// Remaining cost (work units) for a query the mirror tracks anywhere.
+    pub fn remaining_cost(&self, id: u64) -> Option<f64> {
+        if let Some(c) = self.fluid.remaining_cost(id) {
+            return Some(c);
+        }
+        if let Some(&(c, _)) = self.blocked.get(&id) {
+            return Some(c);
+        }
+        self.queue.iter().find(|q| q.0 == id).map(|q| q.1)
+    }
+
+    /// Ids retired by the model itself at predicted completion boundaries
+    /// (before the simulator confirmed them). Cleared by the call.
+    pub fn drain_predicted_done(&mut self, out: &mut Vec<u64>) {
+        out.append(&mut self.predicted_done);
+    }
+
+    /// Apply one scheduler event, first advancing the model to its
+    /// timestamp.
+    pub fn apply(&mut self, ev: SimEvent) {
+        let dt = ev.at() - self.clock;
+        if dt > 0.0 {
+            self.fluid.advance(dt);
+            self.fluid.drain_due(&mut self.predicted_done);
+            self.clock = ev.at();
+        }
+        match ev {
+            SimEvent::Admitted {
+                id, cost, weight, ..
+            } => {
+                if let Some(pos) = self.queue.iter().position(|q| q.0 == id) {
+                    self.queue.remove(pos);
+                }
+                if !self.fluid.contains(id) {
+                    self.fluid.arrive(id, cost.max(0.0), weight);
+                }
+            }
+            SimEvent::Enqueued {
+                id, cost, weight, ..
+            } => {
+                self.queue.push((id, cost, weight));
+            }
+            SimEvent::Departed { id, .. } => {
+                if !self.fluid.finish(id) {
+                    if let Some(pos) = self.queue.iter().position(|q| q.0 == id) {
+                        self.queue.remove(pos);
+                    } else {
+                        self.blocked.remove(&id);
+                    }
+                    // Else: already retired at a predicted boundary, or
+                    // rejected at submission (never admitted/enqueued).
+                }
+            }
+            SimEvent::Blocked { id, .. } => {
+                if let (Some(cost), Some(w)) =
+                    (self.fluid.remaining_cost(id), self.fluid.weight_of(id))
+                {
+                    self.fluid.abort(id);
+                    self.blocked.insert(id, (cost, w));
+                }
+            }
+            SimEvent::Resumed { id, .. } => {
+                if let Some((cost, w)) = self.blocked.remove(&id) {
+                    if !self.fluid.contains(id) {
+                        self.fluid.arrive(id, cost, w);
+                    }
+                }
+            }
+            SimEvent::CostRefined { id, remaining, .. } => {
+                if !self.fluid.refine_cost(id, remaining) {
+                    if let Some(e) = self.blocked.get_mut(&id) {
+                        e.0 = remaining;
+                    } else if let Some(q) = self.queue.iter_mut().find(|q| q.0 == id) {
+                        q.1 = remaining;
+                    }
+                }
+            }
+            SimEvent::RateChanged { rate, .. } => {
+                if rate > 0.0 {
+                    self.fluid.set_rate(rate);
+                }
+            }
+        }
+    }
+
+    /// Apply a batch of events in order (e.g. one
+    /// [`System::drain_events`] worth).
+    pub fn apply_all(&mut self, events: &[SimEvent]) {
+        for &ev in events {
+            self.apply(ev);
+        }
+    }
+
+    /// Advance the model past the last event (e.g. to the simulator's
+    /// current clock before querying estimates).
+    pub fn advance_to(&mut self, t: f64) {
+        let dt = t - self.clock;
+        if dt > 0.0 {
+            self.fluid.advance(dt);
+            self.fluid.drain_due(&mut self.predicted_done);
+            self.clock = t;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqpi_sim::{AdmissionPolicy, StepMode, SyntheticJob, SystemConfig};
+
+    fn cfg(slots: Option<usize>) -> SystemConfig {
+        SystemConfig {
+            rate: 50.0,
+            step_mode: StepMode::EventDriven,
+            admission: match slots {
+                Some(k) => AdmissionPolicy::MaxConcurrent(k),
+                None => AdmissionPolicy::Unlimited,
+            },
+            ..SystemConfig::default()
+        }
+    }
+
+    #[test]
+    fn mirror_tracks_unlimited_system_to_completion() {
+        let mut sys = System::new(cfg(None));
+        sys.enable_event_feed();
+        let mut ids = Vec::new();
+        for i in 0..20u64 {
+            let id = sys.submit(
+                format!("q{i}"),
+                Box::new(SyntheticJob::new(100 + i * 37)),
+                1.0 + (i % 3) as f64,
+            );
+            ids.push(id);
+        }
+        let mut m = SystemMirror::for_system(&sys);
+        let mut evs = Vec::new();
+        sys.drain_events(&mut evs);
+        m.apply_all(&evs);
+        assert_eq!(m.live(), 20);
+
+        // Mirror estimates vs the snapshot predictor, mid-flight. The
+        // event-driven simulator matches the fluid model exactly for
+        // synthetic jobs, so the two should agree tightly.
+        while sys.has_work() {
+            evs.clear();
+            sys.step().expect("step");
+            sys.drain_events(&mut evs);
+            m.apply_all(&evs);
+            m.advance_to(sys.now());
+            let snap = sys.snapshot();
+            let running: Vec<_> = snap
+                .running
+                .iter()
+                .map(|q| mqpi_core::FluidQuery {
+                    id: q.id,
+                    cost: q.remaining,
+                    weight: q.weight,
+                })
+                .collect();
+            let pred = mqpi_core::fluid::predict(&running, &[], None, None, snap.rate);
+            for &(id, t) in &pred.finish_times {
+                if t <= 0.0 {
+                    continue; // finishing this instant: mirror may have retired it
+                }
+                let est = m
+                    .estimate(id)
+                    .unwrap_or_else(|| panic!("mirror lost live query {id}"));
+                let tol = (t.abs() * 0.02).max(0.05);
+                assert!(
+                    (est - t).abs() <= tol,
+                    "query {id}: mirror {est} vs snapshot {t}"
+                );
+            }
+        }
+        evs.clear();
+        sys.drain_events(&mut evs);
+        m.apply_all(&evs);
+        assert_eq!(m.live(), 0, "all queries must have departed the mirror");
+        assert_eq!(m.queued(), 0);
+        for id in ids {
+            assert!(
+                sys.finished_record(id).is_some(),
+                "simulator lost query {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn mirror_tracks_admission_queue() {
+        let mut sys = System::new(cfg(Some(2)));
+        sys.enable_event_feed();
+        for i in 0..6u64 {
+            sys.submit(format!("q{i}"), Box::new(SyntheticJob::new(200)), 1.0);
+        }
+        let mut m = SystemMirror::for_system(&sys);
+        let mut evs = Vec::new();
+        sys.drain_events(&mut evs);
+        m.apply_all(&evs);
+        assert_eq!(m.live(), 2);
+        assert_eq!(m.queued(), 4);
+        while sys.has_work() {
+            evs.clear();
+            sys.step().expect("step");
+            sys.drain_events(&mut evs);
+            m.apply_all(&evs);
+            assert_eq!(m.live(), sys.running_ids().len());
+            assert_eq!(m.queued(), sys.queued_ids().len());
+        }
+        assert_eq!(m.live(), 0);
+        assert_eq!(m.queued(), 0);
+    }
+
+    #[test]
+    fn mirror_survives_abort_and_reprioritize() {
+        let mut sys = System::new(cfg(None));
+        sys.enable_event_feed();
+        let a = sys.submit("a", Box::new(SyntheticJob::new(1000)), 1.0);
+        let b = sys.submit("b", Box::new(SyntheticJob::new(1000)), 1.0);
+        let mut m = SystemMirror::for_system(&sys);
+        let mut evs = Vec::new();
+        sys.drain_events(&mut evs);
+        m.apply_all(&evs);
+        sys.abort(a).expect("abort");
+        evs.clear();
+        sys.drain_events(&mut evs);
+        m.apply_all(&evs);
+        assert!(m.estimate(a).is_none(), "aborted query must leave");
+        assert!(m.estimate(b).is_some());
+        while sys.has_work() {
+            sys.step().expect("step");
+        }
+        evs.clear();
+        sys.drain_events(&mut evs);
+        m.apply_all(&evs);
+        assert_eq!(m.live(), 0);
+    }
+}

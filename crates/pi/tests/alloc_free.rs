@@ -1,0 +1,148 @@
+//! Pins the service's warm-path allocation contract: once a
+//! [`PiService`] reaches its steady state — a stable resident population
+//! with queries arriving, completing, and being pushed to subscribers —
+//! one `submit + advance + pump` cycle performs **zero** heap
+//! allocations. Treap nodes come from an intrusive free list,
+//! subscription slots are reclaimed through doubly-linked chains, scratch
+//! vectors are drained with `append` (capacity retained), and the id maps
+//! never grow past their high-water mark. A counting
+//! `#[global_allocator]` turns that from a code-review promise into a
+//! hard test.
+
+// Test code: unwrap/expect on known-good fixtures is fine here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::alloc::{GlobalAlloc, Layout, System as SystemAlloc};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mqpi_pi::{PiConfig, PiService};
+
+/// Counts every allocation the process makes. Frees are not counted: the
+/// contract under test is "no new memory", not "no memory traffic".
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { SystemAlloc.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { SystemAlloc.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { SystemAlloc.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Steady-state churn — one arrival and roughly one completion per tick,
+/// every subscriber pushed or suppressed — allocates nothing once warm.
+#[test]
+fn warm_submit_advance_pump_cycle_allocates_nothing() {
+    const POP: usize = 256;
+    const COST: f64 = 100.0;
+    const RATE: f64 = 100.0;
+    let mut svc = PiService::with_capacity(
+        PiConfig {
+            rate: RATE,
+            epsilon: 0.5,
+            slots: None,
+            ..PiConfig::default()
+        },
+        4 * POP,
+    );
+    let sid = svc.register_session();
+    let mut out = Vec::with_capacity(4 * POP);
+
+    // Build the resident population, then run enough churn cycles for
+    // every internal container to reach its high-water capacity.
+    for _ in 0..POP {
+        svc.submit(sid, COST, 1.0);
+    }
+    for _ in 0..2 * POP {
+        svc.submit(sid, COST, 1.0);
+        svc.advance(COST / RATE);
+        out.clear();
+        svc.pump(&mut out);
+    }
+    assert!(
+        svc.live_queries() >= POP / 2,
+        "population collapsed during warmup: {}",
+        svc.live_queries()
+    );
+
+    let before = allocs();
+    for _ in 0..1_000 {
+        svc.submit(sid, COST, 1.0);
+        svc.advance(COST / RATE);
+        out.clear();
+        svc.pump(&mut out);
+    }
+    let during = allocs() - before;
+    assert_eq!(
+        during, 0,
+        "steady-state submit+advance+pump allocated {during} times over 1000 cycles"
+    );
+    assert!(
+        svc.stats().pushes > 0,
+        "warm path must still push estimates"
+    );
+}
+
+/// Pure delta updates against a resident population — re-weights, cost
+/// refinements, rate changes, advances, pumps — allocate nothing.
+#[test]
+fn warm_delta_updates_allocate_nothing() {
+    let mut svc = PiService::with_capacity(
+        PiConfig {
+            rate: 50.0,
+            epsilon: 0.01,
+            slots: None,
+            ..PiConfig::default()
+        },
+        1024,
+    );
+    let sid = svc.register_session();
+    let ids: Vec<u64> = (0..512)
+        .map(|i| svc.submit(sid, 1e7 + i as f64, 1.0))
+        .collect();
+    let mut out = Vec::with_capacity(1024);
+    for i in 0..64usize {
+        svc.reweight(ids[i % ids.len()], 1.0 + (i % 4) as f64);
+        out.clear();
+        svc.pump(&mut out);
+    }
+
+    let before = allocs();
+    for i in 0..1_000usize {
+        let id = ids[(i * 37) % ids.len()];
+        match i % 4 {
+            0 => {
+                svc.reweight(id, 1.0 + (i % 7) as f64);
+            }
+            1 => {
+                svc.refine_cost(id, 1e7 + (i % 1000) as f64);
+            }
+            2 => svc.set_rate(40.0 + (i % 20) as f64),
+            _ => svc.advance(0.001),
+        }
+        out.clear();
+        svc.pump(&mut out);
+    }
+    let during = allocs() - before;
+    assert_eq!(
+        during, 0,
+        "warm delta-apply + push allocated {during} times over 1000 ops"
+    );
+}

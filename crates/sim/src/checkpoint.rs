@@ -16,7 +16,8 @@ use crate::faults::{FaultEvent, FaultKind, FaultPlan, RetryPolicy};
 use crate::job::JobSnapshot;
 use crate::speed::SpeedMonitor;
 use crate::system::{
-    ErrorPolicy, FaultStats, FinishKind, FinishedQuery, InjectedFault, RateModel, StepMode,
+    ErrorPolicy, FaultStats, FinishKind, FinishedQuery, InjectedFault, RateModel, SimEvent,
+    StepMode,
 };
 
 type Result<T> = std::result::Result<T, CkptError>;
@@ -197,6 +198,102 @@ pub(crate) fn decode_fault_plan(d: &mut Dec<'_>) -> Result<FaultPlan> {
     // `FaultPlan::new` re-sorts; the events were written already sorted, and
     // the sort is stable, so the order is preserved exactly.
     Ok(FaultPlan::new(events, seed, retry))
+}
+
+pub(crate) fn encode_sim_event(e: &mut Enc, ev: &SimEvent) {
+    match *ev {
+        SimEvent::Admitted {
+            at,
+            id,
+            cost,
+            weight,
+        } => {
+            e.put_u8(0);
+            e.put_f64(at);
+            e.put_u64(id);
+            e.put_f64(cost);
+            e.put_f64(weight);
+        }
+        SimEvent::Enqueued {
+            at,
+            id,
+            cost,
+            weight,
+        } => {
+            e.put_u8(1);
+            e.put_f64(at);
+            e.put_u64(id);
+            e.put_f64(cost);
+            e.put_f64(weight);
+        }
+        SimEvent::Departed { at, id, kind } => {
+            e.put_u8(2);
+            e.put_f64(at);
+            e.put_u64(id);
+            encode_finish_kind(e, kind);
+        }
+        SimEvent::Blocked { at, id } => {
+            e.put_u8(3);
+            e.put_f64(at);
+            e.put_u64(id);
+        }
+        SimEvent::Resumed { at, id } => {
+            e.put_u8(4);
+            e.put_f64(at);
+            e.put_u64(id);
+        }
+        SimEvent::CostRefined { at, id, remaining } => {
+            e.put_u8(5);
+            e.put_f64(at);
+            e.put_u64(id);
+            e.put_f64(remaining);
+        }
+        SimEvent::RateChanged { at, rate } => {
+            e.put_u8(6);
+            e.put_f64(at);
+            e.put_f64(rate);
+        }
+    }
+}
+
+pub(crate) fn decode_sim_event(d: &mut Dec<'_>) -> Result<SimEvent> {
+    match d.get_u8()? {
+        0 => Ok(SimEvent::Admitted {
+            at: d.get_f64()?,
+            id: d.get_u64()?,
+            cost: d.get_f64()?,
+            weight: d.get_f64()?,
+        }),
+        1 => Ok(SimEvent::Enqueued {
+            at: d.get_f64()?,
+            id: d.get_u64()?,
+            cost: d.get_f64()?,
+            weight: d.get_f64()?,
+        }),
+        2 => Ok(SimEvent::Departed {
+            at: d.get_f64()?,
+            id: d.get_u64()?,
+            kind: decode_finish_kind(d)?,
+        }),
+        3 => Ok(SimEvent::Blocked {
+            at: d.get_f64()?,
+            id: d.get_u64()?,
+        }),
+        4 => Ok(SimEvent::Resumed {
+            at: d.get_f64()?,
+            id: d.get_u64()?,
+        }),
+        5 => Ok(SimEvent::CostRefined {
+            at: d.get_f64()?,
+            id: d.get_u64()?,
+            remaining: d.get_f64()?,
+        }),
+        6 => Ok(SimEvent::RateChanged {
+            at: d.get_f64()?,
+            rate: d.get_f64()?,
+        }),
+        t => Err(bad_tag("sim event", t)),
+    }
 }
 
 pub(crate) fn encode_injected_fault(e: &mut Enc, f: &InjectedFault) {

@@ -42,6 +42,6 @@ pub use rng::{Rng, Zipf};
 pub use speed::SpeedMonitor;
 pub use system::{
     ErrorPolicy, FaultStats, FinishKind, FinishedQuery, InjectedFault, QueryId, QueryState,
-    QueuedState, RateModel, System, SystemConfig, SystemSnapshot,
+    QueuedState, RateModel, SimEvent, StepMode, System, SystemConfig, SystemSnapshot,
 };
 pub use weights::Priority;

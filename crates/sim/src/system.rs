@@ -231,6 +231,66 @@ pub struct SystemSnapshot {
     pub queued: Vec<QueuedState>,
 }
 
+/// One scheduler state change, published on the opt-in event feed
+/// ([`System::enable_event_feed`]) so an incrementally maintained predictor
+/// (`mqpi_core::IncrementalFluid`, the PI session service) can apply delta
+/// updates instead of rebuilding from a full [`SystemSnapshot`] every tick.
+///
+/// Events carry exactly what the snapshot path would report (costs are
+/// scaled by any injected cost noise), in the order the scheduler applied
+/// them, stamped with the virtual time of application.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum SimEvent {
+    /// A query started executing (admitted immediately or from the queue).
+    Admitted {
+        at: f64,
+        id: QueryId,
+        cost: f64,
+        weight: f64,
+    },
+    /// A query entered the admission queue.
+    Enqueued {
+        at: f64,
+        id: QueryId,
+        cost: f64,
+        weight: f64,
+    },
+    /// A query left the system (completed, aborted, failed, or shed).
+    Departed {
+        at: f64,
+        id: QueryId,
+        kind: FinishKind,
+    },
+    /// A running query blocked (receives no service until resumed).
+    Blocked { at: f64, id: QueryId },
+    /// A blocked query resumed.
+    Resumed { at: f64, id: QueryId },
+    /// A running query's reported remaining cost changed discontinuously
+    /// (injected cost noise, or an abort that left rollback work behind).
+    CostRefined {
+        at: f64,
+        id: QueryId,
+        remaining: f64,
+    },
+    /// The effective aggregate rate changed (a rate dip began or expired).
+    RateChanged { at: f64, rate: f64 },
+}
+
+impl SimEvent {
+    /// Virtual time the event was applied.
+    pub fn at(&self) -> f64 {
+        match *self {
+            SimEvent::Admitted { at, .. }
+            | SimEvent::Enqueued { at, .. }
+            | SimEvent::Departed { at, .. }
+            | SimEvent::Blocked { at, .. }
+            | SimEvent::Resumed { at, .. }
+            | SimEvent::CostRefined { at, .. }
+            | SimEvent::RateChanged { at, .. } => at,
+        }
+    }
+}
+
 /// What [`System::step`] does when a job's `run` fails mid-flight.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ErrorPolicy {
@@ -325,6 +385,10 @@ pub struct System {
     /// with respect to scheduler state, so enabling tracing never changes
     /// any computed result.
     obs: Obs,
+    /// Delta-event feed for incremental predictors: `None` while disabled
+    /// (one branch per emission site, like `obs`), `Some` buffers events
+    /// until [`System::drain_events`].
+    event_feed: Option<Vec<SimEvent>>,
     /// Scratch: completions collected during the current step. Owned by
     /// the system so the steady-state step path never allocates.
     scratch_done: Vec<QueryId>,
@@ -374,6 +438,7 @@ impl System {
             executed_units: 0.0,
             rejected: 0,
             obs: Obs::disabled(),
+            event_feed: None,
             scratch_done: Vec::new(),
             scratch_failed: Vec::new(),
             scratch_finish: Vec::new(),
@@ -392,6 +457,41 @@ impl System {
     /// The installed observability handle (disabled by default).
     pub fn obs(&self) -> &Obs {
         &self.obs
+    }
+
+    /// Start publishing scheduler state changes as [`SimEvent`]s. Events
+    /// buffer until [`System::drain_events`]; the feed is disabled by
+    /// default and costs one branch per emission site while off.
+    pub fn enable_event_feed(&mut self) {
+        if self.event_feed.is_none() {
+            self.event_feed = Some(Vec::new());
+        }
+    }
+
+    /// Whether the delta-event feed is on.
+    pub fn event_feed_enabled(&self) -> bool {
+        self.event_feed.is_some()
+    }
+
+    /// Stop publishing and drop any undrained events.
+    pub fn disable_event_feed(&mut self) {
+        self.event_feed = None;
+    }
+
+    /// Move all buffered events (in application order) into `out`. The
+    /// internal buffer keeps its capacity, so a steady drain loop does not
+    /// allocate. No-op while the feed is disabled.
+    pub fn drain_events(&mut self, out: &mut Vec<SimEvent>) {
+        if let Some(feed) = &mut self.event_feed {
+            out.append(feed);
+        }
+    }
+
+    #[inline]
+    fn emit_event(&mut self, ev: SimEvent) {
+        if let Some(feed) = &mut self.event_feed {
+            feed.push(ev);
+        }
     }
 
     /// Fresh speed monitor for a session starting now.
@@ -506,6 +606,15 @@ impl System {
                 self.obs.counter_add("sim.admitted", 1);
             }
             self.running.push(h);
+            if self.event_feed.is_some() {
+                let cost = self.slab.job[i].progress().remaining * self.slab.report_scale[i];
+                self.emit_event(SimEvent::Admitted {
+                    at: self.clock,
+                    id: self.slab.id[i],
+                    cost,
+                    weight: self.slab.weight[i],
+                });
+            }
         } else if self.cfg.admission.queue_accepts(self.queue.len()) {
             if self.obs.is_enabled() {
                 self.obs.emit(
@@ -518,6 +627,15 @@ impl System {
                 self.obs.counter_add("sim.enqueued", 1);
             }
             self.queue.push_back(h);
+            if self.event_feed.is_some() {
+                let cost = self.slab.job[i].progress().remaining * self.slab.report_scale[i];
+                self.emit_event(SimEvent::Enqueued {
+                    at: self.clock,
+                    id: self.slab.id[i],
+                    cost,
+                    weight: self.slab.weight[i],
+                });
+            }
         } else {
             // Load shedding: the bounded admission queue is full. The query
             // leaves immediately with a well-defined zero-progress record.
@@ -586,6 +704,15 @@ impl System {
                 self.obs.counter_add("sim.admitted", 1);
             }
             self.running.push(h);
+            if self.event_feed.is_some() {
+                let cost = self.slab.job[i].progress().remaining * self.slab.report_scale[i];
+                self.emit_event(SimEvent::Admitted {
+                    at: self.clock,
+                    id: self.slab.id[i],
+                    cost,
+                    weight: self.slab.weight[i],
+                });
+            }
         }
     }
 
@@ -666,6 +793,11 @@ impl System {
                 rec.finished - rec.arrived,
             );
         }
+        self.emit_event(SimEvent::Departed {
+            at: rec.finished,
+            id: rec.id,
+            kind: rec.kind,
+        });
         let slot = rec.id as usize;
         if self.finished_of.len() <= slot {
             self.finished_of.resize(slot + 1, u32::MAX);
@@ -824,6 +956,10 @@ impl System {
         if self.clock >= fs.rate_restore_at {
             fs.rate_factor = 1.0;
             fs.rate_restore_at = f64::INFINITY;
+            self.emit_event(SimEvent::RateChanged {
+                at: self.clock,
+                rate: self.cfg.rate,
+            });
         }
         while let Some(ev) = fs.plan.events().get(fs.next_event).copied() {
             if ev.at > self.clock {
@@ -847,11 +983,24 @@ impl System {
                 self.slab.report_scale[si] *= factor;
                 log_victim = Some(self.slab.id[si]);
                 fs.stats.cost_noise += 1;
+                if self.event_feed.is_some() {
+                    let remaining =
+                        self.slab.job[si].progress().remaining * self.slab.report_scale[si];
+                    self.emit_event(SimEvent::CostRefined {
+                        at: self.clock,
+                        id: self.slab.id[si],
+                        remaining,
+                    });
+                }
             }
             FaultKind::RateDip { factor, duration } => {
                 fs.rate_factor = factor.clamp(1e-6, 1.0);
                 fs.rate_restore_at = self.clock + duration.max(0.0);
                 fs.stats.rate_dips += 1;
+                self.emit_event(SimEvent::RateChanged {
+                    at: self.clock,
+                    rate: self.cfg.rate * fs.rate_factor,
+                });
             }
             FaultKind::AbortRetry { overhead } => {
                 let Some(i) = self.pick_victim(&mut fs.rng) else {
@@ -1303,6 +1452,7 @@ impl System {
                 if self.obs.is_enabled() {
                     self.obs.emit(self.clock, TraceKind::Block { id });
                 }
+                self.emit_event(SimEvent::Blocked { at: self.clock, id });
                 Ok(())
             }
             None => Err(EngineError::exec(format!("no running query {id}"))),
@@ -1322,6 +1472,7 @@ impl System {
                 if self.obs.is_enabled() {
                     self.obs.emit(self.clock, TraceKind::Resume { id });
                 }
+                self.emit_event(SimEvent::Resumed { at: self.clock, id });
                 Ok(())
             }
             None => Err(EngineError::exec(format!("no running query {id}"))),
@@ -1440,6 +1591,13 @@ impl System {
                 self.obs.emit(self.clock, TraceKind::Abort { id, overhead });
                 self.obs.counter_add("sim.aborts", 1);
             }
+            // The session keeps its slot but now executes rollback work:
+            // to the fluid model that is a discontinuous cost change.
+            self.emit_event(SimEvent::CostRefined {
+                at: self.clock,
+                id,
+                remaining: overhead as f64 * self.slab.report_scale[i],
+            });
             return Ok(());
         }
         if self
@@ -1652,6 +1810,16 @@ impl System {
                 ckpt::encode_fault_stats(&mut e, &fs.stats);
             }
         }
+        match &self.event_feed {
+            None => e.put_bool(false),
+            Some(feed) => {
+                e.put_bool(true);
+                e.put_usize(feed.len());
+                for ev in feed {
+                    ckpt::encode_sim_event(&mut e, ev);
+                }
+            }
+        }
         Ok(e.into_bytes())
     }
 
@@ -1748,6 +1916,14 @@ impl System {
                 log,
                 stats,
             });
+        }
+        if d.get_bool()? {
+            let n = d.get_usize()?;
+            let mut feed = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                feed.push(ckpt::decode_sim_event(&mut d)?);
+            }
+            sys.event_feed = Some(feed);
         }
         if !d.is_exhausted() {
             return Err(CkptError::Corrupt(format!(
