@@ -42,8 +42,8 @@ use std::time::Instant;
 
 use mqpi_bench::report::{f2, pct, TextTable};
 use mqpi_bench::{
-    ablations, analytic, chaos, db, maintenance, mcq, naq, parallel, pibench, piserve, scq,
-    simbench, speedup_exp, table1, traced,
+    ablations, analytic, chaos, db, maintenance, mcq, naq, parallel, pibench, pichaos, piserve,
+    scq, simbench, speedup_exp, table1, traced,
 };
 use mqpi_workload::{McqConfig, TpcrDb};
 
@@ -162,7 +162,7 @@ fn parse_args() -> Result<Opts, String> {
             }
             "--help" | "-h" => {
                 return Err(
-                    "usage: experiments [all|table1|fig1..fig11|ablations|speedup|chaos|bench-harness|bench-sim|bench-pi|pi-serve] \
+                    "usage: experiments [all|table1|fig1..fig11|ablations|speedup|chaos|bench-harness|bench-sim|bench-pi|pi-serve|pi-chaos] \
                             [--runs N] [--small] [--csv DIR] [--seed S] [--jobs N] [--chaos] \
                             [--trace-out FILE] [--metrics-out FILE] \
                             [--checkpoint-dir DIR] [--checkpoint-every N] [--resume-from PATH]"
@@ -209,6 +209,7 @@ fn parse_args() -> Result<Opts, String> {
         "bench-sim",
         "bench-pi",
         "pi-serve",
+        "pi-chaos",
     ];
     for w in &opts.what {
         if !KNOWN.contains(&w.as_str()) {
@@ -675,6 +676,10 @@ fn main() -> ExitCode {
         // Deterministic PI-service campaign; only when asked by name.
         if opts.what.iter().any(|w| w == "pi-serve") {
             pi_serve(&opts)?;
+        }
+        // Overload/self-healing campaign; only when asked by name.
+        if opts.what.iter().any(|w| w == "pi-chaos") {
+            pi_chaos(&opts)?;
         }
         // Observability suite; runs whenever an output file is requested.
         if opts.trace_out.is_some() || opts.metrics_out.is_some() {
@@ -1212,5 +1217,57 @@ fn pi_serve(opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     eprintln!("# pi-serve: {} replicates clean", rows.len());
+    Ok(())
+}
+
+/// Overload-hardening campaign (`pi-chaos`): scarce slots, queue
+/// deadlines, the degradation ladder, the divergence breaker, hostile
+/// inputs, and a hostile-event mirror barrage — digests pin all of it.
+/// Honors the same `--seed`/`--runs`/`--jobs`/checkpoint flags as
+/// `pi-serve`; CI diffs rows across worker counts and across a SIGKILL +
+/// resume.
+fn pi_chaos(opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
+    let mut cfg = pichaos::ChaosCampaign {
+        seed: opts.seed,
+        replicates: opts.runs.min(64),
+        jobs: opts.jobs,
+        ..pichaos::ChaosCampaign::default()
+    };
+    if opts.small {
+        cfg.iters = 800;
+        cfg.sessions = 12;
+    }
+    if let Some(dir) = &opts.checkpoint_dir {
+        cfg.checkpoint_dir = Some(dir.clone());
+    }
+    if let Some(dir) = &opts.resume_from {
+        cfg.checkpoint_dir = Some(dir.clone());
+        cfg.resume = true;
+    }
+    if let Some(every) = opts.checkpoint_every {
+        cfg.checkpoint_every = every;
+    }
+    let rows = pichaos::run_campaign(&cfg)?;
+    println!(
+        "== pi-chaos: {} replicates x {} iters, {} sessions ==",
+        cfg.replicates, cfg.iters, cfg.sessions
+    );
+    for r in &rows {
+        println!(
+            "pi-chaos rep={} seed={:016x} pushes={} deadlines={} tiers={} shed={} trips={} \
+             sanitized={} quarantined={} digest={:016x}",
+            r.rep,
+            r.seed,
+            r.pushes,
+            r.deadlines,
+            r.tier_transitions,
+            r.shed,
+            r.trips,
+            r.sanitized,
+            r.quarantined,
+            r.digest
+        );
+    }
+    eprintln!("# pi-chaos: {} replicates clean", rows.len());
     Ok(())
 }

@@ -27,6 +27,7 @@ pub mod mcq;
 pub mod naq;
 pub mod parallel;
 pub mod pibench;
+pub mod pichaos;
 pub mod piserve;
 pub mod report;
 pub mod scq;

@@ -1,0 +1,594 @@
+//! Deterministic PI-service overload campaign (`experiments pi-chaos`).
+//!
+//! Where `pi-serve` pins the *steady-state* estimate streams, this
+//! campaign drives every overload-hardening path at once and pins the
+//! result:
+//!
+//! * **Queue deadlines + backoff** — slots are scarce and advances are
+//!   short, so queued work expires, re-queues through
+//!   [`mqpi_sim::RetryPolicy`] backoff, and eventually gets rejected.
+//! * **Degradation ladder** — submissions outpace service, walking the
+//!   tier ladder up through `EpsilonWiden`/`FinalsOnly` into `Shed` and
+//!   (as bursts drain) back down through the hysteresis exits.
+//! * **Divergence circuit-breaker** — odd replicates run an always-trip
+//!   breaker (negative tolerance), force-rebuilding the treap on every
+//!   audit; even replicates run a tight real tolerance. Either way, the
+//!   final full estimate set must be bit-identical to a from-scratch
+//!   `predict` oracle.
+//! * **Hostile inputs** — a slice of submissions carries `NaN`/`inf`
+//!   costs and weights (sanitized at the boundary, counted), sessions
+//!   churn mid-flight (generation-safe handles), and a hostile-event
+//!   barrage is thrown at a [`SystemMirror`] whose quarantine counts are
+//!   folded into the digest.
+//!
+//! Throughout, the in-loop asserts hold in **every** tier: the
+//! work-conservation ledger stays balanced, no estimate follows a final
+//! push, and final timestamps never regress. The per-replicate FNV-1a
+//! digest covers the push stream *plus* the overload counters and the
+//! mirror's quarantine tally, so CI's jobs-independence and
+//! SIGKILL-resume diffs pin the entire overload machinery, not just the
+//! happy path.
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+use mqpi_ckpt::{Dec, Enc};
+use mqpi_pi::{
+    BreakerConfig, EstimatePush, LadderConfig, PiConfig, PiService, SessionId, SystemMirror,
+};
+use mqpi_sim::{
+    AdmissionPolicy, FinishKind, RetryPolicy, SimEvent, StepMode, SyntheticJob, System,
+    SystemConfig,
+};
+
+use crate::parallel;
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct ChaosCampaign {
+    /// Campaign seed; replicate r runs with `seed + r`.
+    pub seed: u64,
+    /// Number of independent replicates.
+    pub replicates: usize,
+    /// Workload iterations per replicate.
+    pub iters: usize,
+    /// Sessions per replicate service.
+    pub sessions: usize,
+    /// Worker threads.
+    pub jobs: usize,
+    /// Snapshot directory (None = no checkpointing).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Iterations between snapshots.
+    pub checkpoint_every: usize,
+    /// Load existing snapshots before running (crash resume).
+    pub resume: bool,
+}
+
+impl Default for ChaosCampaign {
+    fn default() -> Self {
+        ChaosCampaign {
+            seed: 1337,
+            replicates: 8,
+            iters: 3_000,
+            sessions: 24,
+            jobs: 1,
+            checkpoint_dir: None,
+            checkpoint_every: 500,
+            resume: false,
+        }
+    }
+}
+
+/// One replicate's observable outcome. Every field is a pure function of
+/// the replicate seed, so rows compare across worker counts and resumes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosRow {
+    pub rep: usize,
+    pub seed: u64,
+    /// Estimate pushes delivered (including finals).
+    pub pushes: u64,
+    /// Deadline expiries (requeued + rejected).
+    pub deadlines: u64,
+    /// Ladder tier transitions.
+    pub tier_transitions: u64,
+    /// Queued queries dropped by the Shed tier.
+    pub shed: u64,
+    /// Circuit-breaker trips.
+    pub trips: u64,
+    /// Non-finite inputs sanitized at the service boundary.
+    pub sanitized: u64,
+    /// Events the hostile-mirror phase quarantined.
+    pub quarantined: u64,
+    /// FNV-1a digest over the push stream + overload counters + mirror
+    /// quarantine stats.
+    pub digest: u64,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_fold(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn fold_push(h: u64, p: &EstimatePush) -> u64 {
+    let mut h = fnv_fold(h, &p.session.to_le_bytes());
+    h = fnv_fold(h, &p.query.to_le_bytes());
+    h = fnv_fold(h, &p.at.to_bits().to_le_bytes());
+    h = fnv_fold(h, &p.estimate.to_bits().to_le_bytes());
+    fnv_fold(h, &[p.done as u8])
+}
+
+/// Per-replicate service: scarce slots, short advances, every hardening
+/// feature armed. Odd replicates run the always-trip breaker.
+fn service_config(rep: usize) -> PiConfig {
+    PiConfig {
+        rate: 400.0,
+        epsilon: 0.05,
+        slots: Some(8),
+        queue_deadline: Some(0.5),
+        retry: RetryPolicy {
+            base_delay: 0.25,
+            multiplier: 2.0,
+            max_delay: 2.0,
+            max_attempts: 3,
+        },
+        ladder: Some(LadderConfig {
+            widen_enter: 12,
+            widen_exit: 8,
+            finals_enter: 24,
+            finals_exit: 18,
+            shed_enter: 48,
+            shed_exit: 36,
+            epsilon_factor: 4.0,
+        }),
+        breaker: Some(BreakerConfig {
+            interval: 2.0,
+            tolerance: if rep % 2 == 1 { -1.0 } else { 1e-9 },
+            sample: 32,
+        }),
+        ..PiConfig::default()
+    }
+}
+
+fn snapshot_path(dir: &Path, seed: u64) -> PathBuf {
+    dir.join(format!("chaos-{seed:016x}.ckpt"))
+}
+
+/// Mid-replicate snapshot: loop position, digest state, the driver's
+/// session handles and live-query list, and the full service checkpoint.
+fn save_snapshot(
+    dir: &Path,
+    seed: u64,
+    iter: usize,
+    digest: u64,
+    sids: &[SessionId],
+    live: &[u64],
+    svc: &PiService,
+) -> Result<(), String> {
+    let mut e = Enc::new();
+    e.put_u64(iter as u64);
+    e.put_u64(digest);
+    e.put_usize(sids.len());
+    for &s in sids {
+        e.put_u64(s);
+    }
+    e.put_usize(live.len());
+    for &q in live {
+        e.put_u64(q);
+    }
+    e.put_bytes(&svc.checkpoint());
+    mqpi_ckpt::atomic_write(&snapshot_path(dir, seed), &e.into_bytes())
+        .map_err(|e| format!("checkpoint write: {e}"))
+}
+
+type Snapshot = (usize, u64, Vec<SessionId>, Vec<u64>, PiService);
+
+fn load_snapshot(dir: &Path, seed: u64) -> Result<Option<Snapshot>, String> {
+    let path = snapshot_path(dir, seed);
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(format!("checkpoint read {}: {e}", path.display())),
+    };
+    let mut d = Dec::new(&bytes);
+    let iter = d.get_u64().map_err(|e| e.to_string())? as usize;
+    let digest = d.get_u64().map_err(|e| e.to_string())?;
+    let ns = d.get_usize().map_err(|e| e.to_string())?;
+    let mut sids = Vec::with_capacity(ns.min(1 << 20));
+    for _ in 0..ns {
+        sids.push(d.get_u64().map_err(|e| e.to_string())?);
+    }
+    let nl = d.get_usize().map_err(|e| e.to_string())?;
+    let mut live = Vec::with_capacity(nl.min(1 << 20));
+    for _ in 0..nl {
+        live.push(d.get_u64().map_err(|e| e.to_string())?);
+    }
+    let payload = d.get_bytes().map_err(|e| e.to_string())?;
+    let svc = PiService::restore(&payload).map_err(|e| format!("restore: {e}"))?;
+    Ok(Some((iter, digest, sids, live, svc)))
+}
+
+/// The final full estimate set must be bit-identical to a from-scratch
+/// `predict` over the service's own extracted state — the breaker's
+/// post-rebuild contract, checked whether or not the breaker tripped.
+fn assert_oracle_bit_identity(svc: &mut PiService) -> Result<(), String> {
+    let live = svc.live_set();
+    let queued = svc.queued_set();
+    let future = mqpi_core::FutureArrivals::from_rate(svc.lambda(), svc.mean_cost(), 1.0);
+    let p = mqpi_core::fluid::predict(
+        &live,
+        &queued,
+        svc.config().slots,
+        future.as_ref(),
+        svc.model_rate(),
+    );
+    let oracle = mqpi_core::EstimateSet::from_pairs(p.finish_times.iter().copied(), p.truncated);
+    let est = svc.estimates();
+    if est.len() != oracle.len() {
+        return Err(format!(
+            "oracle mismatch: service has {} estimates, oracle {}",
+            est.len(),
+            oracle.len()
+        ));
+    }
+    for (id, t) in est.iter() {
+        let o = oracle
+            .get(id)
+            .ok_or_else(|| format!("oracle missing query {id}"))?;
+        if t.to_bits() != o.to_bits() {
+            return Err(format!(
+                "query {id}: service estimate {t} != oracle {o} (bitwise)"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Throw a deterministic hostile-event barrage at a [`SystemMirror`]
+/// tracking a real simulator feed; every hostile event must be
+/// quarantined (counted, never applied) and a final resync must re-anchor
+/// the mirror exactly. Returns the quarantine total for the digest.
+fn hostile_mirror_phase(seed: u64) -> Result<u64, String> {
+    let mut sys = System::new(SystemConfig {
+        rate: 40.0,
+        step_mode: StepMode::EventDriven,
+        admission: AdmissionPolicy::MaxConcurrent(2),
+        ..SystemConfig::default()
+    });
+    sys.enable_event_feed();
+    let mut ids = Vec::new();
+    for i in 0..8u64 {
+        let r = splitmix64(seed ^ i);
+        ids.push(sys.submit(
+            format!("c{i}"),
+            Box::new(SyntheticJob::new(60 + r % 120)),
+            1.0 + (r % 3) as f64,
+        ));
+    }
+    let mut m = SystemMirror::for_system(&sys);
+    let mut evs = Vec::new();
+    sys.drain_events(&mut evs);
+    m.apply_all(&evs);
+
+    let mut injected = 0u64;
+    let mut step = 0u64;
+    while sys.has_work() {
+        evs.clear();
+        sys.step().map_err(|e| format!("sim step: {e}"))?;
+        sys.drain_events(&mut evs);
+        m.apply_all(&evs);
+        // Every few steps, fire one hostile event chosen by the seed.
+        let r = splitmix64(seed ^ step.wrapping_mul(0x9e37_79b9));
+        if r.is_multiple_of(3) {
+            let at = m.now();
+            let victim = ids[(r >> 8) as usize % ids.len()];
+            let hostile = match r % 5 {
+                // Duplicate admit of a live id; for a departed victim a
+                // re-admit would be a *legal* new arrival, so fall back to
+                // a phantom resume (quarantined either way).
+                0 if m.estimate(victim).is_some() => SimEvent::Admitted {
+                    at,
+                    id: victim,
+                    cost: 50.0,
+                    weight: 1.0,
+                },
+                0 => SimEvent::Resumed { at, id: victim },
+                1 => SimEvent::Enqueued {
+                    at,
+                    id: 9_000 + step,
+                    cost: f64::NAN,
+                    weight: 1.0,
+                },
+                2 => SimEvent::Departed {
+                    at,
+                    id: 9_000 + step,
+                    kind: FinishKind::Completed,
+                },
+                3 => SimEvent::Blocked {
+                    at: at - 1.0,
+                    id: victim,
+                },
+                _ => SimEvent::RateChanged { at, rate: -5.0 },
+            };
+            let before = m.quarantine_stats().total();
+            m.apply(hostile);
+            let after = m.quarantine_stats().total();
+            if after != before + 1 {
+                return Err(format!(
+                    "hostile event at step {step} was not quarantined: {hostile:?}"
+                ));
+            }
+            injected += 1;
+        }
+        if m.live() != sys.running_ids().len() || m.queued() != sys.queued_ids().len() {
+            return Err(format!(
+                "mirror diverged at step {step}: live {}/{} queued {}/{}",
+                m.live(),
+                sys.running_ids().len(),
+                m.queued(),
+                sys.queued_ids().len()
+            ));
+        }
+        step += 1;
+    }
+    let total = m.quarantine_stats().total();
+    if total < injected {
+        return Err(format!(
+            "quarantine lost events: counted {total}, saw {injected} rejected"
+        ));
+    }
+    // Recovery path: resync must re-anchor to the (now idle) system.
+    m.resync(&sys);
+    if m.live() != 0 || m.queued() != 0 {
+        return Err("mirror resync did not re-anchor to idle system".into());
+    }
+    Ok(total)
+}
+
+/// Run one replicate from `start_iter` (0 on a fresh start) to completion.
+fn run_one(cfg: &ChaosCampaign, rep: usize) -> Result<ChaosRow, String> {
+    let seed = cfg.seed.wrapping_add(rep as u64);
+    let resumed = if cfg.resume {
+        if let Some(dir) = &cfg.checkpoint_dir {
+            load_snapshot(dir, seed)?
+        } else {
+            None
+        }
+    } else {
+        None
+    };
+    let (start_iter, mut digest, mut sids, mut live, mut svc) = match resumed {
+        Some((iter, digest, sids, live, svc)) => (iter, digest, sids, live, svc),
+        None => {
+            let mut svc = PiService::try_with_capacity(service_config(rep), 4 * cfg.sessions)
+                .map_err(|e| format!("config: {e}"))?;
+            let sids: Vec<SessionId> = (0..cfg.sessions).map(|_| svc.register_session()).collect();
+            (0, FNV_OFFSET, sids, Vec::new(), svc)
+        }
+    };
+
+    // Invariant trackers (not checkpointed: they restart after a resume,
+    // which can only miss violations, never invent them).
+    let mut finals_seen: HashSet<(SessionId, u64)> = HashSet::new();
+    let mut last_final_at = f64::NEG_INFINITY;
+
+    let mut out: Vec<EstimatePush> = Vec::with_capacity(4 * cfg.sessions);
+    for i in start_iter..cfg.iters {
+        let r = splitmix64(seed ^ (i as u64).wrapping_mul(0x2545_f491_4f6c_dd1d));
+        let sid = sids[(r % sids.len() as u64) as usize];
+        match r % 20 {
+            0..=6 => {
+                // Burst submissions: 1–3 queries at once to spike load.
+                let burst = 1 + (r >> 5) % 3;
+                for b in 0..burst {
+                    let rr = splitmix64(r ^ b);
+                    let cost = 5.0 + (rr % 60) as f64;
+                    let weight = [0.5, 1.0, 2.0, 4.0][(rr >> 8) as usize % 4];
+                    live.push(svc.submit(sid, cost, weight));
+                }
+            }
+            7 => {
+                // Hostile submission: sanitized at the boundary, but still
+                // a real query that must flow through to a final push.
+                let (cost, weight) = match (r >> 4) % 3 {
+                    0 => (f64::NAN, 1.0),
+                    1 => (40.0, f64::INFINITY),
+                    _ => (f64::NEG_INFINITY, 0.0),
+                };
+                live.push(svc.submit(sid, cost, weight));
+            }
+            8 => {
+                // Session churn: the closed handle dies (generation bump),
+                // its queries keep running, the slot gets reused.
+                let k = (r >> 16) as usize % sids.len();
+                svc.close_session(sids[k]);
+                sids[k] = svc.register_session();
+            }
+            9 if !live.is_empty() => {
+                let q = live.swap_remove((r >> 16) as usize % live.len());
+                svc.abort(q);
+            }
+            10 if !live.is_empty() => {
+                let q = live[(r >> 16) as usize % live.len()];
+                svc.reweight(q, [0.5, 1.0, 2.0, 4.0][(r >> 24) as usize % 4]);
+            }
+            11 if !live.is_empty() => {
+                let q = live[(r >> 16) as usize % live.len()];
+                // Occasionally non-finite: must be refused, not applied.
+                let c = if r >> 32 & 7 == 0 {
+                    f64::NAN
+                } else {
+                    1.0 + (r >> 24 & 63) as f64
+                };
+                svc.refine_cost(q, c);
+            }
+            12 => {
+                svc.set_rate(250.0 + (r % 300) as f64);
+            }
+            13 if !live.is_empty() => {
+                let q = live[(r >> 16) as usize % live.len()];
+                svc.subscribe(sid, q);
+            }
+            _ => {}
+        }
+        svc.advance(0.002 + (r % 24) as f64 * 0.004);
+        out.clear();
+        svc.pump(&mut out);
+        for p in &out {
+            if finals_seen.contains(&(p.session, p.query)) {
+                return Err(format!(
+                    "iter {i}: push for ({:#x}, {}) after its final",
+                    p.session, p.query
+                ));
+            }
+            if p.done {
+                if p.at + 1e-9 < last_final_at {
+                    return Err(format!(
+                        "iter {i}: final at {} regressed below {last_final_at}",
+                        p.at
+                    ));
+                }
+                last_final_at = p.at;
+                finals_seen.insert((p.session, p.query));
+            }
+            digest = fold_push(digest, p);
+        }
+        live.retain(|&q| !out.iter().any(|p| p.done && p.query == q));
+
+        if i.is_multiple_of(64) {
+            let l = svc.ledger();
+            if !l.balanced() {
+                return Err(format!("iter {i}: ledger out of balance: {l:?}"));
+            }
+        }
+
+        if let Some(dir) = &cfg.checkpoint_dir {
+            if cfg.checkpoint_every > 0 && (i + 1) % cfg.checkpoint_every == 0 {
+                save_snapshot(dir, seed, i + 1, digest, &sids, &live, &svc)?;
+            }
+        }
+    }
+
+    let l = svc.ledger();
+    if !l.balanced() {
+        return Err(format!("final ledger out of balance: {l:?}"));
+    }
+    assert_oracle_bit_identity(&mut svc)?;
+    let quarantined = hostile_mirror_phase(seed)?;
+
+    let s = svc.stats();
+    // Fold the overload counters and the mirror tally into the digest so
+    // jobs/resume diffs pin the hardening paths, not just the pushes.
+    for v in [
+        s.deadline_expired,
+        s.deadline_requeued,
+        s.deadline_rejected,
+        s.shed,
+        s.tier_transitions,
+        s.degraded_pumps,
+        s.audit_checks,
+        s.audit_trips,
+        s.audit_rebuilds,
+        s.sanitized,
+        svc.tier() as u64,
+        quarantined,
+    ] {
+        digest = fnv_fold(digest, &v.to_le_bytes());
+    }
+    Ok(ChaosRow {
+        rep,
+        seed,
+        pushes: s.pushes,
+        deadlines: s.deadline_expired,
+        tier_transitions: s.tier_transitions,
+        shed: s.shed,
+        trips: s.audit_trips,
+        sanitized: s.sanitized,
+        quarantined,
+        digest,
+    })
+}
+
+/// Run the campaign; rows come back in replicate order regardless of
+/// worker interleaving, so output is bit-identical across `--jobs`.
+pub fn run_campaign(cfg: &ChaosCampaign) -> Result<Vec<ChaosRow>, String> {
+    if let Some(dir) = &cfg.checkpoint_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("checkpoint dir: {e}"))?;
+    }
+    let results = parallel::run_indexed(cfg.jobs, cfg.replicates, |rep| run_one(cfg, rep));
+    results.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ChaosCampaign {
+        ChaosCampaign {
+            replicates: 4,
+            iters: 600,
+            sessions: 12,
+            ..ChaosCampaign::default()
+        }
+    }
+
+    #[test]
+    fn chaos_campaign_is_deterministic_across_jobs() {
+        let mut cfg = small();
+        let a = run_campaign(&cfg).expect("jobs=1");
+        cfg.jobs = 4;
+        let b = run_campaign(&cfg).expect("jobs=4");
+        assert_eq!(a, b, "chaos rows must not depend on worker count");
+    }
+
+    #[test]
+    fn chaos_campaign_exercises_every_hardening_path() {
+        let rows = run_campaign(&small()).expect("campaign");
+        let total = |f: fn(&ChaosRow) -> u64| rows.iter().map(f).sum::<u64>();
+        assert!(total(|r| r.pushes) > 0, "no pushes delivered");
+        assert!(total(|r| r.deadlines) > 0, "deadlines never fired");
+        assert!(
+            total(|r| r.tier_transitions) > 0,
+            "ladder never transitioned"
+        );
+        assert!(total(|r| r.shed) > 0, "shed tier never dropped work");
+        assert!(total(|r| r.trips) > 0, "breaker never tripped");
+        assert!(total(|r| r.sanitized) > 0, "no hostile inputs sanitized");
+        assert!(total(|r| r.quarantined) > 0, "mirror quarantined nothing");
+    }
+
+    #[test]
+    fn chaos_snapshot_resumes_bit_identically() {
+        let dir = std::env::temp_dir().join(format!("pichaos-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let straight = run_campaign(&small()).expect("straight");
+
+        let mut partial = small();
+        partial.checkpoint_dir = Some(dir.clone());
+        partial.checkpoint_every = 100;
+        partial.iters = 350; // dies mid-flight, last snapshot at 300
+        run_campaign(&partial).expect("partial");
+
+        let mut resumed_cfg = small();
+        resumed_cfg.checkpoint_dir = Some(dir.clone());
+        resumed_cfg.checkpoint_every = 100;
+        resumed_cfg.resume = true;
+        let resumed = run_campaign(&resumed_cfg).expect("resumed");
+        assert_eq!(straight, resumed, "resumed chaos digests diverged");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

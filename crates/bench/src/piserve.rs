@@ -183,7 +183,9 @@ fn run_one(cfg: &ServeCampaign, rep: usize) -> Result<ReplicateRow, String> {
     let mut out: Vec<EstimatePush> = Vec::with_capacity(4 * cfg.sessions);
     for i in start_iter..cfg.iters {
         let r = splitmix64(seed ^ (i as u64).wrapping_mul(0x2545_f491_4f6c_dd1d));
-        let sid = (r % cfg.sessions as u64) as u32;
+        // Gen-0 session ids equal their slot index, so seed-derived slot
+        // picks are valid handles for the campaign's never-closed sessions.
+        let sid = r % cfg.sessions as u64;
         match r % 16 {
             0..=6 => {
                 let cost = 20.0 + (splitmix64(r) % 400) as f64;

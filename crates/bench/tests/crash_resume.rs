@@ -107,3 +107,100 @@ fn unreadable_snapshots_are_rejected_observably_and_rerun() {
     assert!(resuming.obs.render_trace().contains("ckpt action=rejected"));
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Fuzz-style corpus against `PiService::restore`: hundreds of seeded
+/// random mutations of a real mid-overload checkpoint — bit flips,
+/// truncations, span overwrites, header/length corruption, trailing
+/// junk — must every one come back as a typed `CkptError`, never a panic
+/// and never a silently-accepted corrupted service. (The mutation stream
+/// is seed-derived, so a CRC collision would fail deterministically, not
+/// flakily.)
+#[test]
+fn pi_service_restore_survives_mutation_corpus() {
+    use mqpi_pi::{BreakerConfig, LadderConfig, PiConfig, PiService};
+    use mqpi_sim::RetryPolicy;
+
+    // A service with every overload feature armed and real traffic, so
+    // the checkpoint exercises the full extended layout (queue deadlines,
+    // backoff list, ladder tier, breaker schedule).
+    let mut svc = PiService::new(PiConfig {
+        rate: 200.0,
+        epsilon: 0.05,
+        slots: Some(4),
+        queue_deadline: Some(0.3),
+        retry: RetryPolicy {
+            base_delay: 0.2,
+            multiplier: 2.0,
+            max_delay: 1.0,
+            max_attempts: 2,
+        },
+        ladder: Some(LadderConfig::default()),
+        breaker: Some(BreakerConfig::default()),
+        ..PiConfig::default()
+    });
+    let sid = svc.register_session();
+    for i in 0..40u64 {
+        svc.submit(sid, 10.0 + (i * 7 % 50) as f64, 1.0 + (i % 4) as f64);
+        svc.advance(0.05);
+    }
+    let clean = svc.checkpoint();
+    assert!(
+        PiService::restore(&clean).is_ok(),
+        "clean checkpoint must restore"
+    );
+
+    let mut rejected = 0u32;
+    for case in 0..300u64 {
+        let r = splitmix64(0xC0FF_EE00 ^ case);
+        let mut bytes = clean.clone();
+        match case % 5 {
+            0 => {
+                // Single bit flip anywhere.
+                let pos = (r as usize) % bytes.len();
+                bytes[pos] ^= 1 << ((r >> 32) % 8);
+            }
+            1 => {
+                // Truncation to a random prefix.
+                bytes.truncate((r as usize) % bytes.len());
+            }
+            2 => {
+                // Random 8-byte span overwrite.
+                let pos = (r as usize) % bytes.len().saturating_sub(8).max(1);
+                let junk = splitmix64(r).to_le_bytes();
+                let end = (pos + 8).min(bytes.len());
+                bytes[pos..end].copy_from_slice(&junk[..end - pos]);
+            }
+            3 => {
+                // Header / length-field corruption near the front.
+                let pos = (r as usize) % 16.min(bytes.len());
+                bytes[pos] = bytes[pos].wrapping_add(1 + (r >> 32) as u8 % 254);
+            }
+            _ => {
+                // Trailing junk past the CRC.
+                bytes.extend_from_slice(&splitmix64(r).to_le_bytes());
+            }
+        }
+        if bytes == clean {
+            continue; // mutation was a no-op; nothing to assert
+        }
+        match PiService::restore(&bytes) {
+            Err(_) => rejected += 1,
+            Ok(mut survivor) => {
+                // A mutation that still decodes must at least yield a
+                // usable, invariant-respecting service (CRC collision —
+                // not reachable with this seed, but never a panic).
+                survivor.advance(0.01);
+                let mut out = Vec::new();
+                survivor.pump(&mut out);
+            }
+        }
+    }
+    assert_eq!(rejected, 300, "every corrupted checkpoint must be rejected");
+}

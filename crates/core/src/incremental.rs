@@ -665,6 +665,53 @@ impl IncrementalFluid {
         p
     }
 
+    /// Force-rebuild the treap from the live set — the circuit-breaker's
+    /// self-heal. The live queries are walked in admission order, their
+    /// `(id, seq, tag, weight)` tuples captured, and the whole structure
+    /// (tree, admission list, id index, free list) reconstructed from
+    /// scratch. Sequence numbers and tags are preserved bit-for-bit, so a
+    /// healthy model rebuilds to bit-identical state (the unique-treap
+    /// property); a model poisoned by non-finite tags or weights is
+    /// sanitized on the way through (non-finite weight → 1, non-finite tag
+    /// → `V`, i.e. completes immediately). Returns the number of sanitized
+    /// fields. Counted as a full rebuild in [`DeltaCounters`].
+    pub fn rebuild(&mut self) -> usize {
+        let mut items: Vec<(u64, u64, f64, f64)> = Vec::with_capacity(self.len());
+        let mut cur = self.head;
+        while cur != NIL {
+            let i = cur as usize;
+            items.push((
+                self.nodes.id[i],
+                self.nodes.seq[i],
+                self.nodes.tag[i],
+                self.nodes.weight[i],
+            ));
+            cur = self.nodes.seq_next[i];
+        }
+        self.root = NIL;
+        self.head = NIL;
+        self.tail = NIL;
+        self.nodes = Nodes::with_capacity(items.len());
+        self.by_id.clear();
+        let mut sanitized = 0usize;
+        for (id, seq, mut tag, mut weight) in items {
+            if !weight.is_finite() || weight <= 0.0 {
+                weight = 1.0;
+                sanitized += 1;
+            }
+            if !tag.is_finite() {
+                tag = self.vt;
+                sanitized += 1;
+            }
+            let s = self.nodes.alloc(id, weight, tag, seq);
+            self.by_id.insert(id, s);
+            self.link_tail(s);
+            self.insert_tree(s);
+        }
+        self.counters.full_rebuilds += 1;
+        sanitized
+    }
+
     /// Serialize the model. Nodes travel in admission order; the treap
     /// shape is not encoded because it is the unique treap over the node
     /// set (see module docs), so [`IncrementalFluid::decode`] rebuilds it
@@ -986,6 +1033,63 @@ mod tests {
         assert_eq!(da, db);
         assert_eq!(f.virtual_time().to_bits(), g.virtual_time().to_bits());
         g.check_invariants();
+    }
+
+    #[test]
+    fn rebuild_of_healthy_state_is_bit_identical() {
+        let mut f = IncrementalFluid::new(64.0);
+        for i in 0..200u64 {
+            f.arrive(i, 25.0 + (i * 13 % 400) as f64, 1.0 + (i % 5) as f64);
+        }
+        f.advance(1.7);
+        f.reweight(11, 4.0);
+        f.refine_cost(42, 777.0);
+        let mut e = Enc::new();
+        f.encode(&mut e);
+        let before = e.into_bytes();
+        let before_estimates: Vec<_> = (0..200u64).map(|i| f.estimate(i)).collect();
+        assert_eq!(f.rebuild(), 0, "healthy state needs no sanitization");
+        let mut e2 = Enc::new();
+        f.encode(&mut e2);
+        // The encoding ends with the 9-counter telemetry block; rebuild
+        // legitimately bumps `full_rebuilds` there, so model-state bytes
+        // are everything before it.
+        let after = e2.into_bytes();
+        let state = before.len() - 9 * 8;
+        assert_eq!(
+            before[..state],
+            after[..state],
+            "rebuild must not move model state"
+        );
+        for (i, b) in before_estimates.iter().enumerate() {
+            match (f.estimate(i as u64), b) {
+                (Some(x), Some(y)) => assert_eq!(x.to_bits(), y.to_bits()),
+                (a, b) => assert_eq!(a, *b),
+            }
+        }
+        f.check_invariants();
+        assert_eq!(f.counters().full_rebuilds, 1);
+    }
+
+    #[test]
+    fn rebuild_sanitizes_poisoned_state() {
+        let mut f = IncrementalFluid::new(10.0);
+        f.arrive(1, 100.0, 1.0);
+        f.arrive(2, 100.0, 1.0);
+        // Poison node 1 directly: non-finite tag and weight.
+        let s = *f.by_id.get(&1).unwrap() as usize;
+        f.nodes.tag[s] = f64::NAN;
+        f.nodes.weight[s] = f64::INFINITY;
+        let sanitized = f.rebuild();
+        assert_eq!(sanitized, 2);
+        assert!(f.estimate(1).unwrap().is_finite());
+        assert!(f.estimate(2).unwrap().is_finite());
+        f.check_invariants();
+        // The poisoned query now completes immediately (tag = V).
+        f.advance(1e-6);
+        let mut done = Vec::new();
+        f.drain_due(&mut done);
+        assert_eq!(done, vec![1]);
     }
 
     #[test]

@@ -152,6 +152,43 @@ pub enum TraceKind {
         /// Seed of the run the snapshot belongs to.
         seed: u64,
     },
+    /// A queued query's admission deadline fired in the PI service.
+    Deadline {
+        /// Query id.
+        id: u64,
+        /// What happened: `requeue` (moved to backoff) or `reject`
+        /// (retry budget exhausted, observable final push).
+        action: &'static str,
+        /// Expiry count for this query (1 = first deadline miss).
+        attempt: u32,
+    },
+    /// The PI service's graceful-degradation ladder changed tiers.
+    TierChange {
+        /// Tier being left (`normal`, `epsilon_widen`, `finals_only`,
+        /// `shed`).
+        from: &'static str,
+        /// Tier being entered.
+        to: &'static str,
+        /// Load (live + queued + backoff) that drove the transition.
+        load: usize,
+    },
+    /// The PI service's divergence circuit-breaker acted.
+    Breaker {
+        /// What happened: `trip` (audit found divergence beyond tolerance)
+        /// or `rebuild` (treap force-rebuilt from the live set).
+        action: &'static str,
+        /// Worst relative divergence the audit observed.
+        divergence: f64,
+    },
+    /// A hostile simulator event was quarantined instead of applied.
+    Quarantine {
+        /// Stable reason label (`duplicate`, `unknown_id`, `out_of_order`,
+        /// `non_finite`).
+        kind: &'static str,
+        /// The event's query id (0 for events without one, e.g. a
+        /// non-finite rate change).
+        id: u64,
+    },
 }
 
 impl TraceKind {
@@ -174,6 +211,10 @@ impl TraceKind {
             TraceKind::InvariantViolation { .. } => "violation",
             TraceKind::WlmDecision { .. } => "wlm",
             TraceKind::Checkpoint { .. } => "ckpt",
+            TraceKind::Deadline { .. } => "deadline",
+            TraceKind::TierChange { .. } => "tier",
+            TraceKind::Breaker { .. } => "breaker",
+            TraceKind::Quarantine { .. } => "quarantine",
         }
     }
 }
@@ -223,6 +264,18 @@ impl fmt::Display for TraceEvent {
             TraceKind::Checkpoint { action, seed } => {
                 write!(f, " action={action} seed={seed:#018x}")
             }
+            TraceKind::Deadline {
+                id,
+                action,
+                attempt,
+            } => write!(f, " id={id} action={action} attempt={attempt}"),
+            TraceKind::TierChange { from, to, load } => {
+                write!(f, " from={from} to={to} load={load}")
+            }
+            TraceKind::Breaker { action, divergence } => {
+                write!(f, " action={action} divergence={divergence}")
+            }
+            TraceKind::Quarantine { kind, id } => write!(f, " kind={kind} id={id}"),
         }
     }
 }
@@ -292,6 +345,24 @@ mod tests {
                 action: "saved",
                 seed: 0x2A,
             },
+            TraceKind::Deadline {
+                id: 9,
+                action: "requeue",
+                attempt: 1,
+            },
+            TraceKind::TierChange {
+                from: "normal",
+                to: "shed",
+                load: 64,
+            },
+            TraceKind::Breaker {
+                action: "trip",
+                divergence: 0.5,
+            },
+            TraceKind::Quarantine {
+                kind: "duplicate",
+                id: 3,
+            },
         ];
         let tags: Vec<&str> = kinds.iter().map(|k| k.tag()).collect();
         assert_eq!(
@@ -305,7 +376,11 @@ mod tests {
                 "retry",
                 "violation",
                 "wlm",
-                "ckpt"
+                "ckpt",
+                "deadline",
+                "tier",
+                "breaker",
+                "quarantine"
             ]
         );
         assert_eq!(
@@ -318,6 +393,29 @@ mod tests {
             )
             .to_string(),
             "t=0 ckpt action=saved seed=0x000000000000002a"
+        );
+        assert_eq!(
+            TraceEvent::new(
+                1.0,
+                TraceKind::TierChange {
+                    from: "normal",
+                    to: "epsilon_widen",
+                    load: 12,
+                }
+            )
+            .to_string(),
+            "t=1 tier from=normal to=epsilon_widen load=12"
+        );
+        assert_eq!(
+            TraceEvent::new(
+                2.0,
+                TraceKind::Quarantine {
+                    kind: "non_finite",
+                    id: 0,
+                }
+            )
+            .to_string(),
+            "t=2 quarantine kind=non_finite id=0"
         );
     }
 }

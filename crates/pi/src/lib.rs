@@ -22,35 +22,252 @@
 //!   virtual clock ([`PiService::advance`]); identical call sequences
 //!   produce bit-identical pushes, and [`PiService::checkpoint`] /
 //!   [`PiService::restore`] round-trip the whole service (model, sessions,
-//!   subscriptions, arrival statistics) through `mqpi-ckpt` containers with
-//!   byte-identical re-encodes — the SIGKILL-resume CI job serves the same
-//!   estimate stream after a kill as an uninterrupted run.
+//!   subscriptions, arrival statistics, overload state) through `mqpi-ckpt`
+//!   containers with byte-identical re-encodes — the SIGKILL-resume CI job
+//!   serves the same estimate stream after a kill as an uninterrupted run.
+//!
+//! ## Overload hardening
+//!
+//! A service for millions of users must survive overload and bad inputs,
+//! not just serve the fast path. Three deterministic mechanisms layer on
+//! top of the core service (all off by default, all checkpoint-safe):
+//!
+//! * **Queue deadlines + backoff** ([`PiConfig::queue_deadline`],
+//!   [`PiConfig::retry`]): queued queries carry virtual-time admission
+//!   deadlines. On expiry a query moves to a backoff list with a capped
+//!   exponential delay (the same [`RetryPolicy`] shape the simulator's
+//!   fault injector uses); once the retry budget is exhausted it is
+//!   rejected *observably* — its subscribers get a normal final push, and
+//!   `pi.deadline.*` counters plus `deadline` trace events record why.
+//! * **Graceful-degradation ladder** ([`PiConfig::ladder`]): load tiers
+//!   Normal → EpsilonWiden → FinalsOnly → Shed driven by the live + queued
+//!   population with hysteresis (enter watermark above exit watermark, so
+//!   the tier can't flap). EpsilonWiden multiplies the push epsilon
+//!   (widen, don't drop — per the uncertainty-aware line of work);
+//!   FinalsOnly suppresses non-final pushes entirely; Shed additionally
+//!   drops the lowest-weight queued work. Transitions emit `tier` trace
+//!   events and move the `pi.tier.level` gauge.
+//! * **Divergence circuit-breaker** ([`PiConfig::breaker`]): every
+//!   `interval` virtual seconds an audit samples `O(log n)` point
+//!   estimates against the exact `predict` oracle. Divergence beyond
+//!   tolerance trips the breaker, which force-rebuilds the treap from the
+//!   live set ([`IncrementalFluid::rebuild`], sanitizing any non-finite
+//!   state) and records `pi.audit.{checks,trips,rebuilds}`.
+//!
+//! The work-conservation ledger ([`PiService::ledger`]) balances in every
+//! tier: every submitted query is live, queued, backing off, completed,
+//! aborted, deadline-rejected, or shed — never lost.
 //!
 //! [`mirror::SystemMirror`] connects the service world to the simulator:
 //! it consumes the [`mqpi_sim::System`] delta-event feed and maintains the
 //! same incremental model the service uses, so a simulated RDBMS can drive
-//! live subscriptions without ever rebuilding from snapshots.
+//! live subscriptions without ever rebuilding from snapshots. Hostile
+//! events (duplicates, unknown ids, time regressions, non-finite payloads)
+//! are quarantined and counted instead of poisoning the model.
 
 use std::collections::VecDeque;
 
 use mqpi_ckpt::{CkptError, Dec, Enc};
 use mqpi_core::adaptive::MeanCostEstimator;
 use mqpi_core::{ArrivalRateEstimator, EstimateSet, FluidQuery, FutureArrivals, IncrementalFluid};
-use mqpi_obs::Obs;
+use mqpi_obs::{Obs, TraceKind};
+use mqpi_sim::RetryPolicy;
 
 pub mod mirror;
 
-pub use mirror::SystemMirror;
+pub use mirror::{QuarantineStats, SystemMirror};
 
 const NIL: u32 = u32::MAX;
 
 /// Checkpoint payload kind for a serialized [`PiService`].
 pub const CKPT_KIND_SERVICE: &str = "pi-service";
 
-/// A registered session, identified by a dense slot index. Slots are
-/// reused after [`PiService::close_session`], so holders must not use ids
-/// across a close.
-pub type SessionId = u32;
+/// A registered session handle: the low 32 bits are a dense slot index,
+/// the high 32 bits a per-slot generation bumped on every
+/// [`PiService::close_session`]. Slots are reused, but a stale handle from
+/// before a close carries the old generation and is rejected — holders can
+/// never act on a recycled slot.
+pub type SessionId = u64;
+
+fn make_sid(slot: u32, gen: u32) -> SessionId {
+    (u64::from(gen) << 32) | u64::from(slot)
+}
+
+fn sid_slot(sid: SessionId) -> u32 {
+    (sid & 0xFFFF_FFFF) as u32
+}
+
+fn sid_gen(sid: SessionId) -> u32 {
+    (sid >> 32) as u32
+}
+
+/// Graceful-degradation tiers, in increasing severity. The ladder walks up
+/// immediately when load crosses an enter watermark and back down only when
+/// load falls to the (lower) exit watermark — classic hysteresis, so a load
+/// hovering at a boundary cannot flap the tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum LoadTier {
+    /// Full service: every subscription pushed at the configured epsilon.
+    Normal = 0,
+    /// Push epsilon multiplied by [`LadderConfig::epsilon_factor`] —
+    /// estimates widen instead of disappearing.
+    EpsilonWiden = 1,
+    /// Only final (completion) pushes are delivered.
+    FinalsOnly = 2,
+    /// Finals only, plus the lowest-weight queued work is dropped until
+    /// load falls back to the shed exit watermark.
+    Shed = 3,
+}
+
+impl LoadTier {
+    /// Stable lowercase label used in trace events and metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            LoadTier::Normal => "normal",
+            LoadTier::EpsilonWiden => "epsilon_widen",
+            LoadTier::FinalsOnly => "finals_only",
+            LoadTier::Shed => "shed",
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(LoadTier::Normal),
+            1 => Some(LoadTier::EpsilonWiden),
+            2 => Some(LoadTier::FinalsOnly),
+            3 => Some(LoadTier::Shed),
+            _ => None,
+        }
+    }
+
+    fn step_down(self) -> Self {
+        match self {
+            LoadTier::Shed => LoadTier::FinalsOnly,
+            LoadTier::FinalsOnly => LoadTier::EpsilonWiden,
+            _ => LoadTier::Normal,
+        }
+    }
+}
+
+/// Watermarks for the graceful-degradation ladder. Load is the total
+/// tracked population: live + queued + backing off. Each tier is entered
+/// at `*_enter` and left only at `*_exit` (strictly below its enter), so
+/// transitions are hysteretic and deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LadderConfig {
+    /// Load at which the epsilon-widening tier engages.
+    pub widen_enter: usize,
+    /// Load at or below which it disengages.
+    pub widen_exit: usize,
+    /// Load at which non-final pushes are suppressed.
+    pub finals_enter: usize,
+    /// Load at or below which they resume.
+    pub finals_exit: usize,
+    /// Load at which queued work starts being shed.
+    pub shed_enter: usize,
+    /// Shedding stops once load falls to this value.
+    pub shed_exit: usize,
+    /// Multiplier applied to the push epsilon in the EpsilonWiden tier
+    /// and above (≥ 1).
+    pub epsilon_factor: f64,
+}
+
+impl Default for LadderConfig {
+    fn default() -> Self {
+        LadderConfig {
+            widen_enter: 16,
+            widen_exit: 12,
+            finals_enter: 32,
+            finals_exit: 24,
+            shed_enter: 64,
+            shed_exit: 48,
+            epsilon_factor: 4.0,
+        }
+    }
+}
+
+/// Divergence circuit-breaker configuration.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BreakerConfig {
+    /// Virtual seconds between audits.
+    pub interval: f64,
+    /// Worst tolerated relative divergence between a point estimate and
+    /// the `predict` oracle. Must be finite; a *negative* tolerance trips
+    /// the breaker on every audit (a deterministic way to exercise the
+    /// self-heal path in chaos campaigns).
+    pub tolerance: f64,
+    /// How many queries (in completion order) each audit samples.
+    pub sample: usize,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            interval: 10.0,
+            tolerance: 1e-6,
+            sample: 64,
+        }
+    }
+}
+
+/// Typed rejection from [`PiConfig::validate`]: the offending field and
+/// value, instead of a panic or silently poisoned pushes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PiConfigError {
+    /// `rate` must be finite and positive.
+    Rate(f64),
+    /// `epsilon` must be finite and non-negative.
+    Epsilon(f64),
+    /// `slots` must be at least 1 when bounded.
+    ZeroSlots,
+    /// A prior (λ′, its strength, c̄′, or its strength) must be finite and
+    /// non-negative.
+    Prior {
+        /// Which prior field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// `queue_deadline` must be finite and positive when set.
+    QueueDeadline(f64),
+    /// A retry-policy field is out of range.
+    Retry {
+        /// Which retry field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A ladder watermark constraint was violated.
+    Ladder(&'static str),
+    /// A breaker field is out of range.
+    Breaker(&'static str),
+}
+
+impl std::fmt::Display for PiConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PiConfigError::Rate(v) => write!(f, "rate must be finite and positive, got {v}"),
+            PiConfigError::Epsilon(v) => {
+                write!(f, "epsilon must be finite and non-negative, got {v}")
+            }
+            PiConfigError::ZeroSlots => write!(f, "admission limit must be at least 1"),
+            PiConfigError::Prior { field, value } => {
+                write!(f, "{field} must be finite and non-negative, got {value}")
+            }
+            PiConfigError::QueueDeadline(v) => {
+                write!(f, "queue_deadline must be finite and positive, got {v}")
+            }
+            PiConfigError::Retry { field, value } => {
+                write!(f, "retry.{field} is out of range: {value}")
+            }
+            PiConfigError::Ladder(msg) => write!(f, "ladder: {msg}"),
+            PiConfigError::Breaker(msg) => write!(f, "breaker: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PiConfigError {}
 
 /// Service configuration.
 #[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
@@ -71,6 +288,18 @@ pub struct PiConfig {
     pub cost_prior: f64,
     /// Strength of the cost prior, in pseudo-samples.
     pub cost_prior_strength: f64,
+    /// Virtual seconds a queued query may wait for admission before its
+    /// deadline fires (`None` = wait forever).
+    pub queue_deadline: Option<f64>,
+    /// Backoff applied when a queue deadline fires: the query re-queues
+    /// after a capped exponential delay until `max_attempts` is exhausted,
+    /// then is rejected observably. [`RetryPolicy::none`] rejects on the
+    /// first expiry.
+    pub retry: RetryPolicy,
+    /// Graceful-degradation ladder (`None` = always [`LoadTier::Normal`]).
+    pub ladder: Option<LadderConfig>,
+    /// Divergence circuit-breaker (`None` = never audited).
+    pub breaker: Option<BreakerConfig>,
 }
 
 impl Default for PiConfig {
@@ -83,7 +312,93 @@ impl Default for PiConfig {
             lambda_prior_time: 60.0,
             cost_prior: 500.0,
             cost_prior_strength: 3.0,
+            queue_deadline: None,
+            retry: RetryPolicy::none(),
+            ladder: None,
+            breaker: None,
         }
+    }
+}
+
+impl PiConfig {
+    /// Check every field, returning the first violation as a typed error.
+    pub fn validate(&self) -> Result<(), PiConfigError> {
+        if !self.rate.is_finite() || self.rate <= 0.0 {
+            return Err(PiConfigError::Rate(self.rate));
+        }
+        if !self.epsilon.is_finite() || self.epsilon < 0.0 {
+            return Err(PiConfigError::Epsilon(self.epsilon));
+        }
+        if self.slots == Some(0) {
+            return Err(PiConfigError::ZeroSlots);
+        }
+        for (field, value) in [
+            ("lambda_prior", self.lambda_prior),
+            ("lambda_prior_time", self.lambda_prior_time),
+            ("cost_prior", self.cost_prior),
+            ("cost_prior_strength", self.cost_prior_strength),
+        ] {
+            if !value.is_finite() || value < 0.0 {
+                return Err(PiConfigError::Prior { field, value });
+            }
+        }
+        if let Some(d) = self.queue_deadline {
+            if !d.is_finite() || d <= 0.0 {
+                return Err(PiConfigError::QueueDeadline(d));
+            }
+        }
+        for (field, value, min) in [
+            ("base_delay", self.retry.base_delay, 0.0),
+            ("multiplier", self.retry.multiplier, 1.0),
+            ("max_delay", self.retry.max_delay, 0.0),
+        ] {
+            if !value.is_finite() || value < min {
+                return Err(PiConfigError::Retry { field, value });
+            }
+        }
+        if let Some(l) = self.ladder {
+            if l.widen_enter == 0 {
+                return Err(PiConfigError::Ladder("widen_enter must be at least 1"));
+            }
+            if l.widen_exit >= l.widen_enter {
+                return Err(PiConfigError::Ladder(
+                    "widen_exit must be below widen_enter",
+                ));
+            }
+            if l.finals_enter < l.widen_enter {
+                return Err(PiConfigError::Ladder(
+                    "finals_enter must be at or above widen_enter",
+                ));
+            }
+            if l.finals_exit >= l.finals_enter {
+                return Err(PiConfigError::Ladder(
+                    "finals_exit must be below finals_enter",
+                ));
+            }
+            if l.shed_enter < l.finals_enter {
+                return Err(PiConfigError::Ladder(
+                    "shed_enter must be at or above finals_enter",
+                ));
+            }
+            if l.shed_exit >= l.shed_enter {
+                return Err(PiConfigError::Ladder("shed_exit must be below shed_enter"));
+            }
+            if !l.epsilon_factor.is_finite() || l.epsilon_factor < 1.0 {
+                return Err(PiConfigError::Ladder("epsilon_factor must be at least 1"));
+            }
+        }
+        if let Some(b) = self.breaker {
+            if !b.interval.is_finite() || b.interval <= 0.0 {
+                return Err(PiConfigError::Breaker("interval must be positive"));
+            }
+            if !b.tolerance.is_finite() {
+                return Err(PiConfigError::Breaker("tolerance must be finite"));
+            }
+            if b.sample == 0 {
+                return Err(PiConfigError::Breaker("sample must be at least 1"));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -114,11 +429,63 @@ pub struct PiStats {
     pub pushes: u64,
     /// Pump visits whose estimate moved ≤ epsilon (no push).
     pub suppressed: u64,
+    /// Queue deadlines that fired.
+    pub deadline_expired: u64,
+    /// Deadline expiries that re-queued with backoff.
+    pub deadline_requeued: u64,
+    /// Deadline expiries rejected after the retry budget ran out.
+    pub deadline_rejected: u64,
+    /// Queued queries dropped by the Shed tier.
+    pub shed: u64,
+    /// Ladder tier transitions.
+    pub tier_transitions: u64,
+    /// Pumps that skipped non-final pushes (FinalsOnly tier and above).
+    pub degraded_pumps: u64,
+    /// Circuit-breaker audits performed.
+    pub audit_checks: u64,
+    /// Audits whose divergence exceeded tolerance.
+    pub audit_trips: u64,
+    /// Treap force-rebuilds triggered by trips.
+    pub audit_rebuilds: u64,
+    /// Non-finite inputs sanitized at the submit/reweight/refine boundary
+    /// (plus fields sanitized during breaker rebuilds).
+    pub sanitized: u64,
+}
+
+/// Work-conservation ledger: every submitted query is in exactly one
+/// bucket. [`Ledger::balanced`] holds in every ladder tier — overload can
+/// delay or reject work, never lose it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ledger {
+    pub submitted: u64,
+    pub live: u64,
+    pub queued: u64,
+    pub backoff: u64,
+    pub completed: u64,
+    pub aborted: u64,
+    pub deadline_rejected: u64,
+    pub shed: u64,
+}
+
+impl Ledger {
+    /// True when the outcome buckets sum to the submissions.
+    pub fn balanced(&self) -> bool {
+        self.live
+            + self.queued
+            + self.backoff
+            + self.completed
+            + self.aborted
+            + self.deadline_rejected
+            + self.shed
+            == self.submitted
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
 struct Session {
     alive: bool,
+    /// Bumped on close; stale [`SessionId`]s carry the old value.
+    gen: u32,
     /// Head of this session's subscription chain.
     sub_head: u32,
 }
@@ -145,6 +512,22 @@ struct Queued {
     id: u64,
     cost: f64,
     weight: f64,
+    /// Deadline expiries so far (0 on first enqueue).
+    attempts: u32,
+    /// Absolute virtual-time admission deadline (∞ = none).
+    deadline: f64,
+}
+
+/// A deadline-expired query waiting out its backoff delay before
+/// re-queueing.
+#[derive(Debug, Clone, Copy)]
+struct Backoff {
+    id: u64,
+    cost: f64,
+    weight: f64,
+    attempts: u32,
+    /// Absolute virtual time at which it re-enters the FIFO queue.
+    due: f64,
 }
 
 /// The always-on PI session service. See the crate docs for the design.
@@ -154,7 +537,9 @@ pub struct PiService {
     clock: f64,
     fluid: IncrementalFluid,
     queue: VecDeque<Queued>,
-    /// Queued entries by id (small; admission keeps this short-lived).
+    /// Deadline-expired entries waiting out their backoff delay, in
+    /// expiry order.
+    backoff: Vec<Backoff>,
     sessions: Vec<Session>,
     session_free: Vec<u32>,
     subs: Vec<Sub>,
@@ -170,6 +555,10 @@ pub struct PiService {
     /// Queries that departed since the last pump; their subscribers get a
     /// final push.
     pending_final: Vec<u64>,
+    /// Current graceful-degradation tier.
+    tier: LoadTier,
+    /// Virtual time of the next breaker audit.
+    next_audit: f64,
     stats: PiStats,
     obs: Obs,
     scratch_done: Vec<u64>,
@@ -178,28 +567,44 @@ pub struct PiService {
 
 impl PiService {
     /// # Panics
-    /// Panics if the configuration is invalid (non-positive rate or
-    /// epsilon, zero slots, negative priors).
+    /// Panics if the configuration is invalid; use [`PiService::try_new`]
+    /// for a typed error instead.
     pub fn new(cfg: PiConfig) -> Self {
         Self::with_capacity(cfg, 0)
+    }
+
+    /// Validating constructor: returns the [`PiConfigError`] instead of
+    /// panicking.
+    pub fn try_new(cfg: PiConfig) -> Result<Self, PiConfigError> {
+        Self::try_with_capacity(cfg, 0)
     }
 
     /// Pre-size internal storage for `cap` concurrent queries/sessions so
     /// the steady state never allocates.
     ///
     /// # Panics
-    /// Panics if the configuration is invalid.
+    /// Panics if the configuration is invalid; use
+    /// [`PiService::try_with_capacity`] for a typed error instead.
     pub fn with_capacity(cfg: PiConfig, cap: usize) -> Self {
-        assert!(cfg.rate > 0.0, "rate must be positive");
-        assert!(cfg.epsilon >= 0.0, "epsilon must be non-negative");
-        if let Some(k) = cfg.slots {
-            assert!(k >= 1, "admission limit must be at least 1");
+        match Self::try_with_capacity(cfg, cap) {
+            Ok(s) => s,
+            Err(e) => panic!("invalid PiConfig: {e}"),
         }
-        PiService {
+    }
+
+    /// Validating constructor with pre-sized storage.
+    pub fn try_with_capacity(cfg: PiConfig, cap: usize) -> Result<Self, PiConfigError> {
+        cfg.validate()?;
+        Ok(PiService {
             cfg,
             clock: 0.0,
             fluid: IncrementalFluid::with_capacity(cfg.rate, cap),
             queue: VecDeque::with_capacity(cap.min(1024)),
+            backoff: Vec::with_capacity(if cfg.queue_deadline.is_some() {
+                cap.min(1024)
+            } else {
+                0
+            }),
             sessions: Vec::with_capacity(cap),
             session_free: Vec::with_capacity(cap.min(1024)),
             subs: Vec::with_capacity(cap),
@@ -210,11 +615,13 @@ impl PiService {
             mean_cost: MeanCostEstimator::new(cfg.cost_prior, cfg.cost_prior_strength),
             pending_arrivals: 0,
             pending_final: Vec::with_capacity(cap.min(1024)),
+            tier: LoadTier::Normal,
+            next_audit: cfg.breaker.map_or(f64::INFINITY, |b| b.interval),
             stats: PiStats::default(),
             obs: Obs::disabled(),
             scratch_done: Vec::with_capacity(cap.min(1024)),
             scratch_queued: Vec::with_capacity(cap.min(1024)),
-        }
+        })
     }
 
     /// Install an observability handle (disabled by default).
@@ -241,8 +648,39 @@ impl PiService {
         self.queue.len()
     }
 
+    /// Queries waiting out a deadline backoff delay.
+    pub fn backoff_queries(&self) -> usize {
+        self.backoff.len()
+    }
+
+    /// Current graceful-degradation tier.
+    pub fn tier(&self) -> LoadTier {
+        self.tier
+    }
+
+    /// Total tracked population: live + queued + backing off. This is the
+    /// load the ladder watermarks compare against.
+    pub fn load(&self) -> usize {
+        self.fluid.len() + self.queue.len() + self.backoff.len()
+    }
+
     pub fn stats(&self) -> PiStats {
         self.stats
+    }
+
+    /// Work-conservation snapshot; [`Ledger::balanced`] must hold after
+    /// every public call.
+    pub fn ledger(&self) -> Ledger {
+        Ledger {
+            submitted: self.stats.submitted,
+            live: self.fluid.len() as u64,
+            queued: self.queue.len() as u64,
+            backoff: self.backoff.len() as u64,
+            completed: self.stats.completed,
+            aborted: self.stats.aborted,
+            deadline_rejected: self.stats.deadline_rejected,
+            shed: self.stats.shed,
+        }
     }
 
     /// Delta counters of the underlying incremental model.
@@ -255,32 +693,79 @@ impl PiService {
         self.arrivals.lambda()
     }
 
+    /// Current shared mean-cost estimate c̄.
+    pub fn mean_cost(&self) -> f64 {
+        self.mean_cost.mean()
+    }
+
+    /// The rate `C` the maintained model currently runs at (tracks
+    /// [`PiService::set_rate`], unlike `config().rate`).
+    pub fn model_rate(&self) -> f64 {
+        self.fluid.rate()
+    }
+
+    /// `O(log n)` point estimate for a live query (`None` when queued,
+    /// backing off, or departed) — the same read the pump path uses.
+    pub fn point_estimate(&self, query: u64) -> Option<f64> {
+        self.fluid.estimate(query)
+    }
+
+    /// The live set in admission order with current remaining costs —
+    /// exactly the `running` input a fresh `predict` call would receive.
+    /// Allocates; intended for audits and tests, not the steady state.
+    pub fn live_set(&self) -> Vec<FluidQuery> {
+        let mut out = Vec::new();
+        self.fluid.extract_into(&mut out);
+        out
+    }
+
+    /// Queued work in admission order (FIFO queue, then backoff entries in
+    /// expiry order) — the `queued` input [`PiService::estimates`] feeds
+    /// the predict kernel. Allocates; audit/test path.
+    pub fn queued_set(&self) -> Vec<FluidQuery> {
+        let mut out: Vec<FluidQuery> = Vec::with_capacity(self.queue.len() + self.backoff.len());
+        out.extend(self.queue.iter().map(|q| FluidQuery {
+            id: q.id,
+            cost: q.cost,
+            weight: q.weight,
+        }));
+        out.extend(self.backoff.iter().map(|b| FluidQuery {
+            id: b.id,
+            cost: b.cost,
+            weight: b.weight,
+        }));
+        out
+    }
+
     /// Register a session. Sessions receive pushes for queries they
     /// submitted or subscribed to.
     pub fn register_session(&mut self) -> SessionId {
-        let rec = Session {
-            alive: true,
-            sub_head: NIL,
-        };
         if let Some(s) = self.session_free.pop() {
-            self.sessions[s as usize] = rec;
-            s
+            let rec = &mut self.sessions[s as usize];
+            rec.alive = true;
+            rec.sub_head = NIL;
+            make_sid(s, rec.gen)
         } else {
-            self.sessions.push(rec);
-            (self.sessions.len() - 1) as u32
+            self.sessions.push(Session {
+                alive: true,
+                gen: 0,
+                sub_head: NIL,
+            });
+            make_sid((self.sessions.len() - 1) as u32, 0)
         }
     }
 
     /// Deactivate a session and all its subscriptions. Its queries keep
-    /// running (ownership is not tracked; aborts are explicit).
+    /// running (ownership is not tracked; aborts are explicit). The slot's
+    /// generation is bumped, so the closed handle — and any copy of it —
+    /// is dead even after the slot is reused. Stale handles are a no-op.
     pub fn close_session(&mut self, sid: SessionId) {
-        let Some(s) = self.sessions.get_mut(sid as usize) else {
+        let Some(slot) = self.session_slot(sid) else {
             return;
         };
-        if !s.alive {
-            return;
-        }
+        let s = &mut self.sessions[slot as usize];
         s.alive = false;
+        s.gen = s.gen.wrapping_add(1);
         let mut cur = s.sub_head;
         s.sub_head = NIL;
         while cur != NIL {
@@ -290,7 +775,7 @@ impl PiService {
             self.sub_free.push(cur);
             cur = next;
         }
-        self.session_free.push(sid);
+        self.session_free.push(slot);
     }
 
     /// Remove a sub slot from its query's chain (head map updated/removed).
@@ -333,30 +818,76 @@ impl PiService {
         }
     }
 
+    /// Resolve a handle to its slot, rejecting dead slots and stale
+    /// generations.
+    fn session_slot(&self, sid: SessionId) -> Option<u32> {
+        let slot = sid_slot(sid);
+        let s = self.sessions.get(slot as usize)?;
+        (s.alive && s.gen == sid_gen(sid)).then_some(slot)
+    }
+
     fn session_alive(&self, sid: SessionId) -> bool {
-        self.sessions
-            .get(sid as usize)
-            .is_some_and(|session| session.alive)
+        self.session_slot(sid).is_some()
+    }
+
+    /// Sanitize a submitted weight: non-finite or non-positive values are
+    /// replaced with 1.0 (counted) instead of poisoning the model.
+    fn sane_weight(&mut self, weight: f64) -> f64 {
+        if weight.is_finite() && weight > 0.0 {
+            weight
+        } else {
+            self.stats.sanitized += 1;
+            if self.obs.is_enabled() {
+                self.obs.counter_add("pi.sanitized", 1);
+            }
+            1.0
+        }
+    }
+
+    /// Sanitize a submitted cost: non-finite values become 0 (counted).
+    fn sane_cost(&mut self, cost: f64) -> f64 {
+        if cost.is_finite() {
+            cost.max(0.0)
+        } else {
+            self.stats.sanitized += 1;
+            if self.obs.is_enabled() {
+                self.obs.counter_add("pi.sanitized", 1);
+            }
+            0.0
+        }
     }
 
     /// Submit a query on behalf of `session`; it is admitted immediately
-    /// when a slot is free, else queued FIFO. The submitting session is
-    /// auto-subscribed. Returns the query id.
+    /// when a slot is free, else queued FIFO (with an admission deadline
+    /// when [`PiConfig::queue_deadline`] is set). Non-finite costs and
+    /// weights are sanitized and counted, never applied. The submitting
+    /// session is auto-subscribed. Returns the query id.
     ///
     /// # Panics
-    /// Panics if the session is not alive or `weight` is not positive.
+    /// Panics if the session handle is dead (closed or stale generation).
     pub fn submit(&mut self, session: SessionId, cost: f64, weight: f64) -> u64 {
-        assert!(self.session_alive(session), "no such session {session}");
-        assert!(weight > 0.0, "scheduling weight must be positive");
+        assert!(self.session_alive(session), "no such session {session:#x}");
+        let cost = self.sane_cost(cost);
+        let weight = self.sane_weight(weight);
         let id = self.next_query;
         self.next_query += 1;
-        self.mean_cost.observe(cost.max(0.0));
+        self.mean_cost.observe(cost);
         self.pending_arrivals += 1;
         let admit = self.queue.is_empty() && self.cfg.slots.is_none_or(|k| self.fluid.len() < k);
         if admit {
             self.fluid.arrive(id, cost, weight);
         } else {
-            self.queue.push_back(Queued { id, cost, weight });
+            let deadline = self
+                .cfg
+                .queue_deadline
+                .map_or(f64::INFINITY, |d| self.clock + d);
+            self.queue.push_back(Queued {
+                id,
+                cost,
+                weight,
+                attempts: 0,
+                deadline,
+            });
         }
         self.stats.submitted += 1;
         if self.obs.is_enabled() {
@@ -371,23 +902,38 @@ impl PiService {
             );
         }
         self.subscribe(session, id);
+        self.evaluate_tier();
         id
     }
 
     /// Subscribe a session to a query's estimate stream. No-op for dead
-    /// sessions or queries that already left the system.
+    /// sessions or queries that already left the system (including after
+    /// their final push).
     pub fn subscribe(&mut self, session: SessionId, query: u64) {
-        if !self.session_alive(session) {
+        let Some(slot) = self.session_slot(session) else {
+            return;
+        };
+        if !self.fluid.contains(query)
+            && !self.queue.iter().any(|q| q.id == query)
+            && !self.backoff.iter().any(|b| b.id == query)
+        {
             return;
         }
-        if !self.fluid.contains(query) && !self.queue.iter().any(|q| q.id == query) {
-            return;
+        // Idempotent: a session already on this query's chain would
+        // otherwise receive every push (including the final) twice.
+        let mut cur = self.by_query.get(&query).copied().unwrap_or(NIL);
+        while cur != NIL {
+            let s = &self.subs[cur as usize];
+            if s.active && s.session == slot {
+                return;
+            }
+            cur = s.next_same_query;
         }
-        let next_ss = self.sessions[session as usize].sub_head;
+        let next_ss = self.sessions[slot as usize].sub_head;
         let next_sq = self.by_query.get(&query).copied().unwrap_or(NIL);
         let rec = Sub {
             active: true,
-            session,
+            session: slot,
             query,
             last_push: f64::NAN,
             next_in_session: next_ss,
@@ -395,7 +941,7 @@ impl PiService {
             next_same_query: next_sq,
             prev_same_query: NIL,
         };
-        let slot = if let Some(s) = self.sub_free.pop() {
+        let sub_slot = if let Some(s) = self.sub_free.pop() {
             self.subs[s as usize] = rec;
             s
         } else {
@@ -403,13 +949,13 @@ impl PiService {
             (self.subs.len() - 1) as u32
         };
         if next_ss != NIL {
-            self.subs[next_ss as usize].prev_in_session = slot;
+            self.subs[next_ss as usize].prev_in_session = sub_slot;
         }
         if next_sq != NIL {
-            self.subs[next_sq as usize].prev_same_query = slot;
+            self.subs[next_sq as usize].prev_same_query = sub_slot;
         }
-        self.sessions[session as usize].sub_head = slot;
-        self.by_query.insert(query, slot);
+        self.sessions[slot as usize].sub_head = sub_slot;
+        self.by_query.insert(query, sub_slot);
         if self.obs.is_enabled() {
             self.obs.counter_add("pi.subscribed", 1);
         }
@@ -433,10 +979,275 @@ impl PiService {
         }
     }
 
+    /// Release backoff entries whose delay elapsed back into the FIFO
+    /// queue (fresh deadline), then expire queued entries past their
+    /// deadline: re-queue with backoff while the retry budget lasts,
+    /// reject observably after. Deterministic: both scans run in stored
+    /// order at exact virtual times.
+    fn service_deadlines(&mut self) {
+        if self.backoff.is_empty() && self.cfg.queue_deadline.is_none() {
+            return;
+        }
+        let now = self.clock;
+        let mut i = 0;
+        while i < self.backoff.len() {
+            if self.backoff[i].due <= now {
+                let b = self.backoff.remove(i);
+                let deadline = self.cfg.queue_deadline.map_or(f64::INFINITY, |d| now + d);
+                self.queue.push_back(Queued {
+                    id: b.id,
+                    cost: b.cost,
+                    weight: b.weight,
+                    attempts: b.attempts,
+                    deadline,
+                });
+                if self.obs.is_enabled() {
+                    self.obs.counter_add("pi.deadline.released", 1);
+                }
+            } else {
+                i += 1;
+            }
+        }
+        if self.cfg.queue_deadline.is_none() {
+            return;
+        }
+        let mut i = 0;
+        while i < self.queue.len() {
+            if self.queue[i].deadline < now {
+                let Some(q) = self.queue.remove(i) else {
+                    break;
+                };
+                self.stats.deadline_expired += 1;
+                let attempt = q.attempts + 1;
+                match self.cfg.retry.delay_for(attempt) {
+                    Some(delay) => {
+                        self.backoff.push(Backoff {
+                            id: q.id,
+                            cost: q.cost,
+                            weight: q.weight,
+                            attempts: attempt,
+                            due: now + delay,
+                        });
+                        self.stats.deadline_requeued += 1;
+                        if self.obs.is_enabled() {
+                            self.obs.counter_add("pi.deadline.expired", 1);
+                            self.obs.counter_add("pi.deadline.requeued", 1);
+                            self.obs.emit(
+                                now,
+                                TraceKind::Deadline {
+                                    id: q.id,
+                                    action: "requeue",
+                                    attempt,
+                                },
+                            );
+                        }
+                    }
+                    None => {
+                        self.stats.deadline_rejected += 1;
+                        self.depart(q.id);
+                        if self.obs.is_enabled() {
+                            self.obs.counter_add("pi.deadline.expired", 1);
+                            self.obs.counter_add("pi.deadline.rejected", 1);
+                            self.obs.emit(
+                                now,
+                                TraceKind::Deadline {
+                                    id: q.id,
+                                    action: "reject",
+                                    attempt,
+                                },
+                            );
+                        }
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Drop the lowest-weight queued or backing-off entry (ties broken
+    /// toward the newest id, preserving FIFO fairness for older work).
+    /// Live queries are never shed. Returns false when nothing is
+    /// sheddable.
+    fn shed_one(&mut self) -> bool {
+        let mut best: Option<(f64, u64, bool, usize)> = None;
+        for (i, q) in self.queue.iter().enumerate() {
+            let better = match best {
+                None => true,
+                Some((w, id, _, _)) => q.weight < w || (q.weight == w && q.id > id),
+            };
+            if better {
+                best = Some((q.weight, q.id, false, i));
+            }
+        }
+        for (i, b) in self.backoff.iter().enumerate() {
+            let better = match best {
+                None => true,
+                Some((w, id, _, _)) => b.weight < w || (b.weight == w && b.id > id),
+            };
+            if better {
+                best = Some((b.weight, b.id, true, i));
+            }
+        }
+        let Some((_, id, in_backoff, idx)) = best else {
+            return false;
+        };
+        if in_backoff {
+            self.backoff.remove(idx);
+        } else {
+            self.queue.remove(idx);
+        }
+        self.stats.shed += 1;
+        self.depart(id);
+        if self.obs.is_enabled() {
+            self.obs.counter_add("pi.shed", 1);
+            self.obs.emit(self.clock, TraceKind::Reject { id });
+        }
+        true
+    }
+
+    /// Hysteretic target tier for the given load.
+    fn tier_target(lad: &LadderConfig, cur: LoadTier, load: usize) -> LoadTier {
+        let up = if load >= lad.shed_enter {
+            LoadTier::Shed
+        } else if load >= lad.finals_enter {
+            LoadTier::FinalsOnly
+        } else if load >= lad.widen_enter {
+            LoadTier::EpsilonWiden
+        } else {
+            LoadTier::Normal
+        };
+        if up >= cur {
+            return up;
+        }
+        let mut t = cur;
+        while t > up {
+            let exit = match t {
+                LoadTier::Shed => lad.shed_exit,
+                LoadTier::FinalsOnly => lad.finals_exit,
+                LoadTier::EpsilonWiden => lad.widen_exit,
+                LoadTier::Normal => 0,
+            };
+            if load <= exit {
+                t = t.step_down();
+            } else {
+                break;
+            }
+        }
+        t
+    }
+
+    fn transition_to(&mut self, target: LoadTier, load: usize) {
+        if target == self.tier {
+            return;
+        }
+        let from = self.tier;
+        self.tier = target;
+        self.stats.tier_transitions += 1;
+        if self.obs.is_enabled() {
+            self.obs.counter_add("pi.tier.transitions", 1);
+            self.obs.gauge_set("pi.tier.level", target as u8 as f64);
+            self.obs.emit(
+                self.clock,
+                TraceKind::TierChange {
+                    from: from.label(),
+                    to: target.label(),
+                    load,
+                },
+            );
+        }
+    }
+
+    /// Settle the ladder: move the tier per the watermarks (with
+    /// hysteresis), and while in Shed drop queued work until load falls to
+    /// the shed exit watermark.
+    fn evaluate_tier(&mut self) {
+        let Some(lad) = self.cfg.ladder else {
+            return;
+        };
+        let load = self.load();
+        let target = Self::tier_target(&lad, self.tier, load);
+        self.transition_to(target, load);
+        if self.tier == LoadTier::Shed {
+            while self.load() > lad.shed_exit {
+                if !self.shed_one() {
+                    break;
+                }
+            }
+            let load = self.load();
+            let target = Self::tier_target(&lad, self.tier, load);
+            self.transition_to(target, load);
+        }
+    }
+
+    /// Periodic divergence audit: sample point estimates against the
+    /// `predict` oracle; beyond tolerance, trip and force-rebuild the
+    /// treap from the live set (self-heal, sanitizing poisoned fields).
+    fn run_audit(&mut self) {
+        let Some(b) = self.cfg.breaker else {
+            return;
+        };
+        if self.clock < self.next_audit {
+            return;
+        }
+        self.next_audit = self.clock + b.interval;
+        self.stats.audit_checks += 1;
+        let p = self.fluid.estimates_full(&[], None, None);
+        let mut worst = 0.0f64;
+        for &(id, t) in p.finish_times.iter().take(b.sample) {
+            let Some(point) = self.fluid.estimate(id) else {
+                worst = f64::INFINITY;
+                break;
+            };
+            let rel = (point - t).abs() / t.abs().max(1.0);
+            if !rel.is_finite() {
+                worst = f64::INFINITY;
+                break;
+            }
+            if rel > worst {
+                worst = rel;
+            }
+        }
+        if self.obs.is_enabled() {
+            self.obs.counter_add("pi.audit.checks", 1);
+        }
+        if worst > b.tolerance {
+            self.stats.audit_trips += 1;
+            if self.obs.is_enabled() {
+                self.obs.counter_add("pi.audit.trips", 1);
+                self.obs.emit(
+                    self.clock,
+                    TraceKind::Breaker {
+                        action: "trip",
+                        divergence: worst,
+                    },
+                );
+            }
+            let sanitized = self.fluid.rebuild();
+            self.stats.sanitized += sanitized as u64;
+            self.stats.audit_rebuilds += 1;
+            if self.obs.is_enabled() {
+                if sanitized > 0 {
+                    self.obs.counter_add("pi.sanitized", sanitized as u64);
+                }
+                self.obs.counter_add("pi.audit.rebuilds", 1);
+                self.obs.emit(
+                    self.clock,
+                    TraceKind::Breaker {
+                        action: "rebuild",
+                        divergence: worst,
+                    },
+                );
+            }
+        }
+    }
+
     /// Advance the service clock by `dt` seconds: the shared model runs
     /// forward, queries whose completion tags are crossed depart (their
-    /// subscribers get a final push on the next [`PiService::pump`]), and
-    /// freed slots admit from the queue.
+    /// subscribers get a final push on the next [`PiService::pump`]),
+    /// freed slots admit from the queue, deadlines and backoff delays
+    /// fire, the degradation ladder settles, and the breaker audits when
+    /// due.
     pub fn advance(&mut self, dt: f64) {
         let dt = dt.max(0.0);
         self.clock += dt;
@@ -458,10 +1269,19 @@ impl PiService {
                     .counter_add("pi.completed", self.scratch_done.len() as u64);
             }
         }
+        self.service_deadlines();
+        self.admit_from_queue();
+        self.evaluate_tier();
+        self.run_audit();
+        debug_assert!(
+            self.ledger().balanced(),
+            "work-conservation ledger out of balance: {:?}",
+            self.ledger()
+        );
     }
 
-    /// Abort a query (live or queued). Subscribers get a final push on the
-    /// next pump. Returns false if the query is unknown.
+    /// Abort a query (live, queued, or backing off). Subscribers get a
+    /// final push on the next pump. Returns false if the query is unknown.
     pub fn abort(&mut self, query: u64) -> bool {
         if self.fluid.abort(query) {
             self.stats.aborted += 1;
@@ -470,21 +1290,32 @@ impl PiService {
             if self.obs.is_enabled() {
                 self.obs.counter_add("pi.delta.abort", 1);
             }
+            self.evaluate_tier();
             return true;
         }
         if let Some(pos) = self.queue.iter().position(|q| q.id == query) {
             self.queue.remove(pos);
             self.stats.aborted += 1;
             self.depart(query);
+            self.evaluate_tier();
+            return true;
+        }
+        if let Some(pos) = self.backoff.iter().position(|b| b.id == query) {
+            self.backoff.remove(pos);
+            self.stats.aborted += 1;
+            self.depart(query);
+            self.evaluate_tier();
             return true;
         }
         false
     }
 
-    /// Change a live query's scheduling weight (priority change, §4).
-    /// Returns false when the query is not currently admitted.
+    /// Change a query's scheduling weight (priority change, §4), wherever
+    /// it currently lives. Non-finite or non-positive weights are
+    /// sanitized to 1.0 and counted. Returns false when the query is
+    /// unknown.
     pub fn reweight(&mut self, query: u64, weight: f64) -> bool {
-        assert!(weight > 0.0, "scheduling weight must be positive");
+        let weight = self.sane_weight(weight);
         if self.fluid.reweight(query, weight) {
             if self.obs.is_enabled() {
                 self.obs.counter_add("pi.delta.reweight", 1);
@@ -495,11 +1326,23 @@ impl PiService {
             q.weight = weight;
             return true;
         }
+        if let Some(b) = self.backoff.iter_mut().find(|b| b.id == query) {
+            b.weight = weight;
+            return true;
+        }
         false
     }
 
     /// Replace a live query's remaining-cost estimate (cost refinement).
+    /// Non-finite costs are refused and counted, never applied.
     pub fn refine_cost(&mut self, query: u64, cost: f64) -> bool {
+        if !cost.is_finite() {
+            self.stats.sanitized += 1;
+            if self.obs.is_enabled() {
+                self.obs.counter_add("pi.sanitized", 1);
+            }
+            return false;
+        }
         let ok = self.fluid.refine_cost(query, cost);
         if ok && self.obs.is_enabled() {
             self.obs.counter_add("pi.delta.refine", 1);
@@ -508,8 +1351,14 @@ impl PiService {
     }
 
     /// Change the aggregate rate `C` — O(1) in the incremental model.
+    ///
+    /// # Panics
+    /// Panics if `rate` is not finite and positive.
     pub fn set_rate(&mut self, rate: f64) {
-        assert!(rate > 0.0, "rate must be positive");
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "rate must be finite and positive"
+        );
         self.fluid.set_rate(rate);
         if self.obs.is_enabled() {
             self.obs.counter_add("pi.delta.rate", 1);
@@ -519,9 +1368,15 @@ impl PiService {
     /// Walk all subscriptions and push refreshed estimates into `out`:
     /// final zero-estimates for departed queries first (closing those
     /// subscriptions), then an `O(log n)` point estimate per live
-    /// subscription, pushed only when it moved more than epsilon since the
-    /// last push. Queued (not yet admitted) queries are not point-queried;
-    /// their subscribers are pushed once admission gives them a tag.
+    /// subscription, pushed only when it moved more than the effective
+    /// epsilon since the last push. Queued (not yet admitted) queries are
+    /// not point-queried; their subscribers are pushed once admission
+    /// gives them a tag.
+    ///
+    /// The degradation ladder shapes this path: the EpsilonWiden tier
+    /// multiplies the epsilon, and the FinalsOnly/Shed tiers skip
+    /// non-final pushes entirely (finals always flow, so "no estimate
+    /// after final" and "monotone finals" hold in every tier).
     ///
     /// Push order is deterministic: finals in departure order, then
     /// subscriptions in slot order. Appends to `out` without clearing it.
@@ -537,7 +1392,7 @@ impl PiService {
             while cur != NIL {
                 let sub = self.subs[cur as usize];
                 out.push(EstimatePush {
-                    session: sub.session,
+                    session: make_sid(sub.session, self.sessions[sub.session as usize].gen),
                     query,
                     at: self.clock,
                     estimate: 0.0,
@@ -554,27 +1409,39 @@ impl PiService {
         let mut finals = finals;
         finals.clear();
         self.pending_final = finals;
-        for slot in 0..self.subs.len() {
-            let sub = self.subs[slot];
-            if !sub.active {
-                continue;
+        let (epsilon, finals_only) = match (self.cfg.ladder, self.tier) {
+            (Some(l), LoadTier::EpsilonWiden) => (self.cfg.epsilon * l.epsilon_factor, false),
+            (Some(_), LoadTier::FinalsOnly | LoadTier::Shed) => (self.cfg.epsilon, true),
+            _ => (self.cfg.epsilon, false),
+        };
+        if finals_only {
+            self.stats.degraded_pumps += 1;
+            if self.obs.is_enabled() {
+                self.obs.counter_add("pi.pump.degraded", 1);
             }
-            let Some(est) = self.fluid.estimate(sub.query) else {
-                continue; // queued behind the admission limit
-            };
-            let moved = sub.last_push.is_nan() || (est - sub.last_push).abs() > self.cfg.epsilon;
-            if moved {
-                out.push(EstimatePush {
-                    session: sub.session,
-                    query: sub.query,
-                    at: self.clock,
-                    estimate: est,
-                    done: false,
-                });
-                self.subs[slot].last_push = est;
-                self.stats.pushes += 1;
-            } else {
-                self.stats.suppressed += 1;
+        } else {
+            for slot in 0..self.subs.len() {
+                let sub = self.subs[slot];
+                if !sub.active {
+                    continue;
+                }
+                let Some(est) = self.fluid.estimate(sub.query) else {
+                    continue; // queued behind the admission limit
+                };
+                let moved = sub.last_push.is_nan() || (est - sub.last_push).abs() > epsilon;
+                if moved {
+                    out.push(EstimatePush {
+                        session: make_sid(sub.session, self.sessions[sub.session as usize].gen),
+                        query: sub.query,
+                        at: self.clock,
+                        estimate: est,
+                        done: false,
+                    });
+                    self.subs[slot].last_push = est;
+                    self.stats.pushes += 1;
+                } else {
+                    self.stats.suppressed += 1;
+                }
             }
         }
         if self.obs.is_enabled() {
@@ -596,10 +1463,11 @@ impl PiService {
         }
     }
 
-    /// Full [`EstimateSet`] over live and queued queries, injecting
-    /// predicted future arrivals from the shared arrival model — the cold
-    /// path, running the exact `predict` kernel over the maintained state
-    /// (bit-identical to a fresh call; see `IncrementalFluid` docs).
+    /// Full [`EstimateSet`] over live, queued, and backing-off queries,
+    /// injecting predicted future arrivals from the shared arrival model —
+    /// the cold path, running the exact `predict` kernel over the
+    /// maintained state (bit-identical to a fresh call; see
+    /// `IncrementalFluid` docs).
     pub fn estimates(&mut self) -> EstimateSet {
         let _span = self.obs.span("pi.estimates_full");
         let mut queued = std::mem::take(&mut self.scratch_queued);
@@ -608,6 +1476,11 @@ impl PiService {
             id: q.id,
             cost: q.cost,
             weight: q.weight,
+        }));
+        queued.extend(self.backoff.iter().map(|b| FluidQuery {
+            id: b.id,
+            cost: b.cost,
+            weight: b.weight,
         }));
         let future = FutureArrivals::from_rate(self.arrivals.lambda(), self.mean_cost.mean(), 1.0);
         let p = self
@@ -623,6 +1496,8 @@ impl PiService {
     /// Serialize the whole service into a versioned, CRC-checked container
     /// ([`CKPT_KIND_SERVICE`]). Re-encoding a restored service is
     /// byte-identical, and a restored service serves bit-identical pushes.
+    /// Overload state (ladder tier, deadlines, backoff list, breaker
+    /// schedule) travels with everything else.
     pub fn checkpoint(&self) -> Vec<u8> {
         let mut e = Enc::new();
         e.put_f64(self.cfg.rate);
@@ -638,9 +1513,38 @@ impl PiService {
         e.put_f64(self.cfg.lambda_prior_time);
         e.put_f64(self.cfg.cost_prior);
         e.put_f64(self.cfg.cost_prior_strength);
+        e.put_opt_f64(self.cfg.queue_deadline);
+        e.put_f64(self.cfg.retry.base_delay);
+        e.put_f64(self.cfg.retry.multiplier);
+        e.put_f64(self.cfg.retry.max_delay);
+        e.put_u32(self.cfg.retry.max_attempts);
+        match self.cfg.ladder {
+            None => e.put_bool(false),
+            Some(l) => {
+                e.put_bool(true);
+                e.put_usize(l.widen_enter);
+                e.put_usize(l.widen_exit);
+                e.put_usize(l.finals_enter);
+                e.put_usize(l.finals_exit);
+                e.put_usize(l.shed_enter);
+                e.put_usize(l.shed_exit);
+                e.put_f64(l.epsilon_factor);
+            }
+        }
+        match self.cfg.breaker {
+            None => e.put_bool(false),
+            Some(b) => {
+                e.put_bool(true);
+                e.put_f64(b.interval);
+                e.put_f64(b.tolerance);
+                e.put_usize(b.sample);
+            }
+        }
         e.put_f64(self.clock);
         e.put_u64(self.next_query);
         e.put_u64(self.pending_arrivals);
+        e.put_u8(self.tier as u8);
+        e.put_f64(self.next_audit);
         self.fluid.encode(&mut e);
         self.arrivals.encode(&mut e);
         self.mean_cost.encode(&mut e);
@@ -649,10 +1553,21 @@ impl PiService {
             e.put_u64(q.id);
             e.put_f64(q.cost);
             e.put_f64(q.weight);
+            e.put_u32(q.attempts);
+            e.put_f64(q.deadline);
+        }
+        e.put_usize(self.backoff.len());
+        for b in &self.backoff {
+            e.put_u64(b.id);
+            e.put_f64(b.cost);
+            e.put_f64(b.weight);
+            e.put_u32(b.attempts);
+            e.put_f64(b.due);
         }
         e.put_usize(self.sessions.len());
         for s in &self.sessions {
             e.put_bool(s.alive);
+            e.put_u32(s.gen);
             e.put_u32(s.sub_head);
         }
         e.put_usize(self.session_free.len());
@@ -693,6 +1608,16 @@ impl PiService {
             self.stats.pumps,
             self.stats.pushes,
             self.stats.suppressed,
+            self.stats.deadline_expired,
+            self.stats.deadline_requeued,
+            self.stats.deadline_rejected,
+            self.stats.shed,
+            self.stats.tier_transitions,
+            self.stats.degraded_pumps,
+            self.stats.audit_checks,
+            self.stats.audit_trips,
+            self.stats.audit_rebuilds,
+            self.stats.sanitized,
         ] {
             e.put_u64(v);
         }
@@ -712,28 +1637,63 @@ impl PiService {
         } else {
             None
         };
+        let lambda_prior = d.get_f64()?;
+        let lambda_prior_time = d.get_f64()?;
+        let cost_prior = d.get_f64()?;
+        let cost_prior_strength = d.get_f64()?;
+        let queue_deadline = d.get_opt_f64()?;
+        let retry = RetryPolicy {
+            base_delay: d.get_f64()?,
+            multiplier: d.get_f64()?,
+            max_delay: d.get_f64()?,
+            max_attempts: d.get_u32()?,
+        };
+        let ladder = if d.get_bool()? {
+            Some(LadderConfig {
+                widen_enter: d.get_usize()?,
+                widen_exit: d.get_usize()?,
+                finals_enter: d.get_usize()?,
+                finals_exit: d.get_usize()?,
+                shed_enter: d.get_usize()?,
+                shed_exit: d.get_usize()?,
+                epsilon_factor: d.get_f64()?,
+            })
+        } else {
+            None
+        };
+        let breaker = if d.get_bool()? {
+            Some(BreakerConfig {
+                interval: d.get_f64()?,
+                tolerance: d.get_f64()?,
+                sample: d.get_usize()?,
+            })
+        } else {
+            None
+        };
         let cfg = PiConfig {
             rate,
             epsilon,
             slots,
-            lambda_prior: d.get_f64()?,
-            lambda_prior_time: d.get_f64()?,
-            cost_prior: d.get_f64()?,
-            cost_prior_strength: d.get_f64()?,
+            lambda_prior,
+            lambda_prior_time,
+            cost_prior,
+            cost_prior_strength,
+            queue_deadline,
+            retry,
+            ladder,
+            breaker,
         };
-        if cfg.rate.is_nan() || cfg.rate <= 0.0 || cfg.epsilon.is_nan() || cfg.epsilon < 0.0 {
-            return Err(CkptError::Corrupt(
-                "invalid service configuration in checkpoint".into(),
-            ));
-        }
-        if cfg.slots == Some(0) {
-            return Err(CkptError::Corrupt(
-                "zero admission slots in checkpoint".into(),
-            ));
+        if let Err(e) = cfg.validate() {
+            return Err(CkptError::Corrupt(format!(
+                "invalid service configuration in checkpoint: {e}"
+            )));
         }
         let clock = d.get_f64()?;
         let next_query = d.get_u64()?;
         let pending_arrivals = d.get_u64()?;
+        let tier = LoadTier::from_u8(d.get_u8()?)
+            .ok_or_else(|| CkptError::Corrupt("unknown load tier in checkpoint".into()))?;
+        let next_audit = d.get_f64()?;
         // The model owns the live rate (set_rate applies there); cfg.rate
         // is only the construction-time value. Both travel in the payload.
         let fluid = IncrementalFluid::decode(&mut d)?;
@@ -746,6 +1706,19 @@ impl PiService {
                 id: d.get_u64()?,
                 cost: d.get_f64()?,
                 weight: d.get_f64()?,
+                attempts: d.get_u32()?,
+                deadline: d.get_f64()?,
+            });
+        }
+        let nb = d.get_usize()?;
+        let mut backoff = Vec::with_capacity(nb.min(1 << 20));
+        for _ in 0..nb {
+            backoff.push(Backoff {
+                id: d.get_u64()?,
+                cost: d.get_f64()?,
+                weight: d.get_f64()?,
+                attempts: d.get_u32()?,
+                due: d.get_f64()?,
             });
         }
         let ns = d.get_usize()?;
@@ -753,6 +1726,7 @@ impl PiService {
         for _ in 0..ns {
             sessions.push(Session {
                 alive: d.get_bool()?,
+                gen: d.get_u32()?,
                 sub_head: d.get_u32()?,
             });
         }
@@ -805,6 +1779,16 @@ impl PiService {
             pumps: d.get_u64()?,
             pushes: d.get_u64()?,
             suppressed: d.get_u64()?,
+            deadline_expired: d.get_u64()?,
+            deadline_requeued: d.get_u64()?,
+            deadline_rejected: d.get_u64()?,
+            shed: d.get_u64()?,
+            tier_transitions: d.get_u64()?,
+            degraded_pumps: d.get_u64()?,
+            audit_checks: d.get_u64()?,
+            audit_trips: d.get_u64()?,
+            audit_rebuilds: d.get_u64()?,
+            sanitized: d.get_u64()?,
         };
         if !d.is_exhausted() {
             return Err(CkptError::Corrupt(format!(
@@ -817,6 +1801,7 @@ impl PiService {
             clock,
             fluid,
             queue,
+            backoff,
             sessions,
             session_free,
             subs,
@@ -827,6 +1812,8 @@ impl PiService {
             mean_cost,
             pending_arrivals,
             pending_final,
+            tier,
+            next_audit,
             stats,
             obs: Obs::disabled(),
             scratch_done: Vec::new(),
@@ -1032,5 +2019,119 @@ mod tests {
         }
         // 100 arrivals over 100 s against a weak zero prior: λ ≈ 0.6+.
         assert!(s.lambda() > 0.5, "λ = {}", s.lambda());
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_fields() {
+        let base = PiConfig::default();
+        let cases = [
+            PiConfig {
+                rate: f64::NAN,
+                ..base
+            },
+            PiConfig { rate: -1.0, ..base },
+            PiConfig {
+                epsilon: f64::INFINITY,
+                ..base
+            },
+            PiConfig {
+                epsilon: -0.5,
+                ..base
+            },
+            PiConfig {
+                slots: Some(0),
+                ..base
+            },
+            PiConfig {
+                lambda_prior: f64::NAN,
+                ..base
+            },
+            PiConfig {
+                cost_prior: -3.0,
+                ..base
+            },
+            PiConfig {
+                queue_deadline: Some(0.0),
+                ..base
+            },
+            PiConfig {
+                queue_deadline: Some(f64::NAN),
+                ..base
+            },
+            PiConfig {
+                retry: RetryPolicy {
+                    multiplier: 0.5,
+                    ..RetryPolicy::default()
+                },
+                ..base
+            },
+            PiConfig {
+                retry: RetryPolicy {
+                    base_delay: f64::NAN,
+                    ..RetryPolicy::default()
+                },
+                ..base
+            },
+            PiConfig {
+                ladder: Some(LadderConfig {
+                    widen_exit: 99,
+                    ..LadderConfig::default()
+                }),
+                ..base
+            },
+            PiConfig {
+                ladder: Some(LadderConfig {
+                    epsilon_factor: 0.5,
+                    ..LadderConfig::default()
+                }),
+                ..base
+            },
+            PiConfig {
+                breaker: Some(BreakerConfig {
+                    interval: 0.0,
+                    ..BreakerConfig::default()
+                }),
+                ..base
+            },
+            PiConfig {
+                breaker: Some(BreakerConfig {
+                    tolerance: f64::NAN,
+                    ..BreakerConfig::default()
+                }),
+                ..base
+            },
+            PiConfig {
+                breaker: Some(BreakerConfig {
+                    sample: 0,
+                    ..BreakerConfig::default()
+                }),
+                ..base
+            },
+        ];
+        for cfg in cases {
+            assert!(
+                PiService::try_new(cfg).is_err(),
+                "config must be rejected: {cfg:?}"
+            );
+        }
+        assert!(PiService::try_new(base).is_ok());
+    }
+
+    #[test]
+    fn submit_sanitizes_non_finite_inputs() {
+        let mut s = svc(None);
+        let sid = s.register_session();
+        let q = s.submit(sid, f64::NAN, f64::INFINITY);
+        assert_eq!(s.stats().sanitized, 2);
+        // NaN cost became 0 (completes immediately), inf weight became 1.
+        s.advance(1e-6);
+        let mut out = Vec::new();
+        s.pump(&mut out);
+        assert!(out.iter().any(|p| p.done && p.query == q));
+        let q2 = s.submit(sid, 100.0, 1.0);
+        assert!(!s.refine_cost(q2, f64::NAN), "NaN refine must be refused");
+        assert!(s.reweight(q2, f64::NEG_INFINITY));
+        assert_eq!(s.stats().sanitized, 4);
+        assert!(s.point_estimate(q2).is_some_and(f64::is_finite));
     }
 }

@@ -30,14 +30,57 @@
 //!   boundary; the event is then a no-op, and the simulator stays the
 //!   source of truth for *when* queries actually left.
 //!
+//! # Hostile-event hardening
+//!
+//! A mirror fed from a real system cannot assume a well-behaved stream:
+//! event buses drop, duplicate, and reorder, and instrumented engines
+//! occasionally report garbage (`NaN` costs, negative rates). Every event
+//! is therefore screened *before* it can reach the fluid model (whose
+//! `arrive` rightfully panics on duplicates and non-positive weights).
+//! Malformed events are **quarantined** — counted per reason in
+//! [`QuarantineStats`], surfaced through optional
+//! [`Obs`](mqpi_obs::Obs) counters/traces, and otherwise ignored — so a
+//! hostile stream degrades estimate freshness, never process integrity.
+//! When quarantine counts grow, [`SystemMirror::resync`] rebuilds the
+//! mirror from an authoritative [`System`] snapshot in one call.
+//!
 //! The mirror advances its model to each event's timestamp before applying
 //! it, so estimates queried between batches are always relative to the
 //! last applied event time.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use mqpi_core::IncrementalFluid;
-use mqpi_sim::{SimEvent, System};
+use mqpi_obs::{Obs, TraceKind};
+use mqpi_sim::{FinishKind, SimEvent, System};
+
+/// Counts of events rejected by the mirror's input screening, by reason.
+///
+/// A healthy feed keeps every field at zero; any growth indicates the
+/// event source is unreliable and a [`SystemMirror::resync`] may be
+/// warranted.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct QuarantineStats {
+    /// Events that would double-apply a query the mirror already tracks
+    /// (e.g. `Admitted` for a live id, `Resumed` for an unblocked one).
+    pub duplicate: u64,
+    /// Events naming an id the mirror has never seen (and that cannot be
+    /// explained as a predicted-retirement or submission-time rejection).
+    pub unknown_id: u64,
+    /// Events timestamped before the mirror's clock. Time never runs
+    /// backwards in a single feed; these are replays or reorderings.
+    pub out_of_order: u64,
+    /// Events carrying non-finite or otherwise unusable payloads
+    /// (`NaN`/`inf` timestamps or costs, weights `<= 0`, rates `<= 0`).
+    pub non_finite: u64,
+}
+
+impl QuarantineStats {
+    /// Total quarantined events across all reasons.
+    pub fn total(&self) -> u64 {
+        self.duplicate + self.unknown_id + self.out_of_order + self.non_finite
+    }
+}
 
 /// Incremental predictor state mirrored off a simulator event feed.
 #[derive(Debug)]
@@ -51,6 +94,13 @@ pub struct SystemMirror {
     clock: f64,
     /// Ids the fluid model retired at predicted completion boundaries.
     predicted_done: Vec<u64>,
+    /// Ids retired by the model whose `Departed` confirmation is still
+    /// outstanding — a later `Departed` for one of these is legitimate,
+    /// not an unknown id. Entries leave when the confirmation arrives.
+    retired: HashSet<u64>,
+    quarantine: QuarantineStats,
+    resyncs: u64,
+    obs: Option<Obs>,
 }
 
 impl SystemMirror {
@@ -62,6 +112,10 @@ impl SystemMirror {
             blocked: HashMap::new(),
             clock: 0.0,
             predicted_done: Vec::new(),
+            retired: HashSet::new(),
+            quarantine: QuarantineStats::default(),
+            resyncs: 0,
+            obs: None,
         }
     }
 
@@ -70,6 +124,13 @@ impl SystemMirror {
         let mut m = SystemMirror::new(sys.config().rate);
         m.clock = sys.now();
         m
+    }
+
+    /// Attach an observability handle; quarantined events are then
+    /// reported via `pi.mirror.quarantine.*` counters and `quarantine`
+    /// trace events.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = Some(obs);
     }
 
     /// The maintained incremental model.
@@ -97,6 +158,16 @@ impl SystemMirror {
         self.blocked.len()
     }
 
+    /// Events rejected by input screening so far, by reason.
+    pub fn quarantine_stats(&self) -> QuarantineStats {
+        self.quarantine
+    }
+
+    /// Number of [`resync`](Self::resync) rebuilds performed.
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs
+    }
+
     /// `O(log n)` remaining-seconds estimate for an admitted query.
     /// Queued and blocked queries return `None` (no virtual tag / not
     /// consuming bandwidth).
@@ -121,40 +192,120 @@ impl SystemMirror {
         out.append(&mut self.predicted_done);
     }
 
+    /// Record one quarantined event: bump the per-reason counter and, if
+    /// an [`Obs`] is attached, the matching counters plus a trace event.
+    fn quarantine(&mut self, kind: &'static str, id: u64, at: f64) {
+        let (slot, counter) = match kind {
+            "duplicate" => (
+                &mut self.quarantine.duplicate,
+                "pi.mirror.quarantine.duplicate",
+            ),
+            "unknown_id" => (
+                &mut self.quarantine.unknown_id,
+                "pi.mirror.quarantine.unknown_id",
+            ),
+            "out_of_order" => (
+                &mut self.quarantine.out_of_order,
+                "pi.mirror.quarantine.out_of_order",
+            ),
+            _ => (
+                &mut self.quarantine.non_finite,
+                "pi.mirror.quarantine.non_finite",
+            ),
+        };
+        *slot += 1;
+        if let Some(obs) = &self.obs {
+            obs.counter_add("pi.mirror.quarantined", 1);
+            obs.counter_add(counter, 1);
+            obs.emit(at, TraceKind::Quarantine { kind, id });
+        }
+    }
+
+    /// Advance the fluid model by `dt`, recording any ids it retires at
+    /// predicted boundaries so their eventual `Departed` confirmations
+    /// are recognised as legitimate.
+    fn model_advance(&mut self, dt: f64) {
+        self.fluid.advance(dt);
+        let before = self.predicted_done.len();
+        self.fluid.drain_due(&mut self.predicted_done);
+        for &id in &self.predicted_done[before..] {
+            self.retired.insert(id);
+        }
+    }
+
+    /// True when the mirror tracks `id` in any structure (live, queued,
+    /// or blocked).
+    fn tracks(&self, id: u64) -> bool {
+        self.fluid.contains(id)
+            || self.blocked.contains_key(&id)
+            || self.queue.iter().any(|q| q.0 == id)
+    }
+
     /// Apply one scheduler event, first advancing the model to its
     /// timestamp.
+    ///
+    /// Malformed events (see [`QuarantineStats`]) are counted and
+    /// dropped; the model is never advanced to a bogus timestamp and the
+    /// fluid structure is never fed a payload that would corrupt it.
     pub fn apply(&mut self, ev: SimEvent) {
-        let dt = ev.at() - self.clock;
+        let at = ev.at();
+        if !at.is_finite() {
+            self.quarantine("non_finite", event_id(&ev), self.clock);
+            return;
+        }
+        if at < self.clock {
+            self.quarantine("out_of_order", event_id(&ev), self.clock);
+            return;
+        }
+        let dt = at - self.clock;
         if dt > 0.0 {
-            self.fluid.advance(dt);
-            self.fluid.drain_due(&mut self.predicted_done);
-            self.clock = ev.at();
+            self.model_advance(dt);
+            self.clock = at;
         }
         match ev {
             SimEvent::Admitted {
                 id, cost, weight, ..
             } => {
+                if !cost.is_finite() || !weight.is_finite() || weight <= 0.0 {
+                    self.quarantine("non_finite", id, at);
+                    return;
+                }
+                if self.fluid.contains(id) || self.blocked.contains_key(&id) {
+                    self.quarantine("duplicate", id, at);
+                    return;
+                }
                 if let Some(pos) = self.queue.iter().position(|q| q.0 == id) {
                     self.queue.remove(pos);
                 }
-                if !self.fluid.contains(id) {
-                    self.fluid.arrive(id, cost.max(0.0), weight);
-                }
+                self.fluid.arrive(id, cost.max(0.0), weight);
             }
             SimEvent::Enqueued {
                 id, cost, weight, ..
             } => {
+                if !cost.is_finite() || !weight.is_finite() || weight <= 0.0 {
+                    self.quarantine("non_finite", id, at);
+                    return;
+                }
+                if self.tracks(id) {
+                    self.quarantine("duplicate", id, at);
+                    return;
+                }
                 self.queue.push((id, cost, weight));
             }
-            SimEvent::Departed { id, .. } => {
-                if !self.fluid.finish(id) {
-                    if let Some(pos) = self.queue.iter().position(|q| q.0 == id) {
-                        self.queue.remove(pos);
-                    } else {
-                        self.blocked.remove(&id);
-                    }
-                    // Else: already retired at a predicted boundary, or
-                    // rejected at submission (never admitted/enqueued).
+            SimEvent::Departed { id, kind, .. } => {
+                if self.fluid.finish(id) {
+                    return;
+                }
+                if let Some(pos) = self.queue.iter().position(|q| q.0 == id) {
+                    self.queue.remove(pos);
+                } else if self.blocked.remove(&id).is_some() || self.retired.remove(&id) {
+                    // Blocked departure, or confirmation of a query the
+                    // model retired at a predicted boundary.
+                } else if kind != FinishKind::Rejected {
+                    // Rejected-at-submission queries were never admitted
+                    // or enqueued, so an unmatched rejection is expected;
+                    // any other unmatched departure is a phantom id.
+                    self.quarantine("unknown_id", id, at);
                 }
             }
             SimEvent::Blocked { id, .. } => {
@@ -163,28 +314,47 @@ impl SystemMirror {
                 {
                     self.fluid.abort(id);
                     self.blocked.insert(id, (cost, w));
+                } else if self.blocked.contains_key(&id) {
+                    self.quarantine("duplicate", id, at);
+                } else {
+                    self.quarantine("unknown_id", id, at);
                 }
             }
             SimEvent::Resumed { id, .. } => {
                 if let Some((cost, w)) = self.blocked.remove(&id) {
-                    if !self.fluid.contains(id) {
+                    if self.fluid.contains(id) {
+                        self.quarantine("duplicate", id, at);
+                    } else {
                         self.fluid.arrive(id, cost, w);
                     }
+                } else if self.fluid.contains(id) {
+                    self.quarantine("duplicate", id, at);
+                } else {
+                    self.quarantine("unknown_id", id, at);
                 }
             }
             SimEvent::CostRefined { id, remaining, .. } => {
-                if !self.fluid.refine_cost(id, remaining) {
-                    if let Some(e) = self.blocked.get_mut(&id) {
-                        e.0 = remaining;
-                    } else if let Some(q) = self.queue.iter_mut().find(|q| q.0 == id) {
-                        q.1 = remaining;
-                    }
+                if !remaining.is_finite() {
+                    self.quarantine("non_finite", id, at);
+                    return;
+                }
+                if self.fluid.refine_cost(id, remaining) {
+                    return;
+                }
+                if let Some(e) = self.blocked.get_mut(&id) {
+                    e.0 = remaining;
+                } else if let Some(q) = self.queue.iter_mut().find(|q| q.0 == id) {
+                    q.1 = remaining;
+                } else if !self.retired.contains(&id) {
+                    self.quarantine("unknown_id", id, at);
                 }
             }
             SimEvent::RateChanged { rate, .. } => {
-                if rate > 0.0 {
-                    self.fluid.set_rate(rate);
+                if !rate.is_finite() || rate <= 0.0 {
+                    self.quarantine("non_finite", 0, at);
+                    return;
                 }
+                self.fluid.set_rate(rate);
             }
         }
     }
@@ -202,10 +372,74 @@ impl SystemMirror {
     pub fn advance_to(&mut self, t: f64) {
         let dt = t - self.clock;
         if dt > 0.0 {
-            self.fluid.advance(dt);
-            self.fluid.drain_due(&mut self.predicted_done);
+            self.model_advance(dt);
             self.clock = t;
         }
+    }
+
+    /// Rebuild the mirror from an authoritative snapshot of `sys`,
+    /// discarding all event-derived state.
+    ///
+    /// This is the recovery path after quarantine counts indicate the
+    /// event feed lost integrity: one `O(n log n)` rebuild re-anchors the
+    /// mirror, after which delta application can resume from the next
+    /// drained batch. Quarantine counters are preserved (they describe
+    /// the feed, not the current state); `resyncs` is incremented.
+    pub fn resync(&mut self, sys: &System) {
+        let snap = sys.snapshot();
+        self.fluid = IncrementalFluid::new(snap.rate.max(f64::MIN_POSITIVE));
+        self.queue.clear();
+        self.blocked.clear();
+        self.predicted_done.clear();
+        self.retired.clear();
+        self.clock = snap.time;
+        for q in &snap.running {
+            let weight = if q.weight.is_finite() && q.weight > 0.0 {
+                q.weight
+            } else {
+                1.0
+            };
+            let cost = if q.remaining.is_finite() {
+                q.remaining.max(0.0)
+            } else {
+                0.0
+            };
+            if q.blocked {
+                self.blocked.insert(q.id, (cost, weight));
+            } else {
+                self.fluid.arrive(q.id, cost, weight);
+            }
+        }
+        for q in &snap.queued {
+            let weight = if q.weight.is_finite() && q.weight > 0.0 {
+                q.weight
+            } else {
+                1.0
+            };
+            let cost = if q.est_cost.is_finite() {
+                q.est_cost.max(0.0)
+            } else {
+                0.0
+            };
+            self.queue.push((q.id, cost, weight));
+        }
+        self.resyncs += 1;
+        if let Some(obs) = &self.obs {
+            obs.counter_add("pi.mirror.resyncs", 1);
+        }
+    }
+}
+
+/// Best-effort query id carried by an event, for quarantine reporting.
+fn event_id(ev: &SimEvent) -> u64 {
+    match *ev {
+        SimEvent::Admitted { id, .. }
+        | SimEvent::Enqueued { id, .. }
+        | SimEvent::Departed { id, .. }
+        | SimEvent::Blocked { id, .. }
+        | SimEvent::Resumed { id, .. }
+        | SimEvent::CostRefined { id, .. } => id,
+        SimEvent::RateChanged { .. } => 0,
     }
 }
 
@@ -284,6 +518,12 @@ mod tests {
         m.apply_all(&evs);
         assert_eq!(m.live(), 0, "all queries must have departed the mirror");
         assert_eq!(m.queued(), 0);
+        assert_eq!(
+            m.quarantine_stats().total(),
+            0,
+            "a well-behaved feed must not trip quarantine: {:?}",
+            m.quarantine_stats()
+        );
         for id in ids {
             assert!(
                 sys.finished_record(id).is_some(),
@@ -315,6 +555,7 @@ mod tests {
         }
         assert_eq!(m.live(), 0);
         assert_eq!(m.queued(), 0);
+        assert_eq!(m.quarantine_stats().total(), 0);
     }
 
     #[test]
@@ -340,5 +581,159 @@ mod tests {
         sys.drain_events(&mut evs);
         m.apply_all(&evs);
         assert_eq!(m.live(), 0);
+        assert_eq!(m.quarantine_stats().total(), 0);
+    }
+
+    #[test]
+    fn hostile_events_are_quarantined_not_applied() {
+        let mut m = SystemMirror::new(10.0);
+        m.apply(SimEvent::Admitted {
+            at: 0.0,
+            id: 1,
+            cost: 50.0,
+            weight: 1.0,
+        });
+        m.apply(SimEvent::Admitted {
+            at: 1.0,
+            id: 2,
+            cost: 50.0,
+            weight: 1.0,
+        });
+        assert_eq!(m.live(), 2);
+        let baseline = m.estimate(1).expect("live estimate");
+
+        // Duplicate admission of a live id.
+        m.apply(SimEvent::Admitted {
+            at: 1.0,
+            id: 1,
+            cost: 999.0,
+            weight: 7.0,
+        });
+        assert_eq!(m.quarantine_stats().duplicate, 1);
+
+        // Non-finite payloads: NaN cost, inf weight, zero weight.
+        m.apply(SimEvent::Admitted {
+            at: 1.0,
+            id: 3,
+            cost: f64::NAN,
+            weight: 1.0,
+        });
+        m.apply(SimEvent::Enqueued {
+            at: 1.0,
+            id: 4,
+            cost: 10.0,
+            weight: f64::INFINITY,
+        });
+        m.apply(SimEvent::Enqueued {
+            at: 1.0,
+            id: 5,
+            cost: 10.0,
+            weight: 0.0,
+        });
+        assert_eq!(m.quarantine_stats().non_finite, 3);
+        assert_eq!(m.live(), 2);
+        assert_eq!(m.queued(), 0);
+
+        // Non-finite timestamp: rejected before it can move the clock.
+        m.apply(SimEvent::Blocked {
+            at: f64::NAN,
+            id: 1,
+        });
+        assert_eq!(m.quarantine_stats().non_finite, 4);
+        assert_eq!(m.blocked_count(), 0);
+
+        // Time running backwards.
+        m.apply(SimEvent::Admitted {
+            at: 0.5,
+            id: 6,
+            cost: 10.0,
+            weight: 1.0,
+        });
+        assert_eq!(m.quarantine_stats().out_of_order, 1);
+        assert!((m.now() - 1.0).abs() < 1e-12, "clock must not move");
+
+        // Phantom departures: unknown id quarantined, submission-time
+        // rejection tolerated (such queries were never admitted).
+        m.apply(SimEvent::Departed {
+            at: 1.0,
+            id: 99,
+            kind: FinishKind::Completed,
+        });
+        assert_eq!(m.quarantine_stats().unknown_id, 1);
+        m.apply(SimEvent::Departed {
+            at: 1.0,
+            id: 100,
+            kind: FinishKind::Rejected,
+        });
+        assert_eq!(m.quarantine_stats().unknown_id, 1);
+
+        // Unknown block/resume, double resume, bogus refinement and rate.
+        m.apply(SimEvent::Blocked { at: 1.0, id: 42 });
+        m.apply(SimEvent::Resumed { at: 1.0, id: 42 });
+        assert_eq!(m.quarantine_stats().unknown_id, 3);
+        m.apply(SimEvent::Blocked { at: 1.0, id: 1 });
+        m.apply(SimEvent::Resumed { at: 1.0, id: 1 });
+        m.apply(SimEvent::Resumed { at: 1.0, id: 1 });
+        assert_eq!(m.quarantine_stats().duplicate, 2);
+        m.apply(SimEvent::CostRefined {
+            at: 1.0,
+            id: 1,
+            remaining: f64::NEG_INFINITY,
+        });
+        m.apply(SimEvent::RateChanged {
+            at: 1.0,
+            rate: -3.0,
+        });
+        m.apply(SimEvent::RateChanged {
+            at: 1.0,
+            rate: f64::NAN,
+        });
+        assert_eq!(m.quarantine_stats().non_finite, 7);
+
+        // The live set survived the entire barrage intact.
+        assert_eq!(m.live(), 2);
+        let est = m.estimate(1).expect("query 1 must still be live");
+        assert!(est.is_finite() && est > 0.0);
+        assert!(
+            (est - baseline).abs() < baseline,
+            "estimate stayed in a sane range"
+        );
+        assert_eq!(m.quarantine_stats().total(), 13);
+    }
+
+    #[test]
+    fn resync_reanchors_mirror_from_snapshot() {
+        let mut sys = System::new(cfg(Some(2)));
+        sys.enable_event_feed();
+        for i in 0..6u64 {
+            sys.submit(format!("q{i}"), Box::new(SyntheticJob::new(300)), 1.0);
+        }
+        // Lose the first batches entirely: this mirror never saw them.
+        for _ in 0..4 {
+            sys.step().expect("step");
+        }
+        let mut dropped = Vec::new();
+        sys.drain_events(&mut dropped);
+
+        let mut m = SystemMirror::for_system(&sys);
+        assert_eq!(m.live(), 0, "mirror starts desynchronised");
+        m.resync(&sys);
+        assert_eq!(m.resyncs(), 1);
+        assert_eq!(m.live(), sys.running_ids().len());
+        assert_eq!(m.queued(), sys.queued_ids().len());
+
+        // Delta application resumes cleanly from the next batch.
+        let mut evs = Vec::new();
+        while sys.has_work() {
+            evs.clear();
+            sys.step().expect("step");
+            sys.drain_events(&mut evs);
+            m.apply_all(&evs);
+            assert_eq!(m.live(), sys.running_ids().len());
+            assert_eq!(m.queued(), sys.queued_ids().len());
+        }
+        assert_eq!(m.live(), 0);
+        assert_eq!(m.queued(), 0);
+        assert_eq!(m.quarantine_stats().total(), 0);
     }
 }

@@ -77,7 +77,8 @@ pub struct FaultEvent {
 
 /// Capped exponential backoff with a max-attempts budget, governing how
 /// aborted or failed queries are resubmitted through the admission queue.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// The PI service reuses this exact shape for its queue-deadline backoff.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct RetryPolicy {
     /// Delay before the first retry, in virtual seconds.
     pub base_delay: f64,
