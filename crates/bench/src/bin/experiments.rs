@@ -42,8 +42,8 @@ use std::time::Instant;
 
 use mqpi_bench::report::{f2, pct, TextTable};
 use mqpi_bench::{
-    ablations, analytic, chaos, db, maintenance, mcq, naq, parallel, pibench, pichaos, piserve,
-    scq, simbench, speedup_exp, table1, traced,
+    ablations, analytic, chaos, db, ensemble, maintenance, mcq, naq, parallel, pibench, pichaos,
+    piserve, scq, simbench, speedup_exp, table1, traced,
 };
 use mqpi_workload::{McqConfig, TpcrDb};
 
@@ -162,7 +162,7 @@ fn parse_args() -> Result<Opts, String> {
             }
             "--help" | "-h" => {
                 return Err(
-                    "usage: experiments [all|table1|fig1..fig11|ablations|speedup|chaos|bench-harness|bench-sim|bench-pi|pi-serve|pi-chaos] \
+                    "usage: experiments [all|table1|fig1..fig11|ablations|speedup|chaos|bench-harness|bench-sim|bench-pi|pi-serve|pi-chaos|bench-ensemble] \
                             [--runs N] [--small] [--csv DIR] [--seed S] [--jobs N] [--chaos] \
                             [--trace-out FILE] [--metrics-out FILE] \
                             [--checkpoint-dir DIR] [--checkpoint-every N] [--resume-from PATH]"
@@ -210,6 +210,7 @@ fn parse_args() -> Result<Opts, String> {
         "bench-pi",
         "pi-serve",
         "pi-chaos",
+        "bench-ensemble",
     ];
     for w in &opts.what {
         if !KNOWN.contains(&w.as_str()) {
@@ -680,6 +681,10 @@ fn main() -> ExitCode {
         // Overload/self-healing campaign; only when asked by name.
         if opts.what.iter().any(|w| w == "pi-chaos") {
             pi_chaos(&opts)?;
+        }
+        // Estimator-ensemble campaign; only when asked by name.
+        if opts.what.iter().any(|w| w == "bench-ensemble") {
+            bench_ensemble(&opts)?;
         }
         // Observability suite; runs whenever an output file is requested.
         if opts.trace_out.is_some() || opts.metrics_out.is_some() {
@@ -1176,6 +1181,139 @@ fn bench_pi(opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
     mqpi_ckpt::atomic_write(std::path::Path::new("BENCH_7.json"), json.as_bytes())?;
     eprintln!("# wrote BENCH_7.json");
     Ok(())
+}
+
+/// Estimator-ensemble campaign (`bench-ensemble`): the standard lineup
+/// with online selection and uncertainty bands, swept over system shapes
+/// × fault plans. Honors `--runs`, `--seed`, `--jobs`, `--small` and
+/// `--csv` (one `bench_ensemble.csv`, byte-identical at any `--jobs`).
+/// Asserts the acceptance gate — calm cells within 10 % of the best
+/// member, ≥ 2 fault cells strictly better than the worst member — and
+/// writes `BENCH_9.json`.
+fn bench_ensemble(opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
+    let runs = if opts.small {
+        opts.runs.min(3)
+    } else {
+        opts.runs.min(20)
+    };
+    let rep = ensemble::run(runs, opts.seed, opts.jobs)?;
+
+    let mut headers: Vec<String> = vec!["shape".into(), "plan".into()];
+    for n in &rep.names {
+        headers.push(format!("{n} err"));
+    }
+    headers.extend(
+        [
+            "ensemble err",
+            "coverage",
+            "width (s)",
+            "switches",
+            "scored",
+        ]
+        .iter()
+        .map(|s| s.to_string()),
+    );
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = TextTable::new(&header_refs);
+    for c in &rep.cells {
+        let mut row = vec![c.shape.to_string(), c.plan.to_string()];
+        row.extend(c.est_errs.iter().map(|&e| pct(e)));
+        row.push(pct(c.ensemble_err));
+        row.push(pct(c.coverage));
+        row.push(f2(c.mean_width));
+        row.push(c.switches.to_string());
+        row.push(c.scored.to_string());
+        t.row(row);
+        eprintln!(
+            "# bench-ensemble {}/{}: ens={:.4} best={:.4} worst={:.4} cover={:.2} switches={}",
+            c.shape,
+            c.plan,
+            c.ensemble_err,
+            c.best_member(),
+            c.worst_member(),
+            c.coverage,
+            c.switches
+        );
+    }
+    println!(
+        "== bench-ensemble: online selection vs single estimators ({runs} runs/cell, seed {}) ==",
+        opts.seed
+    );
+    println!("{}", t.render());
+    if let Some(dir) = &opts.csv {
+        let path = dir.join("bench_ensemble.csv");
+        t.write_csv(&path)?;
+        eprintln!("# wrote {}", path.display());
+    }
+
+    let accepted = rep.check_acceptance(0.10, 2);
+    let calm_ok = rep.check_acceptance(0.10, 0).is_ok();
+    let chaos_wins = rep.chaos_wins();
+
+    let mut json = String::from("{\n");
+    json.push_str(
+        "  \"benchmark\": \"estimator ensemble: online selection + uncertainty bands (crates/bench/src/ensemble.rs)\",\n",
+    );
+    json.push_str(&format!(
+        "  \"config\": \"shapes {:?} x fault plans {:?}, {} replicates/cell, seed {}, horizon {}s, \
+         standard lineup with Koenig-style windowed-decayed-error selection and residual-quantile bands\",\n",
+        ensemble::SHAPES,
+        ensemble::PLANS,
+        runs,
+        opts.seed,
+        ensemble::HORIZON
+    ));
+    json.push_str(
+        "  \"metric\": \"mean winsorized relative error per estimator vs the ensemble band p50; \
+         p10-p90 coverage (nominal 0.8); mean band width; selector switches\",\n",
+    );
+    json.push_str("  \"estimators\": [");
+    for (i, n) in rep.names.iter().enumerate() {
+        if i > 0 {
+            json.push_str(", ");
+        }
+        json.push_str(&format!("\"{n}\""));
+    }
+    json.push_str("],\n");
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in rep.cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"shape\": \"{}\", \"plan\": \"{}\", \"errors\": [",
+            c.shape, c.plan
+        ));
+        for (j, e) in c.est_errs.iter().enumerate() {
+            if j > 0 {
+                json.push_str(", ");
+            }
+            json.push_str(&format!("{e:.4}"));
+        }
+        json.push_str(&format!(
+            "], \"ensemble_error\": {:.4}, \"coverage\": {:.3}, \"mean_width_s\": {:.2}, \
+             \"switches\": {}, \"resolved\": {}, \"scored\": {} }}{}\n",
+            c.ensemble_err,
+            c.coverage,
+            c.mean_width,
+            c.switches,
+            c.resolved,
+            c.scored,
+            if i + 1 < rep.cells.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"acceptance\": {\n");
+    json.push_str(
+        "    \"calm_bound\": \"ensemble within 10% of best member on every calm cell\",\n",
+    );
+    json.push_str(&format!("    \"calm_ok\": {calm_ok},\n"));
+    json.push_str(&format!("    \"chaos_wins\": {chaos_wins},\n"));
+    json.push_str("    \"required_chaos_wins\": 2,\n");
+    json.push_str(&format!("    \"passed\": {}\n", accepted.is_ok()));
+    json.push_str("  }\n");
+    json.push_str("}\n");
+    mqpi_ckpt::atomic_write(std::path::Path::new("BENCH_9.json"), json.as_bytes())?;
+    eprintln!("# wrote BENCH_9.json");
+
+    accepted.map_err(|e| format!("bench-ensemble: {e}").into())
 }
 
 /// Deterministic PI-service campaign (`pi-serve`): replicated served

@@ -22,6 +22,7 @@ pub mod ablations;
 pub mod analytic;
 pub mod chaos;
 pub mod db;
+pub mod ensemble;
 pub mod maintenance;
 pub mod mcq;
 pub mod naq;

@@ -15,18 +15,23 @@
 //! trace is byte-identical across runs, platforms, and `--jobs` values.
 
 use mqpi_ckpt::{CkptError, Dec, Enc};
-use mqpi_core::{InvariantValidator, MultiQueryPi, SingleQueryPi, ValidationContext, Visibility};
+use mqpi_core::{
+    Ensemble, InvariantValidator, MultiQueryPi, SingleQueryPi, ValidationContext, Visibility,
+};
 use mqpi_engine::error::{EngineError, Result};
 use mqpi_obs::Obs;
 use mqpi_sim::admission::AdmissionPolicy;
 use mqpi_sim::job::SyntheticJob;
 use mqpi_sim::rng::Rng;
-use mqpi_sim::system::{ErrorPolicy, StepMode, System, SystemConfig};
+use mqpi_sim::system::{ErrorPolicy, FinishKind, StepMode, System, SystemConfig};
 use mqpi_sim::{FaultMix, FaultPlan};
 use mqpi_wlm::{LostWorkCase, QueryLoad};
 
 /// The scenarios [`run_scenario`] understands, in suite order.
-pub const SCENARIOS: &[&str] = &["mcq", "naq", "scq", "chaos", "wlm"];
+pub const SCENARIOS: &[&str] = &["mcq", "naq", "scq", "chaos", "wlm", "ensemble"];
+
+/// Smoothing constant of the ensemble scenario's speed-EWMA member.
+const EWMA_TAU: f64 = 4.0;
 
 /// Virtual horizon of one traced run, in seconds. Short on purpose: golden
 /// traces are review surfaces, so they should stay small enough to diff.
@@ -93,16 +98,20 @@ fn build_system(scenario: &str, rng: &mut Rng, obs: &Obs) -> System {
     let initial = match scenario {
         "scq" => 3,
         "naq" | "chaos" => 6,
+        "ensemble" => 5,
         _ => 4,
     };
     for i in 0..initial {
         let cost = rng.range_f64(800.0, 4000.0) as u64;
         sys.submit(format!("q{i}"), Box::new(SyntheticJob::new(cost)), 1.0);
     }
-    if scenario == "scq" {
-        // A deterministic Poisson-ish arrival stream inside the horizon.
+    if scenario == "scq" || scenario == "ensemble" {
+        // A deterministic Poisson-ish arrival stream inside the horizon
+        // (shorter for the ensemble scenario: arrivals plus faults already
+        // give the selector regimes to react to).
         let mut t = 0.0;
-        for i in 0..5 {
+        let arrivals = if scenario == "scq" { 5 } else { 3 };
+        for i in 0..arrivals {
             t += rng.exp(0.05);
             let cost = rng.range_f64(500.0, 2500.0) as u64;
             sys.schedule(t, format!("a{i}"), Box::new(SyntheticJob::new(cost)), 1.0);
@@ -149,12 +158,25 @@ fn run_scenario_impl(name: &str, seed: u64, obs: Obs, split: Option<usize>) -> R
     let mut sys = build_system(scenario, &mut rng, &obs);
     sys.set_error_policy(ErrorPolicy::Isolate);
 
-    let faulty = scenario == "chaos";
-    if faulty {
+    let ensemble_mode = scenario == "ensemble";
+    let faulty = scenario == "chaos" || ensemble_mode;
+    if scenario == "chaos" {
         sys.install_faults(FaultPlan::generate(
             seed ^ 0xC4A5_17E5_0F00_D5EE,
             HORIZON,
             &FaultMix::even(2),
+        ));
+    } else if ensemble_mode {
+        // Rate dips are the fault family the speed-tracking members react
+        // to fastest — the regime changes that make the selector act.
+        sys.install_faults(FaultPlan::generate(
+            seed ^ 0xE45E_3B1E_0F00_D5EE,
+            HORIZON,
+            &FaultMix {
+                rate_dips: 3,
+                cost_noise: 2,
+                ..FaultMix::default()
+            },
         ));
     }
 
@@ -163,6 +185,9 @@ fn run_scenario_impl(name: &str, seed: u64, obs: Obs, split: Option<usize>) -> R
         "naq" | "chaos" => Visibility::with_queue(Some(SLOTS)),
         _ => Visibility::concurrent_only(),
     });
+    let mut ens = Ensemble::standard(Visibility::concurrent_only(), EWMA_TAU);
+    ens.set_obs(obs.clone());
+    let mut seen_finished = 0usize;
     // Slack covers quantum discretization over one sampling interval.
     let mut validator = InvariantValidator::with_slack(2.0);
     validator.set_obs(obs.clone());
@@ -184,8 +209,25 @@ fn run_scenario_impl(name: &str, seed: u64, obs: Obs, split: Option<usize>) -> R
     loop {
         if sys.now() >= next_sample {
             let snap = sys.snapshot();
-            let _ = single.estimates_observed(&snap, &obs);
-            let m_set = multi.estimates_observed(&snap, &obs);
+            let m_set = if ensemble_mode {
+                // Feed realized finish times to the selector before the
+                // tick, exactly as the bench-ensemble campaign does:
+                // completions are scored, aborts/errors are forgotten.
+                let done = sys.finished();
+                while seen_finished < done.len() {
+                    let rec = &done[seen_finished];
+                    if matches!(rec.kind, FinishKind::Completed) {
+                        ens.resolve(rec.id, rec.finished);
+                    } else {
+                        ens.forget(rec.id);
+                    }
+                    seen_finished += 1;
+                }
+                ens.tick_observed(&snap).point_set()
+            } else {
+                let _ = single.estimates_observed(&snap, &obs);
+                multi.estimates_observed(&snap, &obs)
+            };
 
             let rate_degraded = sys.current_rate() < sys.rate() - 1e-9;
             let fault_count = sys.fault_log().len();
@@ -252,6 +294,8 @@ fn run_scenario_impl(name: &str, seed: u64, obs: Obs, split: Option<usize>) -> R
                 e.put_usize(last_fault_count);
                 e.put_bool(prev_rate_degraded);
                 e.put_f64(next_sample);
+                e.put_bytes(&ens.checkpoint());
+                e.put_usize(seen_finished);
                 let container = mqpi_ckpt::encode_container("traced-run", &e.into_bytes());
 
                 let payload =
@@ -271,9 +315,12 @@ fn run_scenario_impl(name: &str, seed: u64, obs: Obs, split: Option<usize>) -> R
                         d.get_usize()?,
                         d.get_bool()?,
                         d.get_f64()?,
+                        d.get_bytes()?,
+                        d.get_usize()?,
                     ))
                 };
                 let revived = revive().map_err(ckpt_err)?;
+                let ens_bytes: Vec<u8>;
                 (
                     sys,
                     validator,
@@ -284,11 +331,19 @@ fn run_scenario_impl(name: &str, seed: u64, obs: Obs, split: Option<usize>) -> R
                     last_fault_count,
                     prev_rate_degraded,
                     next_sample,
+                    ens_bytes,
+                    seen_finished,
                 ) = revived;
+                // The selector restores into a freshly built lineup (the
+                // member list itself is code, not state), just like the
+                // scheduler and validator restore into fresh objects.
+                ens = Ensemble::standard(Visibility::concurrent_only(), EWMA_TAU);
+                ens.restore_state(&ens_bytes).map_err(ckpt_err)?;
                 // Restored handles come back disconnected; re-wire the
                 // live observability channel exactly as at startup.
                 sys.set_obs(obs.clone());
                 validator.set_obs(obs.clone());
+                ens.set_obs(obs.clone());
             }
         }
         if sys.now() >= HORIZON || !sys.has_work() {
@@ -369,6 +424,13 @@ mod tests {
         assert!(wlm.trace.contains(" resume "));
         assert!(wlm.trace.contains("wlm action=maintenance_abort"));
         assert!(wlm.trace.contains(" abort "));
+        let ens = by_name("ensemble");
+        assert!(ens.trace.contains(" selector "), "no selector decisions");
+        assert!(
+            ens.trace.contains("estimate pi=ensemble"),
+            "no ensemble estimates"
+        );
+        assert!(ens.trace.contains(" fault "), "no injected faults");
     }
 
     #[test]

@@ -91,6 +91,64 @@ impl EstimateSet {
     }
 }
 
+/// Percentile band around a remaining-time estimate. The point estimate is
+/// the band's p50; p10/p90 bound the plausible range given the chosen
+/// estimator's recent residuals and the current rate uncertainty (Wu et
+/// al., *Uncertainty Aware Query Execution Time Prediction*: estimates
+/// should carry distributions, not points). Invariant: all three values
+/// are finite, non-negative, and ordered `p10 ≤ p50 ≤ p90`.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Band {
+    /// Optimistic bound: 10 % of realized outcomes finish sooner.
+    pub p10: f64,
+    /// Median remaining-time estimate (the point estimate).
+    pub p50: f64,
+    /// Pessimistic bound: 90 % of realized outcomes finish sooner.
+    pub p90: f64,
+}
+
+impl Band {
+    /// Collapse to a zero-width band at `p` (no uncertainty information).
+    pub fn point(p: f64) -> Self {
+        Band {
+            p10: p,
+            p50: p,
+            p90: p,
+        }
+    }
+
+    /// Sanitize each percentile and restore ordering, whatever the raw
+    /// inputs were. Callers only ever see finite, ordered bands.
+    pub fn sanitized(p10: f64, p50: f64, p90: f64) -> Self {
+        let p50 = sanitize_seconds(p50).0;
+        let p10 = sanitize_seconds(p10).0.min(p50);
+        let p90 = sanitize_seconds(p90).0.max(p50);
+        Band { p10, p50, p90 }
+    }
+
+    /// Band width `p90 − p10` in seconds.
+    pub fn width(&self) -> f64 {
+        self.p90 - self.p10
+    }
+
+    /// Whether a realized remaining time fell inside the band.
+    pub fn covers(&self, actual: f64) -> bool {
+        self.p10 <= actual && actual <= self.p90
+    }
+}
+
+/// A remaining-time estimate with uncertainty: one query's [`Band`] plus
+/// the estimator the ensemble selector chose to produce it.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BandedEstimate {
+    /// Query id the estimate is for.
+    pub id: u64,
+    /// p10/p50/p90 remaining-time percentiles.
+    pub band: Band,
+    /// Name of the estimator that produced the point estimate.
+    pub chosen: &'static str,
+}
+
 /// The paper's relative-error metric (§5.2.3):
 /// `|t_est − t_actual| / t_actual × 100%` — returned as a fraction
 /// (0.25 = 25%).

@@ -16,9 +16,13 @@
 //!
 //! [`adaptive`] provides the arrival-rate re-estimation that lets a
 //! multi-query PI correct bad information about the future (§5.2.3,
-//! Figs. 8-10).
+//! Figs. 8-10). [`ensemble`] generalizes both families behind one
+//! [`ensemble::Estimator`] trait, adds three further estimator families,
+//! and runs them as an [`ensemble::Ensemble`]: online selection scored
+//! against realized finish times plus p10/p50/p90 uncertainty bands.
 
 pub mod adaptive;
+pub mod ensemble;
 pub mod estimate;
 pub mod fluid;
 pub mod incremental;
@@ -30,11 +34,15 @@ pub mod single;
 pub mod validator;
 
 pub use adaptive::ArrivalRateEstimator;
-pub use estimate::{relative_error, Estimate, EstimateSet};
+pub use ensemble::{
+    DriverNodePi, Ensemble, EnsembleConfig, EnsembleTick, Estimator, SelectorDecision, SpeedEwmaPi,
+    TotalWorkPi,
+};
+pub use estimate::{relative_error, Band, BandedEstimate, Estimate, EstimateSet};
 pub use fluid::{standard_remaining_times, FluidPrediction, FluidQuery, FutureArrivals};
 pub use incremental::{DeltaCounters, IncrementalFluid};
-pub use multi::{MultiQueryPi, Visibility};
-pub use observe::observe_estimates;
+pub use multi::{FutureWorkload, MultiQueryPi, Visibility};
+pub use observe::{emit_observed, observe_estimates};
 pub use percent::{PercentDonePi, TimeFractionPi};
 pub use sanitize::{
     sanitize_fraction, sanitize_fraction_counted, sanitize_percent, sanitize_percent_counted,

@@ -81,6 +81,15 @@ impl MultiQueryPi {
     /// is visible, for queued queries as well. One [`predict`] pass covers
     /// the whole snapshot; look individual queries up in the returned set.
     pub fn estimates(&self, snap: &SystemSnapshot) -> EstimateSet {
+        // The fluid model requires a positive rate; a paused or corrupt
+        // snapshot (rate 0, NaN) floors to an epsilon rate instead — the
+        // resulting huge estimates are capped by the sanitizer, and the
+        // estimator keeps its contract of never panicking on bad input.
+        let rate = if snap.rate.is_finite() && snap.rate > 0.0 {
+            snap.rate
+        } else {
+            1e-9
+        };
         let running: Vec<FluidQuery> = snap
             .running
             .iter()
@@ -112,7 +121,7 @@ impl MultiQueryPi {
             // the no-arrival quiescent time's worth of stream.
             let backlog: f64 = running.iter().map(|q| q.cost).sum::<f64>()
                 + queued.iter().map(|q| q.cost).sum::<f64>();
-            let quiescent = backlog / snap.rate;
+            let quiescent = backlog / rate;
             let cap = (3.0 * quiescent * f.lambda).ceil().max(1.0) as usize;
             fa.max_arrivals = cap.min(fa.max_arrivals);
             Some(fa)
@@ -123,7 +132,7 @@ impl MultiQueryPi {
             // Without queue awareness the PI doesn't model admission at all.
             None
         };
-        let p = predict(&running, &queued, slots, future.as_ref(), snap.rate);
+        let p = predict(&running, &queued, slots, future.as_ref(), rate);
         EstimateSet::from_pairs(p.finish_times, p.truncated)
     }
 
@@ -140,9 +149,13 @@ impl MultiQueryPi {
     /// span, and estimate/sanitizer counters. With a disabled handle this
     /// is exactly [`Self::estimates`].
     pub fn estimates_observed(&self, snap: &SystemSnapshot, obs: &mqpi_obs::Obs) -> EstimateSet {
-        let est = self.estimates(snap);
-        crate::observe::observe_estimates(obs, "multi", "core.predict.multi", snap.time, &est);
-        est
+        crate::observe::emit_observed(
+            obs,
+            "multi",
+            "core.predict.multi",
+            snap.time,
+            self.estimates(snap),
+        )
     }
 }
 

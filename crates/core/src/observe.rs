@@ -44,6 +44,23 @@ pub fn observe_estimates(
     }
 }
 
+/// The one observed-emission path every estimator shares: take the set a
+/// prediction pass produced, record its footprint, and hand the set back.
+/// Observation is a pure read, so the returned set is exactly the input —
+/// the `*_observed` wrappers on every [`crate::ensemble::Estimator`] are
+/// one-line delegations to this helper instead of copy-pasted
+/// emission blocks.
+pub fn emit_observed(
+    obs: &Obs,
+    pi: &'static str,
+    span: &'static str,
+    at: f64,
+    est: EstimateSet,
+) -> EstimateSet {
+    observe_estimates(obs, pi, span, at, &est);
+    est
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

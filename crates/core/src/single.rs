@@ -64,9 +64,13 @@ impl SingleQueryPi {
     /// span, and estimate/sanitizer counters. With a disabled handle this
     /// is exactly [`Self::estimates`].
     pub fn estimates_observed(&self, snap: &SystemSnapshot, obs: &mqpi_obs::Obs) -> EstimateSet {
-        let est = self.estimates(snap);
-        crate::observe::observe_estimates(obs, "single", "core.predict.single", snap.time, &est);
-        est
+        crate::observe::emit_observed(
+            obs,
+            "single",
+            "core.predict.single",
+            snap.time,
+            self.estimates(snap),
+        )
     }
 }
 

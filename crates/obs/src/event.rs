@@ -189,6 +189,19 @@ pub enum TraceKind {
         /// non-finite rate change).
         id: u64,
     },
+    /// The estimator-ensemble selector assigned or switched one query's
+    /// active estimator.
+    Selector {
+        /// Query id the decision is for.
+        id: u64,
+        /// Estimator the query was using (`-` on first assignment).
+        from: &'static str,
+        /// Estimator the query uses from now on.
+        to: &'static str,
+        /// Windowed decayed relative error of `to` at decision time
+        /// (`inf` before any realized finish has been scored).
+        score: f64,
+    },
 }
 
 impl TraceKind {
@@ -215,6 +228,7 @@ impl TraceKind {
             TraceKind::TierChange { .. } => "tier",
             TraceKind::Breaker { .. } => "breaker",
             TraceKind::Quarantine { .. } => "quarantine",
+            TraceKind::Selector { .. } => "selector",
         }
     }
 }
@@ -276,6 +290,12 @@ impl fmt::Display for TraceEvent {
                 write!(f, " action={action} divergence={divergence}")
             }
             TraceKind::Quarantine { kind, id } => write!(f, " kind={kind} id={id}"),
+            TraceKind::Selector {
+                id,
+                from,
+                to,
+                score,
+            } => write!(f, " id={id} from={from} to={to} score={score}"),
         }
     }
 }

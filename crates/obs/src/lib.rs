@@ -40,7 +40,7 @@ use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use mqpi_ckpt::{CkptError, Dec, Enc};
 
 pub use event::{TraceEvent, TraceKind};
-pub use metrics::{Histogram, MetricsRegistry, SECOND_BUCKETS, UNIT_BUCKETS};
+pub use metrics::{Histogram, MetricsRegistry, ERROR_BUCKETS, SECOND_BUCKETS, UNIT_BUCKETS};
 pub use profile::{Profile, SpanStat};
 
 /// Intern `s` into a `&'static str`. Metric and span names are static in

@@ -25,6 +25,11 @@ pub static UNIT_BUCKETS: &[f64] = &[
 /// waits, remaining-time estimates).
 pub static SECOND_BUCKETS: &[f64] = &[0.1, 1.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 1_000.0];
 
+/// Fixed bucket boundaries for relative-error observations (an estimate's
+/// `|est − actual| / actual` as a fraction; the ensemble caps samples at
+/// 100, i.e. 10 000 %).
+pub static ERROR_BUCKETS: &[f64] = &[0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 100.0];
+
 /// A fixed-bucket histogram. Buckets are set at first observation and are
 /// part of the metric's identity; observing the same name with different
 /// bounds is a programming error (debug-asserted).
@@ -300,7 +305,7 @@ fn canonical_bounds(decoded: &[f64]) -> &'static [f64] {
                 .zip(decoded)
                 .all(|(a, b)| a.to_bits() == b.to_bits())
     };
-    for canon in [UNIT_BUCKETS, SECOND_BUCKETS] {
+    for canon in [UNIT_BUCKETS, SECOND_BUCKETS, ERROR_BUCKETS] {
         if same(canon) {
             return canon;
         }

@@ -105,6 +105,11 @@ fn golden_wlm() {
     check("wlm");
 }
 
+#[test]
+fn golden_ensemble() {
+    check("ensemble");
+}
+
 /// Crash-safe resume against the review surface itself: a chaos run that
 /// is checkpointed mid-way, torn down, and revived from the snapshot must
 /// reproduce the *checked-in fixture* of the uninterrupted run byte for
@@ -126,6 +131,31 @@ fn golden_chaos_resumed_matches_straight_fixture() {
     assert_eq!(
         got, want,
         "resumed chaos run diverged from the straight run's fixture"
+    );
+}
+
+/// Same crash-safe-resume contract for the selector: the ensemble run is
+/// cut mid-way, its selector scores, pending samples, residual windows,
+/// and per-query choices serialized and revived into a freshly built
+/// estimator lineup — and the continued run must still match the
+/// uninterrupted run's checked-in fixture byte for byte. This is the
+/// proof that selector state restores bit-identically, not just
+/// approximately.
+#[test]
+fn golden_ensemble_resumed_matches_straight_fixture() {
+    let run = traced::run_scenario_resumed("ensemble", GOLDEN_SEED, 12).expect("resumed run");
+    assert_eq!(run.violations, 0, "resumed ensemble: invariant violations");
+    let got = artifact(&run);
+    let path = fixture_path("ensemble");
+    if std::env::var_os("MQPI_BLESS").is_some_and(|v| v == "1") {
+        // Blessing is owned by `golden_ensemble`; this test only compares.
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {} ({e})", path.display()));
+    assert_eq!(
+        got, want,
+        "resumed ensemble run diverged from the straight run's fixture"
     );
 }
 
