@@ -43,7 +43,7 @@ use std::time::Instant;
 use mqpi_bench::report::{f2, pct, TextTable};
 use mqpi_bench::{
     ablations, analytic, chaos, db, ensemble, maintenance, mcq, naq, parallel, pibench, pichaos,
-    piserve, scq, simbench, speedup_exp, table1, traced,
+    piserve, piwal, scq, simbench, speedup_exp, table1, traced,
 };
 use mqpi_workload::{McqConfig, TpcrDb};
 
@@ -59,6 +59,9 @@ struct Opts {
     checkpoint_dir: Option<PathBuf>,
     checkpoint_every: Option<usize>,
     resume_from: Option<PathBuf>,
+    wal_dir: Option<PathBuf>,
+    wal_flush_every: Option<u32>,
+    standby: bool,
 }
 
 impl Opts {
@@ -101,6 +104,9 @@ fn parse_args() -> Result<Opts, String> {
         checkpoint_dir: None,
         checkpoint_every: None,
         resume_from: None,
+        wal_dir: None,
+        wal_flush_every: None,
+        standby: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -160,12 +166,25 @@ fn parse_args() -> Result<Opts, String> {
                     args.next().ok_or("--resume-from needs a path")?,
                 ));
             }
+            "--wal-dir" => {
+                opts.wal_dir = Some(PathBuf::from(args.next().ok_or("--wal-dir needs a dir")?));
+            }
+            "--wal-flush-every" => {
+                opts.wal_flush_every = Some(
+                    args.next()
+                        .ok_or("--wal-flush-every needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--wal-flush-every: {e}"))?,
+                );
+            }
+            "--standby" => opts.standby = true,
             "--help" | "-h" => {
                 return Err(
-                    "usage: experiments [all|table1|fig1..fig11|ablations|speedup|chaos|bench-harness|bench-sim|bench-pi|pi-serve|pi-chaos|bench-ensemble] \
+                    "usage: experiments [all|table1|fig1..fig11|ablations|speedup|chaos|bench-harness|bench-sim|bench-pi|pi-serve|pi-chaos|pi-wal-chaos|bench-ensemble|bench-wal] \
                             [--runs N] [--small] [--csv DIR] [--seed S] [--jobs N] [--chaos] \
                             [--trace-out FILE] [--metrics-out FILE] \
-                            [--checkpoint-dir DIR] [--checkpoint-every N] [--resume-from PATH]"
+                            [--checkpoint-dir DIR] [--checkpoint-every N] [--resume-from PATH] \
+                            [--wal-dir DIR] [--wal-flush-every N] [--standby]"
                         .into(),
                 )
             }
@@ -187,6 +206,12 @@ fn parse_args() -> Result<Opts, String> {
     }
     if opts.resume_from.is_some() && opts.checkpoint_dir.is_some() {
         return Err("--resume-from already names the snapshot dir; drop --checkpoint-dir".into());
+    }
+    if (opts.wal_flush_every.is_some() || opts.standby)
+        && opts.wal_dir.is_none()
+        && !opts.what.iter().any(|w| w == "pi-wal-chaos")
+    {
+        return Err("--wal-flush-every/--standby need --wal-dir (durable pi-serve mode)".into());
     }
     const KNOWN: &[&str] = &[
         "all",
@@ -210,7 +235,9 @@ fn parse_args() -> Result<Opts, String> {
         "bench-pi",
         "pi-serve",
         "pi-chaos",
+        "pi-wal-chaos",
         "bench-ensemble",
+        "bench-wal",
     ];
     for w in &opts.what {
         if !KNOWN.contains(&w.as_str()) {
@@ -681,6 +708,14 @@ fn main() -> ExitCode {
         // Overload/self-healing campaign; only when asked by name.
         if opts.what.iter().any(|w| w == "pi-chaos") {
             pi_chaos(&opts)?;
+        }
+        // Durability chaos campaign; only when asked by name.
+        if opts.what.iter().any(|w| w == "pi-wal-chaos") {
+            pi_wal_chaos(&opts)?;
+        }
+        // WAL replay/recovery/group-commit timing; only when asked by name.
+        if opts.what.iter().any(|w| w == "bench-wal") {
+            bench_wal(&opts)?;
         }
         // Estimator-ensemble campaign; only when asked by name.
         if opts.what.iter().any(|w| w == "bench-ensemble") {
@@ -1343,6 +1378,13 @@ fn pi_serve(opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(every) = opts.checkpoint_every {
         cfg.checkpoint_every = every;
     }
+    if let Some(dir) = &opts.wal_dir {
+        cfg.wal_dir = Some(dir.clone());
+    }
+    if let Some(n) = opts.wal_flush_every {
+        cfg.wal_flush_every = n;
+    }
+    cfg.standby = opts.standby;
     let rows = piserve::run_campaign(&cfg)?;
     println!(
         "== pi-serve: {} replicates x {} iters, {} sessions ==",
@@ -1407,5 +1449,252 @@ fn pi_chaos(opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     eprintln!("# pi-chaos: {} replicates clean", rows.len());
+    Ok(())
+}
+
+/// Durability chaos campaign (`pi-wal-chaos`): per replicate, a durable
+/// run is killed at a seed-derived offset, its log tail is mutated (bit
+/// flip / truncation / garbage / duplicated chunk / nothing), recovery
+/// resumes from the surviving mark, and a warm standby promotes at a
+/// second seed-derived failover point — every path must converge on the
+/// uninterrupted reference digest bit-for-bit. Rows are a pure function
+/// of the seed (jobs-independent); CI diffs them across worker counts.
+fn pi_wal_chaos(opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
+    let mut cfg = piwal::WalChaosCampaign {
+        seed: opts.seed,
+        replicates: opts.runs.min(32),
+        jobs: opts.jobs,
+        ..piwal::WalChaosCampaign::default()
+    };
+    if opts.small {
+        cfg.iters = 150;
+    }
+    if let Some(dir) = &opts.wal_dir {
+        cfg.wal_root = Some(dir.clone());
+    }
+    let rows = piwal::run_campaign(&cfg)?;
+    println!(
+        "== pi-wal-chaos: {} replicates x {} iters ==",
+        cfg.replicates, cfg.iters
+    );
+    let mut t = TextTable::new(&[
+        "rep",
+        "seed",
+        "kill_at",
+        "mutation",
+        "fail_at",
+        "replayed",
+        "truncated_bytes",
+        "resumed_from",
+        "pushes",
+        "digest",
+    ]);
+    for r in &rows {
+        println!(
+            "pi-wal-chaos rep={} seed={:016x} kill_at={} mutation={} fail_at={} replayed={} \
+             truncated={} resumed_from={} pushes={} digest={:016x}",
+            r.rep,
+            r.seed,
+            r.kill_at,
+            r.mutation,
+            r.fail_at,
+            r.replayed,
+            r.truncated_bytes,
+            r.resumed_from,
+            r.pushes,
+            r.digest
+        );
+        t.row(vec![
+            r.rep.to_string(),
+            format!("{:016x}", r.seed),
+            r.kill_at.to_string(),
+            r.mutation.to_string(),
+            r.fail_at.to_string(),
+            r.replayed.to_string(),
+            r.truncated_bytes.to_string(),
+            r.resumed_from.to_string(),
+            r.pushes.to_string(),
+            format!("{:016x}", r.digest),
+        ]);
+    }
+    if let Some(dir) = &opts.csv {
+        std::fs::create_dir_all(dir)?;
+        t.write_csv(&dir.join("pi-wal-chaos.csv"))?;
+    }
+    eprintln!("# pi-wal-chaos: {} replicates clean", rows.len());
+    Ok(())
+}
+
+/// Durability-subsystem timing (`bench-wal`): replay throughput and
+/// recovery latency as a function of log length, plus the group-commit
+/// batch-size sweep. Writes `BENCH_10.json`.
+fn bench_wal(opts: &Opts) -> Result<(), Box<dyn std::error::Error>> {
+    use mqpi_pi::{PiConfig, PiService};
+    use mqpi_wal::WalKnobs;
+
+    let root = std::env::temp_dir().join(format!("mqpi-bench-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let cfg_for = |knobs: WalKnobs| PiConfig {
+        rate: 200.0,
+        epsilon: 0.05,
+        slots: Some(16),
+        wal: Some(knobs),
+        ..PiConfig::default()
+    };
+    // One scripted driver iteration journals 3-4 records (submit, an
+    // occasional control command, advance, pump).
+    let drive = |svc: &mut PiService, sid: u64, i: u64, out: &mut Vec<mqpi_pi::EstimatePush>| {
+        let q = svc.submit(sid, 4.0 + (i % 37) as f64 * 0.5, 1.0 + (i % 3) as f64);
+        if i.is_multiple_of(5) {
+            svc.refine_cost(q, 2.0 + (i % 11) as f64);
+        }
+        svc.advance(0.01);
+        out.clear();
+        svc.pump(out);
+    };
+    let reps = simbench::reps();
+
+    // ---- Replay throughput / recovery latency vs log length. ----
+    let replay_iters: &[u64] = if opts.small {
+        &[2_000]
+    } else {
+        &[2_000, 8_000, 32_000]
+    };
+    let mut replay_rows = Vec::new();
+    let mut t = TextTable::new(&[
+        "iters",
+        "records",
+        "log bytes",
+        "recover (ms)",
+        "records/sec",
+    ]);
+    for (k, &iters) in replay_iters.iter().enumerate() {
+        let dir = root.join(format!("replay-{k}"));
+        let knobs = WalKnobs {
+            flush_every_n: 256,
+            flush_every_vt: 1e18,
+            compact_every: 0,
+        };
+        {
+            let (mut svc, _) = PiService::open_durable(cfg_for(knobs), &dir)?;
+            let sid = svc.register_session();
+            let mut out = Vec::new();
+            for i in 1..=iters {
+                drive(&mut svc, sid, i, &mut out);
+            }
+            svc.wal_sync();
+            drop(svc);
+        }
+        let log_bytes: u64 = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".seg"))
+            .filter_map(|e| e.metadata().ok().map(|m| m.len()))
+            .sum();
+        let mut best = f64::INFINITY;
+        let mut replayed = 0u64;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let (svc, rec) = PiService::open_durable(cfg_for(knobs), &dir)?;
+            best = best.min(t0.elapsed().as_secs_f64());
+            replayed = rec.replayed;
+            drop(svc);
+        }
+        let per_sec = replayed as f64 / best;
+        eprintln!(
+            "# bench-wal replay iters={iters}: {replayed} records in {:.1}ms ({:.0} records/sec)",
+            best * 1e3,
+            per_sec
+        );
+        t.row(vec![
+            iters.to_string(),
+            replayed.to_string(),
+            log_bytes.to_string(),
+            format!("{:.1}", best * 1e3),
+            format!("{per_sec:.0}"),
+        ]);
+        replay_rows.push((iters, replayed, log_bytes, best, per_sec));
+    }
+    println!("== bench-wal replay (snapshot + suffix recovery) ==");
+    println!("{}", t.render());
+
+    // ---- Group-commit batch-size sweep. ----
+    let sweep_iters: u64 = if opts.small { 2_000 } else { 10_000 };
+    let flush_ns: &[u32] = &[1, 8, 64, 512];
+    let mut sweep_rows = Vec::new();
+    let mut t = TextTable::new(&["flush_every_n", "wall (s)", "records/sec", "fsyncs"]);
+    for &n in flush_ns {
+        let knobs = WalKnobs {
+            flush_every_n: n,
+            flush_every_vt: 1e18,
+            compact_every: 0,
+        };
+        let mut best = f64::INFINITY;
+        let mut flushes = 0u64;
+        let mut records = 0u64;
+        for rep in 0..reps {
+            let dir = root.join(format!("sweep-{n}-{rep}"));
+            let obs = mqpi_obs::Obs::enabled();
+            let (mut svc, _) = PiService::open_durable_with_obs(cfg_for(knobs), &dir, obs.clone())?;
+            let sid = svc.register_session();
+            let mut out = Vec::new();
+            let t0 = Instant::now();
+            for i in 1..=sweep_iters {
+                drive(&mut svc, sid, i, &mut out);
+            }
+            svc.wal_sync();
+            let wall = t0.elapsed().as_secs_f64();
+            records = obs.counter("wal.appended");
+            flushes = obs.counter("wal.flushes");
+            best = best.min(wall);
+            drop(svc);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        let per_sec = records as f64 / best;
+        eprintln!(
+            "# bench-wal group-commit n={n}: {records} records in {:.3}s ({:.0} records/sec, {flushes} fsync batches)",
+            best, per_sec
+        );
+        t.row(vec![
+            n.to_string(),
+            format!("{best:.3}"),
+            format!("{per_sec:.0}"),
+            flushes.to_string(),
+        ]);
+        sweep_rows.push((n, best, per_sec, flushes));
+    }
+    println!("== bench-wal group commit ({sweep_iters} iterations) ==");
+    println!("{}", t.render());
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"benchmark\": \"wal durability: replay throughput, recovery latency, group commit (crates/wal + crates/pi/src/durable.rs)\",\n");
+    json.push_str(
+        "  \"config\": \"PiService event-sourced through an fsync-batched CRC-framed log; replay = base snapshot restore + committed-suffix re-apply\",\n",
+    );
+    json.push_str(
+        "  \"metric\": \"records/sec (replay and append) and recovery wall time vs log length\",\n",
+    );
+    json.push_str(&format!(
+        "  \"methodology\": \"best of {reps} repetitions (MQPI_BENCH_REPS); kernel-noise bursts are strictly additive, so min-of-k converges on true cost\",\n",
+    ));
+    json.push_str("  \"replay\": {");
+    for (i, (iters, records, bytes, secs, per_sec)) in replay_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "{}\"iters_{iters}\": {{ \"records\": {records}, \"log_bytes\": {bytes}, \"recover_ms\": {:.2}, \"records_per_sec\": {per_sec:.0} }}",
+            if i == 0 { " " } else { ", " },
+            secs * 1e3
+        ));
+    }
+    json.push_str(" },\n");
+    json.push_str("  \"group_commit\": {");
+    for (i, (n, secs, per_sec, flushes)) in sweep_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "{}\"flush_every_{n}\": {{ \"wall_s\": {secs:.3}, \"records_per_sec\": {per_sec:.0}, \"fsync_batches\": {flushes} }}",
+            if i == 0 { " " } else { ", " }
+        ));
+    }
+    json.push_str(" }\n}\n");
+    mqpi_ckpt::atomic_write(std::path::Path::new("BENCH_10.json"), json.as_bytes())?;
+    eprintln!("# wrote BENCH_10.json");
+    let _ = std::fs::remove_dir_all(&root);
     Ok(())
 }

@@ -30,6 +30,7 @@ pub mod parallel;
 pub mod pibench;
 pub mod pichaos;
 pub mod piserve;
+pub mod piwal;
 pub mod report;
 pub mod scq;
 pub mod simbench;

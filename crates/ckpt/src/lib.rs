@@ -12,9 +12,12 @@
 //!   over everything before it. [`read_file`] validates all of it and
 //!   returns a typed [`CkptError`] instead of panicking, so corrupt,
 //!   truncated, or version-mismatched snapshots degrade to a fresh start.
-//! * Atomic writes: [`atomic_write`] stages into a sibling temp file and
-//!   renames over the target, so a crash mid-write never leaves a torn
-//!   file behind (rename is atomic on POSIX filesystems).
+//! * Atomic, durable writes: [`atomic_write`] stages into a sibling temp
+//!   file, fsyncs it, renames over the target, and fsyncs the parent
+//!   directory, so a crash — including power loss — never leaves a torn
+//!   file behind (rename is atomic on POSIX filesystems) and a completed
+//!   write is actually on disk. [`sweep_stale_tmp`] collects staging files
+//!   orphaned by a crash mid-write.
 //!
 //! The state encoders themselves live next to the state they snapshot
 //! (`sim::System::checkpoint`, `core::InvariantValidator::checkpoint`,
@@ -33,7 +36,10 @@ use std::path::Path;
 ///
 /// v2: `System` payloads grew a trailing delta-event-feed section, and the
 /// PI session service (`mqpi-pi`) introduced its own payload kinds.
-pub const FORMAT_VERSION: u32 = 2;
+///
+/// v3: `PiService` payloads grew a WAL-policy section, and the durability
+/// layer (`mqpi-wal`) introduced segment and base-snapshot payload kinds.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// File magic, first four bytes of every snapshot.
 pub const MAGIC: &[u8; 4] = b"MQPI";
@@ -404,24 +410,82 @@ pub fn decode_container(bytes: &[u8], expected_kind: &str) -> Result<Vec<u8>> {
 // atomic file I/O
 // ---------------------------------------------------------------------------
 
-/// Write `contents` to `path` atomically: stage into a sibling `.tmp` file,
-/// then rename over the target. Readers never observe a torn file — they
-/// see either the old contents or the new, and a crash mid-write leaves at
-/// worst a stray temp file.
+/// Write `contents` to `path` atomically *and durably*: stage into a
+/// sibling `.tmp` file, fsync it, rename over the target, then fsync the
+/// parent directory so the rename itself survives power loss. Readers never
+/// observe a torn file — they see either the old contents or the new, and a
+/// crash mid-write leaves at worst a stray temp file (collected by
+/// [`sweep_stale_tmp`] on the next startup).
 pub fn atomic_write(path: &Path, contents: &[u8]) -> io::Result<()> {
+    use std::io::Write as _;
     let mut tmp_name = path
         .file_name()
         .map_or_else(|| "ckpt".into(), |n| n.to_os_string());
     tmp_name.push(".tmp");
     let tmp = path.with_file_name(tmp_name);
-    std::fs::write(&tmp, contents)?;
+    let staged = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents)?;
+        // Data must be on disk *before* the rename publishes the name; a
+        // rename alone can be journalled ahead of the data it points at.
+        f.sync_all()
+    })();
+    if let Err(e) = staged {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
     match std::fs::rename(&tmp, path) {
-        Ok(()) => Ok(()),
+        Ok(()) => {
+            sync_parent_dir(path);
+            Ok(())
+        }
         Err(e) => {
             let _ = std::fs::remove_file(&tmp);
             Err(e)
         }
     }
+}
+
+/// Fsync the directory containing `path`, making a just-completed rename or
+/// unlink durable. Best-effort: directory fsync is a durability upgrade on
+/// top of an already-atomic rename, so failures (e.g. filesystems that
+/// refuse to open directories) are swallowed rather than failing the write.
+pub fn sync_parent_dir(path: &Path) {
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    sync_dir(dir);
+}
+
+/// Fsync a directory handle itself (entries added/removed/renamed in it).
+/// Best-effort, same rationale as [`sync_parent_dir`].
+pub fn sync_dir(dir: &Path) {
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+/// Remove stale `*.tmp` staging files left in `dir` by a crash mid
+/// [`atomic_write`]. Returns how many were removed. Call once at startup
+/// before trusting a directory of snapshots; a temp file that was never
+/// renamed was by definition never published, so deleting it is always
+/// safe.
+pub fn sweep_stale_tmp(dir: &Path) -> io::Result<usize> {
+    let mut swept = 0;
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let is_tmp = Path::new(&name).extension().is_some_and(|e| e == "tmp");
+        if is_tmp && entry.file_type()?.is_file() {
+            std::fs::remove_file(entry.path())?;
+            swept += 1;
+        }
+    }
+    if swept > 0 {
+        sync_dir(dir);
+    }
+    Ok(swept)
 }
 
 /// Atomically write `payload` to `path` as a framed, checksummed snapshot.
@@ -589,6 +653,25 @@ mod tests {
             .map(|e| e.unwrap().file_name())
             .collect();
         assert_eq!(names, vec![std::ffi::OsString::from("out.csv")]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sweep_removes_only_stale_tmp_files() {
+        let dir = std::env::temp_dir().join(format!("mqpi-ckpt-sweep-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("real.ckpt"), b"keep").unwrap();
+        std::fs::write(dir.join("real.ckpt.tmp"), b"torn").unwrap();
+        std::fs::write(dir.join("other.tmp"), b"torn").unwrap();
+        assert_eq!(sweep_stale_tmp(&dir).unwrap(), 2);
+        let mut names: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        names.sort();
+        assert_eq!(names, vec![std::ffi::OsString::from("real.ckpt")]);
+        // Idempotent on a clean directory.
+        assert_eq!(sweep_stale_tmp(&dir).unwrap(), 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -189,6 +189,21 @@ pub enum TraceKind {
         /// non-finite rate change).
         id: u64,
     },
+    /// Write-ahead-log lifecycle in the durability layer (`mqpi-wal`):
+    /// recovery, flush, and compaction milestones. Emitted to the service's
+    /// obs handle, never into per-scenario traces.
+    Wal {
+        /// What happened: `recovered_tail` (torn/corrupt tail truncated),
+        /// `replayed` (log suffix re-applied after restore), `compact`
+        /// (snapshot became the new base and old segments were retired),
+        /// or `rotate` (a fresh segment was opened).
+        action: &'static str,
+        /// Highest record sequence number involved (0 when none).
+        seq: u64,
+        /// Bytes affected: truncated on `recovered_tail`, retired on
+        /// `compact`, replayed payload bytes on `replayed`.
+        bytes: u64,
+    },
     /// The estimator-ensemble selector assigned or switched one query's
     /// active estimator.
     Selector {
@@ -228,6 +243,7 @@ impl TraceKind {
             TraceKind::TierChange { .. } => "tier",
             TraceKind::Breaker { .. } => "breaker",
             TraceKind::Quarantine { .. } => "quarantine",
+            TraceKind::Wal { .. } => "wal",
             TraceKind::Selector { .. } => "selector",
         }
     }
@@ -290,6 +306,9 @@ impl fmt::Display for TraceEvent {
                 write!(f, " action={action} divergence={divergence}")
             }
             TraceKind::Quarantine { kind, id } => write!(f, " kind={kind} id={id}"),
+            TraceKind::Wal { action, seq, bytes } => {
+                write!(f, " action={action} seq={seq} bytes={bytes}")
+            }
             TraceKind::Selector {
                 id,
                 from,
@@ -383,6 +402,11 @@ mod tests {
                 kind: "duplicate",
                 id: 3,
             },
+            TraceKind::Wal {
+                action: "recovered_tail",
+                seq: 12,
+                bytes: 40,
+            },
         ];
         let tags: Vec<&str> = kinds.iter().map(|k| k.tag()).collect();
         assert_eq!(
@@ -400,7 +424,8 @@ mod tests {
                 "deadline",
                 "tier",
                 "breaker",
-                "quarantine"
+                "quarantine",
+                "wal"
             ]
         );
         assert_eq!(
@@ -436,6 +461,18 @@ mod tests {
             )
             .to_string(),
             "t=2 quarantine kind=non_finite id=0"
+        );
+        assert_eq!(
+            TraceEvent::new(
+                3.0,
+                TraceKind::Wal {
+                    action: "recovered_tail",
+                    seq: 12,
+                    bytes: 40,
+                }
+            )
+            .to_string(),
+            "t=3 wal action=recovered_tail seq=12 bytes=40"
         );
     }
 }

@@ -25,6 +25,13 @@
 //!   subscriptions, arrival statistics, overload state) through `mqpi-ckpt`
 //!   containers with byte-identical re-encodes — the SIGKILL-resume CI job
 //!   serves the same estimate stream after a kill as an uninterrupted run.
+//! * **Durable.** With [`PiConfig::wal`] set, every mutating call is
+//!   journaled to an `mqpi-wal` write-ahead log *before* it is applied.
+//!   [`PiService::open_durable`] recovers after a crash by restoring the
+//!   newest snapshot-anchored base and replaying the committed log suffix
+//!   (bit-identical state *and* push streams), and a [`Standby`] tails the
+//!   same log for warm failover via a deterministic
+//!   [`Standby::promote`]. See the [`durable`] module docs.
 //!
 //! ## Overload hardening
 //!
@@ -72,9 +79,12 @@ use mqpi_core::adaptive::MeanCostEstimator;
 use mqpi_core::{ArrivalRateEstimator, EstimateSet, FluidQuery, FutureArrivals, IncrementalFluid};
 use mqpi_obs::{Obs, TraceKind};
 use mqpi_sim::RetryPolicy;
+use mqpi_wal::{Wal, WalKnobs, WalRecord};
 
+pub mod durable;
 pub mod mirror;
 
+pub use durable::{DurableRecovery, Standby};
 pub use mirror::{QuarantineStats, SystemMirror};
 
 const NIL: u32 = u32::MAX;
@@ -242,6 +252,8 @@ pub enum PiConfigError {
     Ladder(&'static str),
     /// A breaker field is out of range.
     Breaker(&'static str),
+    /// A write-ahead-log knob is out of range.
+    Wal(&'static str),
 }
 
 impl std::fmt::Display for PiConfigError {
@@ -263,6 +275,7 @@ impl std::fmt::Display for PiConfigError {
             }
             PiConfigError::Ladder(msg) => write!(f, "ladder: {msg}"),
             PiConfigError::Breaker(msg) => write!(f, "breaker: {msg}"),
+            PiConfigError::Wal(msg) => write!(f, "wal: {msg}"),
         }
     }
 }
@@ -300,6 +313,11 @@ pub struct PiConfig {
     pub ladder: Option<LadderConfig>,
     /// Divergence circuit-breaker (`None` = never audited).
     pub breaker: Option<BreakerConfig>,
+    /// Write-ahead-log policy used by [`PiService::open_durable`]
+    /// (group-commit flush cadence, auto-compaction threshold). `None` =
+    /// no durability; a plain [`PiService::new`] never journals either
+    /// way — the knobs only take effect once a log is attached.
+    pub wal: Option<WalKnobs>,
 }
 
 impl Default for PiConfig {
@@ -316,6 +334,7 @@ impl Default for PiConfig {
             retry: RetryPolicy::none(),
             ladder: None,
             breaker: None,
+            wal: None,
         }
     }
 }
@@ -397,6 +416,9 @@ impl PiConfig {
             if b.sample == 0 {
                 return Err(PiConfigError::Breaker("sample must be at least 1"));
             }
+        }
+        if let Some(w) = self.wal {
+            w.validate().map_err(PiConfigError::Wal)?;
         }
         Ok(())
     }
@@ -561,6 +583,17 @@ pub struct PiService {
     next_audit: f64,
     stats: PiStats,
     obs: Obs,
+    /// Attached write-ahead log ([`PiService::open_durable`]); every
+    /// mutating public call is journaled here before it is applied.
+    /// Never serialized — a restored or replayed service starts detached.
+    wal: Option<Wal>,
+    /// Newest journaled `(iter, digest)` progress marker ([`PiService::wal_mark`]).
+    /// Travels in the checkpoint so a snapshot-anchored base still knows
+    /// the driver's resume frontier after its suffix is compacted away.
+    pub(crate) wal_mark_cache: Option<(u64, u64)>,
+    /// Newest journaled opaque driver payload ([`PiService::wal_note`]);
+    /// checkpointed for the same reason as `wal_mark_cache`.
+    pub(crate) wal_note_cache: Option<Vec<u8>>,
     scratch_done: Vec<u64>,
     scratch_queued: Vec<FluidQuery>,
 }
@@ -619,6 +652,9 @@ impl PiService {
             next_audit: cfg.breaker.map_or(f64::INFINITY, |b| b.interval),
             stats: PiStats::default(),
             obs: Obs::disabled(),
+            wal: None,
+            wal_mark_cache: None,
+            wal_note_cache: None,
             scratch_done: Vec::with_capacity(cap.min(1024)),
             scratch_queued: Vec::with_capacity(cap.min(1024)),
         })
@@ -737,9 +773,28 @@ impl PiService {
         out
     }
 
+    /// Handles of every live session, in slot order. A recovered or
+    /// promoted process uses this to re-derive the handles its previous
+    /// incarnation held (session ids are deterministic, so they match).
+    pub fn session_ids(&self) -> Vec<SessionId> {
+        self.sessions
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.alive)
+            .map(|(slot, s)| make_sid(slot as u32, s.gen))
+            .collect()
+    }
+
     /// Register a session. Sessions receive pushes for queries they
     /// submitted or subscribed to.
     pub fn register_session(&mut self) -> SessionId {
+        self.wal_append(WalRecord::RegisterSession);
+        let sid = self.register_session_inner();
+        self.wal_commit_point();
+        sid
+    }
+
+    fn register_session_inner(&mut self) -> SessionId {
         if let Some(s) = self.session_free.pop() {
             let rec = &mut self.sessions[s as usize];
             rec.alive = true;
@@ -760,6 +815,12 @@ impl PiService {
     /// generation is bumped, so the closed handle — and any copy of it —
     /// is dead even after the slot is reused. Stale handles are a no-op.
     pub fn close_session(&mut self, sid: SessionId) {
+        self.wal_append(WalRecord::CloseSession { session: sid });
+        self.close_session_inner(sid);
+        self.wal_commit_point();
+    }
+
+    fn close_session_inner(&mut self, sid: SessionId) {
         let Some(slot) = self.session_slot(sid) else {
             return;
         };
@@ -867,6 +928,19 @@ impl PiService {
     /// Panics if the session handle is dead (closed or stale generation).
     pub fn submit(&mut self, session: SessionId, cost: f64, weight: f64) -> u64 {
         assert!(self.session_alive(session), "no such session {session:#x}");
+        // Raw arguments are journaled so replay repeats the sanitization
+        // decisions (and their counters) exactly.
+        self.wal_append(WalRecord::Submit {
+            session,
+            cost,
+            weight,
+        });
+        let id = self.submit_inner(session, cost, weight);
+        self.wal_commit_point();
+        id
+    }
+
+    fn submit_inner(&mut self, session: SessionId, cost: f64, weight: f64) -> u64 {
         let cost = self.sane_cost(cost);
         let weight = self.sane_weight(weight);
         let id = self.next_query;
@@ -901,7 +975,7 @@ impl PiService {
                 1,
             );
         }
-        self.subscribe(session, id);
+        self.subscribe_inner(session, id);
         self.evaluate_tier();
         id
     }
@@ -910,6 +984,12 @@ impl PiService {
     /// sessions or queries that already left the system (including after
     /// their final push).
     pub fn subscribe(&mut self, session: SessionId, query: u64) {
+        self.wal_append(WalRecord::Subscribe { session, query });
+        self.subscribe_inner(session, query);
+        self.wal_commit_point();
+    }
+
+    fn subscribe_inner(&mut self, session: SessionId, query: u64) {
         let Some(slot) = self.session_slot(session) else {
             return;
         };
@@ -1249,6 +1329,12 @@ impl PiService {
     /// fire, the degradation ladder settles, and the breaker audits when
     /// due.
     pub fn advance(&mut self, dt: f64) {
+        self.wal_append(WalRecord::Advance { dt });
+        self.advance_inner(dt);
+        self.wal_commit_point();
+    }
+
+    fn advance_inner(&mut self, dt: f64) {
         let dt = dt.max(0.0);
         self.clock += dt;
         self.arrivals.observe(dt, self.pending_arrivals);
@@ -1283,6 +1369,13 @@ impl PiService {
     /// Abort a query (live, queued, or backing off). Subscribers get a
     /// final push on the next pump. Returns false if the query is unknown.
     pub fn abort(&mut self, query: u64) -> bool {
+        self.wal_append(WalRecord::Abort { query });
+        let ok = self.abort_inner(query);
+        self.wal_commit_point();
+        ok
+    }
+
+    fn abort_inner(&mut self, query: u64) -> bool {
         if self.fluid.abort(query) {
             self.stats.aborted += 1;
             self.depart(query);
@@ -1315,6 +1408,13 @@ impl PiService {
     /// sanitized to 1.0 and counted. Returns false when the query is
     /// unknown.
     pub fn reweight(&mut self, query: u64, weight: f64) -> bool {
+        self.wal_append(WalRecord::Reweight { query, weight });
+        let ok = self.reweight_inner(query, weight);
+        self.wal_commit_point();
+        ok
+    }
+
+    fn reweight_inner(&mut self, query: u64, weight: f64) -> bool {
         let weight = self.sane_weight(weight);
         if self.fluid.reweight(query, weight) {
             if self.obs.is_enabled() {
@@ -1336,6 +1436,13 @@ impl PiService {
     /// Replace a live query's remaining-cost estimate (cost refinement).
     /// Non-finite costs are refused and counted, never applied.
     pub fn refine_cost(&mut self, query: u64, cost: f64) -> bool {
+        self.wal_append(WalRecord::Refine { query, cost });
+        let ok = self.refine_cost_inner(query, cost);
+        self.wal_commit_point();
+        ok
+    }
+
+    fn refine_cost_inner(&mut self, query: u64, cost: f64) -> bool {
         if !cost.is_finite() {
             self.stats.sanitized += 1;
             if self.obs.is_enabled() {
@@ -1359,6 +1466,12 @@ impl PiService {
             rate.is_finite() && rate > 0.0,
             "rate must be finite and positive"
         );
+        self.wal_append(WalRecord::SetRate { rate });
+        self.set_rate_inner(rate);
+        self.wal_commit_point();
+    }
+
+    fn set_rate_inner(&mut self, rate: f64) {
         self.fluid.set_rate(rate);
         if self.obs.is_enabled() {
             self.obs.counter_add("pi.delta.rate", 1);
@@ -1381,6 +1494,12 @@ impl PiService {
     /// Push order is deterministic: finals in departure order, then
     /// subscriptions in slot order. Appends to `out` without clearing it.
     pub fn pump(&mut self, out: &mut Vec<EstimatePush>) {
+        self.wal_append(WalRecord::Pump);
+        self.pump_inner(out);
+        self.wal_commit_point();
+    }
+
+    fn pump_inner(&mut self, out: &mut Vec<EstimatePush>) {
         let _span = self.obs.span("pi.pump");
         self.stats.pumps += 1;
         let finals = std::mem::take(&mut self.pending_final);
@@ -1493,6 +1612,170 @@ impl PiService {
         EstimateSet::from_pairs(p.finish_times.iter().copied(), p.truncated)
     }
 
+    // -- write-ahead-log plumbing ------------------------------------------
+
+    /// Journal one record ahead of applying its command. No-op when no
+    /// log is attached.
+    fn wal_append(&mut self, rec: WalRecord) {
+        if let Some(w) = self.wal.as_mut() {
+            w.append(&rec);
+        }
+    }
+
+    /// Mark the just-applied command's commit point (one public call =
+    /// one atomic batch), let the group-commit policy decide whether to
+    /// flush, and compact when the auto-compaction threshold is reached.
+    ///
+    /// A journaling failure is unrecoverable by design: continuing would
+    /// silently void the durability contract, so the service stops.
+    fn wal_commit_point(&mut self) {
+        let Some(w) = self.wal.as_mut() else {
+            return;
+        };
+        if let Err(e) = w.commit(self.clock) {
+            panic!("wal commit failed in {}: {e}", w.dir().display());
+        }
+        if w.wants_compact() {
+            self.wal_compact_now();
+        }
+    }
+
+    /// Snapshot-anchored compaction: the service's own checkpoint becomes
+    /// the log's new base and superseded segments are retired. A no-op
+    /// without an attached log. Runs automatically every
+    /// [`WalKnobs::compact_every`] records; call it directly to compact
+    /// on an external schedule.
+    pub fn wal_compact_now(&mut self) {
+        let Some(mut w) = self.wal.take() else {
+            return;
+        };
+        let snap = self.checkpoint();
+        if let Err(e) = w.compact(&snap, self.clock) {
+            panic!("wal compaction failed in {}: {e}", w.dir().display());
+        }
+        self.wal = Some(w);
+    }
+
+    /// The attached write-ahead log, if the service was opened durably.
+    pub fn wal(&self) -> Option<&Wal> {
+        self.wal.as_ref()
+    }
+
+    /// Attach an open log. Recovery/creation policy lives in
+    /// [`PiService::open_durable`]; this just installs the handle.
+    pub(crate) fn attach_wal(&mut self, wal: Wal) {
+        self.wal = Some(wal);
+    }
+
+    /// Detach and return the log (e.g. to close it cleanly or hand the
+    /// directory to another owner). Subsequent calls stop journaling.
+    pub fn detach_wal(&mut self) -> Option<Wal> {
+        self.wal.take()
+    }
+
+    /// Journal an application progress marker: an opaque `(iter, digest)`
+    /// pair a driver loop writes once per iteration so recovery can
+    /// resume the loop where the log ends (see
+    /// [`DurableRecovery::last_mark`]). Commits immediately.
+    pub fn wal_mark(&mut self, iter: u64, digest: u64) {
+        if self.wal.is_none() {
+            return;
+        }
+        self.wal_mark_cache = Some((iter, digest));
+        self.wal_append(WalRecord::Mark { iter, digest });
+        self.wal_commit_point();
+    }
+
+    /// Journal an opaque driver payload (e.g. the campaign loop's own
+    /// state blob) so driver and service recover from a single consistent
+    /// frontier; recovery surfaces the newest one
+    /// ([`DurableRecovery::last_note`]). Commits immediately.
+    pub fn wal_note(&mut self, bytes: &[u8]) {
+        if self.wal.is_none() {
+            return;
+        }
+        self.wal_note_cache = Some(bytes.to_vec());
+        self.wal_append(WalRecord::Note {
+            bytes: bytes.to_vec(),
+        });
+        self.wal_commit_point();
+    }
+
+    /// Force the journal to disk regardless of the group-commit policy
+    /// (e.g. before handing the push stream to an external consumer).
+    pub fn wal_sync(&mut self) {
+        let Some(w) = self.wal.as_mut() else {
+            return;
+        };
+        if let Err(e) = w.flush(self.clock) {
+            panic!("wal flush failed in {}: {e}", w.dir().display());
+        }
+    }
+
+    /// Re-apply one journaled record — the replay primitive behind
+    /// [`PiService::open_durable`] and [`Standby`]. Pushes regenerated by
+    /// a replayed `Pump` are appended to `out`. The service must be
+    /// detached from any log (replay never re-journals). Records a live
+    /// service could not have produced against this state (possible only
+    /// in a hand-crafted log; CRC framing rejects corruption) are skipped,
+    /// so replay is total over any decodable log.
+    pub fn apply_record(&mut self, rec: &WalRecord, out: &mut Vec<EstimatePush>) {
+        debug_assert!(self.wal.is_none(), "replaying into a journaling service");
+        match *rec {
+            WalRecord::RegisterSession => {
+                self.register_session_inner();
+            }
+            WalRecord::CloseSession { session } => self.close_session_inner(session),
+            WalRecord::Submit {
+                session,
+                cost,
+                weight,
+            } => {
+                if self.session_alive(session) {
+                    self.submit_inner(session, cost, weight);
+                }
+            }
+            WalRecord::Subscribe { session, query } => self.subscribe_inner(session, query),
+            WalRecord::Abort { query } => {
+                self.abort_inner(query);
+            }
+            WalRecord::Reweight { query, weight } => {
+                self.reweight_inner(query, weight);
+            }
+            WalRecord::Refine { query, cost } => {
+                self.refine_cost_inner(query, cost);
+            }
+            WalRecord::SetRate { rate } => {
+                if rate.is_finite() && rate > 0.0 {
+                    self.set_rate_inner(rate);
+                }
+            }
+            WalRecord::Advance { dt } => self.advance_inner(dt),
+            WalRecord::Pump => self.pump_inner(out),
+            // Marks and notes only refresh the driver-frontier caches —
+            // replayed exactly as the live calls set them, so checkpoint
+            // bytes (and hence state digests) match the uninterrupted run.
+            WalRecord::Mark { iter, digest } => self.wal_mark_cache = Some((iter, digest)),
+            WalRecord::Note { ref bytes } => self.wal_note_cache = Some(bytes.clone()),
+            // SimEvents belong to a mirror-level replay
+            // ([`SystemMirror::apply_journaled`]).
+            WalRecord::SimEvent { .. } => {}
+        }
+    }
+
+    /// FNV-1a digest over the full checkpoint encoding — a cheap state
+    /// fingerprint for recovery and failover equivalence checks (two
+    /// services with equal digests serve bit-identical estimates).
+    pub fn state_digest(&self) -> u64 {
+        let bytes = self.checkpoint();
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in &bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
     /// Serialize the whole service into a versioned, CRC-checked container
     /// ([`CKPT_KIND_SERVICE`]). Re-encoding a restored service is
     /// byte-identical, and a restored service serves bit-identical pushes.
@@ -1538,6 +1821,15 @@ impl PiService {
                 e.put_f64(b.interval);
                 e.put_f64(b.tolerance);
                 e.put_usize(b.sample);
+            }
+        }
+        match self.cfg.wal {
+            None => e.put_bool(false),
+            Some(w) => {
+                e.put_bool(true);
+                e.put_u32(w.flush_every_n);
+                e.put_f64(w.flush_every_vt);
+                e.put_u64(w.compact_every);
             }
         }
         e.put_f64(self.clock);
@@ -1621,6 +1913,23 @@ impl PiService {
         ] {
             e.put_u64(v);
         }
+        // Driver-frontier caches: a snapshot-anchored base must still know
+        // the newest mark/note after compaction retires their records.
+        match self.wal_mark_cache {
+            None => e.put_bool(false),
+            Some((iter, digest)) => {
+                e.put_bool(true);
+                e.put_u64(iter);
+                e.put_u64(digest);
+            }
+        }
+        match &self.wal_note_cache {
+            None => e.put_bool(false),
+            Some(bytes) => {
+                e.put_bool(true);
+                e.put_bytes(bytes);
+            }
+        }
         mqpi_ckpt::encode_container(CKPT_KIND_SERVICE, &e.into_bytes())
     }
 
@@ -1670,6 +1979,15 @@ impl PiService {
         } else {
             None
         };
+        let wal = if d.get_bool()? {
+            Some(WalKnobs {
+                flush_every_n: d.get_u32()?,
+                flush_every_vt: d.get_f64()?,
+                compact_every: d.get_u64()?,
+            })
+        } else {
+            None
+        };
         let cfg = PiConfig {
             rate,
             epsilon,
@@ -1682,6 +2000,7 @@ impl PiService {
             retry,
             ladder,
             breaker,
+            wal,
         };
         if let Err(e) = cfg.validate() {
             return Err(CkptError::Corrupt(format!(
@@ -1790,6 +2109,16 @@ impl PiService {
             audit_rebuilds: d.get_u64()?,
             sanitized: d.get_u64()?,
         };
+        let wal_mark_cache = if d.get_bool()? {
+            Some((d.get_u64()?, d.get_u64()?))
+        } else {
+            None
+        };
+        let wal_note_cache = if d.get_bool()? {
+            Some(d.get_bytes()?)
+        } else {
+            None
+        };
         if !d.is_exhausted() {
             return Err(CkptError::Corrupt(format!(
                 "{} trailing bytes after service state",
@@ -1816,6 +2145,9 @@ impl PiService {
             next_audit,
             stats,
             obs: Obs::disabled(),
+            wal: None,
+            wal_mark_cache,
+            wal_note_cache,
             scratch_done: Vec::new(),
             scratch_queued: Vec::new(),
         })

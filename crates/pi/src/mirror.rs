@@ -50,9 +50,11 @@
 
 use std::collections::{HashMap, HashSet};
 
+use mqpi_ckpt::CkptError;
 use mqpi_core::IncrementalFluid;
 use mqpi_obs::{Obs, TraceKind};
 use mqpi_sim::{FinishKind, SimEvent, System};
+use mqpi_wal::{Wal, WalRecord};
 
 /// Counts of events rejected by the mirror's input screening, by reason.
 ///
@@ -99,6 +101,10 @@ pub struct SystemMirror {
     /// not an unknown id. Entries leave when the confirmation arrives.
     retired: HashSet<u64>,
     quarantine: QuarantineStats,
+    /// Quarantine counters as of the last [`resync`](Self::resync):
+    /// backoff decisions ("have things gone wrong *since* the rebuild?")
+    /// compare against this baseline, not the lifetime totals.
+    quarantine_at_resync: QuarantineStats,
     resyncs: u64,
     obs: Option<Obs>,
 }
@@ -114,6 +120,7 @@ impl SystemMirror {
             predicted_done: Vec::new(),
             retired: HashSet::new(),
             quarantine: QuarantineStats::default(),
+            quarantine_at_resync: QuarantineStats::default(),
             resyncs: 0,
             obs: None,
         }
@@ -161,6 +168,20 @@ impl SystemMirror {
     /// Events rejected by input screening so far, by reason.
     pub fn quarantine_stats(&self) -> QuarantineStats {
         self.quarantine
+    }
+
+    /// Events quarantined since the last [`resync`](Self::resync) (or
+    /// since construction). A resync resets this window to zero — the
+    /// lifetime totals in [`quarantine_stats`](Self::quarantine_stats)
+    /// describe the feed's history, but backoff decisions ("resync
+    /// again?") must not re-trigger on pre-rebuild damage.
+    pub fn quarantine_since_resync(&self) -> QuarantineStats {
+        QuarantineStats {
+            duplicate: self.quarantine.duplicate - self.quarantine_at_resync.duplicate,
+            unknown_id: self.quarantine.unknown_id - self.quarantine_at_resync.unknown_id,
+            out_of_order: self.quarantine.out_of_order - self.quarantine_at_resync.out_of_order,
+            non_finite: self.quarantine.non_finite - self.quarantine_at_resync.non_finite,
+        }
     }
 
     /// Number of [`resync`](Self::resync) rebuilds performed.
@@ -391,7 +412,13 @@ impl SystemMirror {
         self.queue.clear();
         self.blocked.clear();
         self.predicted_done.clear();
+        // Re-seed retired-id tracking from the system's finished roster: a
+        // post-recovery feed (e.g. a replayed WAL suffix) may still carry
+        // `Departed` confirmations for queries that finished before the
+        // snapshot, and those must be recognised as legitimate rather than
+        // quarantined as phantom ids.
         self.retired.clear();
+        self.retired.extend(sys.finished().iter().map(|f| f.id));
         self.clock = snap.time;
         for q in &snap.running {
             let weight = if q.weight.is_finite() && q.weight > 0.0 {
@@ -424,9 +451,40 @@ impl SystemMirror {
             self.queue.push((q.id, cost, weight));
         }
         self.resyncs += 1;
+        // Reset the backoff window: damage counted before the rebuild is
+        // historical and must not make a fresh mirror look unhealthy.
+        self.quarantine_at_resync = self.quarantine;
         if let Some(obs) = &self.obs {
             obs.counter_add("pi.mirror.resyncs", 1);
         }
+    }
+
+    /// Journal `ev` to `wal` as a [`WalRecord::SimEvent`] and commit,
+    /// *then* apply it to the mirror (append-before-apply, like the
+    /// service's own command journaling). Hostile events are journaled
+    /// too — replay must repeat their quarantine decisions and counters
+    /// exactly. Returns the record's journal sequence number.
+    pub fn apply_tapped(&mut self, ev: SimEvent, wal: &mut Wal) -> Result<u64, CkptError> {
+        let (tag, at, id, a, b) = ev.to_tap();
+        let seq = wal.append(&WalRecord::SimEvent { tag, at, id, a, b });
+        let vt = if at.is_finite() { at } else { self.clock };
+        wal.commit(vt)?;
+        self.apply(ev);
+        Ok(seq)
+    }
+
+    /// Apply a journaled [`WalRecord::SimEvent`] during replay. Returns
+    /// `false` (and changes nothing) for any other record kind or a tap
+    /// quintuple that does not decode — a hand-crafted log degrades to
+    /// skipped events, never a panic.
+    pub fn apply_journaled(&mut self, rec: &WalRecord) -> bool {
+        if let WalRecord::SimEvent { tag, at, id, a, b } = *rec {
+            if let Some(ev) = SimEvent::from_tap(tag, at, id, a, b) {
+                self.apply(ev);
+                return true;
+            }
+        }
+        false
     }
 }
 

@@ -412,3 +412,70 @@ fn invalid_configs_are_rejected_with_typed_errors() {
     assert!(err.to_string().contains("ladder"), "{err}");
     assert!(std::panic::catch_unwind(|| PiService::new(bad)).is_err());
 }
+
+#[test]
+fn resync_recognises_replayed_finishes_and_resets_backoff_window() {
+    use mqpi_pi::SystemMirror;
+    use mqpi_sim::{FinishKind, SimEvent, StepMode, SyntheticJob, System, SystemConfig};
+
+    let mut sys = System::new(SystemConfig {
+        rate: 50.0,
+        step_mode: StepMode::EventDriven,
+        ..SystemConfig::default()
+    });
+    sys.enable_event_feed();
+    for i in 0..4u64 {
+        sys.submit(format!("q{i}"), Box::new(SyntheticJob::new(100)), 1.0);
+    }
+    while sys.has_work() {
+        sys.step().expect("step");
+    }
+    // The live feed is lost (e.g. the consumer crashed mid-run).
+    let mut dropped = Vec::new();
+    sys.drain_events(&mut dropped);
+    let finished: Vec<u64> = sys.finished().iter().map(|f| f.id).collect();
+    assert!(!finished.is_empty());
+
+    let mut m = SystemMirror::for_system(&sys);
+    // Pre-resync damage: a genuinely phantom departure trips quarantine.
+    m.apply(SimEvent::Departed {
+        at: sys.now(),
+        id: 9_999,
+        kind: FinishKind::Completed,
+    });
+    assert_eq!(m.quarantine_stats().unknown_id, 1);
+
+    m.resync(&sys);
+    // The backoff window resets at resync: pre-rebuild damage must not
+    // make the fresh mirror look unhealthy, while lifetime totals keep
+    // describing the feed's full history.
+    assert_eq!(m.quarantine_since_resync().total(), 0);
+    assert_eq!(m.quarantine_stats().unknown_id, 1);
+
+    // A post-recovery feed (e.g. a replayed WAL suffix) re-delivers the
+    // Departed confirmations for queries that finished before the
+    // snapshot. The resync seeded retired-id tracking from the system's
+    // finished roster, so none of these may be misclassified as phantoms.
+    for id in finished {
+        m.apply(SimEvent::Departed {
+            at: sys.now(),
+            id,
+            kind: FinishKind::Completed,
+        });
+    }
+    assert_eq!(
+        m.quarantine_since_resync().total(),
+        0,
+        "replayed finishes misclassified: {:?}",
+        m.quarantine_since_resync()
+    );
+
+    // Screening still works after the window reset: an id the system
+    // never saw is caught as a phantom.
+    m.apply(SimEvent::Departed {
+        at: sys.now(),
+        id: 777_777,
+        kind: FinishKind::Completed,
+    });
+    assert_eq!(m.quarantine_since_resync().unknown_id, 1);
+}

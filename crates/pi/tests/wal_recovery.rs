@@ -1,0 +1,545 @@
+//! End-to-end durability: kill the service at arbitrary event offsets,
+//! recover from snapshot + log replay, and prove the regenerated estimate
+//! streams are bit-identical to an uninterrupted run. Also exercises the
+//! warm-standby failover path ([`Standby::promote`]) at several failover
+//! points, and recovery across snapshot-anchored compaction.
+//!
+//! The "kill" here is [`drop`] without flush — the WAL's `Drop` is
+//! deliberately not graceful, so dropping the service loses exactly what
+//! SIGKILL would lose (everything buffered past the last group commit).
+//! Real-SIGKILL coverage (a separate OS process killed mid-run) lives in
+//! the CI `wal-recovery-smoke` job.
+
+use std::path::PathBuf;
+
+use mqpi_pi::{EstimatePush, PiConfig, PiService, SessionId, Standby};
+use mqpi_wal::WalKnobs;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "mqpi-pi-walrec-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("create temp dir");
+    d
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Fold one push into an FNV-1a digest over its exact bit patterns.
+fn fold_push(mut h: u64, p: &EstimatePush) -> u64 {
+    for v in [
+        p.session,
+        p.query,
+        p.at.to_bits(),
+        p.estimate.to_bits(),
+        u64::from(p.done),
+    ] {
+        for b in v.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn fold_all(mut h: u64, pushes: &[EstimatePush]) -> u64 {
+    for p in pushes {
+        h = fold_push(h, p);
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn base_cfg(wal: Option<WalKnobs>) -> PiConfig {
+    PiConfig {
+        rate: 10.0,
+        wal,
+        ..PiConfig::default()
+    }
+}
+
+/// One deterministic driver iteration: a submit, a seed-chosen control
+/// command (some of which deliberately target ids that may not exist —
+/// journaled no-ops must replay as identical no-ops), an advance, and a
+/// pump. Everything is a pure function of the iteration index, so an
+/// interrupted run re-issues exactly the commands the reference run did.
+fn drive(svc: &mut PiService, sid: SessionId, i: u64, out: &mut Vec<EstimatePush>) {
+    let r = splitmix64(0xD1CE_0001 ^ i);
+    let cost = 4.0 + (r % 97) as f64 * 0.37;
+    let weight = 1.0 + ((r >> 7) % 3) as f64;
+    let q = svc.submit(sid, cost, weight);
+    match (r >> 16) % 8 {
+        0 => {
+            svc.abort(q.wrapping_sub((r >> 24) % 4));
+        }
+        1 => {
+            svc.reweight(q.wrapping_sub((r >> 24) % 6), 0.5 + ((r >> 32) % 5) as f64);
+        }
+        2 => {
+            svc.refine_cost(
+                q.wrapping_sub((r >> 24) % 6),
+                1.0 + ((r >> 32) % 50) as f64 * 0.2,
+            );
+        }
+        3 => {
+            svc.set_rate(8.0 + ((r >> 32) % 10) as f64);
+        }
+        _ => {}
+    }
+    svc.advance(0.05 + ((r >> 40) % 10) as f64 * 0.01);
+    svc.pump(out);
+}
+
+/// Uninterrupted reference run (no WAL): the full push stream for `n`
+/// iterations plus the per-iteration digests a marking driver would log.
+fn reference(n: u64) -> (Vec<EstimatePush>, Vec<u64>) {
+    let mut svc = PiService::try_new(base_cfg(None)).expect("service");
+    let sid = svc.register_session();
+    let mut pushes = Vec::new();
+    let mut digests = Vec::with_capacity(n as usize);
+    let mut h = FNV_OFFSET;
+    let mut scratch = Vec::new();
+    for i in 1..=n {
+        scratch.clear();
+        drive(&mut svc, sid, i, &mut scratch);
+        h = fold_all(h, &scratch);
+        digests.push(h);
+        pushes.extend(scratch.iter().cloned());
+    }
+    (pushes, digests)
+}
+
+fn assert_streams_identical(got: &[EstimatePush], want: &[EstimatePush], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: push count mismatch");
+    for (k, (g, w)) in got.iter().zip(want).enumerate() {
+        assert!(
+            g.session == w.session
+                && g.query == w.query
+                && g.at.to_bits() == w.at.to_bits()
+                && g.estimate.to_bits() == w.estimate.to_bits()
+                && g.done == w.done,
+            "{what}: push {k} differs: {g:?} vs {w:?}"
+        );
+    }
+}
+
+/// Kill (drop, no flush) at many offsets under a small group-commit batch
+/// so the durable cut lands at arbitrary points inside iterations; the
+/// replayed push stream must always be an exact bitwise prefix of the
+/// uninterrupted run's stream, and the mark bookkeeping must let a driver
+/// re-derive its digest.
+#[test]
+fn replay_reproduces_push_prefix_at_any_kill_offset() {
+    const N: u64 = 120;
+    let (ref_pushes, ref_digests) = reference(N);
+    let knobs = WalKnobs {
+        flush_every_n: 3,
+        flush_every_vt: 0.1,
+        compact_every: 0,
+    };
+    for kill_at in [1u64, 2, 7, 19, 40, 77, 119, 120] {
+        let dir = tmpdir(&format!("prefix-{kill_at}"));
+        {
+            let (mut svc, rec) = PiService::open_durable(base_cfg(Some(knobs)), &dir).unwrap();
+            assert!(!rec.resumed, "fresh directory must not claim resume");
+            let sid = svc.register_session();
+            let mut h = FNV_OFFSET;
+            let mut scratch = Vec::new();
+            for i in 1..=kill_at {
+                scratch.clear();
+                drive(&mut svc, sid, i, &mut scratch);
+                h = fold_all(h, &scratch);
+                svc.wal_mark(i, h);
+            }
+            assert_eq!(h, ref_digests[kill_at as usize - 1]);
+            drop(svc); // SIGKILL: buffered frames past the last flush are lost
+        }
+        let (svc2, rec) = PiService::open_durable(base_cfg(Some(knobs)), &dir).unwrap();
+        assert!(rec.resumed, "second open must resume");
+        assert!(
+            rec.pushes.len() <= ref_pushes.len(),
+            "replay cannot invent pushes"
+        );
+        assert_streams_identical(
+            &rec.pushes,
+            &ref_pushes[..rec.pushes.len()],
+            &format!("kill@{kill_at}"),
+        );
+        if let Some((iter, digest)) = rec.last_mark {
+            assert!(iter >= 1 && iter <= kill_at);
+            assert_eq!(
+                digest,
+                ref_digests[iter as usize - 1],
+                "kill@{kill_at}: marked digest must match the reference prefix digest"
+            );
+            // The driver resume rule: marked digest folded with the pushes
+            // replayed after the mark equals the digest over all replayed
+            // pushes from scratch.
+            let resumed = fold_all(digest, &rec.pushes[rec.pushes_at_mark..]);
+            assert_eq!(resumed, fold_all(FNV_OFFSET, &rec.pushes));
+        }
+        // The recovered service is live: it accepts further work.
+        let mut svc2 = svc2;
+        let sid2 = svc2.register_session();
+        let q = svc2.submit(sid2, 3.0, 1.0);
+        assert!(q > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Group commit in the explicit regime: flush only on `wal_sync`, which
+/// the driver calls after journaling its per-iteration mark. The durable
+/// frontier then always ends exactly at a mark, so a killed run can
+/// resume at `mark + 1` and complete with a final digest bit-identical to
+/// the uninterrupted run — at any kill offset.
+#[test]
+fn marked_resume_completes_bit_identically() {
+    const N: u64 = 90;
+    let (ref_pushes, ref_digests) = reference(N);
+    let final_digest = *ref_digests.last().unwrap();
+    let knobs = WalKnobs {
+        // No implicit flushing: group commit is driven by wal_sync.
+        flush_every_n: u32::MAX,
+        flush_every_vt: 1e18,
+        compact_every: 0,
+    };
+    for kill_at in [3u64, 17, 44, 89] {
+        let dir = tmpdir(&format!("resume-{kill_at}"));
+        {
+            let (mut svc, _) = PiService::open_durable(base_cfg(Some(knobs)), &dir).unwrap();
+            let sid = svc.register_session();
+            let mut h = FNV_OFFSET;
+            let mut scratch = Vec::new();
+            for i in 1..=kill_at {
+                scratch.clear();
+                drive(&mut svc, sid, i, &mut scratch);
+                h = fold_all(h, &scratch);
+                svc.wal_mark(i, h);
+                svc.wal_sync();
+            }
+            // Partially journal the next iteration, then die without
+            // syncing: those buffered frames must vanish.
+            scratch.clear();
+            drive(&mut svc, sid, kill_at + 1, &mut scratch);
+            drop(svc);
+        }
+        let (mut svc, rec) = PiService::open_durable(base_cfg(Some(knobs)), &dir).unwrap();
+        let (mark_iter, mut h) = rec.last_mark.expect("synced mark must survive");
+        assert_eq!(mark_iter, kill_at, "durable frontier ends at the mark");
+        assert_eq!(h, ref_digests[kill_at as usize - 1]);
+        let mut stream = rec.pushes.clone();
+        assert_streams_identical(&stream, &ref_pushes[..stream.len()], "resume prefix");
+        // The session survives recovery with the same id (the service's
+        // state machine is deterministic, ids included).
+        let sid = svc
+            .session_ids()
+            .first()
+            .copied()
+            .expect("session survives");
+        let mut scratch = Vec::new();
+        for i in mark_iter + 1..=N {
+            scratch.clear();
+            drive(&mut svc, sid, i, &mut scratch);
+            h = fold_all(h, &scratch);
+            svc.wal_mark(i, h);
+            svc.wal_sync();
+            stream.extend(scratch.iter().cloned());
+        }
+        assert_eq!(
+            h, final_digest,
+            "kill@{kill_at}: resumed run must converge on the reference digest"
+        );
+        assert_streams_identical(&stream, &ref_pushes, "resumed full stream");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Warm standby: tail the primary's log, then promote at several failover
+/// points; the standby's replayed stream plus its post-promotion stream
+/// must be bit-identical to the uninterrupted reference.
+#[test]
+fn standby_promote_yields_byte_identical_streams() {
+    const N: u64 = 80;
+    let (ref_pushes, ref_digests) = reference(N);
+    let knobs = WalKnobs {
+        // Flush every commit so the standby sees everything the primary did.
+        flush_every_n: 1,
+        flush_every_vt: 1e18,
+        compact_every: 0,
+    };
+    for fail_at in [1u64, 13, 39, 80] {
+        let dir = tmpdir(&format!("standby-{fail_at}"));
+        let cfg = base_cfg(Some(knobs));
+        {
+            let (mut svc, _) = PiService::open_durable(cfg, &dir).unwrap();
+            let sid = svc.register_session();
+            let mut h = FNV_OFFSET;
+            let mut scratch = Vec::new();
+            for i in 1..=fail_at {
+                scratch.clear();
+                drive(&mut svc, sid, i, &mut scratch);
+                h = fold_all(h, &scratch);
+                svc.wal_mark(i, h);
+            }
+            drop(svc); // primary dies
+        }
+        // The standby attaches read-only, catches up, and takes over.
+        let mut sb = Standby::new(cfg, &dir).unwrap();
+        sb.catch_up().unwrap();
+        let (mut svc, rec) = sb.promote().unwrap();
+        let mut stream = rec.pushes;
+        assert_streams_identical(&stream, &ref_pushes[..stream.len()], "standby tail");
+        let (mark_iter, mut h) = rec.last_mark.expect("mark visible to standby");
+        assert_eq!(mark_iter, fail_at);
+        assert_eq!(h, ref_digests[fail_at as usize - 1]);
+        let sid = svc
+            .session_ids()
+            .first()
+            .copied()
+            .expect("session survives");
+        let mut scratch = Vec::new();
+        for i in mark_iter + 1..=N {
+            scratch.clear();
+            drive(&mut svc, sid, i, &mut scratch);
+            h = fold_all(h, &scratch);
+            svc.wal_mark(i, h);
+            stream.extend(scratch.iter().cloned());
+        }
+        assert_eq!(h, *ref_digests.last().unwrap());
+        assert_streams_identical(&stream, &ref_pushes, "promoted full stream");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Incremental tailing: the standby keeps up with a live primary through
+/// periodic `catch_up` calls (applying only the new suffix each time) and
+/// across a primary-driven compaction, ending state-identical.
+#[test]
+fn standby_tails_live_primary_incrementally() {
+    const N: u64 = 60;
+    let knobs = WalKnobs {
+        flush_every_n: 1,
+        flush_every_vt: 1e18,
+        compact_every: 0,
+    };
+    let dir = tmpdir("tail-live");
+    let cfg = base_cfg(Some(knobs));
+    let (mut svc, _) = PiService::open_durable(cfg, &dir).unwrap();
+    let sid = svc.register_session();
+    let mut sb = Standby::new(cfg, &dir).unwrap();
+    let mut primary_stream = Vec::new();
+    let mut scratch = Vec::new();
+    let mut last_applied = sb.applied_seq();
+    for i in 1..=N {
+        scratch.clear();
+        drive(&mut svc, sid, i, &mut scratch);
+        primary_stream.extend(scratch.iter().cloned());
+        let applied = sb.catch_up().unwrap();
+        assert!(applied > 0, "iteration {i}: standby must see new records");
+        assert!(sb.applied_seq() > last_applied);
+        last_applied = sb.applied_seq();
+        if i == N / 2 {
+            // Primary compacts mid-stream; since the standby has already
+            // applied everything up to the new base, it re-anchors
+            // without duplicating or losing pushes.
+            svc.wal_compact_now();
+        }
+    }
+    assert_eq!(
+        sb.service().state_digest(),
+        svc.state_digest(),
+        "standby replica must be state-identical to the primary"
+    );
+    let mut sb_stream = Vec::new();
+    sb.drain_pushes(&mut sb_stream);
+    assert_streams_identical(&sb_stream, &primary_stream, "tailed stream");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Snapshot-anchored compaction under fire: auto-compaction every few
+/// records, killed at arbitrary offsets — recovery must restore the
+/// newest base and replay only the suffix, still producing an exact
+/// prefix of the reference stream, and the resumed run still converges.
+#[test]
+fn recovery_across_compaction_is_bit_identical() {
+    const N: u64 = 70;
+    let (ref_pushes, ref_digests) = reference(N);
+    let knobs = WalKnobs {
+        flush_every_n: u32::MAX,
+        flush_every_vt: 1e18,
+        compact_every: 23,
+    };
+    for kill_at in [11u64, 29, 55] {
+        let dir = tmpdir(&format!("compact-{kill_at}"));
+        {
+            let (mut svc, _) = PiService::open_durable(base_cfg(Some(knobs)), &dir).unwrap();
+            let sid = svc.register_session();
+            let mut h = FNV_OFFSET;
+            let mut scratch = Vec::new();
+            for i in 1..=kill_at {
+                scratch.clear();
+                drive(&mut svc, sid, i, &mut scratch);
+                h = fold_all(h, &scratch);
+                svc.wal_mark(i, h);
+                svc.wal_sync();
+            }
+            drop(svc);
+        }
+        let (mut svc, rec) = PiService::open_durable(base_cfg(Some(knobs)), &dir).unwrap();
+        let (mark_iter, mut h) = rec.last_mark.unwrap_or((0, FNV_OFFSET));
+        // Compaction folds old iterations into the base; whatever suffix
+        // was replayed must still be a bitwise slice of the reference.
+        if mark_iter > 0 {
+            assert_eq!(h, ref_digests[mark_iter as usize - 1]);
+        }
+        assert_eq!(mark_iter, kill_at, "synced frontier survives compaction");
+        let sid = svc
+            .session_ids()
+            .first()
+            .copied()
+            .expect("session survives");
+        let mut scratch = Vec::new();
+        let mut tail = Vec::new();
+        for i in mark_iter + 1..=N {
+            scratch.clear();
+            drive(&mut svc, sid, i, &mut scratch);
+            h = fold_all(h, &scratch);
+            svc.wal_mark(i, h);
+            svc.wal_sync();
+            tail.extend(scratch.iter().cloned());
+        }
+        assert_eq!(
+            h,
+            *ref_digests.last().unwrap(),
+            "kill@{kill_at}: digest after compacted recovery"
+        );
+        let split = ref_pushes.len() - tail.len();
+        assert_streams_identical(&tail, &ref_pushes[split..], "post-compaction tail");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// `PiConfig::wal` knobs round-trip through checkpoint/restore, and a
+/// restored service carries no attached log (attachment is explicit).
+#[test]
+fn wal_knobs_roundtrip_in_checkpoints() {
+    let knobs = WalKnobs {
+        flush_every_n: 9,
+        flush_every_vt: 0.75,
+        compact_every: 1234,
+    };
+    let mut svc = PiService::try_new(base_cfg(Some(knobs))).unwrap();
+    let sid = svc.register_session();
+    svc.submit(sid, 5.0, 1.0);
+    svc.advance(0.1);
+    let bytes = svc.checkpoint();
+    let restored = PiService::restore(&bytes).unwrap();
+    let w = restored.config().wal.expect("knobs must survive");
+    assert_eq!(w.flush_every_n, 9);
+    assert_eq!(w.flush_every_vt.to_bits(), 0.75f64.to_bits());
+    assert_eq!(w.compact_every, 1234);
+    assert!(restored.wal().is_none(), "restore never attaches a log");
+    assert_eq!(restored.state_digest(), svc.state_digest());
+}
+
+/// A torn write (or outright corruption) can cut a flushed batch at a
+/// commit point *inside* an iteration, stranding plain replay past the
+/// last mark. [`PiService::open_durable_at_mark`] must discard the
+/// trailing partial iteration, land the state exactly on the marked
+/// boundary, seal the stale tail out of the log, and let the driver
+/// resume to a bit-identical finish. The sealed frontier must also
+/// survive the sealing compaction itself (it travels in the base).
+#[test]
+fn at_mark_recovery_lands_exactly_on_iteration_boundary() {
+    const N: u64 = 80;
+    const KILL_AT: u64 = 40;
+    let (ref_pushes, ref_digests) = reference(N);
+    let final_digest = *ref_digests.last().unwrap();
+    let knobs = WalKnobs {
+        flush_every_n: u32::MAX,
+        flush_every_vt: 1e18,
+        compact_every: 0,
+    };
+    let mut sealed_somewhere = false;
+    for chop in [13u64, 61, 147, 260, 555] {
+        let dir = tmpdir(&format!("atmark-{chop}"));
+        {
+            let (mut svc, _) = PiService::open_durable(base_cfg(Some(knobs)), &dir).unwrap();
+            let sid = svc.register_session();
+            let mut h = FNV_OFFSET;
+            let mut scratch = Vec::new();
+            for i in 1..=KILL_AT {
+                scratch.clear();
+                drive(&mut svc, sid, i, &mut scratch);
+                h = fold_all(h, &scratch);
+                svc.wal_mark(i, h);
+                svc.wal_sync();
+            }
+            drop(svc);
+        }
+        // Chop bytes off the newest segment: the recovery scan now cuts at
+        // whatever commit frame survives — very likely mid-iteration.
+        let seg = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".seg"))
+            .max_by_key(|e| e.file_name())
+            .expect("segment exists");
+        let bytes = std::fs::read(seg.path()).unwrap();
+        let keep = bytes.len().saturating_sub(chop as usize).max(16);
+        std::fs::write(seg.path(), &bytes[..keep]).unwrap();
+
+        {
+            let (svc, rec) = PiService::open_durable_at_mark(base_cfg(Some(knobs)), &dir).unwrap();
+            sealed_somewhere |= rec.sealed > 0;
+            let (mark_iter, h) = rec.last_mark.expect("a synced mark survives the chop");
+            assert!(mark_iter <= KILL_AT);
+            assert_eq!(h, ref_digests[mark_iter as usize - 1], "chop {chop}");
+            // The recovered stream ends exactly at the mark: no partial
+            // iteration's pushes leak through.
+            assert_eq!(rec.pushes.len(), rec.pushes_at_mark, "chop {chop}");
+            assert_streams_identical(
+                &rec.pushes,
+                &ref_pushes[..rec.pushes.len()],
+                "at-mark prefix",
+            );
+            drop(svc); // die again, right after the sealing compaction
+        }
+        // The sealed frontier is base-carried: the re-open's suffix holds
+        // no Mark records (the seal compacted them into the base), yet the
+        // resume point must be intact.
+        let (mut svc, rec) = PiService::open_durable_at_mark(base_cfg(Some(knobs)), &dir).unwrap();
+        let (mark_iter, mut h) = rec.last_mark.expect("frontier survives the seal");
+        assert_eq!(h, ref_digests[mark_iter as usize - 1], "chop {chop} reopen");
+        let sid = svc
+            .session_ids()
+            .first()
+            .copied()
+            .expect("session survives");
+        let mut scratch = Vec::new();
+        for i in mark_iter + 1..=N {
+            scratch.clear();
+            drive(&mut svc, sid, i, &mut scratch);
+            h = fold_all(h, &scratch);
+            svc.wal_mark(i, h);
+            svc.wal_sync();
+        }
+        assert_eq!(
+            h, final_digest,
+            "chop {chop}: at-mark resume must converge on the reference digest"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert!(
+        sealed_somewhere,
+        "at least one chop must cut mid-iteration and seal records"
+    );
+}

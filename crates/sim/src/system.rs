@@ -289,6 +289,78 @@ impl SimEvent {
             | SimEvent::RateChanged { at, .. } => at,
         }
     }
+
+    /// Flatten to the `(tag, at, id, a, b)` wire quintuple used by
+    /// journaling layers (e.g. a WAL `SimEvent` record). Inverse of
+    /// [`SimEvent::from_tap`].
+    pub fn to_tap(&self) -> (u8, f64, u64, f64, f64) {
+        match *self {
+            SimEvent::Admitted {
+                at,
+                id,
+                cost,
+                weight,
+            } => (1, at, id, cost, weight),
+            SimEvent::Enqueued {
+                at,
+                id,
+                cost,
+                weight,
+            } => (2, at, id, cost, weight),
+            SimEvent::Departed { at, id, kind } => {
+                let k = match kind {
+                    FinishKind::Completed => 0.0,
+                    FinishKind::Aborted => 1.0,
+                    FinishKind::Failed => 2.0,
+                    FinishKind::Rejected => 3.0,
+                };
+                (3, at, id, k, 0.0)
+            }
+            SimEvent::Blocked { at, id } => (4, at, id, 0.0, 0.0),
+            SimEvent::Resumed { at, id } => (5, at, id, 0.0, 0.0),
+            SimEvent::CostRefined { at, id, remaining } => (6, at, id, remaining, 0.0),
+            SimEvent::RateChanged { at, rate } => (7, at, 0, rate, 0.0),
+        }
+    }
+
+    /// Rebuild an event from its [`SimEvent::to_tap`] quintuple. Returns
+    /// `None` for an unknown tag or an unrepresentable payload (so
+    /// journal replay can skip — not panic on — hand-crafted records).
+    pub fn from_tap(tag: u8, at: f64, id: u64, a: f64, b: f64) -> Option<SimEvent> {
+        Some(match tag {
+            1 => SimEvent::Admitted {
+                at,
+                id,
+                cost: a,
+                weight: b,
+            },
+            2 => SimEvent::Enqueued {
+                at,
+                id,
+                cost: a,
+                weight: b,
+            },
+            3 => {
+                let kind = match a as u8 {
+                    0 => FinishKind::Completed,
+                    1 => FinishKind::Aborted,
+                    2 => FinishKind::Failed,
+                    3 => FinishKind::Rejected,
+                    _ => return None,
+                };
+                SimEvent::Departed { at, id, kind }
+            }
+            4 => SimEvent::Blocked { at, id },
+            5 => SimEvent::Resumed { at, id },
+            6 => SimEvent::CostRefined {
+                at,
+                id,
+                remaining: a,
+            },
+            7 => SimEvent::RateChanged { at, rate: a },
+            _ => return None,
+        })
+    }
 }
 
 /// What [`System::step`] does when a job's `run` fails mid-flight.
